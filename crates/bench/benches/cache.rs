@@ -1,0 +1,68 @@
+//! Cache-substrate benchmarks: demand-access throughput per replacement
+//! policy and prefetcher overheads, on an irregular address stream.
+
+use cosmos_cache::{Cache, CacheConfig, PolicyKind, PrefetcherKind};
+use cosmos_common::{LineAddr, SplitMix64};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn stream(n: usize, span: u64, seed: u64) -> Vec<LineAddr> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| LineAddr::new(rng.next_below(span))).collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let accesses = stream(100_000, 1 << 16, 1);
+    let mut g = c.benchmark_group("cache_policies");
+    g.throughput(Throughput::Elements(accesses.len() as u64));
+    for policy in [
+        PolicyKind::Lru,
+        PolicyKind::Random { seed: 7 },
+        PolicyKind::Rrip,
+        PolicyKind::Drrip,
+        PolicyKind::Ship,
+        PolicyKind::Mockingjay,
+        PolicyKind::Lcr,
+    ] {
+        g.bench_function(format!("{policy}"), |b| {
+            b.iter(|| {
+                let mut cache = Cache::new(CacheConfig::new(512 * 1024, 8), policy);
+                for &line in &accesses {
+                    black_box(cache.access(line, false, None));
+                }
+                cache.stats().demand.hits()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_prefetchers(c: &mut Criterion) {
+    let accesses = stream(100_000, 1 << 16, 2);
+    let mut g = c.benchmark_group("prefetchers");
+    g.throughput(Throughput::Elements(accesses.len() as u64));
+    for kind in [
+        PrefetcherKind::NextLine,
+        PrefetcherKind::Stride,
+        PrefetcherKind::Berti,
+    ] {
+        g.bench_function(format!("{kind}"), |b| {
+            b.iter(|| {
+                let mut pf = kind.build().expect("prefetcher");
+                let mut issued = 0usize;
+                for &line in &accesses {
+                    issued += pf.on_access(line, false).len();
+                }
+                issued
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_policies, bench_prefetchers
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Microbenchmarks for the crypto substrate: AES-128 block ops, SHA-256
+//! hashing, OTP generation, and MAC computation.
+
+use cosmos_common::PhysAddr;
+use cosmos_crypto::{aes::Aes128, mac, otp, Sha256};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_crypto(c: &mut Criterion) {
+    let aes = Aes128::new(&[7u8; 16]);
+    let block = [0x5Au8; 16];
+    let line = [0xA5u8; 64];
+
+    let mut g = c.benchmark_group("crypto");
+    g.throughput(Throughput::Bytes(16));
+    g.bench_function("aes128_encrypt_block", |b| {
+        b.iter(|| aes.encrypt_block(black_box(&block)))
+    });
+    g.bench_function("aes128_decrypt_block", |b| {
+        let ct = aes.encrypt_block(&block);
+        b.iter(|| aes.decrypt_block(black_box(&ct)))
+    });
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("sha256_64B", |b| b.iter(|| Sha256::digest(black_box(&line))));
+    g.bench_function("otp_generate_64B", |b| {
+        b.iter(|| otp::generate(&aes, black_box(PhysAddr::new(0x1000)), black_box(9)))
+    });
+    g.bench_function("mac_compute_64B", |b| {
+        b.iter(|| mac::compute(black_box(&line), PhysAddr::new(0x1000), 9))
+    });
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("sha256_4KiB", |b| {
+        let page = vec![1u8; 4096];
+        b.iter(|| Sha256::digest(black_box(&page)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_crypto
+}
+criterion_main!(benches);

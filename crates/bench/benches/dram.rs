@@ -1,0 +1,53 @@
+//! DRAM-model benchmarks: request throughput for streaming vs. random
+//! address patterns, bank model vs. fixed latency.
+
+use cosmos_common::{Cycle, LineAddr, SplitMix64};
+use cosmos_dram::{Dram, DramConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_dram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram");
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("streaming_bank_model", |b| {
+        b.iter(|| {
+            let mut dram = Dram::new(DramConfig::ddr4_2400());
+            let mut now = Cycle::ZERO;
+            for i in 0..n {
+                now = black_box(dram.access(LineAddr::new(i), now, false));
+            }
+            dram.stats().row_hits
+        })
+    });
+    g.bench_function("random_bank_model", |b| {
+        b.iter(|| {
+            let mut dram = Dram::new(DramConfig::ddr4_2400());
+            let mut rng = SplitMix64::new(3);
+            let mut now = Cycle::ZERO;
+            for _ in 0..n {
+                now = black_box(dram.access(LineAddr::new(rng.next_below(1 << 24)), now, false));
+            }
+            dram.stats().row_conflicts
+        })
+    });
+    g.bench_function("random_fixed_latency", |b| {
+        b.iter(|| {
+            let mut dram = Dram::new(DramConfig::fixed_latency());
+            let mut rng = SplitMix64::new(3);
+            let mut now = Cycle::ZERO;
+            for _ in 0..n {
+                now = black_box(dram.access(LineAddr::new(rng.next_below(1 << 24)), now, false));
+            }
+            dram.stats().reads
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dram
+}
+criterion_main!(benches);

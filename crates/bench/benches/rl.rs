@@ -1,0 +1,66 @@
+//! RL-substrate benchmarks: Q-table updates and full predictor steps —
+//! these run on every L1 miss / CTR access, so their software cost bounds
+//! simulator throughput (the modeled hardware cost is 1 cycle, off the
+//! critical path).
+
+use cosmos_common::{LineAddr, PhysAddr, SplitMix64};
+use cosmos_rl::params::RlParams;
+use cosmos_rl::{CtrLocalityPredictor, DataLocation, DataLocationPredictor, QTable};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_rl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rl");
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+
+    g.bench_function("qtable_update", |b| {
+        let mut q = QTable::new(16_384);
+        let mut rng = SplitMix64::new(1);
+        b.iter(|| {
+            for _ in 0..n {
+                let s = rng.next_index(16_384);
+                q.update_toward(s, 1, black_box(10.0), 0.09);
+            }
+            q.q(0, 0)
+        })
+    });
+
+    g.bench_function("data_predictor_step", |b| {
+        b.iter(|| {
+            let mut p = DataLocationPredictor::new(RlParams::data_defaults(), 5);
+            let mut rng = SplitMix64::new(2);
+            for _ in 0..n {
+                let addr = PhysAddr::new(rng.next_below(1 << 30));
+                let pred = p.predict(addr);
+                let actual = if rng.chance(0.6) {
+                    DataLocation::OffChip
+                } else {
+                    DataLocation::OnChip
+                };
+                p.learn(addr, pred, actual);
+            }
+            p.stats().total()
+        })
+    });
+
+    g.bench_function("locality_classify", |b| {
+        b.iter(|| {
+            let mut p = CtrLocalityPredictor::new(RlParams::ctr_defaults(), 8192, 0, 3);
+            let mut rng = SplitMix64::new(4);
+            for _ in 0..n {
+                let ctr = LineAddr::new((1 << 34) + rng.next_below(1 << 16));
+                black_box(p.classify(ctr));
+            }
+            p.stats().predictions
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rl
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Secure-memory substrate benchmarks: counter increments (with MorphCtr
+//! morphing), Merkle-tree update/verify, and full functional protected
+//! writes/reads.
+
+use cosmos_common::{LineAddr, SplitMix64};
+use cosmos_secure::{CounterScheme, CounterStore, MerkleTree, SecureMemory};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_counters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counters");
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+    for scheme in [
+        CounterScheme::Monolithic,
+        CounterScheme::Split,
+        CounterScheme::MorphCtr,
+    ] {
+        g.bench_function(format!("increment_{scheme}"), |b| {
+            b.iter(|| {
+                let mut store = CounterStore::new(scheme);
+                let mut rng = SplitMix64::new(1);
+                for _ in 0..n {
+                    store.increment(LineAddr::new(rng.next_below(1 << 20)));
+                }
+                store.increments()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merkle");
+    g.bench_function("update_leaf_4M_tree", |b| {
+        let mut tree = MerkleTree::new(4 << 20);
+        let mut rng = SplitMix64::new(2);
+        b.iter(|| {
+            let leaf = rng.next_below(4 << 20);
+            tree.update_leaf(leaf, black_box([3u8; 32]));
+        })
+    });
+    g.bench_function("verify_leaf_4M_tree", |b| {
+        let mut tree = MerkleTree::new(4 << 20);
+        tree.update_leaf(77, [9u8; 32]);
+        b.iter(|| black_box(tree.verify_leaf(77, [9u8; 32])))
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("secure_memory");
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("protected_write", |b| {
+        let mut m = SecureMemory::new(1 << 30, CounterScheme::MorphCtr, [1u8; 16]);
+        let mut rng = SplitMix64::new(3);
+        b.iter(|| {
+            let line = LineAddr::new(rng.next_below(1 << 20));
+            m.write(line, black_box(&[0xEEu8; 64]))
+        })
+    });
+    g.bench_function("protected_read", |b| {
+        let mut m = SecureMemory::new(1 << 30, CounterScheme::MorphCtr, [1u8; 16]);
+        for i in 0..1024u64 {
+            m.write(LineAddr::new(i), &[i as u8; 64]);
+        }
+        let mut rng = SplitMix64::new(4);
+        b.iter(|| {
+            let line = LineAddr::new(rng.next_below(1024));
+            black_box(m.read(line).expect("verified"))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_counters, bench_merkle, bench_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! End-to-end simulator benchmarks: accesses-per-second for each design
+//! over one irregular trace, plus trace-generation throughput — the
+//! numbers that bound how large the figure experiments can scale.
+
+use cosmos_core::{Design, SimConfig, Simulator};
+use cosmos_workloads::{graph::GraphKernel, TraceSpec, Workload};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_designs(c: &mut Criterion) {
+    let mut spec = TraceSpec::small_test(42);
+    spec.accesses = 200_000;
+    spec.graph_vertices = 1 << 17;
+    let trace = Workload::Graph(GraphKernel::Dfs).generate(&spec);
+
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for design in [
+        Design::Np,
+        Design::MorphCtr,
+        Design::Emcc,
+        Design::CosmosDp,
+        Design::CosmosCp,
+        Design::Cosmos,
+    ] {
+        g.bench_function(design.name(), |b| {
+            b.iter(|| {
+                let stats = Simulator::new(SimConfig::paper_default(design)).run(&trace);
+                black_box(stats.cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_generation");
+    let mut spec = TraceSpec::small_test(42);
+    spec.accesses = 200_000;
+    spec.graph_vertices = 1 << 16;
+    g.throughput(Throughput::Elements(spec.accesses as u64));
+    for w in [
+        Workload::Graph(GraphKernel::Bfs),
+        Workload::Spec(cosmos_workloads::spec::SpecKind::Mcf),
+        Workload::Ml(cosmos_workloads::ml::MlModel::Bert),
+    ] {
+        g.bench_function(w.name(), |b| b.iter(|| black_box(w.generate(&spec)).len()));
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_designs, bench_trace_generation
+}
+criterion_main!(benches);

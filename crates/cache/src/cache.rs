@@ -1,0 +1,427 @@
+//! The generic set-associative cache.
+
+use crate::config::CacheConfig;
+use crate::policies::{PolicyKind, ReplacementPolicy, WayView};
+use crate::stats::CacheStats;
+use cosmos_common::LineAddr;
+
+/// An RL-provided locality annotation attached to a cached line, used by the
+/// LCR replacement policy (paper §4.3: a 1-bit flag + 8-bit score per line).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LocalityHint {
+    /// `true` = predicted good locality.
+    pub good: bool,
+    /// Quantized Q-value magnitude backing the prediction (0–255).
+    pub score: u8,
+}
+
+/// What happened to an evicted line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Eviction {
+    /// The line that was evicted.
+    pub line: LineAddr,
+    /// Whether it was dirty (needs a writeback).
+    pub dirty: bool,
+}
+
+/// Result of a cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// A line evicted to make room (only possible on a miss fill).
+    pub evicted: Option<Eviction>,
+    /// Whether the hit line had been brought in by a prefetch and this is
+    /// its first demand use.
+    pub first_use_of_prefetch: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    prefetched: bool,
+    demand_used: bool,
+    hint: Option<LocalityHint>,
+}
+
+impl Entry {
+    const INVALID: Entry = Entry {
+        tag: 0,
+        valid: false,
+        dirty: false,
+        prefetched: false,
+        demand_used: false,
+        hint: None,
+    };
+}
+
+/// A set-associative cache with a pluggable replacement policy.
+///
+/// The cache is *line-granular*: callers pass [`LineAddr`]s. It models tag
+/// state only (no data payload — the functional secure-memory layer keeps
+/// payloads in its own store).
+///
+/// # Examples
+///
+/// ```
+/// use cosmos_cache::{Cache, CacheConfig, PolicyKind};
+/// use cosmos_common::LineAddr;
+/// let mut c = Cache::new(CacheConfig::new(8192, 2), PolicyKind::Lru);
+/// c.access(LineAddr::new(1), true, None);
+/// assert!(c.contains(LineAddr::new(1)));
+/// ```
+pub struct Cache {
+    config: CacheConfig,
+    entries: Vec<Entry>,
+    policy: Box<dyn ReplacementPolicy>,
+    stats: CacheStats,
+}
+
+impl core::fmt::Debug for Cache {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Cache")
+            .field("config", &self.config)
+            .field("policy", &self.policy.name())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Cache {
+    /// Creates a cache with the given geometry and replacement policy.
+    pub fn new(config: CacheConfig, policy: PolicyKind) -> Self {
+        let policy = policy.build(config.num_sets(), config.ways());
+        Self::with_policy(config, policy)
+    }
+
+    /// Creates a cache with a custom policy object.
+    pub fn with_policy(config: CacheConfig, policy: Box<dyn ReplacementPolicy>) -> Self {
+        Self {
+            config,
+            entries: vec![Entry::INVALID; config.num_lines()],
+            policy,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics (contents are preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Non-modifying presence check (no LRU update, no stats).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.find_way(line).is_some()
+    }
+
+    /// Performs a demand access: on hit, updates recency; on miss, fills the
+    /// line (evicting if needed) and returns the eviction.
+    ///
+    /// `hint` attaches/refreshes an RL locality annotation (LCR policy); it
+    /// is stored on fill and refreshed on hit when provided.
+    pub fn access(&mut self, line: LineAddr, write: bool, hint: Option<LocalityHint>) -> AccessResult {
+        let set = self.config.set_of(line.index());
+        let tag = self.config.tag_of(line.index());
+        if let Some(way) = self.find_way(line) {
+            let idx = self.entry_index(set, way);
+            let first_use = self.entries[idx].prefetched && !self.entries[idx].demand_used;
+            self.entries[idx].demand_used = true;
+            if write {
+                self.entries[idx].dirty = true;
+            }
+            if hint.is_some() {
+                self.entries[idx].hint = hint;
+            }
+            self.stats.demand.hit();
+            if first_use {
+                self.stats.prefetch_useful += 1;
+            }
+            self.policy.on_hit(set, way, line);
+            return AccessResult {
+                hit: true,
+                evicted: None,
+                first_use_of_prefetch: first_use,
+            };
+        }
+        self.stats.demand.miss();
+        let evicted = self.fill_internal(set, tag, line, write, hint, false);
+        AccessResult {
+            hit: false,
+            evicted,
+            first_use_of_prefetch: false,
+        }
+    }
+
+    /// Inserts a line without touching demand statistics — used for fills
+    /// that are not demand misses, e.g. a dirty line evicted from an upper
+    /// cache level being installed here. If the line is already resident it
+    /// is marked dirty as requested and no fill happens.
+    ///
+    /// Returns the eviction caused, if any.
+    pub fn fill(&mut self, line: LineAddr, dirty: bool) -> Option<Eviction> {
+        let set = self.config.set_of(line.index());
+        if let Some(way) = self.find_way(line) {
+            let idx = self.entry_index(set, way);
+            if dirty {
+                self.entries[idx].dirty = true;
+            }
+            self.policy.on_hit(set, way, line);
+            return None;
+        }
+        let tag = self.config.tag_of(line.index());
+        self.fill_internal(set, tag, line, dirty, None, false)
+    }
+
+    /// Inserts a line brought in by a prefetch (no demand hit/miss counted).
+    ///
+    /// Returns the eviction caused, if any. A line already present is left
+    /// untouched (the prefetch is redundant and counted as such).
+    pub fn prefetch_fill(&mut self, line: LineAddr, hint: Option<LocalityHint>) -> Option<Eviction> {
+        if self.contains(line) {
+            self.stats.prefetch_redundant += 1;
+            return None;
+        }
+        self.stats.prefetch_issued += 1;
+        let set = self.config.set_of(line.index());
+        let tag = self.config.tag_of(line.index());
+        self.fill_internal(set, tag, line, false, hint, true)
+    }
+
+    /// Removes a line if present; returns whether it was dirty.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        let set = self.config.set_of(line.index());
+        let way = self.find_way(line)?;
+        let idx = self.entry_index(set, way);
+        let dirty = self.entries[idx].dirty;
+        let reused = self.entries[idx].demand_used;
+        self.policy.on_evict(set, way, line, reused);
+        self.entries[idx] = Entry::INVALID;
+        Some(dirty)
+    }
+
+    /// Number of valid lines currently cached.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// Iterates over all valid resident lines.
+    pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.entries
+            .iter()
+            .filter(|e| e.valid)
+            .map(|e| LineAddr::new(e.tag))
+    }
+
+    fn entry_index(&self, set: usize, way: usize) -> usize {
+        set * self.config.ways() + way
+    }
+
+    fn find_way(&self, line: LineAddr) -> Option<usize> {
+        let set = self.config.set_of(line.index());
+        let tag = self.config.tag_of(line.index());
+        let base = set * self.config.ways();
+        (0..self.config.ways())
+            .find(|&w| self.entries[base + w].valid && self.entries[base + w].tag == tag)
+    }
+
+    fn fill_internal(
+        &mut self,
+        set: usize,
+        tag: u64,
+        line: LineAddr,
+        write: bool,
+        hint: Option<LocalityHint>,
+        prefetched: bool,
+    ) -> Option<Eviction> {
+        let ways = self.config.ways();
+        let base = set * ways;
+        // Prefer an invalid way.
+        let (way, eviction) = match (0..ways).find(|&w| !self.entries[base + w].valid) {
+            Some(w) => (w, None),
+            None => {
+                let views: Vec<WayView> = (0..ways)
+                    .map(|w| {
+                        let e = &self.entries[base + w];
+                        WayView {
+                            line: LineAddr::new(e.tag),
+                            hint: e.hint,
+                            dirty: e.dirty,
+                            demand_used: e.demand_used,
+                        }
+                    })
+                    .collect();
+                let victim = self.policy.choose_victim(set, &views);
+                assert!(victim < ways, "policy returned way {victim} >= {ways}");
+                let e = &self.entries[base + victim];
+                let ev = Eviction {
+                    line: LineAddr::new(e.tag),
+                    dirty: e.dirty,
+                };
+                let reused = e.demand_used;
+                if e.prefetched && !e.demand_used {
+                    self.stats.prefetch_unused += 1;
+                }
+                self.policy.on_evict(set, victim, ev.line, reused);
+                self.stats.evictions += 1;
+                if ev.dirty {
+                    self.stats.writebacks += 1;
+                }
+                (victim, Some(ev))
+            }
+        };
+        self.entries[base + way] = Entry {
+            tag,
+            valid: true,
+            dirty: write,
+            prefetched,
+            demand_used: !prefetched,
+            hint,
+        };
+        self.policy.on_fill(set, way, line, hint);
+        eviction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_lru() -> Cache {
+        // 4 sets x 2 ways.
+        Cache::new(CacheConfig::new(512, 2), PolicyKind::Lru)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small_lru();
+        let r = c.access(LineAddr::new(0), false, None);
+        assert!(!r.hit);
+        let r = c.access(LineAddr::new(0), false, None);
+        assert!(r.hit);
+        assert_eq!(c.stats().demand.hits(), 1);
+        assert_eq!(c.stats().demand.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small_lru();
+        // Set 0 holds lines 0, 4, 8, ... (4 sets).
+        c.access(LineAddr::new(0), false, None);
+        c.access(LineAddr::new(4), false, None);
+        c.access(LineAddr::new(0), false, None); // 0 is now MRU
+        let r = c.access(LineAddr::new(8), false, None); // evicts 4
+        assert_eq!(r.evicted.unwrap().line, LineAddr::new(4));
+        assert!(c.contains(LineAddr::new(0)));
+        assert!(!c.contains(LineAddr::new(4)));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small_lru();
+        c.access(LineAddr::new(0), true, None);
+        c.access(LineAddr::new(4), false, None);
+        let r = c.access(LineAddr::new(8), false, None);
+        let ev = r.evicted.unwrap();
+        assert_eq!(ev.line, LineAddr::new(0));
+        assert!(ev.dirty);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small_lru();
+        c.access(LineAddr::new(0), false, None);
+        c.access(LineAddr::new(0), true, None);
+        assert_eq!(c.invalidate(LineAddr::new(0)), Some(true));
+    }
+
+    #[test]
+    fn invalidate_absent_line() {
+        let mut c = small_lru();
+        assert_eq!(c.invalidate(LineAddr::new(3)), None);
+    }
+
+    #[test]
+    fn prefetch_fill_and_first_use() {
+        let mut c = small_lru();
+        assert!(c.prefetch_fill(LineAddr::new(12), None).is_none());
+        assert_eq!(c.stats().prefetch_issued, 1);
+        let r = c.access(LineAddr::new(12), false, None);
+        assert!(r.hit);
+        assert!(r.first_use_of_prefetch);
+        assert_eq!(c.stats().prefetch_useful, 1);
+        // Second use is not a "first use".
+        let r = c.access(LineAddr::new(12), false, None);
+        assert!(!r.first_use_of_prefetch);
+    }
+
+    #[test]
+    fn redundant_prefetch_counted() {
+        let mut c = small_lru();
+        c.access(LineAddr::new(3), false, None);
+        c.prefetch_fill(LineAddr::new(3), None);
+        assert_eq!(c.stats().prefetch_redundant, 1);
+        assert_eq!(c.stats().prefetch_issued, 0);
+    }
+
+    #[test]
+    fn unused_prefetch_counted_on_eviction() {
+        let mut c = small_lru();
+        c.prefetch_fill(LineAddr::new(0), None);
+        c.access(LineAddr::new(4), false, None);
+        c.access(LineAddr::new(8), false, None); // evicts one of them
+        c.access(LineAddr::new(12), false, None); // evicts the other
+        assert_eq!(c.stats().prefetch_unused, 1);
+    }
+
+    #[test]
+    fn occupancy_is_bounded_by_capacity() {
+        let mut c = small_lru();
+        for i in 0..100 {
+            c.access(LineAddr::new(i), false, None);
+        }
+        assert_eq!(c.occupancy(), 8);
+    }
+
+    #[test]
+    fn contains_does_not_touch_stats() {
+        let mut c = small_lru();
+        c.access(LineAddr::new(0), false, None);
+        let before = *c.stats();
+        assert!(c.contains(LineAddr::new(0)));
+        assert!(!c.contains(LineAddr::new(99)));
+        assert_eq!(*c.stats(), before);
+    }
+
+    #[test]
+    fn hint_stored_and_refreshed() {
+        let mut c = small_lru();
+        let h1 = LocalityHint {
+            good: true,
+            score: 10,
+        };
+        c.access(LineAddr::new(0), false, Some(h1));
+        // Hit without hint keeps the old one; hit with hint refreshes.
+        c.access(LineAddr::new(0), false, None);
+        let h2 = LocalityHint {
+            good: false,
+            score: 99,
+        };
+        c.access(LineAddr::new(0), false, Some(h2));
+        // Verify via LCR-style view: evict and check policy saw the hint.
+        // (Direct check: resident_lines still contains it.)
+        assert!(c.contains(LineAddr::new(0)));
+    }
+}

@@ -1,0 +1,136 @@
+//! Cache geometry configuration.
+
+use cosmos_common::LINE_SIZE;
+
+/// Geometry of a set-associative cache.
+///
+/// # Examples
+///
+/// ```
+/// use cosmos_cache::CacheConfig;
+/// let c = CacheConfig::new(512 * 1024, 8); // the paper's 512 KB CTR cache
+/// assert_eq!(c.num_sets(), 1024);
+/// assert_eq!(c.num_lines(), 8192);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    size_bytes: usize,
+    ways: usize,
+    line_size: usize,
+}
+
+impl CacheConfig {
+    /// Creates a configuration with 64 B lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent: zero ways, size not a
+    /// multiple of `ways * line_size`, or a non-power-of-two set count.
+    pub fn new(size_bytes: usize, ways: usize) -> Self {
+        Self::with_line_size(size_bytes, ways, LINE_SIZE)
+    }
+
+    /// Creates a configuration with an explicit line size.
+    ///
+    /// # Panics
+    ///
+    /// See [`CacheConfig::new`].
+    pub fn with_line_size(size_bytes: usize, ways: usize, line_size: usize) -> Self {
+        assert!(ways > 0, "cache must have at least one way");
+        assert!(line_size > 0, "line size must be positive");
+        assert!(
+            size_bytes.is_multiple_of(ways * line_size),
+            "cache size {size_bytes} is not a whole number of sets (ways={ways}, line={line_size})"
+        );
+        let sets = size_bytes / (ways * line_size);
+        assert!(
+            sets.is_power_of_two(),
+            "number of sets must be a power of two, got {sets}"
+        );
+        Self {
+            size_bytes,
+            ways,
+            line_size,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub const fn size_bytes(&self) -> usize {
+        self.size_bytes
+    }
+
+    /// Associativity.
+    pub const fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Line size in bytes.
+    pub const fn line_size(&self) -> usize {
+        self.line_size
+    }
+
+    /// Number of sets.
+    pub const fn num_sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_size)
+    }
+
+    /// Total number of lines.
+    pub const fn num_lines(&self) -> usize {
+        self.size_bytes / self.line_size
+    }
+
+    /// Set index for a line index.
+    #[inline]
+    pub fn set_of(&self, line_index: u64) -> usize {
+        (line_index as usize) & (self.num_sets() - 1)
+    }
+
+    /// Tag (the line index itself; sets store full line indices for
+    /// simplicity — a simulator does not need bit-sliced tags).
+    #[inline]
+    pub fn tag_of(&self, line_index: u64) -> u64 {
+        line_index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometries() {
+        // L1: 32KB 2-way; L2: 1MB 8-way; LLC: 8MB 16-way; CTR: 512KB 8-way.
+        assert_eq!(CacheConfig::new(32 * 1024, 2).num_sets(), 256);
+        assert_eq!(CacheConfig::new(1024 * 1024, 8).num_sets(), 2048);
+        assert_eq!(CacheConfig::new(8 * 1024 * 1024, 16).num_sets(), 8192);
+        assert_eq!(CacheConfig::new(512 * 1024, 8).num_sets(), 1024);
+    }
+
+    #[test]
+    fn set_mapping_stays_in_range() {
+        let c = CacheConfig::new(128 * 1024, 8);
+        for line in [0u64, 1, 255, 256, 1 << 40] {
+            assert!(c.set_of(line) < c.num_sets());
+        }
+    }
+
+    #[test]
+    fn consecutive_lines_map_to_consecutive_sets() {
+        let c = CacheConfig::new(4096, 1);
+        assert_eq!(c.set_of(0), 0);
+        assert_eq!(c.set_of(1), 1);
+        assert_eq!(c.set_of(c.num_sets() as u64), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        CacheConfig::new(3 * 64 * 8, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn rejects_zero_ways() {
+        CacheConfig::new(4096, 0);
+    }
+}

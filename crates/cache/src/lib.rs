@@ -1,0 +1,44 @@
+//! Set-associative cache substrate with pluggable replacement policies and
+//! prefetchers.
+//!
+//! Every cache level in the COSMOS simulator — L1/L2/LLC data caches, the
+//! CTR cache (LRU or LCR), and the Merkle-tree metadata cache — is an
+//! instance of [`Cache`]. Replacement behaviour is provided by a
+//! [`ReplacementPolicy`] implementation:
+//!
+//! - [`policies::Lru`] — true LRU (the paper's baseline CTR cache),
+//! - [`policies::RandomRepl`] — random victim,
+//! - [`policies::Rrip`] — static RRIP (Jaleel et al.),
+//! - [`policies::Ship`] — signature-based hit prediction (Wu et al.),
+//! - [`policies::Mockingjay`] — sampled reuse-distance / ETA policy
+//!   (Shah et al.), simplified but faithful to its eviction criterion,
+//! - [`policies::Lcr`] — the paper's Locality-Centric Replacement
+//!   (Algorithm 2), driven by RL locality predictions.
+//!
+//! Prefetchers ([`Prefetcher`]) generate candidate lines from the demand
+//! stream: [`prefetchers::NextLine`], [`prefetchers::Stride`], and
+//! [`prefetchers::Berti`] (a local-delta prefetcher in the spirit of
+//! Navarro-Torres et al., used by the paper's Figure 5 study).
+//!
+//! # Examples
+//!
+//! ```
+//! use cosmos_cache::{Cache, CacheConfig, PolicyKind};
+//! use cosmos_common::LineAddr;
+//!
+//! let mut c = Cache::new(CacheConfig::new(4096, 4), PolicyKind::Lru);
+//! assert!(!c.access(LineAddr::new(7), false, None).hit);
+//! assert!(c.access(LineAddr::new(7), false, None).hit);
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod policies;
+pub mod prefetchers;
+pub mod stats;
+
+pub use cache::{AccessResult, Cache, Eviction, LocalityHint};
+pub use config::CacheConfig;
+pub use policies::{PolicyKind, ReplacementPolicy};
+pub use prefetchers::{Prefetcher, PrefetcherKind};
+pub use stats::CacheStats;

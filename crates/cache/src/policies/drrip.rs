@@ -1,0 +1,167 @@
+//! DRRIP: Dynamic RRIP with set dueling (Jaleel et al., ISCA 2010).
+//!
+//! Two insertion policies compete on dedicated sampled sets: SRRIP (insert
+//! at `max-1`) and BRRIP (insert at `max`, occasionally `max-1`). A PSEL
+//! counter tracks which sampler misses less, and follower sets adopt the
+//! winner. Included as the natural completion of the RRIP family; the
+//! Figure-5 study uses static RRIP as in the paper.
+
+use super::{ReplacementPolicy, WayView};
+use crate::cache::LocalityHint;
+use cosmos_common::{LineAddr, SplitMix64};
+
+const MAX_RRPV: u8 = 3;
+/// 1-in-32 BRRIP insertions land at `max-1`.
+const BRRIP_NEAR_RATE: f64 = 1.0 / 32.0;
+const PSEL_MAX: i32 = 1023;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SetRole {
+    SrripSample,
+    BrripSample,
+    Follower,
+}
+
+/// Dynamic RRIP with set dueling.
+#[derive(Debug)]
+pub struct Drrip {
+    ways: usize,
+    rrpv: Vec<u8>,
+    roles: Vec<SetRole>,
+    /// Positive favors SRRIP (BRRIP sampler missed more), negative BRRIP.
+    psel: i32,
+    rng: SplitMix64,
+}
+
+impl Drrip {
+    /// Creates DRRIP state for a `sets` × `ways` cache; every 32nd set
+    /// samples SRRIP and every 32nd (offset 16) samples BRRIP.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        let roles = (0..sets)
+            .map(|s| match s % 32 {
+                0 => SetRole::SrripSample,
+                16 => SetRole::BrripSample,
+                _ => SetRole::Follower,
+            })
+            .collect();
+        Self {
+            ways,
+            rrpv: vec![MAX_RRPV; sets * ways],
+            roles,
+            psel: 0,
+            rng: SplitMix64::new(0xD_EE1),
+        }
+    }
+
+    fn use_srrip(&mut self, set: usize) -> bool {
+        match self.roles[set] {
+            SetRole::SrripSample => true,
+            SetRole::BrripSample => false,
+            SetRole::Follower => self.psel >= 0,
+        }
+    }
+}
+
+impl ReplacementPolicy for Drrip {
+    fn on_hit(&mut self, set: usize, way: usize, _line: LineAddr) {
+        self.rrpv[set * self.ways + way] = 0;
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _line: LineAddr, _hint: Option<LocalityHint>) {
+        // A fill is a miss: duel accounting first.
+        match self.roles[set] {
+            SetRole::SrripSample => self.psel = (self.psel - 1).max(-PSEL_MAX),
+            SetRole::BrripSample => self.psel = (self.psel + 1).min(PSEL_MAX),
+            SetRole::Follower => {}
+        }
+        let srrip = self.use_srrip(set);
+        let insert = if srrip || self.rng.chance(BRRIP_NEAR_RATE) {
+            MAX_RRPV - 1
+        } else {
+            MAX_RRPV
+        };
+        self.rrpv[set * self.ways + way] = insert;
+    }
+
+    fn on_evict(&mut self, _set: usize, _way: usize, _line: LineAddr, _reused: bool) {}
+
+    fn choose_victim(&mut self, set: usize, ways: &[WayView]) -> usize {
+        let base = set * self.ways;
+        loop {
+            if let Some(w) = (0..ways.len()).find(|&w| self.rrpv[base + w] >= MAX_RRPV) {
+                return w;
+            }
+            for w in 0..ways.len() {
+                self.rrpv[base + w] += 1;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "DRRIP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn views(n: usize) -> Vec<WayView> {
+        (0..n)
+            .map(|i| WayView {
+                line: LineAddr::new(i as u64),
+                hint: None,
+                dirty: false,
+                demand_used: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sampler_roles_assigned() {
+        let p = Drrip::new(64, 4);
+        assert_eq!(p.roles[0], SetRole::SrripSample);
+        assert_eq!(p.roles[16], SetRole::BrripSample);
+        assert_eq!(p.roles[1], SetRole::Follower);
+        assert_eq!(p.roles[32], SetRole::SrripSample);
+    }
+
+    #[test]
+    fn psel_moves_with_sampler_misses() {
+        let mut p = Drrip::new(64, 4);
+        let before = p.psel;
+        p.on_fill(0, 0, LineAddr::new(1), None); // SRRIP sampler miss
+        assert!(p.psel < before);
+        p.on_fill(16, 0, LineAddr::new(2), None); // BRRIP sampler miss
+        p.on_fill(16, 1, LineAddr::new(3), None);
+        assert!(p.psel > before - 1);
+    }
+
+    #[test]
+    fn brrip_sampler_inserts_distant() {
+        let mut p = Drrip::new(64, 4);
+        // BRRIP inserts at MAX almost always.
+        let mut distant = 0;
+        for w in 0..4 {
+            p.on_fill(16, w, LineAddr::new(w as u64), None);
+            if p.rrpv[16 * 4 + w] == MAX_RRPV {
+                distant += 1;
+            }
+        }
+        assert!(distant >= 3);
+        // SRRIP sampler inserts at MAX-1 always.
+        p.on_fill(0, 0, LineAddr::new(9), None);
+        assert_eq!(p.rrpv[0], MAX_RRPV - 1);
+    }
+
+    #[test]
+    fn victim_selection_terminates() {
+        let mut p = Drrip::new(64, 4);
+        for w in 0..4 {
+            p.on_fill(5, w, LineAddr::new(w as u64), None);
+            p.on_hit(5, w, LineAddr::new(w as u64));
+        }
+        let v = p.choose_victim(5, &views(4));
+        assert!(v < 4);
+    }
+}

@@ -1,0 +1,159 @@
+//! Locality-Centric Replacement (LCR) — paper Algorithm 2.
+//!
+//! Each resident counter line carries an RL annotation ([`LocalityHint`]):
+//! a 1-bit good/bad locality flag and an 8-bit score (the quantized Q-value
+//! behind the prediction). The victim search, per Algorithm 2:
+//!
+//! 1. among lines flagged *bad* locality, evict the one with the **highest**
+//!    bad score (most confidently bad);
+//! 2. if every line is flagged good, evict the one with the **lowest**
+//!    good score (least confidently good).
+//!
+//! Lines with no annotation (filled without an RL prediction) are treated
+//! as bad-locality with score 0 — they are preferred over annotated good
+//! lines but lose to confidently-bad lines. Ties fall back to LRU order so
+//! that behaviour degrades gracefully to LRU when the predictor is
+//! uninformative.
+
+use super::{ReplacementPolicy, WayView};
+use crate::cache::LocalityHint;
+use cosmos_common::LineAddr;
+
+/// LCR replacement (paper Algorithm 2) with LRU tie-breaking.
+#[derive(Debug)]
+pub struct Lcr {
+    ways: usize,
+    clock: u64,
+    last_touch: Vec<u64>,
+}
+
+impl Lcr {
+    /// Creates LCR state for a `sets` × `ways` cache.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            ways,
+            clock: 0,
+            last_touch: vec![0; sets * ways],
+        }
+    }
+
+    #[inline]
+    fn touch(&mut self, set: usize, way: usize) {
+        self.clock += 1;
+        self.last_touch[set * self.ways + way] = self.clock;
+    }
+}
+
+impl ReplacementPolicy for Lcr {
+    fn on_hit(&mut self, set: usize, way: usize, _line: LineAddr) {
+        self.touch(set, way);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _line: LineAddr, _hint: Option<LocalityHint>) {
+        self.touch(set, way);
+    }
+
+    fn on_evict(&mut self, _set: usize, _way: usize, _line: LineAddr, _reused: bool) {}
+
+    fn choose_victim(&mut self, set: usize, ways: &[WayView]) -> usize {
+        let base = set * self.ways;
+        let mut best_bad: Option<(usize, u8, u64)> = None; // way, score, last_touch
+        let mut best_good: Option<(usize, u8, u64)> = None;
+        for (w, view) in ways.iter().enumerate() {
+            let hint = view.hint.unwrap_or(LocalityHint {
+                good: false,
+                score: 0,
+            });
+            let touch = self.last_touch[base + w];
+            if hint.good {
+                // Lowest good score; tie -> older (smaller touch).
+                let cand = (w, hint.score, touch);
+                best_good = Some(match best_good {
+                    None => cand,
+                    Some(cur) if (hint.score, touch) < (cur.1, cur.2) => cand,
+                    Some(cur) => cur,
+                });
+            } else {
+                // Highest bad score; tie -> older.
+                let cand = (w, hint.score, touch);
+                best_bad = Some(match best_bad {
+                    None => cand,
+                    Some(cur) if (core::cmp::Reverse(hint.score), touch)
+                        < (core::cmp::Reverse(cur.1), cur.2) => cand,
+                    Some(cur) => cur,
+                });
+            }
+        }
+        best_bad.or(best_good).map(|(w, _, _)| w).expect("non-empty set")
+    }
+
+    fn name(&self) -> &'static str {
+        "LCR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn way(line: u64, hint: Option<(bool, u8)>) -> WayView {
+        WayView {
+            line: LineAddr::new(line),
+            hint: hint.map(|(good, score)| LocalityHint { good, score }),
+            dirty: false,
+            demand_used: true,
+        }
+    }
+
+    #[test]
+    fn evicts_highest_scoring_bad_line() {
+        let mut p = Lcr::new(1, 4);
+        let ways = vec![
+            way(0, Some((false, 10))),
+            way(1, Some((false, 200))),
+            way(2, Some((true, 5))),
+            way(3, Some((true, 250))),
+        ];
+        assert_eq!(p.choose_victim(0, &ways), 1);
+    }
+
+    #[test]
+    fn all_good_evicts_lowest_score() {
+        let mut p = Lcr::new(1, 3);
+        let ways = vec![
+            way(0, Some((true, 90))),
+            way(1, Some((true, 10))),
+            way(2, Some((true, 170))),
+        ];
+        assert_eq!(p.choose_victim(0, &ways), 1);
+    }
+
+    #[test]
+    fn unannotated_treated_as_bad_score_zero() {
+        let mut p = Lcr::new(1, 3);
+        // bad(60) beats unannotated (bad 0); good survives.
+        let ways = vec![way(0, None), way(1, Some((false, 60))), way(2, Some((true, 1)))];
+        assert_eq!(p.choose_victim(0, &ways), 1);
+        // With only unannotated + good, unannotated goes first.
+        let ways = vec![way(0, None), way(1, Some((true, 1))), way(2, Some((true, 9)))];
+        assert_eq!(p.choose_victim(0, &ways), 0);
+    }
+
+    #[test]
+    fn lru_breaks_ties() {
+        let mut p = Lcr::new(1, 2);
+        p.on_fill(0, 0, LineAddr::new(0), None);
+        p.on_fill(0, 1, LineAddr::new(1), None);
+        p.on_hit(0, 0, LineAddr::new(0)); // way 1 now older
+        let ways = vec![way(0, Some((false, 7))), way(1, Some((false, 7)))];
+        assert_eq!(p.choose_victim(0, &ways), 1);
+    }
+
+    #[test]
+    fn good_lines_protected_from_bad() {
+        let mut p = Lcr::new(1, 2);
+        // Even a barely-good line outlives a barely-bad one.
+        let ways = vec![way(0, Some((true, 0))), way(1, Some((false, 0)))];
+        assert_eq!(p.choose_victim(0, &ways), 1);
+    }
+}

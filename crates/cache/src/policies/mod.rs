@@ -1,0 +1,110 @@
+//! Replacement policies.
+
+mod drrip;
+mod lcr;
+mod lru;
+mod mockingjay;
+mod random;
+mod rrip;
+mod ship;
+
+pub use drrip::Drrip;
+pub use lcr::Lcr;
+pub use lru::Lru;
+pub use mockingjay::Mockingjay;
+pub use random::RandomRepl;
+pub use rrip::Rrip;
+pub use ship::Ship;
+
+use crate::cache::LocalityHint;
+use cosmos_common::LineAddr;
+
+/// A read-only view of one occupied way, given to
+/// [`ReplacementPolicy::choose_victim`].
+#[derive(Clone, Copy, Debug)]
+pub struct WayView {
+    /// The resident line.
+    pub line: LineAddr,
+    /// RL locality annotation, if any (used by [`Lcr`]).
+    pub hint: Option<LocalityHint>,
+    /// Whether the line is dirty.
+    pub dirty: bool,
+    /// Whether the line has seen a demand access since fill.
+    pub demand_used: bool,
+}
+
+/// A cache replacement policy.
+///
+/// The cache calls `on_hit` / `on_fill` / `on_evict` as lines are touched,
+/// and `choose_victim` when a fill finds its set full. Policies keep any
+/// per-set state they need (recency stacks, RRPVs, predictors) internally.
+pub trait ReplacementPolicy: Send {
+    /// Called when `line`, resident in `(set, way)`, takes a demand hit.
+    fn on_hit(&mut self, set: usize, way: usize, line: LineAddr);
+
+    /// Called after `line` is installed into `(set, way)`.
+    fn on_fill(&mut self, set: usize, way: usize, line: LineAddr, hint: Option<LocalityHint>);
+
+    /// Called when `line` leaves `(set, way)`. `reused` is whether it ever
+    /// took a demand hit while resident.
+    fn on_evict(&mut self, set: usize, way: usize, line: LineAddr, reused: bool);
+
+    /// Picks the victim way in a full set. `ways` has one entry per way, in
+    /// way order. Must return an index `< ways.len()`.
+    fn choose_victim(&mut self, set: usize, ways: &[WayView]) -> usize;
+
+    /// Short policy name for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// Replacement-policy selector for runtime configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// True least-recently-used.
+    Lru,
+    /// Uniform-random victim (seeded).
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Static RRIP with 2-bit RRPVs (insert 2, max 3).
+    Rrip,
+    /// Dynamic RRIP with SRRIP/BRRIP set dueling.
+    Drrip,
+    /// Signature-based Hit Predictor (16 K SHCT, 3-bit RRPV).
+    Ship,
+    /// Sampled reuse-distance (ETA) policy, after Mockingjay.
+    Mockingjay,
+    /// Locality-Centric Replacement (paper Algorithm 2).
+    Lcr,
+}
+
+impl PolicyKind {
+    /// Instantiates the policy for a cache with `sets` sets and `ways` ways.
+    pub fn build(self, sets: usize, ways: usize) -> Box<dyn ReplacementPolicy> {
+        match self {
+            PolicyKind::Lru => Box::new(Lru::new(sets, ways)),
+            PolicyKind::Random { seed } => Box::new(RandomRepl::new(seed)),
+            PolicyKind::Rrip => Box::new(Rrip::new(sets, ways)),
+            PolicyKind::Drrip => Box::new(Drrip::new(sets, ways)),
+            PolicyKind::Ship => Box::new(Ship::new(sets, ways)),
+            PolicyKind::Mockingjay => Box::new(Mockingjay::new(sets, ways)),
+            PolicyKind::Lcr => Box::new(Lcr::new(sets, ways)),
+        }
+    }
+}
+
+impl core::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            PolicyKind::Lru => "LRU",
+            PolicyKind::Random { .. } => "Random",
+            PolicyKind::Rrip => "RRIP",
+            PolicyKind::Drrip => "DRRIP",
+            PolicyKind::Ship => "SHiP",
+            PolicyKind::Mockingjay => "Mockingjay",
+            PolicyKind::Lcr => "LCR",
+        };
+        f.write_str(s)
+    }
+}

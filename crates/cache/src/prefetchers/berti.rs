@@ -1,0 +1,192 @@
+//! Berti-like local-delta prefetcher (after Navarro-Torres et al.,
+//! MICRO 2022).
+//!
+//! Berti's key idea: learn, per access stream, the set of *local deltas*
+//! that would have produced timely and accurate prefetches, score them by
+//! coverage, and prefetch only with the best-scoring deltas. This
+//! implementation keeps a short history of recent line addresses per 4 KiB
+//! region; each access "confirms" the deltas that reach it from history
+//! (those would have been accurate), and issues prefetches using deltas
+//! whose confirmation ratio exceeds a threshold.
+
+use super::Prefetcher;
+use cosmos_common::hash::hash_key;
+use cosmos_common::LineAddr;
+
+const REGION_TABLE: usize = 512;
+const HISTORY_PER_REGION: usize = 8;
+const DELTA_TABLE: usize = 64;
+const SCORE_MAX: u16 = 1024;
+/// Issue threshold: confirmed/issued ratio over this value.
+const ACCURACY_THRESHOLD: f32 = 0.35;
+/// Minimum observations before a delta may issue.
+const MIN_TRIES: u16 = 8;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct RegionEntry {
+    region: u64,
+    history: [u64; HISTORY_PER_REGION],
+    len: u8,
+    valid: bool,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct DeltaScore {
+    delta: i32,
+    confirmed: u16,
+    tries: u16,
+    valid: bool,
+}
+
+/// Local-delta prefetcher with accuracy-scored deltas.
+#[derive(Debug)]
+pub struct Berti {
+    regions: Vec<RegionEntry>,
+    deltas: Vec<DeltaScore>,
+}
+
+impl Default for Berti {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Berti {
+    /// Creates the prefetcher.
+    pub fn new() -> Self {
+        Self {
+            regions: vec![RegionEntry::default(); REGION_TABLE],
+            deltas: vec![DeltaScore::default(); DELTA_TABLE],
+        }
+    }
+
+    fn delta_slot(&mut self, delta: i32) -> &mut DeltaScore {
+        let slot = hash_key(delta as u32 as u64, DELTA_TABLE);
+        let e = &mut self.deltas[slot];
+        if !e.valid || e.delta != delta {
+            *e = DeltaScore {
+                delta,
+                confirmed: 0,
+                tries: 0,
+                valid: true,
+            };
+        }
+        e
+    }
+
+    fn best_delta(&self) -> Option<i32> {
+        self.deltas
+            .iter()
+            .filter(|e| e.valid && e.tries >= MIN_TRIES)
+            .filter(|e| e.confirmed as f32 / e.tries as f32 >= ACCURACY_THRESHOLD)
+            .max_by_key(|e| (e.confirmed as u32 * 1024) / e.tries.max(1) as u32)
+            .map(|e| e.delta)
+    }
+}
+
+impl Prefetcher for Berti {
+    fn on_access(&mut self, line: LineAddr, _hit: bool) -> Vec<LineAddr> {
+        let region = line.index() >> 6;
+        let slot = hash_key(region, REGION_TABLE);
+        // Take a snapshot of history to score deltas against.
+        let entry = self.regions[slot];
+        let same_region = entry.valid && entry.region == region;
+        if same_region {
+            for i in 0..entry.len as usize {
+                let prev = entry.history[i];
+                let delta = line.index() as i64 - prev as i64;
+                if delta != 0 && delta.abs() <= 63 {
+                    let e = self.delta_slot(delta as i32);
+                    e.tries = (e.tries + 1).min(SCORE_MAX);
+                    e.confirmed = (e.confirmed + 1).min(SCORE_MAX);
+                }
+            }
+            // Penalize the deltas that were *not* confirmed from the newest
+            // history point (they aged one step without reaching anything).
+            if entry.len > 0 {
+                let newest = entry.history[0];
+                let observed = line.index() as i64 - newest as i64;
+                for slot_idx in 0..DELTA_TABLE {
+                    let e = &mut self.deltas[slot_idx];
+                    if e.valid && e.delta as i64 != observed && e.tries < SCORE_MAX {
+                        e.tries += 1;
+                    }
+                }
+            }
+        }
+        // Update history (most recent first).
+        let e = &mut self.regions[slot];
+        if !same_region {
+            *e = RegionEntry {
+                region,
+                history: [0; HISTORY_PER_REGION],
+                len: 0,
+                valid: true,
+            };
+        }
+        let len = (e.len as usize).min(HISTORY_PER_REGION - 1);
+        for i in (1..=len).rev() {
+            e.history[i] = e.history[i - 1];
+        }
+        e.history[0] = line.index();
+        e.len = (e.len + 1).min(HISTORY_PER_REGION as u8);
+
+        match self.best_delta() {
+            Some(d) => vec![line.offset(d as i64)],
+            None => Vec::new(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Berti"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_sequential_delta() {
+        let mut p = Berti::new();
+        let mut out = Vec::new();
+        for i in 0..32u64 {
+            out = p.on_access(LineAddr::new(i), false);
+        }
+        assert_eq!(out, vec![LineAddr::new(32)]);
+    }
+
+    #[test]
+    fn learns_strided_delta() {
+        let mut p = Berti::new();
+        let mut out = Vec::new();
+        for i in 0..30u64 {
+            out = p.on_access(LineAddr::new(3 * i), false);
+        }
+        assert_eq!(out, vec![LineAddr::new(90)]);
+    }
+
+    #[test]
+    fn random_stream_has_low_issue_rate() {
+        let mut p = Berti::new();
+        let mut rng = cosmos_common::SplitMix64::new(17);
+        let mut issued = 0usize;
+        for _ in 0..2000 {
+            let line = LineAddr::new(rng.next_below(1 << 20));
+            issued += p.on_access(line, false).len();
+        }
+        assert!(issued < 400, "issued {issued} on random stream");
+    }
+
+    #[test]
+    fn history_is_per_region() {
+        let mut p = Berti::new();
+        // Interleave two regions with different strides; both should learn.
+        for i in 0..40u64 {
+            p.on_access(LineAddr::new(i), false);
+            p.on_access(LineAddr::new(100_000 + 2 * i), false);
+        }
+        let out = p.on_access(LineAddr::new(40), false);
+        assert!(!out.is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! Prefetchers over the demand line stream.
+
+mod berti;
+mod nextline;
+mod stride;
+
+pub use berti::Berti;
+pub use nextline::NextLine;
+pub use stride::Stride;
+
+use cosmos_common::LineAddr;
+
+/// A prefetcher observes each demand access and proposes lines to bring in.
+pub trait Prefetcher: Send {
+    /// Observes a demand access (with hit/miss outcome) and returns lines to
+    /// prefetch. May return an empty vector.
+    fn on_access(&mut self, line: LineAddr, hit: bool) -> Vec<LineAddr>;
+
+    /// Short name for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// Prefetcher selector for runtime configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PrefetcherKind {
+    /// No prefetching.
+    None,
+    /// Always prefetch `line + 1`.
+    NextLine,
+    /// Confidence-gated stride detection per 4 KiB region.
+    Stride,
+    /// Local-delta (Berti-like) prefetching with per-delta accuracy scoring.
+    Berti,
+}
+
+impl PrefetcherKind {
+    /// Instantiates the prefetcher, or `None` for [`PrefetcherKind::None`].
+    pub fn build(self) -> Option<Box<dyn Prefetcher>> {
+        match self {
+            PrefetcherKind::None => None,
+            PrefetcherKind::NextLine => Some(Box::new(NextLine::new())),
+            PrefetcherKind::Stride => Some(Box::new(Stride::new())),
+            PrefetcherKind::Berti => Some(Box::new(Berti::new())),
+        }
+    }
+}
+
+impl core::fmt::Display for PrefetcherKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            PrefetcherKind::None => "None",
+            PrefetcherKind::NextLine => "Next-Line",
+            PrefetcherKind::Stride => "Stride",
+            PrefetcherKind::Berti => "Berti",
+        };
+        f.write_str(s)
+    }
+}

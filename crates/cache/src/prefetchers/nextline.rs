@@ -1,0 +1,37 @@
+//! Next-line prefetcher.
+
+use super::Prefetcher;
+use cosmos_common::LineAddr;
+
+/// Prefetches `line + 1` on every demand access.
+#[derive(Debug, Default)]
+pub struct NextLine;
+
+impl NextLine {
+    /// Creates the prefetcher.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Prefetcher for NextLine {
+    fn on_access(&mut self, line: LineAddr, _hit: bool) -> Vec<LineAddr> {
+        vec![line.offset(1)]
+    }
+
+    fn name(&self) -> &'static str {
+        "Next-Line"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_prefetches_successor() {
+        let mut p = NextLine::new();
+        assert_eq!(p.on_access(LineAddr::new(10), true), vec![LineAddr::new(11)]);
+        assert_eq!(p.on_access(LineAddr::new(10), false), vec![LineAddr::new(11)]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Per-cache statistics.
+
+use cosmos_common::stats::HitMiss;
+
+/// Counters accumulated by a [`crate::Cache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses (hits/misses).
+    pub demand: HitMiss,
+    /// Lines evicted to make room.
+    pub evictions: u64,
+    /// Dirty evictions (writebacks generated).
+    pub writebacks: u64,
+    /// Prefetch fills actually inserted.
+    pub prefetch_issued: u64,
+    /// Prefetched lines that later took a demand hit.
+    pub prefetch_useful: u64,
+    /// Prefetched lines evicted without any demand use.
+    pub prefetch_unused: u64,
+    /// Prefetches dropped because the line was already resident.
+    pub prefetch_redundant: u64,
+}
+
+impl CacheStats {
+    /// Prefetch accuracy: useful / issued, or 0 when none issued.
+    pub fn prefetch_accuracy(&self) -> f64 {
+        cosmos_common::stats::ratio(self.prefetch_useful, self.prefetch_issued)
+    }
+
+    /// Demand miss rate.
+    pub fn miss_rate(&self) -> f64 {
+        self.demand.miss_rate()
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.demand.merge(&other.demand);
+        self.evictions += other.evictions;
+        self.writebacks += other.writebacks;
+        self.prefetch_issued += other.prefetch_issued;
+        self.prefetch_useful += other.prefetch_useful;
+        self.prefetch_unused += other.prefetch_unused;
+        self.prefetch_redundant += other.prefetch_redundant;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_handles_zero_issued() {
+        let s = CacheStats::default();
+        assert_eq!(s.prefetch_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = CacheStats::default();
+        a.demand.hit();
+        a.evictions = 2;
+        let mut b = CacheStats::default();
+        b.demand.miss();
+        b.writebacks = 1;
+        a.merge(&b);
+        assert_eq!(a.demand.total(), 2);
+        assert_eq!(a.evictions, 2);
+        assert_eq!(a.writebacks, 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the cache substrate: structural invariants
+//! that must hold for every replacement policy under arbitrary access
+//! sequences.
+
+use cosmos_cache::{Cache, CacheConfig, LocalityHint, PolicyKind};
+use cosmos_common::LineAddr;
+use proptest::prelude::*;
+
+const POLICIES: [PolicyKind; 7] = [
+    PolicyKind::Lru,
+    PolicyKind::Random { seed: 3 },
+    PolicyKind::Rrip,
+    PolicyKind::Drrip,
+    PolicyKind::Ship,
+    PolicyKind::Mockingjay,
+    PolicyKind::Lcr,
+];
+
+fn arb_ops() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    prop::collection::vec((0u64..4096, any::<bool>()), 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn occupancy_never_exceeds_capacity(ops in arb_ops()) {
+        for policy in POLICIES {
+            let mut c = Cache::new(CacheConfig::new(4096, 4), policy);
+            for &(line, write) in &ops {
+                c.access(LineAddr::new(line), write, None);
+                prop_assert!(c.occupancy() <= 64, "{policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicate_resident_lines(ops in arb_ops()) {
+        for policy in POLICIES {
+            let mut c = Cache::new(CacheConfig::new(4096, 4), policy);
+            for &(line, write) in &ops {
+                c.access(LineAddr::new(line), write, None);
+            }
+            let mut lines: Vec<u64> = c.resident_lines().map(|l| l.index()).collect();
+            let before = lines.len();
+            lines.sort_unstable();
+            lines.dedup();
+            prop_assert_eq!(lines.len(), before, "{:?}", policy);
+        }
+    }
+
+    #[test]
+    fn access_after_access_hits(ops in arb_ops(), probe in 0u64..4096) {
+        for policy in POLICIES {
+            let mut c = Cache::new(CacheConfig::new(8192, 8), policy);
+            for &(line, write) in &ops {
+                c.access(LineAddr::new(line), write, None);
+            }
+            // Immediately repeated access must hit (no policy evicts the
+            // line it just touched in a multi-way set).
+            c.access(LineAddr::new(probe), false, None);
+            let r = c.access(LineAddr::new(probe), false, None);
+            prop_assert!(r.hit, "{:?}", policy);
+        }
+    }
+
+    #[test]
+    fn stats_account_every_access(ops in arb_ops()) {
+        let mut c = Cache::new(CacheConfig::new(4096, 4), PolicyKind::Lru);
+        for &(line, write) in &ops {
+            c.access(LineAddr::new(line), write, None);
+        }
+        prop_assert_eq!(c.stats().demand.total(), ops.len() as u64);
+        // Fills = misses; evictions can't exceed fills.
+        prop_assert!(c.stats().evictions <= c.stats().demand.misses());
+        prop_assert!(c.stats().writebacks <= c.stats().evictions);
+    }
+
+    #[test]
+    fn eviction_reports_previously_resident_line(ops in arb_ops()) {
+        let mut c = Cache::new(CacheConfig::new(1024, 2), PolicyKind::Lru);
+        let mut resident = std::collections::HashSet::new();
+        for &(line, write) in &ops {
+            let r = c.access(LineAddr::new(line), write, None);
+            if let Some(ev) = r.evicted {
+                prop_assert!(resident.remove(&ev.line.index()),
+                    "evicted line {} was not resident", ev.line.index());
+            }
+            resident.insert(line);
+        }
+    }
+
+    #[test]
+    fn lcr_hint_updates_are_safe(ops in prop::collection::vec(
+        (0u64..512, any::<bool>(), 0u8..=255), 1..300))
+    {
+        let mut c = Cache::new(CacheConfig::new(2048, 4), PolicyKind::Lcr);
+        for &(line, good, score) in &ops {
+            c.access(
+                LineAddr::new(line),
+                false,
+                Some(LocalityHint { good, score }),
+            );
+        }
+        prop_assert!(c.occupancy() <= 32);
+    }
+
+    #[test]
+    fn invalidate_then_access_misses(lines in prop::collection::vec(0u64..256, 1..50)) {
+        let mut c = Cache::new(CacheConfig::new(4096, 4), PolicyKind::Lru);
+        for &l in &lines {
+            c.access(LineAddr::new(l), false, None);
+        }
+        let target = LineAddr::new(lines[0]);
+        c.invalidate(target);
+        prop_assert!(!c.contains(target));
+    }
+}

@@ -1,0 +1,154 @@
+//! Cycle-count arithmetic.
+//!
+//! All timing in the simulator is expressed in core clock cycles (the paper
+//! models a 3 GHz core clock). [`Cycle`] is a saturating wrapper around `u64`
+//! so that latency compositions can never silently overflow.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in time or a duration, in core clock cycles.
+///
+/// Arithmetic saturates: the simulator treats `u64::MAX` as "never".
+///
+/// # Examples
+///
+/// ```
+/// use cosmos_common::Cycle;
+/// let t = Cycle::new(100) + Cycle::new(28);
+/// assert_eq!(t.value(), 128);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Time zero / an empty duration.
+    pub const ZERO: Cycle = Cycle(0);
+    /// The maximum representable time ("never").
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Creates a cycle count.
+    #[inline]
+    pub const fn new(cycles: u64) -> Self {
+        Self(cycles)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the later of two times.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two times.
+    #[inline]
+    pub fn min(self, other: Cycle) -> Cycle {
+        Cycle(self.0.min(other.0))
+    }
+
+    /// Saturating difference (`self - other`, or zero when `other` is later).
+    #[inline]
+    pub fn saturating_sub(self, other: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0.saturating_add(rhs))
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        *self = *self + rhs;
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    /// Saturating subtraction; never panics.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        iter.fold(Cycle::ZERO, Add::add)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(v: u64) -> Self {
+        Cycle(v)
+    }
+}
+
+impl fmt::Debug for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cycle({})", self.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_saturates() {
+        assert_eq!(Cycle::MAX + Cycle::new(1), Cycle::MAX);
+        assert_eq!(Cycle::new(1) + Cycle::new(2), Cycle::new(3));
+    }
+
+    #[test]
+    fn sub_saturates_at_zero() {
+        assert_eq!(Cycle::new(3) - Cycle::new(10), Cycle::ZERO);
+        assert_eq!(Cycle::new(10) - Cycle::new(3), Cycle::new(7));
+    }
+
+    #[test]
+    fn max_min() {
+        let a = Cycle::new(5);
+        let b = Cycle::new(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn sum_of_cycles() {
+        let total: Cycle = [1u64, 2, 3].into_iter().map(Cycle::new).sum();
+        assert_eq!(total, Cycle::new(6));
+    }
+}

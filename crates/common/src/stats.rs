@@ -1,0 +1,325 @@
+//! Lightweight statistics primitives used by caches, predictors, and the
+//! simulator: hit/miss counters, running means, and fixed-bucket histograms.
+
+use core::fmt;
+
+/// A hit/miss (or success/failure) counter pair.
+///
+/// # Examples
+///
+/// ```
+/// use cosmos_common::stats::HitMiss;
+/// let mut hm = HitMiss::new();
+/// hm.hit();
+/// hm.miss();
+/// hm.miss();
+/// assert_eq!(hm.total(), 3);
+/// assert!((hm.miss_rate() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HitMiss {
+    hits: u64,
+    misses: u64,
+}
+
+impl HitMiss {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Self {
+        Self { hits: 0, misses: 0 }
+    }
+
+    /// Records a hit.
+    #[inline]
+    pub fn hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records a miss.
+    #[inline]
+    pub fn miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Records a hit or a miss depending on `was_hit`.
+    #[inline]
+    pub fn record(&mut self, was_hit: bool) {
+        if was_hit {
+            self.hit();
+        } else {
+            self.miss();
+        }
+    }
+
+    /// Number of hits recorded.
+    pub const fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses recorded.
+    pub const fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total events recorded.
+    pub const fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit fraction in `[0, 1]`; `0.0` when empty.
+    pub fn hit_rate(&self) -> f64 {
+        ratio(self.hits, self.total())
+    }
+
+    /// Miss fraction in `[0, 1]`; `0.0` when empty.
+    pub fn miss_rate(&self) -> f64 {
+        ratio(self.misses, self.total())
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &HitMiss) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+
+    /// Resets both counts to zero.
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+impl fmt::Display for HitMiss {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% miss)",
+            self.hits,
+            self.misses,
+            self.miss_rate() * 100.0
+        )
+    }
+}
+
+/// Safe ratio helper: `num / den`, or `0.0` when `den == 0`.
+#[inline]
+pub fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// An online mean/min/max accumulator over `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use cosmos_common::stats::Running;
+/// let mut r = Running::new();
+/// for x in [1.0, 2.0, 3.0] { r.push(x); }
+/// assert_eq!(r.mean(), 2.0);
+/// assert_eq!(r.max(), 3.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Running {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub const fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of samples.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    pub const fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of samples; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample; `+inf` when empty.
+    pub const fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample; `-inf` when empty.
+    pub const fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// A histogram over power-of-two buckets of `u64` values (bucket `i` holds
+/// values in `[2^i, 2^(i+1))`; bucket 0 holds 0 and 1).
+///
+/// Useful for reuse-distance and latency distributions.
+///
+/// # Examples
+///
+/// ```
+/// use cosmos_common::stats::Log2Histogram;
+/// let mut h = Log2Histogram::new();
+/// h.push(5);
+/// assert_eq!(h.count(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; 64],
+    count: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            buckets: [0; 64],
+            count: 0,
+        }
+    }
+
+    /// Adds a value.
+    #[inline]
+    pub fn push(&mut self, v: u64) {
+        let b = if v <= 1 { 0 } else { 63 - v.leading_zeros() as usize };
+        self.buckets[b] += 1;
+        self.count += 1;
+    }
+
+    /// Total samples.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Bucket counts (bucket `i` ≈ values around `2^i`).
+    pub fn buckets(&self) -> &[u64; 64] {
+        &self.buckets
+    }
+
+    /// The value `2^p` such that at least `q` (in `[0,1]`) of samples fall at
+    /// or below bucket `p`. Returns 0 for an empty histogram.
+    pub fn quantile_bucket(&self, q: f64) -> u32 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            acc += b;
+            if acc >= target {
+                return i as u32;
+            }
+        }
+        63
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hitmiss_rates() {
+        let mut hm = HitMiss::new();
+        assert_eq!(hm.hit_rate(), 0.0);
+        for _ in 0..3 {
+            hm.hit();
+        }
+        hm.miss();
+        assert_eq!(hm.total(), 4);
+        assert_eq!(hm.hit_rate(), 0.75);
+        assert_eq!(hm.miss_rate(), 0.25);
+    }
+
+    #[test]
+    fn hitmiss_merge_and_reset() {
+        let mut a = HitMiss::new();
+        a.hit();
+        let mut b = HitMiss::new();
+        b.miss();
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        a.reset();
+        assert_eq!(a.total(), 0);
+    }
+
+    #[test]
+    fn running_tracks_extremes() {
+        let mut r = Running::new();
+        for x in [4.0, -1.0, 10.0] {
+            r.push(x);
+        }
+        assert_eq!(r.min(), -1.0);
+        assert_eq!(r.max(), 10.0);
+        assert!((r.mean() - 13.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Log2Histogram::new();
+        h.push(0);
+        h.push(1);
+        h.push(2);
+        h.push(3);
+        h.push(1024);
+        assert_eq!(h.buckets()[0], 2);
+        assert_eq!(h.buckets()[1], 2);
+        assert_eq!(h.buckets()[10], 1);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn histogram_quantile() {
+        let mut h = Log2Histogram::new();
+        for _ in 0..99 {
+            h.push(1);
+        }
+        h.push(1 << 20);
+        assert_eq!(h.quantile_bucket(0.5), 0);
+        assert_eq!(h.quantile_bucket(1.0), 20);
+    }
+
+    #[test]
+    fn ratio_handles_zero() {
+        assert_eq!(ratio(5, 0), 0.0);
+        assert_eq!(ratio(1, 2), 0.5);
+    }
+}

@@ -1,0 +1,237 @@
+//! The multi-core data-cache hierarchy: per-core L1 and L2, shared LLC.
+//!
+//! Write-back, write-allocate at every level. Dirty evictions cascade
+//! downward (L1 → L2 → LLC); dirty LLC evictions surface as writebacks for
+//! the memory controller (and, in secure designs, the secure write path).
+
+use crate::config::SimConfig;
+use cosmos_cache::{Cache, CacheConfig, PolicyKind};
+use cosmos_common::stats::HitMiss;
+use cosmos_common::LineAddr;
+
+/// Which level served a demand access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataHit {
+    /// Served by the core's L1.
+    L1,
+    /// Served by the core's L2.
+    L2,
+    /// Served by the shared LLC.
+    Llc,
+    /// Missed everywhere; DRAM access required.
+    Dram,
+}
+
+impl DataHit {
+    /// Whether the data was on-chip (anywhere above DRAM).
+    pub const fn on_chip(self) -> bool {
+        !matches!(self, DataHit::Dram)
+    }
+}
+
+/// Result of a hierarchy access.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HierarchyAccess {
+    /// The level that served the request.
+    pub hit: DataHit,
+    /// Dirty lines pushed out of the LLC by this access (each needs a DRAM
+    /// writeback and, in secure designs, counter/MAC/tree updates).
+    pub writebacks: Vec<LineAddr>,
+}
+
+/// Per-core L1/L2 caches plus the shared LLC.
+pub struct CacheHierarchy {
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    llc: Cache,
+    l1_stats: HitMiss,
+    l2_stats: HitMiss,
+    llc_stats: HitMiss,
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy described by `config`.
+    pub fn new(config: &SimConfig) -> Self {
+        let mk = |lvl: &crate::config::CacheLevelConfig| {
+            Cache::new(
+                CacheConfig::new(lvl.size_bytes, lvl.ways),
+                PolicyKind::Lru,
+            )
+        };
+        Self {
+            l1: (0..config.cores).map(|_| mk(&config.l1)).collect(),
+            l2: (0..config.cores).map(|_| mk(&config.l2)).collect(),
+            llc: mk(&config.llc),
+            l1_stats: HitMiss::new(),
+            l2_stats: HitMiss::new(),
+            llc_stats: HitMiss::new(),
+        }
+    }
+
+    /// Performs a demand access from `core`, filling caches on the way and
+    /// cascading dirty evictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(&mut self, core: usize, line: LineAddr, write: bool) -> HierarchyAccess {
+        let mut writebacks = Vec::new();
+
+        // L1.
+        let r1 = self.l1[core].access(line, write, None);
+        self.l1_stats.record(r1.hit);
+        if r1.hit {
+            return HierarchyAccess {
+                hit: DataHit::L1,
+                writebacks,
+            };
+        }
+        if let Some(ev) = r1.evicted {
+            if ev.dirty {
+                self.spill_to_l2(core, ev.line, &mut writebacks);
+            }
+        }
+
+        // L2 (demand fill; a write allocates and dirties only L1).
+        let r2 = self.l2[core].access(line, false, None);
+        self.l2_stats.record(r2.hit);
+        if let Some(ev) = r2.evicted {
+            if ev.dirty {
+                self.spill_to_llc(ev.line, &mut writebacks);
+            }
+        }
+        if r2.hit {
+            return HierarchyAccess {
+                hit: DataHit::L2,
+                writebacks,
+            };
+        }
+
+        // LLC.
+        let r3 = self.llc.access(line, false, None);
+        self.llc_stats.record(r3.hit);
+        if let Some(ev) = r3.evicted {
+            if ev.dirty {
+                writebacks.push(ev.line);
+            }
+        }
+        let hit = if r3.hit { DataHit::Llc } else { DataHit::Dram };
+        HierarchyAccess { hit, writebacks }
+    }
+
+    fn spill_to_l2(&mut self, core: usize, line: LineAddr, writebacks: &mut Vec<LineAddr>) {
+        if let Some(ev) = self.l2[core].fill(line, true) {
+            if ev.dirty {
+                self.spill_to_llc(ev.line, writebacks);
+            }
+        }
+    }
+
+    fn spill_to_llc(&mut self, line: LineAddr, writebacks: &mut Vec<LineAddr>) {
+        if let Some(ev) = self.llc.fill(line, true) {
+            if ev.dirty {
+                writebacks.push(ev.line);
+            }
+        }
+    }
+
+    /// Aggregated L1 hit/miss over all cores.
+    pub fn l1_stats(&self) -> HitMiss {
+        self.l1_stats
+    }
+
+    /// Aggregated L2 hit/miss over all cores.
+    pub fn l2_stats(&self) -> HitMiss {
+        self.l2_stats
+    }
+
+    /// LLC hit/miss.
+    pub fn llc_stats(&self) -> HitMiss {
+        self.llc_stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Design, SimConfig};
+
+    fn tiny_hierarchy() -> CacheHierarchy {
+        let mut cfg = SimConfig::paper_default(Design::Np);
+        cfg.cores = 2;
+        cfg.l1.size_bytes = 512; // 4 sets x 2 ways
+        cfg.l2.size_bytes = 2048;
+        cfg.llc.size_bytes = 4096;
+        CacheHierarchy::new(&cfg)
+    }
+
+    #[test]
+    fn first_access_misses_everywhere() {
+        let mut h = tiny_hierarchy();
+        let r = h.access(0, LineAddr::new(1), false);
+        assert_eq!(r.hit, DataHit::Dram);
+        assert!(r.writebacks.is_empty());
+    }
+
+    #[test]
+    fn second_access_hits_l1() {
+        let mut h = tiny_hierarchy();
+        h.access(0, LineAddr::new(1), false);
+        let r = h.access(0, LineAddr::new(1), false);
+        assert_eq!(r.hit, DataHit::L1);
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let mut h = tiny_hierarchy();
+        // Fill L1 set 1 (lines 1, 5) then overflow it with line 9.
+        h.access(0, LineAddr::new(1), false);
+        h.access(0, LineAddr::new(5), false);
+        h.access(0, LineAddr::new(9), false);
+        // Line 1 was evicted from L1 but should hit in L2.
+        let r = h.access(0, LineAddr::new(1), false);
+        assert_eq!(r.hit, DataHit::L2);
+    }
+
+    #[test]
+    fn llc_is_shared_between_cores() {
+        let mut h = tiny_hierarchy();
+        h.access(0, LineAddr::new(3), false);
+        // Core 1 misses its own L1/L2 but hits the shared LLC.
+        let r = h.access(1, LineAddr::new(3), false);
+        assert_eq!(r.hit, DataHit::Llc);
+    }
+
+    #[test]
+    fn dirty_data_eventually_writes_back() {
+        let mut h = tiny_hierarchy();
+        // Dirty many lines so the dirty data cascades out of the 4 KB LLC.
+        let mut wb = Vec::new();
+        for i in 0..512u64 {
+            let r = h.access(0, LineAddr::new(i), true);
+            wb.extend(r.writebacks);
+        }
+        assert!(!wb.is_empty(), "dirty evictions must surface as writebacks");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut h = tiny_hierarchy();
+        h.access(0, LineAddr::new(1), false);
+        h.access(0, LineAddr::new(1), false);
+        assert_eq!(h.l1_stats().total(), 2);
+        assert_eq!(h.l1_stats().hits(), 1);
+        assert_eq!(h.llc_stats().misses(), 1);
+    }
+
+    #[test]
+    fn clean_evictions_do_not_write_back() {
+        let mut h = tiny_hierarchy();
+        let mut wb = Vec::new();
+        for i in 0..512u64 {
+            let r = h.access(0, LineAddr::new(i), false); // reads only
+            wb.extend(r.writebacks);
+        }
+        assert!(wb.is_empty(), "clean lines must not be written back");
+    }
+}

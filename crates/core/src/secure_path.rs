@@ -1,0 +1,379 @@
+//! The memory controller's secure path: CTR cache, Merkle-tree metadata
+//! cache, counter store, and MAC traffic accounting.
+//!
+//! Timing follows the paper's model:
+//!
+//! - a CTR cache hit costs the cache latency + 1-cycle counter combination
+//!   + 40-cycle AES (the OTP can then decrypt the arriving data);
+//! - a CTR cache miss adds a counter DRAM trip and the Merkle verification
+//!   walk: each tree level is looked up in the MT metadata cache, and the
+//!   walk stops at the first cached (already-verified) ancestor — misses
+//!   are fetched from DRAM in parallel; the hash checks themselves overlap
+//!   the OTP AES (paper §5);
+//! - writes (LLC writebacks) increment the counter (possibly re-encrypting
+//!   the whole block's coverage on overflow), dirty the counter block in
+//!   the CTR cache, update the tree path, and emit MAC traffic — all off
+//!   the read critical path (background queue slots, paper §5).
+
+use crate::config::SimConfig;
+use crate::stats::TrafficBreakdown;
+use cosmos_cache::{Cache, CacheConfig, LocalityHint, Prefetcher};
+use cosmos_common::{Cycle, LineAddr};
+use cosmos_dram::Dram;
+use cosmos_rl::{CtrLocalityPredictor, Locality};
+use cosmos_secure::{CounterScheme, CounterStore, IncrementOutcome, MetadataLayout};
+
+/// Result of a CTR read on the critical path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CtrReadOutcome {
+    /// Cycle at which the OTP is ready (CTR resolved + AES done).
+    pub otp_ready: Cycle,
+    /// Whether the CTR cache hit.
+    pub ctr_hit: bool,
+}
+
+/// The secure engine owned by the memory controller.
+pub struct SecurePath {
+    ctr_cache: Cache,
+    mt_cache: Cache,
+    prefetcher: Option<Box<dyn Prefetcher>>,
+    counters: CounterStore,
+    layout: MetadataLayout,
+    locality: Option<CtrLocalityPredictor>,
+    ctr_latency: u64,
+    combine_latency: u64,
+    aes_latency: u64,
+    mac_read_counter: u64,
+    mac_write_counter: u64,
+    overflows: u64,
+}
+
+impl SecurePath {
+    /// Builds the secure path for `config`.
+    pub fn new(config: &SimConfig) -> Self {
+        let locality = config.design.has_locality_predictor().then(|| {
+            CtrLocalityPredictor::with_rewards(
+                config.ctr_rl,
+                config.rewards.ctr,
+                config.cet_entries,
+                config.cet_radius,
+                config.seed ^ 0xC7_12,
+            )
+        });
+        Self {
+            ctr_cache: Cache::new(
+                CacheConfig::new(config.ctr_cache.size_bytes, config.ctr_cache.ways),
+                config.ctr_policy,
+            ),
+            mt_cache: Cache::new(
+                CacheConfig::new(config.mt_cache.size_bytes, config.mt_cache.ways),
+                cosmos_cache::PolicyKind::Lru,
+            ),
+            prefetcher: config.ctr_prefetcher.build(),
+            counters: CounterStore::new(config.scheme),
+            layout: MetadataLayout::new(config.protected_bytes, config.scheme),
+            locality,
+            ctr_latency: config.ctr_cache.latency,
+            combine_latency: config.ctr_combine_latency,
+            aes_latency: config.aes_latency,
+            mac_read_counter: 0,
+            mac_write_counter: 0,
+            overflows: 0,
+        }
+    }
+
+    /// The CTR cache (stats access).
+    pub fn ctr_cache(&self) -> &Cache {
+        &self.ctr_cache
+    }
+
+    /// The MT metadata cache (stats access).
+    pub fn mt_cache(&self) -> &Cache {
+        &self.mt_cache
+    }
+
+    /// The locality predictor, when the design has one.
+    pub fn locality(&self) -> Option<&CtrLocalityPredictor> {
+        self.locality.as_ref()
+    }
+
+    /// Counter overflow events so far.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// The counter scheme in use.
+    pub fn scheme(&self) -> CounterScheme {
+        self.counters.scheme()
+    }
+
+    /// Reads the CTR covering `data_line` on the critical path, starting at
+    /// `start`. Returns when the OTP is ready.
+    pub fn ctr_read(
+        &mut self,
+        data_line: LineAddr,
+        start: Cycle,
+        dram: &mut Dram,
+        traffic: &mut TrafficBreakdown,
+    ) -> CtrReadOutcome {
+        let ctr_line = self.layout.ctr_line_of(data_line);
+        let hint = self.classify(ctr_line);
+        let res = self.ctr_cache.access(ctr_line, false, hint);
+        if let Some(ev) = res.evicted {
+            if ev.dirty {
+                traffic.ctr_writes += 1;
+            }
+        }
+        let after_lookup = start + self.ctr_latency;
+        let otp_ready = if res.hit {
+            after_lookup + self.combine_latency + self.aes_latency
+        } else {
+            traffic.ctr_reads += 1;
+            let ctr_done = dram.access(ctr_line, after_lookup, false);
+            let mt_done = self.mt_walk(ctr_line, after_lookup, dram, traffic);
+            ctr_done.max(mt_done) + self.combine_latency + self.aes_latency
+        };
+        self.run_prefetcher(ctr_line, res.hit, traffic);
+        CtrReadOutcome {
+            otp_ready,
+            ctr_hit: res.hit,
+        }
+    }
+
+    /// Handles the secure side of a data writeback (off the critical path):
+    /// counter increment (+ re-encryption on overflow), CTR cache
+    /// read-modify-write, tree path update, MAC write traffic.
+    pub fn ctr_write(
+        &mut self,
+        data_line: LineAddr,
+        now: Cycle,
+        dram: &mut Dram,
+        traffic: &mut TrafficBreakdown,
+    ) {
+        match self.counters.increment(data_line) {
+            IncrementOutcome::Overflow { reencrypt } => {
+                self.overflows += 1;
+                traffic.reencrypt_writes += reencrypt.len() as u64;
+            }
+            IncrementOutcome::Ok | IncrementOutcome::Morphed { .. } => {}
+        }
+        let ctr_line = self.layout.ctr_line_of(data_line);
+        let hint = self.classify(ctr_line);
+        let res = self.ctr_cache.access(ctr_line, true, hint);
+        if let Some(ev) = res.evicted {
+            if ev.dirty {
+                traffic.ctr_writes += 1;
+            }
+        }
+        if !res.hit {
+            // The counter block must be fetched (and verified) before the
+            // in-place increment.
+            traffic.ctr_reads += 1;
+            dram.access(ctr_line, now, false);
+            self.mt_walk(ctr_line, now, dram, traffic);
+        }
+        // Tree path update: dirty the path nodes in the metadata cache.
+        for node in self.layout.mt_path(ctr_line) {
+            let r = self.mt_cache.access(node, true, None);
+            if let Some(ev) = r.evicted {
+                if ev.dirty {
+                    traffic.mt_writes += 1;
+                }
+            }
+        }
+        // One MAC line write per 8 data writes (8 MACs per line).
+        self.mac_write_counter += 1;
+        if self.mac_write_counter.is_multiple_of(8) {
+            traffic.mac_writes += 1;
+        }
+    }
+
+    /// Accounts the MAC read accompanying a data DRAM read (1 per 8).
+    pub fn mac_read(&mut self, traffic: &mut TrafficBreakdown) {
+        self.mac_read_counter += 1;
+        if self.mac_read_counter.is_multiple_of(8) {
+            traffic.mac_reads += 1;
+        }
+    }
+
+    /// Walks the Merkle path of `ctr_line` bottom-up through the metadata
+    /// cache, fetching missed nodes from DRAM in parallel; returns when the
+    /// slowest fetched node arrives. Stops at the first cached
+    /// (already-verified) ancestor.
+    fn mt_walk(
+        &mut self,
+        ctr_line: LineAddr,
+        start: Cycle,
+        dram: &mut Dram,
+        traffic: &mut TrafficBreakdown,
+    ) -> Cycle {
+        let mut done = start;
+        for node in self.layout.mt_path(ctr_line) {
+            let r = self.mt_cache.access(node, false, None);
+            if let Some(ev) = r.evicted {
+                if ev.dirty {
+                    traffic.mt_writes += 1;
+                }
+            }
+            if r.hit {
+                break; // verified ancestor found
+            }
+            traffic.mt_reads += 1;
+            done = done.max(dram.access(node, start, false));
+        }
+        done
+    }
+
+    fn classify(&mut self, ctr_line: LineAddr) -> Option<LocalityHint> {
+        self.locality.as_mut().map(|p| {
+            let d = p.classify(ctr_line);
+            LocalityHint {
+                good: d.locality == Locality::Good,
+                score: d.score,
+            }
+        })
+    }
+
+    fn run_prefetcher(&mut self, ctr_line: LineAddr, hit: bool, traffic: &mut TrafficBreakdown) {
+        // Take the prefetcher out to satisfy the borrow checker, then
+        // process its candidates against the CTR cache.
+        if let Some(mut pf) = self.prefetcher.take() {
+            for cand in pf.on_access(ctr_line, hit) {
+                // Only prefetch within the CTR region.
+                if !self.layout.is_ctr(cand) {
+                    continue;
+                }
+                if self.ctr_cache.contains(cand) {
+                    continue;
+                }
+                // A prefetched CTR still needs fetching + integrity checks
+                // (the paper's point about wasted prefetch traffic).
+                traffic.ctr_reads += 1;
+                let ev = self.ctr_cache.prefetch_fill(cand, None);
+                if let Some(ev) = ev {
+                    if ev.dirty {
+                        traffic.ctr_writes += 1;
+                    }
+                }
+                // Integrity verification for the prefetched counter.
+                for node in self.layout.mt_path(cand) {
+                    let r = self.mt_cache.access(node, false, None);
+                    if r.hit {
+                        break;
+                    }
+                    traffic.mt_reads += 1;
+                }
+            }
+            self.prefetcher = Some(pf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Design, SimConfig};
+    use cosmos_dram::DramConfig;
+
+    fn setup(design: Design) -> (SecurePath, Dram, TrafficBreakdown) {
+        let mut cfg = SimConfig::paper_default(design);
+        cfg.ctr_cache.size_bytes = 8192; // tiny for tests
+        cfg.mt_cache.size_bytes = 4096;
+        cfg.protected_bytes = 1 << 30;
+        (
+            SecurePath::new(&cfg),
+            Dram::new(DramConfig::ddr4_2400()),
+            TrafficBreakdown::default(),
+        )
+    }
+
+    #[test]
+    fn ctr_miss_then_hit() {
+        let (mut sp, mut dram, mut tr) = setup(Design::MorphCtr);
+        let line = LineAddr::new(100);
+        let r1 = sp.ctr_read(line, Cycle::new(0), &mut dram, &mut tr);
+        assert!(!r1.ctr_hit);
+        assert_eq!(tr.ctr_reads, 1);
+        assert!(tr.mt_reads > 0, "first miss must verify the tree");
+        let r2 = sp.ctr_read(line, Cycle::new(1000), &mut dram, &mut tr);
+        assert!(r2.ctr_hit);
+        assert_eq!(tr.ctr_reads, 1, "hit must not refetch");
+    }
+
+    #[test]
+    fn hit_latency_is_cache_plus_aes() {
+        let (mut sp, mut dram, mut tr) = setup(Design::MorphCtr);
+        let line = LineAddr::new(5);
+        sp.ctr_read(line, Cycle::new(0), &mut dram, &mut tr);
+        let r = sp.ctr_read(line, Cycle::new(500), &mut dram, &mut tr);
+        // ctr_latency(2) + combine(1) + aes(40)
+        assert_eq!(r.otp_ready, Cycle::new(500 + 2 + 1 + 40));
+    }
+
+    #[test]
+    fn same_block_shares_counter_line() {
+        let (mut sp, mut dram, mut tr) = setup(Design::MorphCtr);
+        sp.ctr_read(LineAddr::new(0), Cycle::new(0), &mut dram, &mut tr);
+        // Line 100 shares the 1:128 counter block with line 0.
+        let r = sp.ctr_read(LineAddr::new(100), Cycle::new(500), &mut dram, &mut tr);
+        assert!(r.ctr_hit);
+    }
+
+    #[test]
+    fn writes_increment_counters_and_emit_mac_traffic() {
+        let (mut sp, mut dram, mut tr) = setup(Design::MorphCtr);
+        for i in 0..16u64 {
+            sp.ctr_write(LineAddr::new(i * 200), Cycle::new(0), &mut dram, &mut tr);
+        }
+        assert_eq!(tr.mac_writes, 2, "1 MAC line write per 8 data writes");
+        assert!(tr.ctr_reads > 0, "write misses fetch counter blocks");
+    }
+
+    #[test]
+    fn overflow_generates_reencryption_traffic() {
+        let mut cfg = SimConfig::paper_default(Design::MorphCtr);
+        cfg.scheme = CounterScheme::Split; // overflows after 128 writes
+        cfg.protected_bytes = 1 << 30;
+        let mut sp = SecurePath::new(&cfg);
+        let mut dram = Dram::new(DramConfig::ddr4_2400());
+        let mut tr = TrafficBreakdown::default();
+        for _ in 0..200 {
+            sp.ctr_write(LineAddr::new(7), Cycle::new(0), &mut dram, &mut tr);
+        }
+        assert!(sp.overflows() >= 1);
+        assert_eq!(tr.reencrypt_writes, sp.overflows() * 64);
+    }
+
+    #[test]
+    fn locality_predictor_attached_only_for_cp_designs() {
+        let (sp, _, _) = setup(Design::Cosmos);
+        assert!(sp.locality().is_some());
+        let (sp, _, _) = setup(Design::CosmosDp);
+        assert!(sp.locality().is_none());
+    }
+
+    #[test]
+    fn mt_walk_caches_verified_ancestors() {
+        let (mut sp, mut dram, mut tr) = setup(Design::MorphCtr);
+        sp.ctr_read(LineAddr::new(0), Cycle::new(0), &mut dram, &mut tr);
+        let first_mt = tr.mt_reads;
+        assert!(first_mt > 0);
+        // A different counter block nearby shares upper tree levels: its
+        // walk should stop early at the cached ancestor.
+        sp.ctr_read(LineAddr::new(128), Cycle::new(1000), &mut dram, &mut tr);
+        let second_mt = tr.mt_reads - first_mt;
+        assert!(
+            second_mt < first_mt,
+            "shared ancestors must be cached ({first_mt} then {second_mt})"
+        );
+    }
+
+    #[test]
+    fn mac_reads_are_one_in_eight() {
+        let (mut sp, _, mut tr) = setup(Design::MorphCtr);
+        for _ in 0..24 {
+            sp.mac_read(&mut tr);
+        }
+        assert_eq!(tr.mac_reads, 3);
+    }
+}

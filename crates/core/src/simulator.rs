@@ -1,0 +1,466 @@
+//! The trace-driven simulator: per-core timelines, the design-specific
+//! data/CTR datapaths, and statistics collection.
+
+use crate::config::{Design, SimConfig};
+use crate::hierarchy::{CacheHierarchy, DataHit};
+use crate::secure_path::SecurePath;
+use crate::stats::{SimStats, TimelinePoint};
+use cosmos_common::{Cycle, LineAddr, MemAccess, Trace};
+use cosmos_dram::Dram;
+use cosmos_rl::{DataLocation, DataLocationPredictor};
+
+/// The COSMOS simulator.
+///
+/// Consumes a trace and produces [`SimStats`]. Cores execute one
+/// instruction per cycle between memory accesses; loads block their core
+/// until completion, stores retire through a store buffer at L1 latency
+/// (their cache fills, writebacks, and secure-path work still happen and
+/// are charged as traffic).
+pub struct Simulator {
+    config: SimConfig,
+    hierarchy: CacheHierarchy,
+    secure: Option<SecurePath>,
+    data_pred: Option<DataLocationPredictor>,
+    dram: Dram,
+    ready: Vec<Cycle>,
+    stats: SimStats,
+    // Timeline window state.
+    window_ctr_total: u64,
+    window_ctr_miss: u64,
+}
+
+impl Simulator {
+    /// Builds a simulator for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid.
+    pub fn new(config: SimConfig) -> Self {
+        config.validate();
+        let secure = config.design.is_secure().then(|| SecurePath::new(&config));
+        let data_pred = config.design.has_data_predictor().then(|| {
+            DataLocationPredictor::with_rewards(
+                config.data_rl,
+                config.rewards.data,
+                config.seed ^ 0xDA7A,
+            )
+        });
+        Self {
+            hierarchy: CacheHierarchy::new(&config),
+            secure,
+            data_pred,
+            dram: Dram::new(config.dram),
+            ready: vec![Cycle::ZERO; config.cores],
+            stats: SimStats::default(),
+            window_ctr_total: 0,
+            window_ctr_miss: 0,
+            config,
+        }
+    }
+
+    /// Runs the whole trace and returns the statistics.
+    pub fn run(mut self, trace: &Trace) -> SimStats {
+        for access in trace.iter() {
+            self.step(access);
+        }
+        self.finalize()
+    }
+
+    /// Runs a streaming [`cosmos_common::TraceSource`] to exhaustion —
+    /// useful for workloads too large to materialize.
+    pub fn run_source(mut self, source: &mut dyn cosmos_common::TraceSource) -> SimStats {
+        while let Some(access) = source.next_access() {
+            self.step(&access);
+        }
+        self.finalize()
+    }
+
+    /// Processes a single access.
+    pub fn step(&mut self, access: &MemAccess) {
+        let core = access.core as usize % self.config.cores;
+        let line = access.addr.line();
+        let issue = self.ready[core] + access.inst_gap as u64;
+        self.stats.instructions += access.inst_gap as u64 + 1;
+        self.stats.accesses += 1;
+
+        if access.kind.is_write() {
+            self.stats.writes += 1;
+            self.process_write(core, line, issue);
+        } else {
+            self.stats.reads += 1;
+            let done = self.process_read(core, access, line, issue);
+            let latency = (done - issue).value();
+            self.stats.total_read_latency += latency;
+            self.ready[core] = done;
+        }
+
+        self.maybe_sample();
+    }
+
+    /// Finishes the run and extracts statistics.
+    pub fn finalize(mut self) -> SimStats {
+        self.stats.cycles = self.ready.iter().map(|c| c.value()).max().unwrap_or(0);
+        self.stats.l1 = self.hierarchy.l1_stats();
+        self.stats.l2 = self.hierarchy.l2_stats();
+        self.stats.llc = self.hierarchy.llc_stats();
+        if let Some(sp) = &self.secure {
+            self.stats.ctr_cache = *sp.ctr_cache().stats();
+            self.stats.mt_cache = *sp.mt_cache().stats();
+            self.stats.ctr_overflows = sp.overflows();
+            if let Some(loc) = sp.locality() {
+                self.stats.ctr_pred = *loc.stats();
+            }
+        }
+        if let Some(dp) = &self.data_pred {
+            self.stats.data_pred = *dp.stats();
+        }
+        self.stats.dram = *self.dram.stats();
+        self.stats
+    }
+
+    fn on_chip_latency(&self, hit: DataHit) -> u64 {
+        let c = &self.config;
+        match hit {
+            DataHit::L1 => c.l1.latency,
+            DataHit::L2 => c.l1.latency + c.l2.latency,
+            DataHit::Llc | DataHit::Dram => c.l1.latency + c.l2.latency + c.llc.latency,
+        }
+    }
+
+    fn process_read(
+        &mut self,
+        core: usize,
+        access: &MemAccess,
+        line: LineAddr,
+        issue: Cycle,
+    ) -> Cycle {
+        let res = self.hierarchy.access(core, line, false);
+        self.drain_writebacks(&res.writebacks, issue);
+
+        if res.hit == DataHit::L1 {
+            return issue + self.config.l1.latency;
+        }
+        let t_l1_miss = issue + self.config.l1.latency;
+        let design = self.config.design;
+
+        // EMCC taps the CTR path at every L1 miss, unconditionally.
+        let early_ctr = if design == Design::Emcc {
+            let sp = self.secure.as_mut().expect("EMCC is secure");
+            Some(sp.ctr_read(line, t_l1_miss, &mut self.dram, &mut self.stats.traffic))
+        } else {
+            None
+        };
+
+        // COSMOS data-location prediction at the L1 miss point.
+        if let Some(mut dp) = self.data_pred.take() {
+            let predicted = dp.predict(access.addr);
+            let actual = if res.hit.on_chip() {
+                DataLocation::OnChip
+            } else {
+                DataLocation::OffChip
+            };
+            dp.learn(access.addr, predicted, actual);
+            self.data_pred = Some(dp);
+
+            let done = match (predicted, actual) {
+                (DataLocation::OffChip, DataLocation::OffChip) => {
+                    // Correct off-chip: speculative DRAM fetch + early CTR,
+                    // both starting right after the L1 miss — L2/LLC lookup
+                    // happens in parallel and is off the critical path.
+                    let sp = self.secure.as_mut().expect("COSMOS is secure");
+                    let ctr =
+                        sp.ctr_read(line, t_l1_miss, &mut self.dram, &mut self.stats.traffic);
+                    let data_done = self.dram.access(line, t_l1_miss, false);
+                    self.stats.traffic.data_reads += 1;
+                    sp.mac_read(&mut self.stats.traffic);
+                    self.stats.early_offchip_reads += 1;
+                    data_done.max(ctr.otp_ready) + self.config.auth_latency
+                }
+                (DataLocation::OffChip, DataLocation::OnChip) => {
+                    // Wrong off-chip: the speculative DRAM fetch is killed,
+                    // but the CTR access proceeds (beneficial side effect,
+                    // paper §6.1.2).
+                    let sp = self.secure.as_mut().expect("COSMOS is secure");
+                    sp.ctr_read(line, t_l1_miss, &mut self.dram, &mut self.stats.traffic);
+                    self.stats.traffic.killed_speculative += 1;
+                    issue + self.on_chip_latency(res.hit)
+                }
+                (DataLocation::OnChip, DataLocation::OnChip) => {
+                    issue + self.on_chip_latency(res.hit)
+                }
+                (DataLocation::OnChip, DataLocation::OffChip) => {
+                    // Wrong on-chip: fall back to the baseline serialized
+                    // path — CTR and DRAM start only after the LLC miss.
+                    self.serialized_dram_read(line, issue)
+                }
+            };
+            return done;
+        }
+
+        // Non-predicting designs.
+        if res.hit.on_chip() {
+            return issue + self.on_chip_latency(res.hit);
+        }
+        match design {
+            Design::Np => {
+                let t3 = issue + self.on_chip_latency(DataHit::Dram);
+                self.stats.traffic.data_reads += 1;
+                self.dram.access(line, t3, false)
+            }
+            Design::Emcc => {
+                let t3 = issue + self.on_chip_latency(DataHit::Dram);
+                let data_done = self.dram.access(line, t3, false);
+                self.stats.traffic.data_reads += 1;
+                let ctr = early_ctr.expect("EMCC issued the CTR at L1 miss");
+                let sp = self.secure.as_mut().expect("EMCC is secure");
+                sp.mac_read(&mut self.stats.traffic);
+                data_done.max(ctr.otp_ready) + self.config.auth_latency
+            }
+            _ => self.serialized_dram_read(line, issue),
+        }
+    }
+
+    /// The baseline secure read path: L1+L2+LLC lookups, then DRAM data and
+    /// CTR accesses in parallel, then authentication.
+    fn serialized_dram_read(&mut self, line: LineAddr, issue: Cycle) -> Cycle {
+        let t3 = issue + self.on_chip_latency(DataHit::Dram);
+        let data_done = self.dram.access(line, t3, false);
+        self.stats.traffic.data_reads += 1;
+        match self.secure.as_mut() {
+            Some(sp) => {
+                let ctr = sp.ctr_read(line, t3, &mut self.dram, &mut self.stats.traffic);
+                sp.mac_read(&mut self.stats.traffic);
+                data_done.max(ctr.otp_ready) + self.config.auth_latency
+            }
+            None => data_done,
+        }
+    }
+
+    fn process_write(&mut self, core: usize, line: LineAddr, issue: Cycle) {
+        let res = self.hierarchy.access(core, line, true);
+        // Store-buffer retirement: the core only pays the L1 latency.
+        self.ready[core] = issue + self.config.l1.latency;
+        // A store miss that reaches DRAM still fetches (and decrypts) the
+        // line — off the critical path, but real traffic.
+        if res.hit == DataHit::Dram {
+            self.stats.traffic.data_reads += 1;
+            self.dram.access(line, issue, false);
+            if let Some(sp) = self.secure.as_mut() {
+                sp.ctr_read(line, issue, &mut self.dram, &mut self.stats.traffic);
+                sp.mac_read(&mut self.stats.traffic);
+            }
+        }
+        self.drain_writebacks(&res.writebacks, issue);
+    }
+
+    fn drain_writebacks(&mut self, writebacks: &[LineAddr], now: Cycle) {
+        for &wb in writebacks {
+            self.stats.traffic.data_writes += 1;
+            self.dram.access(wb, now, true);
+            if let Some(sp) = self.secure.as_mut() {
+                sp.ctr_write(wb, now, &mut self.dram, &mut self.stats.traffic);
+            }
+        }
+    }
+
+    fn maybe_sample(&mut self) {
+        let interval = self.config.sample_interval;
+        if interval == 0 || !self.stats.accesses.is_multiple_of(interval as u64) {
+            return;
+        }
+        let (ctr_total, ctr_miss) = match &self.secure {
+            Some(sp) => (
+                sp.ctr_cache().stats().demand.total(),
+                sp.ctr_cache().stats().demand.misses(),
+            ),
+            None => (0, 0),
+        };
+        let window_total = ctr_total - self.window_ctr_total;
+        let window_miss = ctr_miss - self.window_ctr_miss;
+        self.window_ctr_total = ctr_total;
+        self.window_ctr_miss = ctr_miss;
+        let dp_accuracy = self
+            .data_pred
+            .as_ref()
+            .map(|p| p.stats().accuracy())
+            .unwrap_or(0.0);
+        self.stats.timeline.push(TimelinePoint {
+            accesses: self.stats.accesses,
+            dp_accuracy,
+            ctr_miss_rate_window: cosmos_common::stats::ratio(window_miss, window_total),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmos_common::PhysAddr;
+
+    fn tiny_config(design: Design) -> SimConfig {
+        let mut c = SimConfig::paper_default(design);
+        c.cores = 2;
+        c.l1.size_bytes = 4096;
+        c.l2.size_bytes = 16 * 1024;
+        c.llc.size_bytes = 64 * 1024;
+        c.ctr_cache.size_bytes = 8192;
+        c.mt_cache.size_bytes = 8192;
+        c.protected_bytes = 1 << 30;
+        c
+    }
+
+    fn random_trace(n: usize, lines: u64, write_frac: f64, seed: u64) -> Trace {
+        let mut rng = cosmos_common::SplitMix64::new(seed);
+        (0..n)
+            .map(|_| {
+                let addr = PhysAddr::new(rng.next_below(lines) * 64);
+                let core = (rng.next_u32() % 2) as u8;
+                if rng.chance(write_frac) {
+                    MemAccess::write(core, addr, 3)
+                } else {
+                    MemAccess::read(core, addr, 3)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn np_runs_and_counts() {
+        let t = random_trace(5_000, 10_000, 0.2, 1);
+        let stats = Simulator::new(tiny_config(Design::Np)).run(&t);
+        assert_eq!(stats.accesses, 5_000);
+        assert!(stats.cycles > 0);
+        assert!(stats.ipc() > 0.0);
+        assert_eq!(stats.traffic.ctr_reads, 0, "NP has no counters");
+        assert_eq!(stats.traffic.mt_reads, 0);
+    }
+
+    #[test]
+    fn secure_designs_add_metadata_traffic() {
+        let t = random_trace(5_000, 100_000, 0.2, 2);
+        let np = Simulator::new(tiny_config(Design::Np)).run(&t);
+        let mc = Simulator::new(tiny_config(Design::MorphCtr)).run(&t);
+        assert!(mc.traffic.ctr_reads > 0);
+        assert!(mc.traffic.mt_reads > 0);
+        assert!(mc.traffic.total() > np.traffic.total());
+        assert!(mc.ipc() < np.ipc(), "security must cost performance");
+    }
+
+    #[test]
+    fn all_designs_complete() {
+        let t = random_trace(3_000, 50_000, 0.25, 3);
+        for d in [
+            Design::Np,
+            Design::MorphCtr,
+            Design::Emcc,
+            Design::CosmosDp,
+            Design::CosmosCp,
+            Design::Cosmos,
+        ] {
+            let stats = Simulator::new(tiny_config(d)).run(&t);
+            assert_eq!(stats.accesses, 3_000, "{d}");
+            assert!(stats.cycles > 0, "{d}");
+        }
+    }
+
+    #[test]
+    fn predictor_only_on_dp_designs() {
+        let t = random_trace(2_000, 50_000, 0.2, 4);
+        let dp = Simulator::new(tiny_config(Design::CosmosDp)).run(&t);
+        assert!(dp.data_pred.total() > 0);
+        let cp = Simulator::new(tiny_config(Design::CosmosCp)).run(&t);
+        assert_eq!(cp.data_pred.total(), 0);
+    }
+
+    #[test]
+    fn locality_stats_only_on_cp_designs() {
+        let t = random_trace(2_000, 50_000, 0.2, 5);
+        let cp = Simulator::new(tiny_config(Design::CosmosCp)).run(&t);
+        assert!(cp.ctr_pred.predictions > 0);
+        let dp = Simulator::new(tiny_config(Design::CosmosDp)).run(&t);
+        assert_eq!(dp.ctr_pred.predictions, 0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let t = random_trace(2_000, 20_000, 0.3, 6);
+        let a = Simulator::new(tiny_config(Design::Cosmos)).run(&t);
+        let b = Simulator::new(tiny_config(Design::Cosmos)).run(&t);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.traffic, b.traffic);
+    }
+
+    #[test]
+    fn timeline_sampling() {
+        let t = random_trace(5_000, 20_000, 0.2, 7);
+        let mut cfg = tiny_config(Design::Cosmos);
+        cfg.sample_interval = 1000;
+        let stats = Simulator::new(cfg).run(&t);
+        assert_eq!(stats.timeline.len(), 5);
+        assert!(stats.timeline.windows(2).all(|w| w[0].accesses < w[1].accesses));
+    }
+
+    #[test]
+    fn l1_hits_are_cheap() {
+        // Single line hammered: everything hits L1 after the first access.
+        let t: Trace = (0..1000)
+            .map(|_| MemAccess::read(0, PhysAddr::new(0x40), 0))
+            .collect();
+        let stats = Simulator::new(tiny_config(Design::Cosmos)).run(&t);
+        assert!(stats.l1.hit_rate() > 0.99);
+        // 2 cycles L1 per access; the single cold miss (full secure DRAM
+        // path) amortizes to a small constant over 1000 accesses.
+        assert!(stats.avg_read_latency() <= 5.0);
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let stats = Simulator::new(tiny_config(Design::Cosmos)).run(&Trace::new());
+        assert_eq!(stats.accesses, 0);
+        assert_eq!(stats.cycles, 0);
+        assert_eq!(stats.ipc(), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_core_ids_wrap() {
+        let t: Trace = (0..100u64)
+            .map(|i| MemAccess::read(200 + (i % 4) as u8, PhysAddr::new(i * 64), 1))
+            .collect();
+        // tiny_config has 2 cores; core ids 200..204 must wrap, not panic.
+        let stats = Simulator::new(tiny_config(Design::Cosmos)).run(&t);
+        assert_eq!(stats.accesses, 100);
+    }
+
+    #[test]
+    fn write_only_trace_runs_and_writes_back() {
+        let t: Trace = (0..5000u64)
+            .map(|i| MemAccess::write(0, PhysAddr::new((i % 4096) * 64 * 7), 1))
+            .collect();
+        let stats = Simulator::new(tiny_config(Design::MorphCtr)).run(&t);
+        assert_eq!(stats.writes, 5000);
+        assert_eq!(stats.reads, 0);
+        assert!(stats.traffic.data_writes > 0, "dirty lines must write back");
+        assert!(stats.ctr_overflows == 0 || stats.traffic.reencrypt_writes > 0);
+    }
+
+    #[test]
+    fn single_access_latency_is_full_cold_path() {
+        let t: Trace = std::iter::once(MemAccess::read(0, PhysAddr::new(0x40), 0)).collect();
+        let np = Simulator::new(tiny_config(Design::Np)).run(&t);
+        let mc = Simulator::new(tiny_config(Design::MorphCtr)).run(&t);
+        // Secure cold read pays CTR DRAM + Merkle + AES + auth on top of NP.
+        assert!(mc.total_read_latency > np.total_read_latency + 100);
+    }
+
+    #[test]
+    fn early_offchip_reads_happen_in_cosmos() {
+        // DRAM-resident working set with revisits: the predictor should
+        // learn off-chip and trigger early accesses.
+        let t = random_trace(20_000, 1_000_000, 0.0, 8);
+        let stats = Simulator::new(tiny_config(Design::Cosmos)).run(&t);
+        assert!(
+            stats.early_offchip_reads > 0,
+            "no early off-chip reads despite DRAM-heavy workload"
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Secure Memory Access Time (paper Eq. 1–2).
+//!
+//! ```text
+//! SMAT = L1 + MR_L1 (L2 + MR_L2 (LLC + MR_LLC (CTR + DRAM)))
+//! CTR  = CTR_hit + MR_CTR (CTR_DRAM + CTR_verify)
+//! ```
+//!
+//! Computed from a finished run's measured miss rates and the configured
+//! latency constants — the paper's analytic average-latency metric
+//! (Figure 14).
+
+use crate::config::SimConfig;
+use crate::stats::SimStats;
+
+/// Breakdown of a SMAT computation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Smat {
+    /// The composite SMAT value in cycles (Eq. 1).
+    pub total: f64,
+    /// The CTR term in cycles (Eq. 2).
+    pub ctr_term: f64,
+    /// Average measured DRAM latency used for the DRAM term.
+    pub dram_latency: f64,
+}
+
+/// Computes SMAT from a run's statistics.
+///
+/// For NP runs the CTR term is zero. The DRAM term uses the measured
+/// average device latency (row-buffer mix + queueing included).
+pub fn smat(config: &SimConfig, stats: &SimStats) -> Smat {
+    let mr_l1 = stats.l1.miss_rate();
+    let mr_l2 = stats.l2.miss_rate();
+    let mr_llc = stats.llc.miss_rate();
+    let dram_latency = average_dram_latency(config, stats);
+
+    let ctr_term = if config.design.is_secure() {
+        let mr_ctr = stats.ctr_cache.demand.miss_rate();
+        let ctr_hit =
+            config.ctr_cache.latency as f64 + config.ctr_combine_latency as f64
+                + config.aes_latency as f64;
+        // A CTR miss adds the counter DRAM trip and verification; the MT
+        // hash checks overlap AES, so the verify term is the authentication
+        // latency.
+        let ctr_dram = dram_latency;
+        let ctr_verify = config.auth_latency as f64;
+        ctr_hit + mr_ctr * (ctr_dram + ctr_verify)
+    } else {
+        0.0
+    };
+
+    let total = config.l1.latency as f64
+        + mr_l1
+            * (config.l2.latency as f64
+                + mr_l2
+                    * (config.llc.latency as f64 + mr_llc * (ctr_term + dram_latency)));
+    Smat {
+        total,
+        ctr_term,
+        dram_latency,
+    }
+}
+
+fn average_dram_latency(config: &SimConfig, stats: &SimStats) -> f64 {
+    let d = &stats.dram;
+    let t = config.dram.timings;
+    let req = d.requests();
+    if req == 0 {
+        return t.row_closed() as f64;
+    }
+    let service = d.row_hits as f64 * t.row_hit() as f64
+        + d.row_closed as f64 * t.row_closed() as f64
+        + d.row_conflicts as f64 * t.row_conflict() as f64;
+    (service + d.queue_cycles as f64) / req as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Design;
+    use cosmos_common::stats::HitMiss;
+
+    fn stats_with(mr_l1: u64, mr_ctr_hits: u64, mr_ctr_misses: u64) -> SimStats {
+        let mut s = SimStats::default();
+        for _ in 0..mr_l1 {
+            s.l1.miss();
+        }
+        s.l1.hit(); // avoid 100% edge
+        s.l2 = HitMiss::new();
+        s.l2.miss();
+        s.llc.miss();
+        for _ in 0..mr_ctr_hits {
+            s.ctr_cache.demand.hit();
+        }
+        for _ in 0..mr_ctr_misses {
+            s.ctr_cache.demand.miss();
+        }
+        s
+    }
+
+    #[test]
+    fn np_has_no_ctr_term() {
+        let cfg = SimConfig::paper_default(Design::Np);
+        let s = stats_with(1, 0, 0);
+        let m = smat(&cfg, &s);
+        assert_eq!(m.ctr_term, 0.0);
+        assert!(m.total > cfg.l1.latency as f64);
+    }
+
+    #[test]
+    fn secure_smat_exceeds_np() {
+        let np_cfg = SimConfig::paper_default(Design::Np);
+        let mc_cfg = SimConfig::paper_default(Design::MorphCtr);
+        let s = stats_with(1, 1, 9); // 90% CTR miss
+        assert!(smat(&mc_cfg, &s).total > smat(&np_cfg, &s).total);
+    }
+
+    #[test]
+    fn lower_ctr_miss_rate_lowers_smat() {
+        let cfg = SimConfig::paper_default(Design::MorphCtr);
+        let high = stats_with(1, 1, 9);
+        let low = stats_with(1, 9, 1);
+        assert!(smat(&cfg, &low).total < smat(&cfg, &high).total);
+    }
+
+    #[test]
+    fn perfect_l1_collapses_to_l1_latency() {
+        let cfg = SimConfig::paper_default(Design::MorphCtr);
+        let mut s = SimStats::default();
+        s.l1.hit();
+        let m = smat(&cfg, &s);
+        assert_eq!(m.total, cfg.l1.latency as f64);
+    }
+}

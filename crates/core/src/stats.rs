@@ -1,0 +1,184 @@
+//! Simulation statistics: IPC, traffic breakdown, predictor quality, and
+//! convergence timelines.
+
+use cosmos_cache::CacheStats;
+use cosmos_common::stats::HitMiss;
+use cosmos_dram::DramStats;
+use cosmos_rl::{CtrLocalityStats, DataLocationStats};
+use serde::Serialize;
+
+/// DRAM traffic in 64 B line transfers, split by purpose (paper Figure 2's
+/// categories).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct TrafficBreakdown {
+    /// Demand data reads from DRAM.
+    pub data_reads: u64,
+    /// Data writebacks to DRAM.
+    pub data_writes: u64,
+    /// Counter-block reads from DRAM (CTR cache misses).
+    pub ctr_reads: u64,
+    /// Dirty counter-block writebacks.
+    pub ctr_writes: u64,
+    /// Merkle-tree node reads (integrity verification).
+    pub mt_reads: u64,
+    /// Merkle-tree node writebacks.
+    pub mt_writes: u64,
+    /// MAC line reads (1 per 8 data reads).
+    pub mac_reads: u64,
+    /// MAC line writes (1 per 8 data writes).
+    pub mac_writes: u64,
+    /// Background re-encryption writes from counter overflows.
+    pub reencrypt_writes: u64,
+    /// Speculative DRAM data fetches killed by a wrong off-chip prediction.
+    pub killed_speculative: u64,
+}
+
+impl TrafficBreakdown {
+    /// Total line transfers.
+    pub const fn total(&self) -> u64 {
+        self.data_reads
+            + self.data_writes
+            + self.ctr_reads
+            + self.ctr_writes
+            + self.mt_reads
+            + self.mt_writes
+            + self.mac_reads
+            + self.mac_writes
+            + self.reencrypt_writes
+    }
+
+    /// Security-metadata transfers only (everything beyond NP's traffic).
+    pub const fn metadata_total(&self) -> u64 {
+        self.total() - self.data_reads - self.data_writes
+    }
+}
+
+/// A convergence sample (paper Figure 8).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct TimelinePoint {
+    /// Accesses processed when the sample was taken.
+    pub accesses: u64,
+    /// Cumulative data-location prediction accuracy.
+    pub dp_accuracy: f64,
+    /// CTR cache miss rate over the window since the previous sample.
+    pub ctr_miss_rate_window: f64,
+}
+
+/// Everything a simulation run measures.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct SimStats {
+    /// Total instructions retired (memory accesses + `inst_gap` filler).
+    pub instructions: u64,
+    /// Total cycles (the slowest core's completion time).
+    pub cycles: u64,
+    /// Memory accesses processed.
+    pub accesses: u64,
+    /// Reads processed.
+    pub reads: u64,
+    /// Writes processed.
+    pub writes: u64,
+    /// Per-level demand hit/miss (aggregated over cores for L1/L2).
+    #[serde(skip)]
+    pub l1: HitMiss,
+    /// L2 hit/miss.
+    #[serde(skip)]
+    pub l2: HitMiss,
+    /// LLC hit/miss.
+    #[serde(skip)]
+    pub llc: HitMiss,
+    /// CTR cache statistics (demand = CTR lookups).
+    #[serde(skip)]
+    pub ctr_cache: CacheStats,
+    /// MT metadata cache statistics.
+    #[serde(skip)]
+    pub mt_cache: CacheStats,
+    /// DRAM statistics.
+    #[serde(skip)]
+    pub dram: DramStats,
+    /// Traffic breakdown.
+    pub traffic: TrafficBreakdown,
+    /// Data-location predictor quality (designs with the DP).
+    #[serde(skip)]
+    pub data_pred: DataLocationStats,
+    /// CTR-locality predictor quality (designs with the CP).
+    #[serde(skip)]
+    pub ctr_pred: CtrLocalityStats,
+    /// Counter overflow (re-encryption) events.
+    pub ctr_overflows: u64,
+    /// Sum of read latencies (cycles), for average-latency reporting.
+    pub total_read_latency: u64,
+    /// Reads that bypassed L2/LLC via a correct off-chip prediction.
+    pub early_offchip_reads: u64,
+    /// Convergence timeline (when sampling is enabled).
+    pub timeline: Vec<TimelinePoint>,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// CTR cache miss rate.
+    pub fn ctr_miss_rate(&self) -> f64 {
+        self.ctr_cache.demand.miss_rate()
+    }
+
+    /// Average read latency in cycles.
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.total_read_latency as f64 / self.reads as f64
+        }
+    }
+
+    /// Total DRAM traffic in bytes.
+    pub fn traffic_bytes(&self) -> u64 {
+        self.traffic.total() * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_totals() {
+        let t = TrafficBreakdown {
+            data_reads: 10,
+            data_writes: 5,
+            ctr_reads: 3,
+            ctr_writes: 1,
+            mt_reads: 20,
+            mt_writes: 2,
+            mac_reads: 1,
+            mac_writes: 1,
+            reencrypt_writes: 4,
+            killed_speculative: 7,
+        };
+        assert_eq!(t.total(), 47);
+        assert_eq!(t.metadata_total(), 32);
+    }
+
+    #[test]
+    fn ipc_guards_zero() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.avg_read_latency(), 0.0);
+    }
+
+    #[test]
+    fn ipc_basic() {
+        let s = SimStats {
+            instructions: 1000,
+            cycles: 2000,
+            ..SimStats::default()
+        };
+        assert_eq!(s.ipc(), 0.5);
+    }
+}

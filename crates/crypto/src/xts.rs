@@ -1,0 +1,149 @@
+//! AES-XTS line encryption — the counter-free alternative the paper
+//! contrasts with AES-CTR (§2.1).
+//!
+//! XTS (XEX-based tweaked-codebook mode with ciphertext stealing; we only
+//! need full-block operation for 64 B lines) derives a *tweak* from the
+//! physical address with a second key, so no counters, counter cache, or
+//! integrity tree are needed — but, as the paper notes, it provides no
+//! replay protection and leaks equal-plaintext-equal-ciphertext at the
+//! same address across time (ciphertext side channels). Implemented here
+//! so the trade-off is demonstrable in code and tests.
+
+use crate::aes::Aes128;
+use cosmos_common::PhysAddr;
+
+/// An AES-XTS cipher over 64 B memory lines (two AES-128 keys).
+pub struct Xts {
+    data_key: Aes128,
+    tweak_key: Aes128,
+}
+
+impl core::fmt::Debug for Xts {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Xts").finish_non_exhaustive()
+    }
+}
+
+/// Multiplies a 128-bit value by x in GF(2^128) (the XTS tweak update).
+fn gf128_double(t: &mut [u8; 16]) {
+    let mut carry = 0u8;
+    for b in t.iter_mut() {
+        let new_carry = *b >> 7;
+        *b = (*b << 1) | carry;
+        carry = new_carry;
+    }
+    if carry != 0 {
+        t[0] ^= 0x87;
+    }
+}
+
+impl Xts {
+    /// Creates the cipher from the data key and the tweak key.
+    pub fn new(data_key: &[u8; 16], tweak_key: &[u8; 16]) -> Self {
+        Self {
+            data_key: Aes128::new(data_key),
+            tweak_key: Aes128::new(tweak_key),
+        }
+    }
+
+    fn tweaks(&self, pa: PhysAddr) -> [[u8; 16]; 4] {
+        // Sector number = line address; block index advances the tweak.
+        let mut sector = [0u8; 16];
+        sector[..8].copy_from_slice(&pa.line().index().to_le_bytes());
+        let mut t = self.tweak_key.encrypt_block(&sector);
+        let mut out = [[0u8; 16]; 4];
+        for slot in out.iter_mut() {
+            *slot = t;
+            gf128_double(&mut t);
+        }
+        out
+    }
+
+    /// Encrypts a 64 B line at `pa`.
+    pub fn encrypt_line(&self, pa: PhysAddr, plaintext: &[u8; 64]) -> [u8; 64] {
+        self.process(pa, plaintext, true)
+    }
+
+    /// Decrypts a 64 B line at `pa`.
+    pub fn decrypt_line(&self, pa: PhysAddr, ciphertext: &[u8; 64]) -> [u8; 64] {
+        self.process(pa, ciphertext, false)
+    }
+
+    fn process(&self, pa: PhysAddr, input: &[u8; 64], encrypt: bool) -> [u8; 64] {
+        let tweaks = self.tweaks(pa);
+        let mut out = [0u8; 64];
+        for (i, tweak) in tweaks.iter().enumerate() {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&input[16 * i..16 * (i + 1)]);
+            for (b, t) in block.iter_mut().zip(tweak) {
+                *b ^= t;
+            }
+            let mut mid = if encrypt {
+                self.data_key.encrypt_block(&block)
+            } else {
+                self.data_key.decrypt_block(&block)
+            };
+            for (b, t) in mid.iter_mut().zip(tweak) {
+                *b ^= t;
+            }
+            out[16 * i..16 * (i + 1)].copy_from_slice(&mid);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xts() -> Xts {
+        Xts::new(&[1u8; 16], &[2u8; 16])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let x = xts();
+        let pt = [0x3Cu8; 64];
+        let ct = x.encrypt_line(PhysAddr::new(0x4000), &pt);
+        assert_ne!(ct, pt);
+        assert_eq!(x.decrypt_line(PhysAddr::new(0x4000), &ct), pt);
+    }
+
+    #[test]
+    fn address_bound() {
+        let x = xts();
+        let pt = [9u8; 64];
+        let a = x.encrypt_line(PhysAddr::new(0x1000), &pt);
+        let b = x.encrypt_line(PhysAddr::new(0x2000), &pt);
+        assert_ne!(a, b, "tweak must bind the address");
+    }
+
+    #[test]
+    fn deterministic_reuse_is_the_weakness() {
+        // Same plaintext, same address, different *time*: identical
+        // ciphertext — exactly the side channel the paper cites as XTS's
+        // weakness vs. counter mode.
+        let x = xts();
+        let pt = [7u8; 64];
+        let t1 = x.encrypt_line(PhysAddr::new(0x40), &pt);
+        let t2 = x.encrypt_line(PhysAddr::new(0x40), &pt);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn blocks_within_line_differ() {
+        let x = xts();
+        let pt = [0u8; 64]; // identical 16 B blocks
+        let ct = x.encrypt_line(PhysAddr::new(0), &pt);
+        assert_ne!(ct[0..16], ct[16..32], "per-block tweaks must differ");
+    }
+
+    #[test]
+    fn gf_double_known_carry() {
+        let mut t = [0u8; 16];
+        t[15] = 0x80;
+        gf128_double(&mut t);
+        assert_eq!(t[0], 0x87);
+        assert_eq!(t[15], 0x00);
+    }
+}

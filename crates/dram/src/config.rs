@@ -1,0 +1,138 @@
+//! DRAM geometry and timing configuration.
+
+/// DRAM timing constants, in core clock cycles.
+///
+/// Defaults correspond to DDR4-2400 (tCL = tRCD = tRP ≈ 16.7 ns) seen from
+/// a 3 GHz core: ≈ 50 core cycles each; a BL8 burst at 1200 MT/s moves 64 B
+/// in ≈ 3.3 ns ≈ 10 core cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramTimings {
+    /// Column access (CAS) latency.
+    pub t_cas: u64,
+    /// Row activate latency (tRCD).
+    pub t_rcd: u64,
+    /// Precharge latency (tRP).
+    pub t_rp: u64,
+    /// Data burst transfer time for one 64 B line.
+    pub t_burst: u64,
+    /// Fixed controller/queueing overhead per request.
+    pub t_controller: u64,
+}
+
+impl DramTimings {
+    /// DDR4-2400 timings in 3 GHz core cycles.
+    pub const fn ddr4_2400() -> Self {
+        Self {
+            t_cas: 50,
+            t_rcd: 50,
+            t_rp: 50,
+            t_burst: 10,
+            t_controller: 20,
+        }
+    }
+
+    /// Latency of a row-buffer hit.
+    pub const fn row_hit(&self) -> u64 {
+        self.t_controller + self.t_cas + self.t_burst
+    }
+
+    /// Latency when the bank is closed (activate + CAS).
+    pub const fn row_closed(&self) -> u64 {
+        self.t_controller + self.t_rcd + self.t_cas + self.t_burst
+    }
+
+    /// Latency of a row conflict (precharge + activate + CAS).
+    pub const fn row_conflict(&self) -> u64 {
+        self.t_controller + self.t_rp + self.t_rcd + self.t_cas + self.t_burst
+    }
+}
+
+impl Default for DramTimings {
+    fn default() -> Self {
+        Self::ddr4_2400()
+    }
+}
+
+/// DRAM organization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of channels (requests interleave line-granular).
+    pub channels: usize,
+    /// Banks per channel.
+    pub banks_per_channel: usize,
+    /// Row-buffer size in bytes.
+    pub row_bytes: usize,
+    /// Timing constants.
+    pub timings: DramTimings,
+}
+
+impl DramConfig {
+    /// The paper's DDR4-2400 configuration: 2 channels × 16 banks, 8 KB rows.
+    pub const fn ddr4_2400() -> Self {
+        Self {
+            channels: 2,
+            banks_per_channel: 16,
+            row_bytes: 8192,
+            timings: DramTimings::ddr4_2400(),
+        }
+    }
+
+    /// A single-bank, fixed-latency ablation configuration (every access is
+    /// a row hit in one bank — useful to isolate the bank model's effect).
+    pub const fn fixed_latency() -> Self {
+        Self {
+            channels: 1,
+            banks_per_channel: 1,
+            row_bytes: usize::MAX,
+            timings: DramTimings::ddr4_2400(),
+        }
+    }
+
+    /// Total number of banks.
+    pub const fn total_banks(&self) -> usize {
+        self.channels * self.banks_per_channel
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or not a power of two (except
+    /// `row_bytes == usize::MAX`, the fixed-latency sentinel).
+    pub fn validate(&self) {
+        assert!(self.channels.is_power_of_two(), "channels must be 2^k");
+        assert!(
+            self.banks_per_channel.is_power_of_two(),
+            "banks per channel must be 2^k"
+        );
+        assert!(
+            self.row_bytes == usize::MAX || self.row_bytes.is_power_of_two(),
+            "row bytes must be 2^k"
+        );
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::ddr4_2400()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_ordering() {
+        let t = DramTimings::ddr4_2400();
+        assert!(t.row_hit() < t.row_closed());
+        assert!(t.row_closed() < t.row_conflict());
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        DramConfig::default().validate();
+        DramConfig::fixed_latency().validate();
+        assert_eq!(DramConfig::ddr4_2400().total_banks(), 32);
+    }
+}

@@ -1,0 +1,34 @@
+//! DDR4-style DRAM timing model.
+//!
+//! The COSMOS paper simulates a `DDR4_2400_16x4`, 32 GB main memory behind
+//! the memory controller. This crate provides a bank/row-buffer timing model
+//! at that fidelity level:
+//!
+//! - address interleaving across channels and banks,
+//! - an open-row policy with row **hit** / **closed** / **conflict**
+//!   latencies derived from DDR4-2400 timing (tCL = tRCD = tRP ≈ 16.7 ns)
+//!   expressed in 3 GHz core cycles,
+//! - per-bank busy tracking, so bursts of traffic to one bank serialize
+//!   while independent banks proceed in parallel (bank-level parallelism),
+//! - read/write and row-buffer statistics.
+//!
+//! The model is deliberately *latency-composable*: `access` maps a request
+//! at absolute time `now` to its completion time, which is exactly the form
+//! the simulator's SMAT model (paper Eq. 1–2) consumes.
+//!
+//! # Examples
+//!
+//! ```
+//! use cosmos_dram::{Dram, DramConfig};
+//! use cosmos_common::{Cycle, LineAddr};
+//!
+//! let mut dram = Dram::new(DramConfig::ddr4_2400());
+//! let done = dram.access(LineAddr::new(0), Cycle::new(0), false);
+//! assert!(done > Cycle::new(0));
+//! ```
+
+pub mod config;
+pub mod model;
+
+pub use config::{DramConfig, DramTimings};
+pub use model::{Dram, DramStats, RowBufferOutcome};

@@ -1,0 +1,273 @@
+//! The bank/row-buffer DRAM model.
+
+use crate::config::DramConfig;
+use cosmos_common::{Cycle, LineAddr, LINE_SIZE};
+
+/// How a request interacted with its bank's row buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowBufferOutcome {
+    /// The target row was already open.
+    Hit,
+    /// The bank was idle/closed; an activate was needed.
+    Closed,
+    /// A different row was open; precharge + activate were needed.
+    Conflict,
+}
+
+/// Statistics accumulated by [`Dram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Read requests served.
+    pub reads: u64,
+    /// Write requests served.
+    pub writes: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Closed-bank activations.
+    pub row_closed: u64,
+    /// Row conflicts.
+    pub row_conflicts: u64,
+    /// Total cycles requests spent queued behind busy banks.
+    pub queue_cycles: u64,
+}
+
+impl DramStats {
+    /// Total requests.
+    pub const fn requests(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Row-buffer hit rate.
+    pub fn row_hit_rate(&self) -> f64 {
+        cosmos_common::stats::ratio(self.row_hits, self.requests())
+    }
+
+    /// Total bytes moved.
+    pub const fn bytes(&self) -> u64 {
+        self.requests() * LINE_SIZE as u64
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: Cycle,
+}
+
+/// The DRAM device model: per-bank row buffers and busy times.
+#[derive(Debug)]
+pub struct Dram {
+    config: DramConfig,
+    banks: Vec<Bank>,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`DramConfig::validate`]).
+    pub fn new(config: DramConfig) -> Self {
+        config.validate();
+        Self {
+            config,
+            banks: vec![
+                Bank {
+                    open_row: None,
+                    busy_until: Cycle::ZERO,
+                };
+                config.total_banks()
+            ],
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Resets statistics (bank state is preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = DramStats::default();
+    }
+
+    /// Serves a line request issued at `now`; returns its completion time.
+    pub fn access(&mut self, line: LineAddr, now: Cycle, write: bool) -> Cycle {
+        let (bank_idx, row) = self.map(line);
+        let t = self.config.timings;
+        let bank = &mut self.banks[bank_idx];
+
+        let outcome = match bank.open_row {
+            Some(open) if open == row => RowBufferOutcome::Hit,
+            Some(_) => RowBufferOutcome::Conflict,
+            None => RowBufferOutcome::Closed,
+        };
+        let service = match outcome {
+            RowBufferOutcome::Hit => t.row_hit(),
+            RowBufferOutcome::Closed => t.row_closed(),
+            RowBufferOutcome::Conflict => t.row_conflict(),
+        };
+
+        let start = now.max(bank.busy_until);
+        let queued = start - now;
+        let done = start + service;
+        bank.busy_until = done;
+        bank.open_row = Some(row);
+
+        self.stats.queue_cycles += queued.value();
+        match outcome {
+            RowBufferOutcome::Hit => self.stats.row_hits += 1,
+            RowBufferOutcome::Closed => self.stats.row_closed += 1,
+            RowBufferOutcome::Conflict => self.stats.row_conflicts += 1,
+        }
+        if write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        done
+    }
+
+    /// Latency (not completion time) of a request issued at `now`.
+    pub fn access_latency(&mut self, line: LineAddr, now: Cycle, write: bool) -> Cycle {
+        self.access(line, now, write) - now
+    }
+
+    /// Maps a line to `(global bank index, row id)`.
+    ///
+    /// Interleaving: consecutive lines rotate across channels, then banks,
+    /// so streaming accesses exploit bank-level parallelism; rows are the
+    /// higher-order bits.
+    fn map(&self, line: LineAddr) -> (usize, u64) {
+        if self.config.row_bytes == usize::MAX {
+            return (0, 0); // fixed-latency ablation: one bank, one row
+        }
+        let idx = line.index();
+        let ch = (idx as usize) & (self.config.channels - 1);
+        let after_ch = idx >> self.config.channels.trailing_zeros();
+        let lines_per_row = (self.config.row_bytes / LINE_SIZE) as u64;
+        let bank = (after_ch / lines_per_row) as usize & (self.config.banks_per_channel - 1);
+        let row = after_ch / lines_per_row / self.config.banks_per_channel as u64;
+        (ch * self.config.banks_per_channel + bank, row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(DramConfig::ddr4_2400())
+    }
+
+    #[test]
+    fn first_access_is_closed_bank() {
+        let mut d = dram();
+        let t0 = Cycle::new(100);
+        let done = d.access(LineAddr::new(0), t0, false);
+        assert_eq!(done - t0, Cycle::new(DramConfig::ddr4_2400().timings.row_closed()));
+        assert_eq!(d.stats().row_closed, 1);
+    }
+
+    #[test]
+    fn same_row_hits() {
+        let mut d = dram();
+        let mut now = Cycle::new(0);
+        now = d.access(LineAddr::new(0), now, false);
+        // Lines 0 and 2 share channel 0; same row (row covers 128 lines/ch).
+        let done = d.access(LineAddr::new(2), now, false);
+        assert_eq!(
+            done - now,
+            Cycle::new(DramConfig::ddr4_2400().timings.row_hit())
+        );
+        assert_eq!(d.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn conflict_when_rows_differ() {
+        let cfg = DramConfig {
+            channels: 1,
+            banks_per_channel: 1,
+            row_bytes: 8192,
+            ..DramConfig::ddr4_2400()
+        };
+        let mut d = Dram::new(cfg);
+        let mut now = Cycle::new(0);
+        now = d.access(LineAddr::new(0), now, false);
+        // Line 128 is a different 8 KB row in the same (only) bank.
+        let done = d.access(LineAddr::new(128), now, false);
+        assert_eq!(done - now, Cycle::new(cfg.timings.row_conflict()));
+        assert_eq!(d.stats().row_conflicts, 1);
+    }
+
+    #[test]
+    fn busy_bank_queues_requests() {
+        let cfg = DramConfig {
+            channels: 1,
+            banks_per_channel: 1,
+            row_bytes: 8192,
+            ..DramConfig::ddr4_2400()
+        };
+        let mut d = Dram::new(cfg);
+        let t0 = Cycle::new(0);
+        let first_done = d.access(LineAddr::new(0), t0, false);
+        // Second request issued at t0 must wait for the bank.
+        let second_done = d.access(LineAddr::new(1), t0, false);
+        assert!(second_done > first_done);
+        assert!(d.stats().queue_cycles > 0);
+    }
+
+    #[test]
+    fn independent_banks_overlap() {
+        let mut d = dram();
+        let t0 = Cycle::new(0);
+        // Lines 0 and 1 are on different channels under line interleaving.
+        let a = d.access(LineAddr::new(0), t0, false);
+        let b = d.access(LineAddr::new(1), t0, false);
+        assert_eq!(a, b, "parallel banks serve concurrently");
+        assert_eq!(d.stats().queue_cycles, 0);
+    }
+
+    #[test]
+    fn read_write_counted() {
+        let mut d = dram();
+        d.access(LineAddr::new(0), Cycle::ZERO, false);
+        d.access(LineAddr::new(7), Cycle::ZERO, true);
+        assert_eq!(d.stats().reads, 1);
+        assert_eq!(d.stats().writes, 1);
+        assert_eq!(d.stats().bytes(), 128);
+    }
+
+    #[test]
+    fn fixed_latency_config_always_hits_after_first() {
+        let mut d = Dram::new(DramConfig::fixed_latency());
+        let mut now = Cycle::ZERO;
+        now = d.access(LineAddr::new(0), now, false);
+        for i in 1..10u64 {
+            let done = d.access(LineAddr::new(i * 1000), now, false);
+            assert_eq!(
+                done - now,
+                Cycle::new(DramConfig::fixed_latency().timings.row_hit())
+            );
+            now = done;
+        }
+    }
+
+    #[test]
+    fn map_covers_all_banks() {
+        let d = dram();
+        let mut seen = vec![false; d.config.total_banks()];
+        for i in 0..100_000u64 {
+            let (b, _) = d.map(LineAddr::new(i));
+            seen[b] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "interleaving misses banks");
+    }
+}

@@ -1,0 +1,86 @@
+//! Ablations for the design choices called out in DESIGN.md §4:
+//!
+//! 1. CTR cache associativity (8-way vs. fully associative — the headroom
+//!    the LCR policy competes for),
+//! 2. DRAM bank model vs. a fixed-latency DRAM,
+//! 3. graph memory layout (Object vs. CSR),
+//! 4. the paper's 128 KB COSMOS CTR-cache size accounting vs. equal sizes.
+
+use cosmos_core::Design;
+use cosmos_experiments::{emit_json, f3, pct, print_table, run, run_with, Args, GraphSet};
+use cosmos_workloads::graph::{GraphKernel, LayoutMode};
+use serde_json::json;
+
+fn main() {
+    let args = Args::parse(1_000_000);
+    let set = GraphSet::new(args.spec());
+    let trace = set.trace(GraphKernel::Dfs);
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+
+    // 1. Associativity of the baseline CTR cache.
+    for ways in [8usize, 64, 8192] {
+        let stats = run_with(Design::MorphCtr, &trace, args.seed, |c| {
+            c.ctr_cache.ways = ways;
+        });
+        rows.push(vec![
+            format!("MorphCtr, CTR cache {ways}-way"),
+            pct(stats.ctr_miss_rate()),
+            f3(stats.ipc()),
+        ]);
+        results.push(json!({"ablation": "assoc", "ways": ways,
+            "ctr_miss": stats.ctr_miss_rate(), "ipc": stats.ipc()}));
+    }
+
+    // 2. DRAM bank model vs. fixed latency.
+    for (name, dram) in [
+        ("bank model", cosmos_dram::DramConfig::ddr4_2400()),
+        ("fixed latency", cosmos_dram::DramConfig::fixed_latency()),
+    ] {
+        let stats = run_with(Design::Cosmos, &trace, args.seed, |c| {
+            c.dram = dram;
+        });
+        rows.push(vec![
+            format!("COSMOS, DRAM {name}"),
+            pct(stats.ctr_miss_rate()),
+            f3(stats.ipc()),
+        ]);
+        results.push(json!({"ablation": "dram", "variant": name,
+            "ctr_miss": stats.ctr_miss_rate(), "ipc": stats.ipc()}));
+    }
+
+    // 3. Graph layout: Object vs. CSR.
+    for mode in [LayoutMode::Object, LayoutMode::Csr] {
+        let mut spec = *set.spec();
+        spec.graph_layout = mode;
+        let t = cosmos_workloads::Workload::Graph(GraphKernel::Dfs).generate(&spec);
+        let stats = run(Design::MorphCtr, &t, args.seed);
+        rows.push(vec![
+            format!("MorphCtr, {mode:?} layout"),
+            pct(stats.ctr_miss_rate()),
+            f3(stats.ipc()),
+        ]);
+        results.push(json!({"ablation": "layout", "mode": format!("{mode:?}"),
+            "ctr_miss": stats.ctr_miss_rate(), "ipc": stats.ipc()}));
+    }
+
+    // 4. COSMOS CTR cache size accounting.
+    for (name, small) in [("equal 512 KB", false), ("paper 128 KB", true)] {
+        let stats = run_with(Design::Cosmos, &trace, args.seed, |c| {
+            if small {
+                *c = c.clone().with_paper_ctr_sizes();
+            }
+        });
+        rows.push(vec![
+            format!("COSMOS, {name}"),
+            pct(stats.ctr_miss_rate()),
+            f3(stats.ipc()),
+        ]);
+        results.push(json!({"ablation": "ctr_size", "variant": name,
+            "ctr_miss": stats.ctr_miss_rate(), "ipc": stats.ipc()}));
+    }
+
+    println!("## Design ablations (DFS)\n");
+    print_table(&["variant", "CTR miss", "IPC"], &rows);
+    emit_json(&args, "ablation_design", &json!({"accesses": args.accesses, "rows": results}));
+}

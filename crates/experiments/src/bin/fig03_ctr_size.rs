@@ -1,0 +1,34 @@
+//! Figure 3: CTR cache size (128 KB → 2 MB) vs. miss rate for DFS, PR, GC
+//! under the MorphCtr baseline — the "limited gains from scaling" result.
+
+use cosmos_core::Design;
+use cosmos_experiments::{emit_json, pct, print_table, run_with, Args, GraphSet};
+use cosmos_workloads::graph::GraphKernel;
+use serde_json::json;
+
+const SIZES_KB: [usize; 5] = [128, 256, 512, 1024, 2048];
+
+fn main() {
+    let args = Args::parse(2_000_000);
+    let set = GraphSet::new(args.spec());
+    let kernels = [GraphKernel::Dfs, GraphKernel::Pr, GraphKernel::Gc];
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for kernel in kernels {
+        let trace = set.trace(kernel);
+        let mut cells = vec![kernel.name().to_string()];
+        let mut series = Vec::new();
+        for kb in SIZES_KB {
+            let stats = run_with(Design::MorphCtr, &trace, args.seed, |c| {
+                c.ctr_cache.size_bytes = kb * 1024;
+            });
+            cells.push(pct(stats.ctr_miss_rate()));
+            series.push(json!({"size_kb": kb, "ctr_miss_rate": stats.ctr_miss_rate()}));
+        }
+        rows.push(cells);
+        results.push(json!({"kernel": kernel.name(), "series": series}));
+    }
+    println!("## Figure 3: CTR cache size vs. miss rate (MorphCtr)\n");
+    print_table(&["kernel", "128KB", "256KB", "512KB", "1MB", "2MB"], &rows);
+    emit_json(&args, "fig03", &json!({"accesses": args.accesses, "rows": results}));
+}

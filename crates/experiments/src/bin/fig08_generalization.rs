@@ -1,0 +1,47 @@
+//! Figure 8: generalization of the DFS-tuned hyperparameters — data
+//! location prediction correctness and CTR cache miss rate as memory
+//! accesses increase, for BFS (graph, similar to the tuning workload) and
+//! MLP (non-graph, unseen).
+
+use cosmos_core::Design;
+use cosmos_experiments::{emit_json, pct, print_table, run_with, Args, GraphSet};
+use cosmos_workloads::graph::GraphKernel;
+use cosmos_workloads::ml::MlModel;
+use serde_json::json;
+
+fn main() {
+    // Default sweep reaches 4M accesses; `--large` reaches the paper's 10M.
+    let args = Args::parse(4_000_000);
+    let sample = (args.accesses / 8).max(1);
+
+    let set = GraphSet::new(args.spec());
+    let bfs = set.trace(GraphKernel::Bfs);
+    let mlp = MlModel::Mlp.generate(args.spec().cores, args.accesses, args.seed);
+
+    let mut results = Vec::new();
+    println!("## Figure 8: DP correctness and CTR miss rate vs. accesses\n");
+    for (name, trace) in [("BFS", &bfs), ("MLP", &mlp)] {
+        let stats = run_with(Design::Cosmos, trace, args.seed, |c| {
+            c.sample_interval = sample;
+        });
+        let mut rows = Vec::new();
+        let mut series = Vec::new();
+        for p in &stats.timeline {
+            rows.push(vec![
+                format!("{:.1}M", p.accesses as f64 / 1e6),
+                pct(p.dp_accuracy),
+                pct(p.ctr_miss_rate_window),
+            ]);
+            series.push(json!({
+                "accesses": p.accesses,
+                "dp_accuracy": p.dp_accuracy,
+                "ctr_miss_rate_window": p.ctr_miss_rate_window,
+            }));
+        }
+        println!("### {name}\n");
+        print_table(&["accesses", "DP correctness", "CTR miss (window)"], &rows);
+        println!();
+        results.push(json!({"workload": name, "series": series}));
+    }
+    emit_json(&args, "fig08", &json!({"accesses": args.accesses, "rows": results}));
+}

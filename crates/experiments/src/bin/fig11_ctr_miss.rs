@@ -1,0 +1,44 @@
+//! Figure 11: CTR cache miss rate of MorphCtr, COSMOS-CP, COSMOS-DP, and
+//! full COSMOS across the graph kernels.
+
+use cosmos_core::Design;
+use cosmos_experiments::{emit_json, pct, print_table, run, Args, GraphSet};
+use cosmos_workloads::graph::GraphKernel;
+use serde_json::json;
+
+fn main() {
+    let args = Args::parse(2_000_000);
+    let set = GraphSet::new(args.spec());
+    let designs = Design::figure10();
+
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    let mut avg = vec![0.0; designs.len()];
+    for kernel in GraphKernel::all() {
+        let trace = set.trace(kernel);
+        let mut cells = vec![kernel.name().to_string()];
+        let mut per_design = serde_json::Map::new();
+        for (i, d) in designs.iter().enumerate() {
+            let stats = run(*d, &trace, args.seed);
+            let miss = stats.ctr_miss_rate();
+            avg[i] += miss;
+            cells.push(pct(miss));
+            per_design.insert(d.name().to_string(), json!(miss));
+        }
+        rows.push(cells);
+        results.push(json!({"kernel": kernel.name(), "ctr_miss": per_design}));
+    }
+    let n = GraphKernel::all().len() as f64;
+    rows.push(
+        std::iter::once("**mean**".to_string())
+            .chain(avg.iter().map(|a| pct(a / n)))
+            .collect(),
+    );
+
+    println!("## Figure 11: CTR cache miss rate by design\n");
+    print_table(
+        &["kernel", "MorphCtr", "COSMOS-CP", "COSMOS-DP", "COSMOS"],
+        &rows,
+    );
+    emit_json(&args, "fig11", &json!({"accesses": args.accesses, "rows": results}));
+}

@@ -1,0 +1,58 @@
+//! Figure 12: data-location prediction distribution and accuracy across
+//! the graph kernels (COSMOS's RL data location predictor).
+//!
+//! Reports the four quadrants — correct on-chip, correct off-chip, wrong
+//! on-chip, wrong off-chip — as fractions of all L1-miss predictions.
+
+use cosmos_core::Design;
+use cosmos_experiments::{emit_json, pct, print_table, run, Args, GraphSet};
+use cosmos_workloads::graph::GraphKernel;
+use serde_json::json;
+
+fn main() {
+    let args = Args::parse(2_000_000);
+    let set = GraphSet::new(args.spec());
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    let mut total_acc = 0.0;
+    for kernel in GraphKernel::all() {
+        let trace = set.trace(kernel);
+        let stats = run(Design::Cosmos, &trace, args.seed);
+        let p = &stats.data_pred;
+        let total = p.total() as f64;
+        total_acc += p.accuracy();
+        rows.push(vec![
+            kernel.name().to_string(),
+            pct(p.correct_onchip as f64 / total),
+            pct(p.correct_offchip as f64 / total),
+            pct(p.wrong_onchip as f64 / total),
+            pct(p.wrong_offchip as f64 / total),
+            pct(p.accuracy()),
+        ]);
+        results.push(json!({
+            "kernel": kernel.name(),
+            "correct_onchip": p.correct_onchip as f64 / total,
+            "correct_offchip": p.correct_offchip as f64 / total,
+            "wrong_onchip": p.wrong_onchip as f64 / total,
+            "wrong_offchip": p.wrong_offchip as f64 / total,
+            "accuracy": p.accuracy(),
+        }));
+    }
+    println!("## Figure 12: data-location prediction distribution and accuracy\n");
+    print_table(
+        &[
+            "kernel",
+            "correct on-chip",
+            "correct off-chip",
+            "wrong on-chip",
+            "wrong off-chip",
+            "accuracy",
+        ],
+        &rows,
+    );
+    println!(
+        "\nmean accuracy: {:.1}% (paper: ~85%)",
+        total_acc / GraphKernel::all().len() as f64 * 100.0
+    );
+    emit_json(&args, "fig12", &json!({"accesses": args.accesses, "rows": results}));
+}

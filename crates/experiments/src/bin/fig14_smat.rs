@@ -1,0 +1,46 @@
+//! Figure 14: Secure Memory Access Time (SMAT, paper Eq. 1–2) across
+//! MorphCtr, COSMOS-CP, COSMOS-DP, and full COSMOS.
+
+use cosmos_core::{smat::smat, Design, SimConfig};
+use cosmos_experiments::{emit_json, f3, print_table, run, Args, GraphSet};
+use cosmos_workloads::graph::GraphKernel;
+use serde_json::json;
+
+fn main() {
+    let args = Args::parse(2_000_000);
+    let set = GraphSet::new(args.spec());
+    let designs = Design::figure10();
+
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    let mut avg = vec![0.0; designs.len()];
+    for kernel in GraphKernel::all() {
+        let trace = set.trace(kernel);
+        let mut cells = vec![kernel.name().to_string()];
+        let mut per_design = serde_json::Map::new();
+        for (i, d) in designs.iter().enumerate() {
+            let stats = run(*d, &trace, args.seed);
+            let m = smat(&SimConfig::paper_default(*d), &stats);
+            avg[i] += m.total;
+            cells.push(f3(m.total));
+            per_design.insert(
+                d.name().to_string(),
+                json!({"smat": m.total, "ctr_term": m.ctr_term}),
+            );
+        }
+        rows.push(cells);
+        results.push(json!({"kernel": kernel.name(), "smat": per_design}));
+    }
+    let n = GraphKernel::all().len() as f64;
+    rows.push(
+        std::iter::once("**mean**".to_string())
+            .chain(avg.iter().map(|a| f3(a / n)))
+            .collect(),
+    );
+    println!("## Figure 14: SMAT (cycles per access, lower is better)\n");
+    print_table(
+        &["kernel", "MorphCtr", "COSMOS-CP", "COSMOS-DP", "COSMOS"],
+        &rows,
+    );
+    emit_json(&args, "fig14", &json!({"accesses": args.accesses, "rows": results}));
+}

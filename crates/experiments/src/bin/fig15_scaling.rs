@@ -1,0 +1,69 @@
+//! Figure 15: COSMOS vs. MorphCtr, normalized to NP, on 4-core and 8-core
+//! systems (8-core doubles the shared LLC to 16 MB) across seven graph
+//! kernels.
+
+use cosmos_core::{Design, SimConfig};
+use cosmos_experiments::{emit_json, f3, print_table, Args, GraphSet};
+use cosmos_workloads::graph::GraphKernel;
+use cosmos_core::Simulator;
+use serde_json::json;
+
+const KERNELS: [GraphKernel; 7] = [
+    GraphKernel::Bfs,
+    GraphKernel::Dfs,
+    GraphKernel::Tc,
+    GraphKernel::Gc,
+    GraphKernel::Cc,
+    GraphKernel::Sp,
+    GraphKernel::Dc,
+];
+
+fn main() {
+    let args = Args::parse(2_000_000);
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    let mut gains = [0.0f64; 2];
+    for (ci, cores) in [4usize, 8].into_iter().enumerate() {
+        let mut spec = args.spec().with_cores(cores);
+        spec.seed = args.seed;
+        let set = GraphSet::new(spec);
+        for kernel in KERNELS {
+            let trace = set.trace(kernel);
+            let run_cfg = |design: Design| {
+                let mut cfg = if cores == 8 {
+                    SimConfig::eight_core(design)
+                } else {
+                    SimConfig::paper_default(design)
+                };
+                cfg.seed = args.seed;
+                Simulator::new(cfg).run(&trace)
+            };
+            let np = run_cfg(Design::Np);
+            let mc = run_cfg(Design::MorphCtr);
+            let cosmos = run_cfg(Design::Cosmos);
+            let mc_n = mc.ipc() / np.ipc();
+            let co_n = cosmos.ipc() / np.ipc();
+            gains[ci] += co_n / mc_n - 1.0;
+            rows.push(vec![
+                format!("{cores}-core {}", kernel.name()),
+                f3(mc_n),
+                f3(co_n),
+                format!("{:+.1}%", (co_n / mc_n - 1.0) * 100.0),
+            ]);
+            results.push(json!({
+                "cores": cores,
+                "kernel": kernel.name(),
+                "morphctr_norm": mc_n,
+                "cosmos_norm": co_n,
+            }));
+        }
+    }
+    println!("## Figure 15: multi-core scaling (normalized to NP per config)\n");
+    print_table(&["config", "MorphCtr", "COSMOS", "gain"], &rows);
+    println!(
+        "\nmean gain: 4-core {:+.1}%, 8-core {:+.1}% (paper: +25% / +26%)",
+        gains[0] / KERNELS.len() as f64 * 100.0,
+        gains[1] / KERNELS.len() as f64 * 100.0
+    );
+    emit_json(&args, "fig15", &json!({"accesses": args.accesses, "rows": results}));
+}

@@ -1,0 +1,50 @@
+//! Figure 16 (+ §6.2 discussion): COSMOS vs. the idealized EMCC
+//! implementation and the RMCC-like memoization baseline, all normalized
+//! to NP, across the graph kernels.
+
+use cosmos_core::Design;
+use cosmos_experiments::{emit_json, f3, print_table, run, Args, GraphSet};
+use cosmos_workloads::graph::GraphKernel;
+use serde_json::json;
+
+fn main() {
+    let args = Args::parse(2_000_000);
+    let set = GraphSet::new(args.spec());
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    let (mut gain_emcc, mut gain_rmcc) = (0.0, 0.0);
+    for kernel in GraphKernel::all() {
+        let trace = set.trace(kernel);
+        let np = run(Design::Np, &trace, args.seed);
+        let emcc = run(Design::Emcc, &trace, args.seed);
+        let rmcc = run(Design::Rmcc, &trace, args.seed);
+        let cosmos = run(Design::Cosmos, &trace, args.seed);
+        let e_n = emcc.ipc() / np.ipc();
+        let r_n = rmcc.ipc() / np.ipc();
+        let c_n = cosmos.ipc() / np.ipc();
+        gain_emcc += c_n / e_n - 1.0;
+        gain_rmcc += c_n / r_n - 1.0;
+        rows.push(vec![
+            kernel.name().to_string(),
+            f3(e_n),
+            f3(r_n),
+            f3(c_n),
+            format!("{:+.1}%", (c_n / e_n - 1.0) * 100.0),
+        ]);
+        results.push(json!({
+            "kernel": kernel.name(),
+            "emcc_norm": e_n,
+            "rmcc_norm": r_n,
+            "cosmos_norm": c_n,
+        }));
+    }
+    println!("## Figure 16: COSMOS vs. EMCC and RMCC (normalized to NP)\n");
+    print_table(&["kernel", "EMCC", "RMCC", "COSMOS", "gain vs EMCC"], &rows);
+    let n = GraphKernel::all().len() as f64;
+    println!(
+        "\nmean COSMOS gain: vs EMCC {:+.1}% (paper: +10%), vs RMCC {:+.1}% (paper: similar to EMCC)",
+        gain_emcc / n * 100.0,
+        gain_rmcc / n * 100.0
+    );
+    emit_json(&args, "fig16", &json!({"accesses": args.accesses, "rows": results}));
+}

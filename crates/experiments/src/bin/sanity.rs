@@ -1,0 +1,24 @@
+use cosmos_core::{smat::smat, Design, SimConfig, Simulator};
+use cosmos_workloads::{graph::GraphKernel, TraceSpec, Workload};
+use std::time::Instant;
+
+fn main() {
+    let accesses: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2_000_000);
+    let kernel = match std::env::args().nth(2).as_deref() {
+        Some("bfs") => GraphKernel::Bfs, Some("pr") => GraphKernel::Pr, _ => GraphKernel::Dfs,
+    };
+    let spec = TraceSpec::paper_default(accesses, 42);
+    let t0 = Instant::now();
+    let trace = Workload::Graph(kernel).generate(&spec);
+    println!("trace gen: {} accesses in {:?}", trace.len(), t0.elapsed());
+    for d in [Design::Np, Design::MorphCtr, Design::Emcc, Design::CosmosDp, Design::CosmosCp, Design::Cosmos] {
+        let t0 = Instant::now();
+        let stats = Simulator::new(SimConfig::paper_default(d)).run(&trace);
+        let m = smat(&SimConfig::paper_default(d), &stats);
+        println!("{:10} ipc={:.4} ctr_miss={:.3} ctr_acc={:.2}M llc_miss={:.3} smat={:.1} traffic={:.1}M dp_acc={:.2} good%={:.2} cet_hit%={:.2} early={} ({:?})",
+            d.name(), stats.ipc(), stats.ctr_miss_rate(), stats.ctr_cache.demand.total() as f64/1e6, stats.llc.miss_rate(),
+            m.total, stats.traffic.total() as f64/1e6, stats.data_pred.accuracy(), stats.ctr_pred.good_fraction(),
+            cosmos_common::stats::ratio(stats.ctr_pred.cet_hits, stats.ctr_pred.predictions),
+            stats.early_offchip_reads, t0.elapsed());
+    }
+}

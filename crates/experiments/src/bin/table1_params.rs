@@ -1,0 +1,47 @@
+//! Table 1: the reward values and hyperparameters COSMOS ships with.
+
+use cosmos_experiments::{emit_json, print_table, Args};
+use cosmos_rl::params::{CtrRewards, DataRewards, RlParams};
+use serde_json::json;
+
+fn main() {
+    let args = Args::parse(0);
+    let d = RlParams::data_defaults();
+    let c = RlParams::ctr_defaults();
+    let dr = DataRewards::table1();
+    let cr = CtrRewards::table1();
+
+    println!("## Table 1: reward values and hyperparameters\n");
+    print_table(
+        &["parameter", "value"],
+        &[
+            vec!["R_D_mo".into(), dr.r_mo.to_string()],
+            vec!["R_D_mi".into(), dr.r_mi.to_string()],
+            vec!["R_D_ho".into(), dr.r_ho.to_string()],
+            vec!["R_D_hi".into(), dr.r_hi.to_string()],
+            vec!["R_C_hg".into(), cr.r_hg.to_string()],
+            vec!["R_C_hb".into(), cr.r_hb.to_string()],
+            vec!["R_C_mg".into(), cr.r_mg.to_string()],
+            vec!["R_C_mb".into(), cr.r_mb.to_string()],
+            vec!["R_C_eg".into(), cr.r_eg.to_string()],
+            vec!["R_C_eb".into(), cr.r_eb.to_string()],
+            vec!["alpha_D".into(), d.alpha.to_string()],
+            vec!["gamma_D".into(), d.gamma.to_string()],
+            vec!["epsilon_D".into(), d.epsilon.to_string()],
+            vec!["alpha_C".into(), c.alpha.to_string()],
+            vec!["gamma_C".into(), c.gamma.to_string()],
+            vec!["epsilon_C".into(), c.epsilon.to_string()],
+        ],
+    );
+    emit_json(
+        &args,
+        "table1",
+        &json!({
+            "data": {"alpha": d.alpha, "gamma": d.gamma, "epsilon": d.epsilon,
+                     "r_mo": dr.r_mo, "r_mi": dr.r_mi, "r_ho": dr.r_ho, "r_hi": dr.r_hi},
+            "ctr": {"alpha": c.alpha, "gamma": c.gamma, "epsilon": c.epsilon,
+                    "r_hg": cr.r_hg, "r_hb": cr.r_hb, "r_mg": cr.r_mg,
+                    "r_mb": cr.r_mb, "r_eg": cr.r_eg, "r_eb": cr.r_eb},
+        }),
+    );
+}

@@ -1,0 +1,52 @@
+//! Table 2: COSMOS storage overhead breakdown.
+//!
+//! Computed from the configuration by the overhead model; paper-reported
+//! values are printed alongside (the paper rounds per component and
+//! assumes a larger LCR line budget — see EXPERIMENTS.md).
+
+use cosmos_core::{overhead::storage_overhead, Design, SimConfig};
+use cosmos_experiments::{emit_json, print_table, Args};
+use serde_json::json;
+
+fn main() {
+    let args = Args::parse(0);
+    let cfg = SimConfig::paper_default(Design::Cosmos).with_paper_ctr_sizes();
+    let o = storage_overhead(&cfg);
+    let paper_kb = [("Data Q-Table", 32), ("CTR Q-Table", 32), ("CET", 66), ("LCR-CTR cache", 17)];
+
+    println!("## Table 2: storage overhead of COSMOS\n");
+    let mut rows = Vec::new();
+    let mut comps = Vec::new();
+    for c in &o.components {
+        let paper = paper_kb
+            .iter()
+            .find(|(n, _)| *n == c.name)
+            .map(|(_, kb)| *kb)
+            .unwrap_or(0);
+        rows.push(vec![
+            c.name.to_string(),
+            format!("{} x {} bits", c.entries, c.bits_per_entry),
+            format!("{:.1} KB", c.bytes as f64 / 1024.0),
+            format!("{paper} KB"),
+        ]);
+        comps.push(json!({
+            "name": c.name,
+            "entries": c.entries,
+            "bits_per_entry": c.bits_per_entry,
+            "bytes": c.bytes,
+            "paper_kb": paper,
+        }));
+    }
+    rows.push(vec![
+        "**Total**".into(),
+        String::new(),
+        format!("{:.1} KB", o.total_kib()),
+        "147 KB".into(),
+    ]);
+    print_table(&["component", "details", "computed", "paper"], &rows);
+    emit_json(
+        &args,
+        "table2",
+        &json!({"total_bytes": o.total_bytes, "paper_total_kb": 147, "components": comps}),
+    );
+}

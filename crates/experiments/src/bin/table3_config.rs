@@ -1,0 +1,23 @@
+//! Table 3: the full simulation configuration, as the simulator actually
+//! runs it (serialized from `SimConfig`).
+
+use cosmos_core::{Design, SimConfig};
+use cosmos_experiments::{emit_json, Args};
+
+fn main() {
+    let args = Args::parse(0);
+    println!("## Table 3: simulation settings (paper defaults)\n");
+    for design in [Design::Np, Design::MorphCtr, Design::Cosmos] {
+        let cfg = SimConfig::paper_default(design);
+        println!("### {design}\n");
+        println!("```json");
+        println!("{}", serde_json::to_string_pretty(&cfg).expect("serializable"));
+        println!("```\n");
+    }
+    let cfg = SimConfig::paper_default(Design::Cosmos);
+    emit_json(
+        &args,
+        "table3",
+        &serde_json::to_value(&cfg).expect("serializable"),
+    );
+}

@@ -1,0 +1,225 @@
+//! Shared harness utilities for the per-figure experiment binaries.
+//!
+//! Every paper figure/table has a binary in `src/bin/` (see DESIGN.md §3
+//! for the index). Binaries share:
+//!
+//! - [`Args`]: a tiny CLI (`--accesses N`, `--large`, `--seed N`,
+//!   `--json PATH`),
+//! - [`GraphSet`]: generates the synthetic graph **once** and produces
+//!   per-kernel traces from it (graph generation dominates setup time),
+//! - [`run`] / [`run_with`]: run one design over a trace,
+//! - table formatting and JSON result emission (results land in
+//!   `results/` for EXPERIMENTS.md).
+
+use cosmos_common::{PhysAddr, Trace};
+use cosmos_core::{Design, SimConfig, SimStats, Simulator};
+use cosmos_workloads::graph::{Graph, GraphKernel, GraphLayout};
+use cosmos_workloads::{TraceSpec, Workload};
+use std::path::PathBuf;
+
+/// Command-line arguments shared by all experiment binaries.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Access budget per trace.
+    pub accesses: usize,
+    /// Trace/predictor seed.
+    pub seed: u64,
+    /// Paper-scale run (`--large`): 4× the default budget.
+    pub large: bool,
+    /// Where to write the machine-readable results.
+    pub json: Option<PathBuf>,
+}
+
+impl Args {
+    /// Parses `std::env::args`, with a figure-specific default budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown or malformed arguments.
+    pub fn parse(default_accesses: usize) -> Args {
+        let mut args = Args {
+            accesses: default_accesses,
+            seed: 42,
+            large: false,
+            json: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--accesses" => {
+                    args.accesses = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--accesses needs a number");
+                }
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs a number");
+                }
+                "--large" => args.large = true,
+                "--json" => {
+                    args.json = Some(PathBuf::from(it.next().expect("--json needs a path")));
+                }
+                other => panic!("unknown argument: {other}"),
+            }
+        }
+        if args.large {
+            args.accesses *= 4;
+        }
+        args
+    }
+
+    /// The trace spec for this run.
+    pub fn spec(&self) -> TraceSpec {
+        TraceSpec::paper_default(self.accesses, self.seed)
+    }
+}
+
+/// A generated graph shared across kernels (graph generation is the
+/// dominant setup cost, so figures that sweep kernels reuse one graph).
+pub struct GraphSet {
+    graph: Graph,
+    layout: GraphLayout,
+    spec: TraceSpec,
+}
+
+impl GraphSet {
+    /// Generates the graph described by `spec`.
+    pub fn new(spec: TraceSpec) -> Self {
+        let graph = Graph::generate(
+            spec.graph_kind,
+            spec.graph_vertices,
+            spec.graph_degree,
+            spec.seed,
+        );
+        let layout = GraphLayout::new(
+            spec.graph_layout,
+            PhysAddr::new(1 << 22),
+            graph.num_vertices() as u64,
+            graph.num_edges() as u64,
+            2,
+        );
+        Self {
+            graph,
+            layout,
+            spec,
+        }
+    }
+
+    /// Generates one kernel's trace at the spec's budget.
+    pub fn trace(&self, kernel: GraphKernel) -> Trace {
+        self.trace_sized(kernel, self.spec.accesses)
+    }
+
+    /// Generates one kernel's trace with an explicit budget.
+    pub fn trace_sized(&self, kernel: GraphKernel, accesses: usize) -> Trace {
+        kernel.generate(
+            &self.graph,
+            &self.layout,
+            self.spec.cores,
+            accesses,
+            self.spec.seed,
+        )
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &TraceSpec {
+        &self.spec
+    }
+}
+
+/// Generates the trace of any workload (non-graph workloads are cheap; for
+/// graph sweeps prefer [`GraphSet`]).
+pub fn trace_of(workload: Workload, spec: &TraceSpec) -> Trace {
+    workload.generate(spec)
+}
+
+/// Runs `design` with the paper-default configuration over `trace`.
+pub fn run(design: Design, trace: &Trace, seed: u64) -> SimStats {
+    run_with(design, trace, seed, |_| {})
+}
+
+/// Runs `design` with a configuration tweak applied.
+pub fn run_with(
+    design: Design,
+    trace: &Trace,
+    seed: u64,
+    tweak: impl FnOnce(&mut SimConfig),
+) -> SimStats {
+    let mut config = SimConfig::paper_default(design);
+    config.seed = seed;
+    tweak(&mut config);
+    Simulator::new(config).run(trace)
+}
+
+/// Formats a markdown table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+/// Prints a markdown table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    println!("| {} |", headers.join(" | "));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for r in rows {
+        println!("{}", row(r));
+    }
+}
+
+/// Writes the JSON result document to `--json` (when passed) and to
+/// `results/<name>.json`.
+pub fn emit_json(args: &Args, name: &str, value: &serde_json::Value) {
+    let pretty = serde_json::to_string_pretty(value).expect("serializable");
+    if let Some(path) = &args.json {
+        std::fs::write(path, &pretty).expect("write json");
+    }
+    let results = std::path::Path::new("results");
+    if results.is_dir() || std::fs::create_dir_all(results).is_ok() {
+        let _ = std::fs::write(results.join(format!("{name}.json")), &pretty);
+    }
+}
+
+/// Convenience: `f64` with 3 decimals as a table cell.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Convenience: percentage with 1 decimal as a table cell.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graphset_produces_budgeted_traces() {
+        let spec = TraceSpec::small_test(7).with_accesses(4000);
+        let set = GraphSet::new(spec);
+        let t = set.trace(GraphKernel::Bfs);
+        assert!(t.len() >= 3900 && t.len() <= 4100);
+    }
+
+    #[test]
+    fn run_produces_stats() {
+        let spec = TraceSpec::small_test(7).with_accesses(3000);
+        let set = GraphSet::new(spec);
+        let t = set.trace(GraphKernel::Dfs);
+        let s = run(Design::MorphCtr, &t, 1);
+        assert_eq!(s.accesses, t.len() as u64);
+        assert!(s.ipc() > 0.0);
+    }
+
+    #[test]
+    fn table_formatting() {
+        assert_eq!(row(&["a".into(), "b".into()]), "| a | b |");
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(pct(0.256), "25.6%");
+    }
+}

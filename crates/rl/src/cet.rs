@@ -1,0 +1,203 @@
+//! The CTR Evaluation Table (CET).
+//!
+//! An LRU-managed buffer of recent CTR accesses (paper §4.1.1/§4.2,
+//! Table 2: 8,192 entries × (64-bit address + 1-bit prediction)). It serves
+//! two roles in Algorithm 1:
+//!
+//! - **Reward oracle**: a new CTR access that finds itself (or a neighbour
+//!   within ±32 lines) in the CET demonstrates good locality; a miss
+//!   demonstrates bad locality; an eviction demonstrates that the entry was
+//!   never re-referenced within the temporal window.
+//! - **Bootstrap source**: the TD update bootstraps on the most recent
+//!   entry's `(state, action)` (`CET.head` in Algorithm 1).
+
+use crate::locality::Locality;
+use std::collections::{BTreeMap, HashMap};
+
+/// An entry evicted from the CET (feeds the eviction rewards
+/// `R_C_eg` / `R_C_eb`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CetEvicted {
+    /// The evicted CTR line address.
+    pub addr: u64,
+    /// The RL state recorded at insertion.
+    pub state: usize,
+    /// The locality prediction recorded at insertion.
+    pub action: Locality,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CetEntry {
+    state: usize,
+    action: Locality,
+    time: u64,
+}
+
+/// LRU table of recent CTR accesses with neighbourhood lookup.
+///
+/// # Examples
+///
+/// ```
+/// use cosmos_rl::{Cet, Locality};
+/// let mut cet = Cet::new(8192, 32);
+/// cet.insert(1000, 5, Locality::Good);
+/// assert!(cet.check_nearby(1010)); // within ±32 lines
+/// assert!(!cet.check_nearby(2000));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cet {
+    capacity: usize,
+    radius: u64,
+    map: HashMap<u64, CetEntry>,
+    lru: BTreeMap<u64, u64>, // time -> addr
+    clock: u64,
+    head: Option<(usize, Locality)>,
+}
+
+impl Cet {
+    /// Creates a CET with `capacity` entries and a ±`radius` neighbourhood.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, radius: u64) -> Self {
+        assert!(capacity > 0, "CET must have capacity");
+        Self {
+            capacity,
+            radius,
+            map: HashMap::with_capacity(capacity + 1),
+            lru: BTreeMap::new(),
+            clock: 0,
+            head: None,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The most recently inserted `(state, action)` (`CET.head`).
+    pub fn head(&self) -> Option<(usize, Locality)> {
+        self.head
+    }
+
+    /// Whether `addr` or any line within ±radius is present.
+    pub fn check_nearby(&self, addr: u64) -> bool {
+        if self.map.contains_key(&addr) {
+            return true;
+        }
+        for d in 1..=self.radius {
+            if self.map.contains_key(&addr.wrapping_add(d))
+                || self.map.contains_key(&addr.wrapping_sub(d))
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Inserts (or refreshes) an entry; returns the LRU entry evicted when
+    /// the table overflows.
+    pub fn insert(&mut self, addr: u64, state: usize, action: Locality) -> Option<CetEvicted> {
+        self.clock += 1;
+        let time = self.clock;
+        if let Some(old) = self.map.insert(
+            addr,
+            CetEntry {
+                state,
+                action,
+                time,
+            },
+        ) {
+            self.lru.remove(&old.time);
+        }
+        self.lru.insert(time, addr);
+        self.head = Some((state, action));
+        if self.map.len() > self.capacity {
+            let (&t, &victim) = self.lru.iter().next().expect("non-empty LRU");
+            self.lru.remove(&t);
+            let e = self.map.remove(&victim).expect("victim present");
+            return Some(CetEvicted {
+                addr: victim,
+                state: e.state,
+                action: e.action,
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_nearby_hits() {
+        let mut cet = Cet::new(16, 32);
+        cet.insert(100, 1, Locality::Good);
+        assert!(cet.check_nearby(100));
+        assert!(cet.check_nearby(132));
+        assert!(cet.check_nearby(68));
+        assert!(!cet.check_nearby(133));
+        assert!(!cet.check_nearby(67));
+    }
+
+    #[test]
+    fn zero_radius_is_exact_match_only() {
+        let mut cet = Cet::new(16, 0);
+        cet.insert(10, 0, Locality::Bad);
+        assert!(cet.check_nearby(10));
+        assert!(!cet.check_nearby(11));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut cet = Cet::new(2, 0);
+        assert!(cet.insert(1, 10, Locality::Good).is_none());
+        assert!(cet.insert(2, 20, Locality::Bad).is_none());
+        let ev = cet.insert(3, 30, Locality::Good).unwrap();
+        assert_eq!(ev.addr, 1);
+        assert_eq!(ev.state, 10);
+        assert_eq!(ev.action, Locality::Good);
+        assert_eq!(cet.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency() {
+        let mut cet = Cet::new(2, 0);
+        cet.insert(1, 0, Locality::Good);
+        cet.insert(2, 0, Locality::Good);
+        cet.insert(1, 1, Locality::Bad); // refresh 1
+        let ev = cet.insert(3, 0, Locality::Good).unwrap();
+        assert_eq!(ev.addr, 2, "refreshed entry must not be the LRU victim");
+    }
+
+    #[test]
+    fn head_tracks_most_recent() {
+        let mut cet = Cet::new(4, 0);
+        assert_eq!(cet.head(), None);
+        cet.insert(1, 7, Locality::Good);
+        cet.insert(2, 9, Locality::Bad);
+        assert_eq!(cet.head(), Some((9, Locality::Bad)));
+    }
+
+    #[test]
+    fn len_never_exceeds_capacity() {
+        let mut cet = Cet::new(8, 4);
+        for i in 0..100u64 {
+            cet.insert(i * 1000, i as usize, Locality::Good);
+            assert!(cet.len() <= 8);
+        }
+    }
+}

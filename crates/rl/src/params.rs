@@ -1,0 +1,173 @@
+//! RL hyperparameters and reward tables (paper Table 1).
+
+/// Learning hyperparameters of one agent.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RlParams {
+    /// Learning rate α.
+    pub alpha: f32,
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// Exploration rate ε (ε-greedy).
+    pub epsilon: f32,
+    /// Number of Q-table states (power of two).
+    pub num_states: usize,
+}
+
+impl RlParams {
+    /// Table-1 defaults for the data location predictor:
+    /// α=0.09, γ=0.88, ε=0.1.
+    pub const fn data_defaults() -> Self {
+        Self {
+            alpha: 0.09,
+            gamma: 0.88,
+            epsilon: 0.1,
+            num_states: 16_384,
+        }
+    }
+
+    /// Table-1 defaults for the CTR locality predictor:
+    /// α=0.05, γ=0.35, ε=0.001.
+    pub const fn ctr_defaults() -> Self {
+        Self {
+            alpha: 0.05,
+            gamma: 0.35,
+            epsilon: 0.001,
+            num_states: 16_384,
+        }
+    }
+
+    /// Validates ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when α or γ leave `(0, 1]`, ε leaves `[0, 1]`, or the state
+    /// count is not a power of two.
+    pub fn validate(&self) {
+        assert!(self.alpha > 0.0 && self.alpha <= 1.0, "alpha out of range");
+        assert!(self.gamma >= 0.0 && self.gamma <= 1.0, "gamma out of range");
+        assert!(
+            self.epsilon >= 0.0 && self.epsilon <= 1.0,
+            "epsilon out of range"
+        );
+        assert!(
+            self.num_states.is_power_of_two(),
+            "num_states must be a power of two"
+        );
+    }
+}
+
+/// Rewards of the data location predictor (paper Table 1).
+///
+/// Naming follows the paper: `h`/`m` = the data actually *hit* on-chip /
+/// *missed* to DRAM; `i`/`o` = the prediction said on-chip ("in") /
+/// off-chip ("out").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DataRewards {
+    /// Data on-chip, predicted on-chip (correct): +9.
+    pub r_hi: f32,
+    /// Data on-chip, predicted off-chip (wrong): −20.
+    pub r_ho: f32,
+    /// Data off-chip, predicted off-chip (correct): +12.
+    pub r_mo: f32,
+    /// Data off-chip, predicted on-chip (wrong): −30.
+    pub r_mi: f32,
+}
+
+impl DataRewards {
+    /// Table-1 values.
+    pub const fn table1() -> Self {
+        Self {
+            r_hi: 9.0,
+            r_ho: -20.0,
+            r_mo: 12.0,
+            r_mi: -30.0,
+        }
+    }
+}
+
+impl Default for DataRewards {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+/// Rewards of the CTR locality predictor (paper Table 1).
+///
+/// `h`/`m`/`e` = CET hit / CET miss / CET eviction; `g`/`b` = the
+/// prediction said good / bad locality.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CtrRewards {
+    /// CET hit, predicted good (correct): +13.
+    pub r_hg: f32,
+    /// CET hit, predicted bad (wrong): −12.
+    pub r_hb: f32,
+    /// CET miss, predicted good (wrong): −16.
+    pub r_mg: f32,
+    /// CET miss, predicted bad (correct): +20.
+    pub r_mb: f32,
+    /// CET eviction of an entry predicted good (wrong): −22.
+    pub r_eg: f32,
+    /// CET eviction of an entry predicted bad (correct): +26.
+    pub r_eb: f32,
+}
+
+impl CtrRewards {
+    /// Table-1 values.
+    pub const fn table1() -> Self {
+        Self {
+            r_hg: 13.0,
+            r_hb: -12.0,
+            r_mg: -16.0,
+            r_mb: 20.0,
+            r_eg: -22.0,
+            r_eb: 26.0,
+        }
+    }
+}
+
+impl Default for CtrRewards {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+/// Combined reward table (both agents), for sweeps.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RewardTable {
+    /// Data location predictor rewards.
+    pub data: DataRewards,
+    /// CTR locality predictor rewards.
+    pub ctr: CtrRewards,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1() {
+        let d = RlParams::data_defaults();
+        assert_eq!((d.alpha, d.gamma, d.epsilon), (0.09, 0.88, 0.1));
+        let c = RlParams::ctr_defaults();
+        assert_eq!((c.alpha, c.gamma, c.epsilon), (0.05, 0.35, 0.001));
+        d.validate();
+        c.validate();
+        let r = DataRewards::table1();
+        assert_eq!((r.r_mo, r.r_mi, r.r_ho, r.r_hi), (12.0, -30.0, -20.0, 9.0));
+        let r = CtrRewards::table1();
+        assert_eq!(
+            (r.r_hg, r.r_hb, r.r_mg, r.r_mb, r.r_eg, r.r_eb),
+            (13.0, -12.0, -16.0, 20.0, -22.0, 26.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_zero_alpha() {
+        RlParams {
+            alpha: 0.0,
+            ..RlParams::data_defaults()
+        }
+        .validate();
+    }
+}

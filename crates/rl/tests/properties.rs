@@ -1,0 +1,99 @@
+//! Property-based tests for the RL substrate.
+
+use cosmos_common::{LineAddr, PhysAddr};
+use cosmos_rl::params::RlParams;
+use cosmos_rl::{Cet, CtrLocalityPredictor, DataLocation, DataLocationPredictor, Locality, QTable};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn qtable_stays_bounded_under_bounded_rewards(
+        updates in prop::collection::vec((0usize..64, 0usize..2, -30f32..30f32), 1..500)
+    ) {
+        let mut q = QTable::new(64);
+        let gamma = 0.88f32;
+        let bound = 30.0 / (1.0 - gamma) + 1.0;
+        for &(s, a, r) in &updates {
+            let target = r + gamma * q.max_q(s);
+            q.update_toward(s, a, target, 0.09);
+        }
+        for s in 0..64 {
+            for a in 0..2 {
+                prop_assert!(q.q(s, a).abs() <= bound);
+            }
+        }
+    }
+
+    #[test]
+    fn cet_never_exceeds_capacity_and_evictions_balance(
+        inserts in prop::collection::vec(0u64..10_000, 1..300),
+        cap in 1usize..64,
+    ) {
+        let mut cet = Cet::new(cap, 0);
+        let mut evictions = 0usize;
+        let mut unique = std::collections::HashSet::new();
+        for &a in &inserts {
+            unique.insert(a);
+            if cet.insert(a, 0, Locality::Good).is_some() {
+                evictions += 1;
+            }
+            prop_assert!(cet.len() <= cap);
+        }
+        // Every live entry is a distinct inserted address, and evictions
+        // can never exceed the number of insertions.
+        prop_assert!(cet.len() <= unique.len().min(cap));
+        prop_assert!(evictions <= inserts.len());
+        // Net balance: entries that went in either stayed or were evicted
+        // (re-insertions of evicted addresses may repeat the cycle).
+        prop_assert!(cet.len() + evictions >= unique.len().min(cap));
+    }
+
+    #[test]
+    fn cet_nearby_respects_radius(center in 1_000u64..1_000_000, radius in 0u64..64, d in 0u64..128) {
+        let mut cet = Cet::new(16, radius);
+        cet.insert(center, 0, Locality::Bad);
+        let probe = center + d;
+        prop_assert_eq!(cet.check_nearby(probe), d <= radius);
+    }
+
+    #[test]
+    fn data_predictor_converges_on_consistent_oracle(
+        addrs in prop::collection::vec(0u64..32, 50..200),
+    ) {
+        // Oracle: even hashed-lines are on-chip, odd are off-chip — a
+        // deterministic function of the address.
+        let params = RlParams { epsilon: 0.0, ..RlParams::data_defaults() };
+        let mut p = DataLocationPredictor::new(params, 9);
+        let oracle = |a: u64| if a.is_multiple_of(2) { DataLocation::OnChip } else { DataLocation::OffChip };
+        for _round in 0..30 {
+            for &a in &addrs {
+                let addr = PhysAddr::new(a * (1 << 20));
+                let pred = p.predict(addr);
+                p.learn(addr, pred, oracle(a));
+            }
+        }
+        let mut correct = 0;
+        for &a in &addrs {
+            if p.greedy(PhysAddr::new(a * (1 << 20))) == oracle(a) {
+                correct += 1;
+            }
+        }
+        prop_assert!(correct * 10 >= addrs.len() * 9, "{correct}/{}", addrs.len());
+    }
+
+    #[test]
+    fn locality_stats_are_consistent(ctrs in prop::collection::vec(0u64..64, 1..300)) {
+        let mut p = CtrLocalityPredictor::new(RlParams::ctr_defaults(), 32, 0, 7);
+        for &c in &ctrs {
+            p.classify(LineAddr::new((1 << 34) + c));
+        }
+        let s = p.stats();
+        prop_assert_eq!(s.predictions, ctrs.len() as u64);
+        prop_assert!(s.predicted_good <= s.predictions);
+        prop_assert!(s.cet_hits <= s.predictions);
+        prop_assert!(s.agreements <= s.predictions);
+        prop_assert!(s.good_fraction() >= 0.0 && s.good_fraction() <= 1.0);
+    }
+}

@@ -1,0 +1,458 @@
+//! Counter schemes: monolithic, split, and MorphCtr.
+//!
+//! A counter block is one 64 B line of counter metadata covering several
+//! data lines. The three schemes differ in coverage and in how a block's
+//! 512 bits are divided:
+//!
+//! | Scheme      | Coverage | Layout |
+//! |-------------|----------|--------|
+//! | Monolithic  | 1 : 8    | eight independent 64-bit counters |
+//! | Split       | 1 : 64   | one 64-bit major + 64 × 7-bit minors |
+//! | MorphCtr    | 1 : 128  | 57-bit major + 7-bit format + 448 payload bits, morphing between uniform 3-bit minors and zero-counter-compressed (ZCC) formats |
+//!
+//! A data-line write increments its minor counter. When the minor can no
+//! longer be represented (overflow), the whole block's major is bumped and
+//! all minors reset — requiring *re-encryption* of every covered data line
+//! (the paper charges this as background 64 B write traffic; MorphCtr's
+//! morphing makes it rare — about 1 per 67 same-counter updates).
+
+use cosmos_common::LineAddr;
+use std::collections::HashMap;
+
+/// Which counter organization the memory controller uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CounterScheme {
+    /// Eight 64-bit counters per block (1:8).
+    Monolithic,
+    /// Split counters: 64-bit major + 64 × 7-bit minors (1:64).
+    Split,
+    /// MorphCtr: 1:128 with format morphing (uniform / ZCC).
+    MorphCtr,
+}
+
+impl CounterScheme {
+    /// Data lines covered by one counter block.
+    pub const fn coverage(self) -> u64 {
+        match self {
+            CounterScheme::Monolithic => 8,
+            CounterScheme::Split => 64,
+            CounterScheme::MorphCtr => 128,
+        }
+    }
+
+    /// Short display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CounterScheme::Monolithic => "Mono",
+            CounterScheme::Split => "Split",
+            CounterScheme::MorphCtr => "MorphCtr",
+        }
+    }
+
+    /// The counter block index covering `line`.
+    #[inline]
+    pub const fn block_of(self, line: LineAddr) -> u64 {
+        line.index() / self.coverage()
+    }
+
+    /// The slot of `line` within its counter block.
+    #[inline]
+    pub const fn slot_of(self, line: LineAddr) -> usize {
+        (line.index() % self.coverage()) as usize
+    }
+}
+
+impl core::fmt::Display for CounterScheme {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// MorphCtr block formats: how the 448 payload bits are spent.
+///
+/// `Uniform` stores 128 × 3-bit minors. The ZCC formats spend 128 bits on a
+/// zero-bitmap and give wider minors to the (few) non-zero entries; the
+/// block morphs to the narrowest format that can represent its contents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MorphFormat {
+    /// 128 × 3-bit minors (max value 7).
+    Uniform,
+    /// ZCC: up to `max_nonzero` non-zero minors of `width` bits each.
+    Zcc {
+        /// Maximum representable non-zero entries.
+        max_nonzero: u8,
+        /// Bits per non-zero minor.
+        width: u8,
+    },
+}
+
+/// The ZCC format ladder, narrowest first. Payload check:
+/// `128 (bitmap) + max_nonzero * width <= 448`.
+pub const ZCC_FORMATS: [MorphFormat; 4] = [
+    MorphFormat::Zcc {
+        max_nonzero: 64,
+        width: 5,
+    },
+    MorphFormat::Zcc {
+        max_nonzero: 32,
+        width: 10,
+    },
+    MorphFormat::Zcc {
+        max_nonzero: 16,
+        width: 20,
+    },
+    MorphFormat::Zcc {
+        max_nonzero: 8,
+        width: 20, // width capped at 20 bits (minor fits the OTP seed field)
+    },
+];
+
+impl MorphFormat {
+    /// Maximum minor value representable in this format.
+    pub const fn max_minor(self) -> u64 {
+        match self {
+            MorphFormat::Uniform => 7,
+            MorphFormat::Zcc { width, .. } => (1u64 << width) - 1,
+        }
+    }
+
+    /// Whether `minors` fit this format.
+    pub fn fits(self, minors: &[u32]) -> bool {
+        match self {
+            MorphFormat::Uniform => minors.iter().all(|&m| m as u64 <= 7),
+            MorphFormat::Zcc {
+                max_nonzero,
+                width,
+            } => {
+                let nz = minors.iter().filter(|&&m| m != 0).count();
+                nz <= max_nonzero as usize
+                    && minors.iter().all(|&m| (m as u64) < (1u64 << width))
+            }
+        }
+    }
+
+    /// Chooses the best format for `minors`, or `None` if nothing fits
+    /// (block overflow -> re-encryption).
+    pub fn choose(minors: &[u32]) -> Option<MorphFormat> {
+        if MorphFormat::Uniform.fits(minors) {
+            return Some(MorphFormat::Uniform);
+        }
+        ZCC_FORMATS.iter().copied().find(|f| f.fits(minors))
+    }
+}
+
+/// One counter block's state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterBlock {
+    /// The shared major counter (bumped on overflow / re-encryption).
+    pub major: u64,
+    /// Per-line minor counters.
+    pub minors: Vec<u32>,
+    /// Current MorphCtr format (always `Uniform` for non-Morph schemes'
+    /// reporting; unused by them).
+    pub format: MorphFormat,
+}
+
+impl CounterBlock {
+    fn new(coverage: u64) -> Self {
+        Self {
+            major: 0,
+            minors: vec![0; coverage as usize],
+            format: MorphFormat::Uniform,
+        }
+    }
+}
+
+/// What happened when a counter was incremented.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IncrementOutcome {
+    /// The minor was bumped in place.
+    Ok,
+    /// The block morphed to a wider ZCC format (MorphCtr only) — a cheap
+    /// in-place re-layout, no extra memory traffic.
+    Morphed {
+        /// The format after morphing.
+        to: MorphFormat,
+    },
+    /// The block overflowed: major bumped, minors reset, and every covered
+    /// data line must be re-encrypted (background write traffic).
+    Overflow {
+        /// Data lines requiring re-encryption.
+        reencrypt: Vec<LineAddr>,
+    },
+}
+
+/// All counter blocks of the protected region, managed functionally.
+///
+/// Blocks are materialized lazily: untouched blocks are implicit zeros
+/// (fresh memory), matching a real system where counters start zeroed.
+#[derive(Clone, Debug)]
+pub struct CounterStore {
+    scheme: CounterScheme,
+    blocks: HashMap<u64, CounterBlock>,
+    /// Total overflow (re-encryption) events so far.
+    overflows: u64,
+    /// Total morph events so far (MorphCtr only).
+    morphs: u64,
+    /// Total increments.
+    increments: u64,
+}
+
+impl CounterStore {
+    /// Creates an empty store for `scheme`.
+    pub fn new(scheme: CounterScheme) -> Self {
+        Self {
+            scheme,
+            blocks: HashMap::new(),
+            overflows: 0,
+            morphs: 0,
+            increments: 0,
+        }
+    }
+
+    /// The scheme in use.
+    pub fn scheme(&self) -> CounterScheme {
+        self.scheme
+    }
+
+    /// Number of overflow (re-encryption) events.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Number of MorphCtr format morphs.
+    pub fn morphs(&self) -> u64 {
+        self.morphs
+    }
+
+    /// Total increments performed.
+    pub fn increments(&self) -> u64 {
+        self.increments
+    }
+
+    /// The effective counter value of `line` (what goes into the OTP seed):
+    /// `major << 20 | minor`. Minors are capped below 2^20 by every scheme.
+    pub fn value(&self, line: LineAddr) -> u64 {
+        let block_idx = self.scheme.block_of(line);
+        let slot = self.scheme.slot_of(line);
+        match self.blocks.get(&block_idx) {
+            Some(b) => (b.major << 20) | b.minors[slot] as u64,
+            None => 0,
+        }
+    }
+
+    /// Reads the whole block covering `line` (zeros if untouched).
+    pub fn block(&self, line: LineAddr) -> CounterBlock {
+        let block_idx = self.scheme.block_of(line);
+        self.blocks
+            .get(&block_idx)
+            .cloned()
+            .unwrap_or_else(|| CounterBlock::new(self.scheme.coverage()))
+    }
+
+    /// Increments the counter of `line` (a memory write), handling morphing
+    /// and overflow per the scheme.
+    pub fn increment(&mut self, line: LineAddr) -> IncrementOutcome {
+        self.increments += 1;
+        let scheme = self.scheme;
+        let coverage = scheme.coverage();
+        let block_idx = scheme.block_of(line);
+        let slot = scheme.slot_of(line);
+        let block = self
+            .blocks
+            .entry(block_idx)
+            .or_insert_with(|| CounterBlock::new(coverage));
+
+        let minor_cap: u64 = match scheme {
+            CounterScheme::Monolithic => (1 << 20) - 1,
+            CounterScheme::Split => (1 << 7) - 1,
+            CounterScheme::MorphCtr => MorphFormat::Zcc {
+                max_nonzero: 8,
+                width: 20,
+            }
+            .max_minor(),
+        };
+
+        let next = block.minors[slot] as u64 + 1;
+        if next <= minor_cap {
+            block.minors[slot] = next as u32;
+            if scheme == CounterScheme::MorphCtr {
+                match MorphFormat::choose(&block.minors) {
+                    Some(f) if f == block.format => IncrementOutcome::Ok,
+                    Some(f) => {
+                        block.format = f;
+                        self.morphs += 1;
+                        IncrementOutcome::Morphed { to: f }
+                    }
+                    None => self.overflow(block_idx),
+                }
+            } else {
+                IncrementOutcome::Ok
+            }
+        } else {
+            self.overflow(block_idx)
+        }
+    }
+
+    fn overflow(&mut self, block_idx: u64) -> IncrementOutcome {
+        self.overflows += 1;
+        let coverage = self.scheme.coverage();
+        let block = self.blocks.get_mut(&block_idx).expect("block exists");
+        block.major += 1;
+        block.minors.iter_mut().for_each(|m| *m = 0);
+        block.format = MorphFormat::Uniform;
+        let first = block_idx * coverage;
+        IncrementOutcome::Overflow {
+            reencrypt: (first..first + coverage).map(LineAddr::new).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_and_mapping() {
+        let l = LineAddr::new(200);
+        assert_eq!(CounterScheme::Monolithic.block_of(l), 25);
+        assert_eq!(CounterScheme::Monolithic.slot_of(l), 0);
+        assert_eq!(CounterScheme::Split.block_of(l), 3);
+        assert_eq!(CounterScheme::Split.slot_of(l), 8);
+        assert_eq!(CounterScheme::MorphCtr.block_of(l), 1);
+        assert_eq!(CounterScheme::MorphCtr.slot_of(l), 72);
+    }
+
+    #[test]
+    fn increment_changes_value_monotonically() {
+        let mut s = CounterStore::new(CounterScheme::MorphCtr);
+        let line = LineAddr::new(5);
+        let mut last = s.value(line);
+        for _ in 0..100 {
+            s.increment(line);
+            let v = s.value(line);
+            assert!(v > last, "counter must be strictly increasing");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn split_overflow_at_128_writes() {
+        let mut s = CounterStore::new(CounterScheme::Split);
+        let line = LineAddr::new(7);
+        let mut overflowed_at = None;
+        for i in 1..=200 {
+            if let IncrementOutcome::Overflow { reencrypt } = s.increment(line) {
+                assert_eq!(reencrypt.len(), 64);
+                overflowed_at = Some(i);
+                break;
+            }
+        }
+        assert_eq!(overflowed_at, Some(128), "7-bit minor overflows at 128th");
+    }
+
+    #[test]
+    fn overflow_resets_minors_and_bumps_major() {
+        let mut s = CounterStore::new(CounterScheme::Split);
+        let line = LineAddr::new(0);
+        for _ in 0..128 {
+            s.increment(line);
+        }
+        let b = s.block(line);
+        assert_eq!(b.major, 1);
+        assert!(b.minors.iter().all(|&m| m == 0));
+        // Value still monotonically above the pre-overflow value.
+        assert!(s.value(line) >= (1 << 20));
+    }
+
+    #[test]
+    fn morph_uniform_to_zcc() {
+        let mut s = CounterStore::new(CounterScheme::MorphCtr);
+        let line = LineAddr::new(3);
+        // 8 writes to the same line: minor reaches 8 > uniform max 7,
+        // must morph to ZCC (one nonzero, fits 64x5).
+        let mut morphed = false;
+        for _ in 0..8 {
+            if let IncrementOutcome::Morphed { to } = s.increment(line) {
+                assert_eq!(
+                    to,
+                    MorphFormat::Zcc {
+                        max_nonzero: 64,
+                        width: 5
+                    }
+                );
+                morphed = true;
+            }
+        }
+        assert!(morphed);
+        assert_eq!(s.morphs(), 1);
+        assert_eq!(s.overflows(), 0);
+    }
+
+    #[test]
+    fn zcc_spreads_overflow_when_many_nonzero() {
+        let mut s = CounterStore::new(CounterScheme::MorphCtr);
+        // Make 65 distinct lines in one block non-zero with value 8: exceeds
+        // Uniform (max 7) and Zcc64x5's nonzero budget would be 65 > 64 —
+        // after width escalation it needs Zcc32x10... which allows only 32
+        // nonzero. Nothing fits -> overflow.
+        let mut outcome = IncrementOutcome::Ok;
+        'outer: for slot in 0..65u64 {
+            for _ in 0..8 {
+                outcome = s.increment(LineAddr::new(slot));
+                if matches!(outcome, IncrementOutcome::Overflow { .. }) {
+                    break 'outer;
+                }
+            }
+        }
+        assert!(
+            matches!(outcome, IncrementOutcome::Overflow { .. }),
+            "dense non-zero minors must overflow eventually"
+        );
+        assert_eq!(s.overflows(), 1);
+    }
+
+    #[test]
+    fn morphctr_single_hot_line_survives_many_writes() {
+        // MorphCtr's whole point: a single hot counter can take ~1M writes
+        // (20-bit ZCC minor) before re-encryption.
+        let mut s = CounterStore::new(CounterScheme::MorphCtr);
+        let line = LineAddr::new(9);
+        for _ in 0..10_000 {
+            assert!(
+                !matches!(s.increment(line), IncrementOutcome::Overflow { .. }),
+                "premature overflow"
+            );
+        }
+    }
+
+    #[test]
+    fn untouched_blocks_read_zero() {
+        let s = CounterStore::new(CounterScheme::MorphCtr);
+        assert_eq!(s.value(LineAddr::new(1_000_000)), 0);
+    }
+
+    #[test]
+    fn different_lines_independent_minors() {
+        let mut s = CounterStore::new(CounterScheme::Split);
+        s.increment(LineAddr::new(0));
+        s.increment(LineAddr::new(0));
+        s.increment(LineAddr::new(1));
+        assert_eq!(s.value(LineAddr::new(0)) & 0xFFFFF, 2);
+        assert_eq!(s.value(LineAddr::new(1)) & 0xFFFFF, 1);
+        assert_eq!(s.value(LineAddr::new(2)), 0);
+    }
+
+    #[test]
+    fn format_fits_logic() {
+        assert!(MorphFormat::Uniform.fits(&[7, 0, 3]));
+        assert!(!MorphFormat::Uniform.fits(&[8]));
+        let z = MorphFormat::Zcc {
+            max_nonzero: 2,
+            width: 5,
+        };
+        assert!(z.fits(&[31, 0, 17]));
+        assert!(!z.fits(&[32]));
+        assert!(!z.fits(&[1, 2, 3]));
+    }
+}

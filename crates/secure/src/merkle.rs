@@ -1,0 +1,253 @@
+//! Sparse 8-ary Merkle tree over counter blocks.
+//!
+//! Leaves are hashes of counter blocks; each internal 64 B node holds the
+//! hashes of its eight children; the root lives on-chip (never in DRAM).
+//! The tree is *sparse*: untouched subtrees hash to precomputed
+//! "all-zero-counters" defaults, exactly as fresh memory would.
+
+use cosmos_crypto::Sha256;
+use std::collections::HashMap;
+
+/// A node/leaf hash.
+pub type Hash = [u8; 32];
+
+/// Functional Merkle tree with on-chip root.
+///
+/// # Examples
+///
+/// ```
+/// use cosmos_secure::MerkleTree;
+/// let mut t = MerkleTree::new(1024);
+/// let before = t.root();
+/// t.update_leaf(3, [7u8; 32]);
+/// assert_ne!(t.root(), before);
+/// assert!(t.verify_leaf(3, [7u8; 32]));
+/// assert!(!t.verify_leaf(3, [8u8; 32]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    arity: u64,
+    levels: u32,
+    /// Stored node hashes: `(level, index) -> hash`. Level 0 = leaves.
+    nodes: HashMap<(u32, u64), Hash>,
+    /// Default hash of an untouched node at each level.
+    defaults: Vec<Hash>,
+}
+
+impl MerkleTree {
+    /// Default leaf hash: the hash of an all-zero counter block.
+    pub fn zero_leaf() -> Hash {
+        Sha256::digest(&[0u8; 64])
+    }
+
+    /// Creates a tree over `num_leaves` (rounded up to a full arity tree),
+    /// with arity 8.
+    pub fn new(num_leaves: u64) -> Self {
+        Self::with_arity(num_leaves, 8)
+    }
+
+    /// Creates a tree with an explicit arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity < 2` or `num_leaves == 0`.
+    pub fn with_arity(num_leaves: u64, arity: u64) -> Self {
+        Self::with_default_leaf(num_leaves, arity, Self::zero_leaf())
+    }
+
+    /// Creates a tree whose untouched leaves hash to `default_leaf` (the
+    /// hash of whatever a fresh, never-written leaf block contains).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity < 2` or `num_leaves == 0`.
+    pub fn with_default_leaf(num_leaves: u64, arity: u64, default_leaf: Hash) -> Self {
+        assert!(arity >= 2, "arity must be at least 2");
+        assert!(num_leaves > 0, "tree must have leaves");
+        let mut levels = 0;
+        let mut n = num_leaves;
+        while n > 1 {
+            n = n.div_ceil(arity);
+            levels += 1;
+        }
+        let mut defaults = Vec::with_capacity(levels as usize + 1);
+        defaults.push(default_leaf);
+        for l in 0..levels {
+            let child = defaults[l as usize];
+            let mut h = Sha256::new();
+            for _ in 0..arity {
+                h.update(&child);
+            }
+            defaults.push(h.finalize());
+        }
+        Self {
+            arity,
+            levels,
+            nodes: HashMap::new(),
+            defaults,
+        }
+    }
+
+    /// Levels above the leaves (the root is at `levels()`).
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// The current root hash (on-chip).
+    pub fn root(&self) -> Hash {
+        self.node(self.levels, 0)
+    }
+
+    /// Hash of node `index` at `level` (level 0 = leaves).
+    pub fn node(&self, level: u32, index: u64) -> Hash {
+        *self
+            .nodes
+            .get(&(level, index))
+            .unwrap_or(&self.defaults[level as usize])
+    }
+
+    /// Installs a new leaf hash and recomputes the path to the root.
+    pub fn update_leaf(&mut self, leaf: u64, hash: Hash) {
+        self.nodes.insert((0, leaf), hash);
+        let mut idx = leaf;
+        for level in 0..self.levels {
+            idx /= self.arity;
+            let first_child = idx * self.arity;
+            let mut h = Sha256::new();
+            for c in 0..self.arity {
+                h.update(&self.node(level, first_child + c));
+            }
+            self.nodes.insert((level + 1, idx), h.finalize());
+        }
+    }
+
+    /// Verifies that `hash` is the authentic hash of `leaf` by recomputing
+    /// the path against stored siblings and comparing with the root.
+    pub fn verify_leaf(&self, leaf: u64, hash: Hash) -> bool {
+        let mut current = hash;
+        let mut idx = leaf;
+        for level in 0..self.levels {
+            let parent = idx / self.arity;
+            let first_child = parent * self.arity;
+            let mut h = Sha256::new();
+            for c in 0..self.arity {
+                let child_idx = first_child + c;
+                if child_idx == idx {
+                    h.update(&current);
+                } else {
+                    h.update(&self.node(level, child_idx));
+                }
+            }
+            current = h.finalize();
+            idx = parent;
+        }
+        current == self.root()
+    }
+
+    /// Test/attack hook: overwrites a stored node hash *without* updating
+    /// the path — simulating an attacker tampering with a DRAM-resident
+    /// node. Verification must subsequently fail.
+    pub fn corrupt_node(&mut self, level: u32, index: u64) {
+        let mut h = self.node(level, index);
+        h[0] ^= 0xFF;
+        self.nodes.insert((level, index), h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree_has_default_root() {
+        let a = MerkleTree::new(64);
+        let b = MerkleTree::new(64);
+        assert_eq!(a.root(), b.root());
+    }
+
+    #[test]
+    fn verify_default_leaves() {
+        let t = MerkleTree::new(100);
+        assert!(t.verify_leaf(0, MerkleTree::zero_leaf()));
+        assert!(t.verify_leaf(99, MerkleTree::zero_leaf()));
+    }
+
+    #[test]
+    fn update_then_verify() {
+        let mut t = MerkleTree::new(1000);
+        t.update_leaf(123, [1u8; 32]);
+        t.update_leaf(999, [2u8; 32]);
+        assert!(t.verify_leaf(123, [1u8; 32]));
+        assert!(t.verify_leaf(999, [2u8; 32]));
+        assert!(t.verify_leaf(0, MerkleTree::zero_leaf()));
+    }
+
+    #[test]
+    fn wrong_leaf_hash_fails() {
+        let mut t = MerkleTree::new(1000);
+        t.update_leaf(5, [1u8; 32]);
+        assert!(!t.verify_leaf(5, [9u8; 32]));
+    }
+
+    #[test]
+    fn sibling_update_changes_root_but_keeps_validity() {
+        let mut t = MerkleTree::new(64);
+        t.update_leaf(0, [1u8; 32]);
+        let r1 = t.root();
+        t.update_leaf(1, [2u8; 32]);
+        assert_ne!(t.root(), r1);
+        assert!(t.verify_leaf(0, [1u8; 32]));
+        assert!(t.verify_leaf(1, [2u8; 32]));
+    }
+
+    #[test]
+    fn corrupt_leaf_in_dram_detected() {
+        let mut t = MerkleTree::new(512);
+        t.update_leaf(7, [3u8; 32]);
+        // Attacker flips bits of leaf 100 in DRAM (no root update). The
+        // verifier reads the stored (corrupted) leaf and checks it.
+        t.corrupt_node(0, 100);
+        let stored = t.node(0, 100);
+        assert!(!t.verify_leaf(100, stored));
+    }
+
+    #[test]
+    fn corrupt_internal_node_detected_via_sibling_path() {
+        let mut t = MerkleTree::new(512);
+        t.update_leaf(0, [1u8; 32]);
+        t.update_leaf(8, [2u8; 32]);
+        assert!(t.verify_leaf(8, [2u8; 32]));
+        // Corrupt internal node (1, 0) — the parent of leaves 0..8. Leaf 8's
+        // verification recomputes level 2 from stored level-1 siblings,
+        // including the corrupted one, so it must now fail.
+        t.corrupt_node(1, 0);
+        assert!(!t.verify_leaf(8, [2u8; 32]));
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let mut t = MerkleTree::new(1);
+        assert_eq!(t.levels(), 0);
+        t.update_leaf(0, [5u8; 32]);
+        assert_eq!(t.root(), [5u8; 32]);
+        assert!(t.verify_leaf(0, [5u8; 32]));
+    }
+
+    #[test]
+    fn binary_arity_works() {
+        let mut t = MerkleTree::with_arity(8, 2);
+        assert_eq!(t.levels(), 3);
+        t.update_leaf(3, [9u8; 32]);
+        assert!(t.verify_leaf(3, [9u8; 32]));
+        assert!(t.verify_leaf(4, MerkleTree::zero_leaf()));
+    }
+
+    #[test]
+    fn replayed_old_leaf_fails() {
+        let mut t = MerkleTree::new(256);
+        t.update_leaf(10, [1u8; 32]); // version 1
+        let old = [1u8; 32];
+        t.update_leaf(10, [2u8; 32]); // version 2
+        assert!(!t.verify_leaf(10, old), "replay of stale leaf must fail");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for counters and the Merkle tree.
+
+use cosmos_common::LineAddr;
+use cosmos_secure::counters::{CounterScheme, CounterStore, IncrementOutcome, MorphFormat};
+use cosmos_secure::MerkleTree;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn counter_values_strictly_increase(
+        line in 0u64..10_000,
+        increments in 1usize..300,
+        scheme_idx in 0usize..3,
+    ) {
+        let scheme = [CounterScheme::Monolithic, CounterScheme::Split, CounterScheme::MorphCtr][scheme_idx];
+        let mut store = CounterStore::new(scheme);
+        let addr = LineAddr::new(line);
+        let mut last = store.value(addr);
+        for _ in 0..increments {
+            store.increment(addr);
+            let v = store.value(addr);
+            prop_assert!(v > last, "{scheme}: {v} <= {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn increments_to_one_line_never_decrease_others(
+        target in 0u64..1000,
+        others in prop::collection::vec(0u64..1000, 1..20),
+        n in 1usize..150,
+    ) {
+        let mut store = CounterStore::new(CounterScheme::MorphCtr);
+        let before: Vec<u64> = others.iter().map(|&o| store.value(LineAddr::new(o))).collect();
+        for _ in 0..n {
+            store.increment(LineAddr::new(target));
+        }
+        for (&o, &b) in others.iter().zip(&before) {
+            prop_assert!(store.value(LineAddr::new(o)) >= b);
+        }
+    }
+
+    #[test]
+    fn overflow_always_reports_full_coverage(seed_line in 0u64..4096) {
+        let mut store = CounterStore::new(CounterScheme::Split);
+        let addr = LineAddr::new(seed_line);
+        for _ in 0..127 {
+            prop_assert!(matches!(store.increment(addr), IncrementOutcome::Ok));
+        }
+        match store.increment(addr) {
+            IncrementOutcome::Overflow { reencrypt } => {
+                prop_assert_eq!(reencrypt.len() as u64, CounterScheme::Split.coverage());
+                let block = CounterScheme::Split.block_of(addr);
+                for l in reencrypt {
+                    prop_assert_eq!(CounterScheme::Split.block_of(l), block);
+                }
+            }
+            other => prop_assert!(false, "expected overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn morph_format_choice_always_fits(minors in prop::collection::vec(0u32..2000, 128)) {
+        if let Some(f) = MorphFormat::choose(&minors) {
+            prop_assert!(f.fits(&minors));
+        } else {
+            // Nothing fits => not even the widest ZCC format.
+            let nz = minors.iter().filter(|&&m| m != 0).count();
+            prop_assert!(nz > 8 || minors.iter().any(|&m| m as u64 > (1 << 20) - 1));
+        }
+    }
+
+    #[test]
+    fn merkle_update_verify_random_sequence(
+        updates in prop::collection::vec((0u64..512, any::<u8>()), 1..50)
+    ) {
+        let mut tree = MerkleTree::new(512);
+        let mut expected = std::collections::HashMap::new();
+        for &(leaf, byte) in &updates {
+            let hash = [byte; 32];
+            tree.update_leaf(leaf, hash);
+            expected.insert(leaf, hash);
+        }
+        for (&leaf, &hash) in &expected {
+            prop_assert!(tree.verify_leaf(leaf, hash));
+        }
+        // Untouched leaves still verify with the default.
+        for leaf in 0..512u64 {
+            if !expected.contains_key(&leaf) {
+                prop_assert!(tree.verify_leaf(leaf, MerkleTree::zero_leaf()));
+            }
+        }
+    }
+
+    #[test]
+    fn merkle_root_is_order_insensitive_for_distinct_leaves(
+        mut pairs in prop::collection::vec((0u64..256, any::<u8>()), 2..20)
+    ) {
+        pairs.sort_by_key(|p| p.0);
+        pairs.dedup_by_key(|p| p.0);
+        let mut a = MerkleTree::new(256);
+        for &(leaf, byte) in &pairs {
+            a.update_leaf(leaf, [byte; 32]);
+        }
+        let mut b = MerkleTree::new(256);
+        for &(leaf, byte) in pairs.iter().rev() {
+            b.update_leaf(leaf, [byte; 32]);
+        }
+        prop_assert_eq!(a.root(), b.root());
+    }
+
+    #[test]
+    fn merkle_rejects_wrong_hash(leaf in 0u64..512, byte in 1u8..255) {
+        let mut tree = MerkleTree::new(512);
+        tree.update_leaf(leaf, [byte; 32]);
+        prop_assert!(!tree.verify_leaf(leaf, [byte - 1; 32]));
+    }
+}

@@ -1,0 +1,252 @@
+//! Physical-memory layout of a graph.
+//!
+//! Two layout modes model the two ways graph frameworks place data:
+//!
+//! - [`LayoutMode::Csr`] — compact index arrays: `row_ptr[]`, `col_idx[]`,
+//!   and dense per-vertex property arrays (8 B elements). Edge-list reads
+//!   stream sequentially through one shared array; this is the *friendly*
+//!   case for counter caches (one MorphCtr block covers 128 consecutive
+//!   lines).
+//! - [`LayoutMode::Object`] — GraphBIG-style object layout: each vertex is
+//!   a 64 B record (metadata + inline properties) in a vertex array, and
+//!   each adjacency list lives in its own fixed-size slot in an edge heap.
+//!   A vertex-indexed access touches exactly one line of the 256 MB-scale
+//!   vertex array, so traversals in (random) discovery order produce the
+//!   irregular access pattern the paper studies, while high-degree hubs —
+//!   which sit at low ids (see [`super::Graph::generate`]) — share a
+//!   compact set of lines and counter blocks: the "hot CTRs" COSMOS's
+//!   locality predictor learns to retain. This is the default for
+//!   paper-scale experiments.
+
+use cosmos_common::{PhysAddr, PAGE_SIZE};
+
+/// Element size of CSR index arrays (u32).
+pub const IDX_BYTES: u64 = 4;
+/// Element size of per-vertex property arrays (f64/u64).
+pub const PROP_BYTES: u64 = 8;
+/// Bytes per vertex object (one cache line).
+pub const VERTEX_OBJ_BYTES: u64 = 64;
+/// Bytes per adjacency slot (32 edges before spilling onward).
+pub const EDGE_SLOT_BYTES: u64 = 128;
+
+/// How the graph is placed in memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LayoutMode {
+    /// Compact CSR arrays (cache-friendly).
+    Csr,
+    /// Per-vertex objects + per-vertex adjacency slots (GraphBIG-like).
+    Object,
+}
+
+/// Address layout of one graph instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GraphLayout {
+    mode: LayoutMode,
+    base: u64,
+    // CSR regions.
+    row_ptr_base: u64,
+    col_idx_base: u64,
+    props_base: u64,
+    // Object regions.
+    vheap_base: u64,
+    eheap_base: u64,
+    num_vertices: u64,
+    num_edges: u64,
+    num_props: u32,
+}
+
+impl GraphLayout {
+    /// Lays out a graph of `num_vertices`/`num_edges` with `num_props`
+    /// per-vertex properties, starting at `base`.
+    pub fn new(
+        mode: LayoutMode,
+        base: PhysAddr,
+        num_vertices: u64,
+        num_edges: u64,
+        num_props: u32,
+    ) -> Self {
+        let align = |x: u64| x.div_ceil(PAGE_SIZE as u64) * PAGE_SIZE as u64;
+        let row_ptr_base = align(base.value());
+        let col_idx_base = align(row_ptr_base + (num_vertices + 1) * IDX_BYTES);
+        let props_base = align(col_idx_base + num_edges * IDX_BYTES);
+        let vheap_base = align(base.value());
+        let eheap_base = align(vheap_base + num_vertices * VERTEX_OBJ_BYTES);
+        Self {
+            mode,
+            base: base.value(),
+            row_ptr_base,
+            col_idx_base,
+            props_base,
+            vheap_base,
+            eheap_base,
+            num_vertices,
+            num_edges,
+            num_props,
+        }
+    }
+
+    /// Convenience: CSR layout (see [`LayoutMode::Csr`]).
+    pub fn csr(base: PhysAddr, num_vertices: u64, num_edges: u64, num_props: u32) -> Self {
+        Self::new(LayoutMode::Csr, base, num_vertices, num_edges, num_props)
+    }
+
+    /// Convenience: object layout (see [`LayoutMode::Object`]).
+    pub fn object(base: PhysAddr, num_vertices: u64, num_edges: u64, num_props: u32) -> Self {
+        Self::new(LayoutMode::Object, base, num_vertices, num_edges, num_props)
+    }
+
+    /// The layout mode.
+    pub fn mode(&self) -> LayoutMode {
+        self.mode
+    }
+
+    /// Address of the vertex's structural metadata (CSR: `row_ptr[v]`;
+    /// object: the vertex record's header).
+    #[inline]
+    pub fn vertex_meta(&self, v: u64) -> PhysAddr {
+        match self.mode {
+            LayoutMode::Csr => PhysAddr::new(self.row_ptr_base + v * IDX_BYTES),
+            LayoutMode::Object => PhysAddr::new(self.vheap_base + v * VERTEX_OBJ_BYTES),
+        }
+    }
+
+    /// Address of the end-of-list metadata (CSR: `row_ptr[v+1]`; object:
+    /// `None` — the degree lives in the record already read).
+    #[inline]
+    pub fn vertex_meta_end(&self, v: u64) -> Option<PhysAddr> {
+        match self.mode {
+            LayoutMode::Csr => Some(PhysAddr::new(self.row_ptr_base + (v + 1) * IDX_BYTES)),
+            LayoutMode::Object => None,
+        }
+    }
+
+    /// Address of the `j`-th neighbour entry of vertex `v`, where
+    /// `global_e` is the edge's CSR index.
+    #[inline]
+    pub fn edge(&self, v: u64, j: u64, global_e: u64) -> PhysAddr {
+        match self.mode {
+            LayoutMode::Csr => PhysAddr::new(self.col_idx_base + global_e * IDX_BYTES),
+            LayoutMode::Object => {
+                PhysAddr::new(self.eheap_base + v * EDGE_SLOT_BYTES + j * IDX_BYTES)
+            }
+        }
+    }
+
+    /// Address of property `k` of vertex `v` (CSR: dense array; object:
+    /// inline in the vertex record).
+    #[inline]
+    pub fn prop(&self, k: u32, v: u64) -> PhysAddr {
+        debug_assert!(k < self.num_props);
+        match self.mode {
+            LayoutMode::Csr => {
+                let stride = self.num_vertices.div_ceil(PAGE_SIZE as u64 / PROP_BYTES)
+                    * PAGE_SIZE as u64;
+                PhysAddr::new(self.props_base + k as u64 * stride + v * PROP_BYTES)
+            }
+            LayoutMode::Object => PhysAddr::new(
+                self.vheap_base + v * VERTEX_OBJ_BYTES + 8 + (k as u64 % 7) * PROP_BYTES,
+            ),
+        }
+    }
+
+    /// Total footprint in bytes (end of the last region).
+    pub fn footprint(&self) -> u64 {
+        match self.mode {
+            LayoutMode::Csr => {
+                let stride = self.num_vertices.div_ceil(PAGE_SIZE as u64 / PROP_BYTES)
+                    * PAGE_SIZE as u64;
+                self.props_base + self.num_props as u64 * stride - self.base
+            }
+            LayoutMode::Object => {
+                self.eheap_base + self.num_vertices * EDGE_SLOT_BYTES
+                    + self.num_edges * IDX_BYTES
+                    - self.base
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csr() -> GraphLayout {
+        GraphLayout::csr(PhysAddr::new(0x10000), 1000, 8000, 3)
+    }
+
+    fn object() -> GraphLayout {
+        GraphLayout::object(PhysAddr::new(0x10000), 1000, 8000, 2)
+    }
+
+    #[test]
+    fn csr_regions_do_not_overlap() {
+        let l = csr();
+        let rp_end = l.vertex_meta(1000).value() + IDX_BYTES;
+        assert!(rp_end <= l.edge(0, 0, 0).value());
+        let ci_end = l.edge(999, 0, 7999).value() + IDX_BYTES;
+        assert!(ci_end <= l.prop(0, 0).value());
+        let p0_end = l.prop(0, 999).value() + PROP_BYTES;
+        assert!(p0_end <= l.prop(1, 0).value());
+    }
+
+    #[test]
+    fn csr_addresses_are_elementwise() {
+        let l = csr();
+        assert_eq!(l.vertex_meta(1).value() - l.vertex_meta(0).value(), 4);
+        assert_eq!(l.edge(0, 1, 1).value() - l.edge(0, 0, 0).value(), 4);
+        assert_eq!(l.prop(0, 1).value() - l.prop(0, 0).value(), 8);
+        assert!(l.vertex_meta_end(0).is_some());
+    }
+
+    #[test]
+    fn object_records_are_line_granular() {
+        let l = object();
+        assert_eq!(
+            l.vertex_meta(1).value() - l.vertex_meta(0).value(),
+            VERTEX_OBJ_BYTES
+        );
+        // Each vertex record occupies exactly one distinct line.
+        assert_ne!(l.vertex_meta(0).line(), l.vertex_meta(1).line());
+        assert!(l.vertex_meta_end(7).is_none());
+    }
+
+    #[test]
+    fn object_props_share_vertex_line() {
+        let l = object();
+        assert_eq!(l.prop(0, 7).line(), l.vertex_meta(7).line());
+        assert_eq!(l.prop(1, 7).line(), l.vertex_meta(7).line());
+    }
+
+    #[test]
+    fn object_regions_do_not_overlap() {
+        let l = object();
+        let v_end = l.vertex_meta(999).value() + VERTEX_OBJ_BYTES;
+        assert!(v_end <= l.edge(0, 0, 0).value());
+    }
+
+    #[test]
+    fn object_edges_sequential_within_list() {
+        let l = object();
+        assert_eq!(
+            l.edge(3, 1, 100).value() - l.edge(3, 0, 99).value(),
+            IDX_BYTES
+        );
+        // Different vertices' lists live in different slots.
+        assert_eq!(
+            l.edge(4, 0, 0).value() - l.edge(3, 0, 0).value(),
+            EDGE_SLOT_BYTES
+        );
+    }
+
+    #[test]
+    fn footprints_cover_addresses() {
+        for l in [csr(), object()] {
+            let end = 0x10000 + l.footprint();
+            for v in [0u64, 999] {
+                assert!(l.vertex_meta(v).value() < end);
+                assert!(l.prop(0, v).value() < end);
+                assert!(l.edge(v, 0, 0).value() < end);
+            }
+        }
+    }
+}

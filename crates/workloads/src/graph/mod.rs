@@ -1,0 +1,270 @@
+//! CSR graphs, synthetic generators, and the graph-kernel trace builders.
+
+mod kernels;
+mod layout;
+
+pub use kernels::GraphKernel;
+pub use layout::{GraphLayout, LayoutMode};
+
+use cosmos_common::SplitMix64;
+
+/// A directed graph in Compressed Sparse Row form.
+///
+/// # Examples
+///
+/// ```
+/// use cosmos_workloads::graph::{Graph, GraphKind};
+/// let g = Graph::generate(GraphKind::Rmat, 1024, 8, 42);
+/// assert_eq!(g.num_vertices(), 1024);
+/// assert!(g.num_edges() > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Graph {
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+}
+
+/// Synthetic graph families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GraphKind {
+    /// RMAT (Chakrabarti et al.) with (a,b,c,d) = (0.57, 0.19, 0.19, 0.05)
+    /// — a skewed, scale-free degree distribution like real social
+    /// networks (the paper's GitHub dataset).
+    Rmat,
+    /// Barabási–Albert preferential attachment.
+    BarabasiAlbert,
+    /// Uniform random (Erdős–Rényi-style) edges.
+    Uniform,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list (duplicates kept, self-loops kept;
+    /// CSR is sorted by source).
+    pub fn from_edges(num_vertices: usize, edges: &[(u32, u32)]) -> Self {
+        let mut degree = vec![0u32; num_vertices];
+        for &(src, _) in edges {
+            degree[src as usize] += 1;
+        }
+        let mut row_ptr = Vec::with_capacity(num_vertices + 1);
+        let mut acc = 0u32;
+        row_ptr.push(0);
+        for &d in &degree {
+            acc += d;
+            row_ptr.push(acc);
+        }
+        let mut cursor: Vec<u32> = row_ptr[..num_vertices].to_vec();
+        let mut col_idx = vec![0u32; edges.len()];
+        for &(src, dst) in edges {
+            let c = &mut cursor[src as usize];
+            col_idx[*c as usize] = dst;
+            *c += 1;
+        }
+        Self { row_ptr, col_idx }
+    }
+
+    /// Generates a synthetic graph with roughly `avg_degree` out-edges per
+    /// vertex.
+    ///
+    /// Hub placement: RMAT and preferential attachment concentrate
+    /// high-degree hubs at low vertex ids. We keep that by default — real
+    /// frameworks routinely relabel vertices by degree for locality, and
+    /// many real datasets (including the paper's GitHub network, whose ids
+    /// follow account-creation order) correlate id with degree — so hot
+    /// vertices share cache lines and counter blocks, which is the
+    /// "hot CTR" structure COSMOS exploits. Pass `shuffle_ids = true` to
+    /// [`Graph::generate_with`] for the uncorrelated ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vertices == 0`.
+    pub fn generate(kind: GraphKind, num_vertices: usize, avg_degree: usize, seed: u64) -> Self {
+        Self::generate_with(kind, num_vertices, avg_degree, seed, false)
+    }
+
+    /// [`Graph::generate`] with control over vertex-id shuffling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vertices == 0`.
+    pub fn generate_with(
+        kind: GraphKind,
+        num_vertices: usize,
+        avg_degree: usize,
+        seed: u64,
+        shuffle_ids: bool,
+    ) -> Self {
+        assert!(num_vertices > 0, "graph must have vertices");
+        let mut rng = SplitMix64::new(seed);
+        let num_edges = num_vertices * avg_degree;
+        let mut edges = Vec::with_capacity(num_edges);
+        match kind {
+            GraphKind::Uniform => {
+                for _ in 0..num_edges {
+                    let s = rng.next_index(num_vertices) as u32;
+                    let d = rng.next_index(num_vertices) as u32;
+                    edges.push((s, d));
+                }
+            }
+            GraphKind::Rmat => {
+                let scale = num_vertices.next_power_of_two().trailing_zeros();
+                for _ in 0..num_edges {
+                    let (mut s, mut d) = (0u64, 0u64);
+                    for _ in 0..scale {
+                        let r = rng.next_f64();
+                        // Quadrant probabilities (a, b, c, d).
+                        let (bs, bd) = if r < 0.57 {
+                            (0, 0)
+                        } else if r < 0.76 {
+                            (0, 1)
+                        } else if r < 0.95 {
+                            (1, 0)
+                        } else {
+                            (1, 1)
+                        };
+                        s = (s << 1) | bs;
+                        d = (d << 1) | bd;
+                    }
+                    let s = (s as usize % num_vertices) as u32;
+                    let d = (d as usize % num_vertices) as u32;
+                    edges.push((s, d));
+                }
+            }
+            GraphKind::BarabasiAlbert => {
+                // Repeated-endpoint list: new edges attach proportionally to
+                // degree.
+                let mut endpoints: Vec<u32> = Vec::with_capacity(num_edges * 2);
+                endpoints.push(0);
+                for v in 0..num_vertices as u32 {
+                    for _ in 0..avg_degree {
+                        let target = if endpoints.is_empty() || rng.chance(0.1) {
+                            rng.next_index(num_vertices) as u32
+                        } else {
+                            endpoints[rng.next_index(endpoints.len())]
+                        };
+                        edges.push((v, target));
+                        endpoints.push(v);
+                        endpoints.push(target);
+                    }
+                }
+            }
+        }
+        if shuffle_ids {
+            // Fisher–Yates permutation of vertex ids (see doc comment).
+            let mut perm: Vec<u32> = (0..num_vertices as u32).collect();
+            for i in (1..num_vertices).rev() {
+                let j = rng.next_index(i + 1);
+                perm.swap(i, j);
+            }
+            for e in edges.iter_mut() {
+                *e = (perm[e.0 as usize], perm[e.1 as usize]);
+            }
+        }
+        Self::from_edges(num_vertices, &edges)
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: u32) -> u32 {
+        self.row_ptr[v as usize + 1] - self.row_ptr[v as usize]
+    }
+
+    /// The CSR row-pointer array.
+    pub fn row_ptr(&self) -> &[u32] {
+        &self.row_ptr
+    }
+
+    /// The CSR adjacency array.
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// Neighbours of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let s = self.row_ptr[v as usize] as usize;
+        let e = self.row_ptr[v as usize + 1] as usize;
+        &self.col_idx[s..e]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_construction_from_edges() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[] as &[u32]);
+        assert_eq!(g.neighbors(2), &[3]);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn generators_produce_requested_size() {
+        for kind in [GraphKind::Rmat, GraphKind::Uniform, GraphKind::BarabasiAlbert] {
+            let g = Graph::generate(kind, 500, 4, 1);
+            assert_eq!(g.num_vertices(), 500, "{kind:?}");
+            assert!(g.num_edges() >= 500 * 3, "{kind:?}: too few edges");
+            for &c in g.col_idx() {
+                assert!((c as usize) < 500, "{kind:?}: edge out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn rmat_degree_distribution_is_skewed() {
+        let g = Graph::generate(GraphKind::Rmat, 4096, 8, 7);
+        let mut degs: Vec<u32> = (0..4096u32).map(|v| g.degree(v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let top = degs[..41].iter().map(|&d| d as u64).sum::<u64>();
+        let total = degs.iter().map(|&d| d as u64).sum::<u64>();
+        // Top 1% of vertices should hold far more than 1% of the edges.
+        assert!(
+            top as f64 / total as f64 > 0.05,
+            "RMAT not skewed: top1% = {:.3}",
+            top as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn uniform_degree_distribution_is_flat() {
+        let g = Graph::generate(GraphKind::Uniform, 4096, 8, 7);
+        let max = (0..4096u32).map(|v| g.degree(v)).max().unwrap();
+        assert!(max < 40, "uniform degrees should concentrate, max={max}");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = Graph::generate(GraphKind::Rmat, 256, 4, 9);
+        let b = Graph::generate(GraphKind::Rmat, 256, 4, 9);
+        assert_eq!(a.row_ptr(), b.row_ptr());
+        assert_eq!(a.col_idx(), b.col_idx());
+    }
+
+    #[test]
+    fn row_ptr_is_monotonic_and_complete() {
+        let g = Graph::generate(GraphKind::BarabasiAlbert, 300, 5, 3);
+        let rp = g.row_ptr();
+        assert!(rp.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*rp.last().unwrap() as usize, g.num_edges());
+    }
+}

@@ -1,0 +1,44 @@
+//! Workload generators: the memory-access traces COSMOS is evaluated on.
+//!
+//! The paper evaluates on three workload families, all reproduced here as
+//! *address-trace generators* (the simulator is trace-driven):
+//!
+//! - **Graph analytics** ([`graph`]): the eight GraphBIG kernels — BFS,
+//!   DFS, PageRank, Graph Coloring, Triangle Counting, Connected
+//!   Components, Shortest Path, Degree Centrality — running over a CSR
+//!   graph laid out in simulated physical memory. The paper uses the GitHub
+//!   developer social network; we generate synthetic scale-free graphs
+//!   (RMAT / Barabási–Albert) sized past the LLC so the irregular
+//!   vertex-indexed access pattern and its cache behaviour match
+//!   (DESIGN.md, substitution table).
+//! - **SPEC-like irregular workloads** ([`spec`]): synthetic generators
+//!   reproducing the dominant access idioms of mcf (pointer chasing over a
+//!   network-simplex arc array), canneal (random element swaps in a large
+//!   netlist), and omnetpp (event-heap churn).
+//! - **ML inference** ([`ml`]): layer-walk generators for MLP, AlexNet,
+//!   ResNet, VGG, BERT, Transformer, and DLRM — *regular*, streaming
+//!   access patterns with heavy weight reuse, the paper's Figure-17
+//!   regression check.
+//!
+//! All generators are deterministic under a seed, multi-core (accesses are
+//! tagged with the issuing core), and budgeted (they emit up to a requested
+//! number of accesses).
+//!
+//! # Examples
+//!
+//! ```
+//! use cosmos_workloads::{Workload, TraceSpec, graph::GraphKernel};
+//!
+//! let spec = TraceSpec::small_test(42);
+//! let trace = Workload::Graph(GraphKernel::Bfs).generate(&spec);
+//! assert!(!trace.is_empty());
+//! ```
+
+pub mod graph;
+mod interleave;
+pub mod ml;
+pub mod spec;
+pub mod streaming;
+pub mod workload;
+
+pub use workload::{TraceSpec, Workload};

@@ -1,0 +1,75 @@
+//! Property-based tests for the workload generators.
+
+use cosmos_workloads::graph::{Graph, GraphKernel, GraphKind, GraphLayout};
+use cosmos_workloads::{TraceSpec, Workload};
+use cosmos_common::PhysAddr;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn graphs_are_structurally_valid(
+        n in 2usize..2000,
+        deg in 1usize..8,
+        seed in any::<u64>(),
+        kind_idx in 0usize..3,
+    ) {
+        let kind = [GraphKind::Rmat, GraphKind::Uniform, GraphKind::BarabasiAlbert][kind_idx];
+        let g = Graph::generate(kind, n, deg, seed);
+        prop_assert_eq!(g.num_vertices(), n);
+        let rp = g.row_ptr();
+        prop_assert!(rp.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(*rp.last().unwrap() as usize, g.num_edges());
+        for &c in g.col_idx() {
+            prop_assert!((c as usize) < n);
+        }
+    }
+
+    #[test]
+    fn kernel_traces_respect_budget_and_bounds(
+        seed in any::<u64>(),
+        budget in 500usize..4000,
+        kernel_idx in 0usize..8,
+    ) {
+        let kernel = GraphKernel::all()[kernel_idx];
+        let g = Graph::generate(GraphKind::Rmat, 1024, 6, seed);
+        let layout = GraphLayout::object(PhysAddr::new(0x10000), 1024, g.num_edges() as u64, 2);
+        let t = kernel.generate(&g, &layout, 2, budget, seed);
+        prop_assert!(t.len() <= budget + 16, "{kernel}: {} > {budget}", t.len());
+        prop_assert!(t.len() + 16 >= budget, "{kernel}: {} < {budget}", t.len());
+        for a in t.iter() {
+            prop_assert!(a.addr.value() >= 0x10000);
+            prop_assert!(a.addr.value() < 0x10000 + layout.footprint());
+            prop_assert!(a.core < 2);
+        }
+    }
+
+    #[test]
+    fn workload_generation_is_deterministic(seed in any::<u64>(), widx in 0usize..11) {
+        let spec = TraceSpec {
+            accesses: 2000,
+            seed,
+            graph_vertices: 512,
+            graph_degree: 4,
+            spec_footprint: 1 << 20,
+            ..TraceSpec::small_test(seed)
+        };
+        let w = Workload::irregular_suite()[widx];
+        prop_assert_eq!(w.generate(&spec), w.generate(&spec));
+    }
+
+    #[test]
+    fn different_seeds_differ(widx in 0usize..11) {
+        let mk = |seed| TraceSpec {
+            accesses: 2000,
+            seed,
+            graph_vertices: 512,
+            graph_degree: 4,
+            spec_footprint: 1 << 20,
+            ..TraceSpec::small_test(seed)
+        };
+        let w = Workload::irregular_suite()[widx];
+        prop_assert_ne!(w.generate(&mk(1)), w.generate(&mk(2)));
+    }
+}

@@ -1,0 +1,74 @@
+//! Bring your own workload: hand-build an access trace (here, a two-phase
+//! pointer-chase with a hot region) and evaluate how each secure-memory
+//! design copes with it.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use cosmos::common::{MemAccess, PhysAddr, SplitMix64, Trace};
+use cosmos::core::{Design, SimConfig, Simulator};
+
+/// Phase 1: uniform pointer chasing over a 256 MB arena (cold, irregular).
+/// Phase 2: 90% of accesses concentrate in a hot 2 MB region (cacheable).
+/// The phase change stresses the online adaptivity of the RL predictors.
+fn build_trace(accesses: usize, seed: u64) -> Trace {
+    let mut rng = SplitMix64::new(seed);
+    let mut trace = Trace::with_capacity(accesses);
+    let arena_lines = (256u64 << 20) / 64;
+    let hot_lines = (2u64 << 20) / 64;
+    let base = 1u64 << 30;
+    for i in 0..accesses {
+        let phase2 = i >= accesses / 2;
+        let line = if phase2 && rng.chance(0.9) {
+            rng.next_below(hot_lines)
+        } else {
+            rng.next_below(arena_lines)
+        };
+        let addr = PhysAddr::new(base + line * 64);
+        let core = (i % 4) as u8;
+        if rng.chance(0.2) {
+            trace.push(MemAccess::write(core, addr, 4));
+        } else {
+            trace.push(MemAccess::read(core, addr, 4));
+        }
+    }
+    trace
+}
+
+fn main() {
+    let trace = build_trace(600_000, 7);
+    println!(
+        "custom trace: {} accesses, {:.0}% writes, {} cores\n",
+        trace.len(),
+        trace.write_fraction() * 100.0,
+        trace.core_count()
+    );
+
+    let mut np_ipc = None;
+    println!(
+        "{:<10} {:>8} {:>8} {:>10} {:>12}",
+        "design", "IPC", "vs NP", "CTR miss", "avg rd lat"
+    );
+    for design in [
+        Design::Np,
+        Design::MorphCtr,
+        Design::CosmosDp,
+        Design::Cosmos,
+    ] {
+        let stats = Simulator::new(SimConfig::paper_default(design)).run(&trace);
+        let np = *np_ipc.get_or_insert(stats.ipc());
+        println!(
+            "{:<10} {:>8.4} {:>7.1}% {:>9.1}% {:>10.1}cy",
+            design.name(),
+            stats.ipc(),
+            stats.ipc() / np * 100.0,
+            stats.ctr_miss_rate() * 100.0,
+            stats.avg_read_latency(),
+        );
+    }
+    println!(
+        "\nThe phase change at the midpoint rewards online learning: COSMOS's\n\
+         predictors re-converge on the hot region without retraining."
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: simulate one irregular workload under every secure-memory
+//! design and compare performance, CTR cache behaviour, and traffic.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cosmos::core::{Design, SimConfig, Simulator};
+use cosmos::workloads::{graph::GraphKernel, TraceSpec, Workload};
+
+fn main() {
+    // A scaled-down DFS over a scale-free graph (fast to generate); bump
+    // `accesses`/`graph_vertices` toward `TraceSpec::paper_default` for
+    // paper-scale behaviour.
+    let mut spec = TraceSpec::small_test(42);
+    spec.accesses = 800_000;
+    spec.graph_vertices = 1 << 20;
+    spec.graph_degree = 12;
+
+    println!("generating DFS trace ({} accesses)...", spec.accesses);
+    let trace = Workload::Graph(GraphKernel::Dfs).generate(&spec);
+
+    let designs = [
+        Design::Np,
+        Design::MorphCtr,
+        Design::Emcc,
+        Design::CosmosDp,
+        Design::CosmosCp,
+        Design::Cosmos,
+    ];
+
+    let mut np_ipc = None;
+    println!(
+        "\n{:<10} {:>8} {:>10} {:>10} {:>12} {:>12}",
+        "design", "IPC", "vs NP", "CTR miss", "DRAM lines", "re-encrypts"
+    );
+    for design in designs {
+        let stats = Simulator::new(SimConfig::paper_default(design)).run(&trace);
+        let ipc = stats.ipc();
+        let np = *np_ipc.get_or_insert(ipc);
+        println!(
+            "{:<10} {:>8.4} {:>9.1}% {:>9.1}% {:>12} {:>12}",
+            design.name(),
+            ipc,
+            ipc / np * 100.0,
+            stats.ctr_miss_rate() * 100.0,
+            stats.traffic.total(),
+            stats.ctr_overflows,
+        );
+    }
+    println!(
+        "\nReading the shape: secure designs trail NP in proportion to their CTR\n\
+         cache miss rate. COSMOS recovers most of the gap — and at this scale,\n\
+         where CTR misses are cheap, its correct off-chip predictions skip the\n\
+         serialized L2+LLC lookups NP still pays, so it can even edge past NP\n\
+         (paper \u{00a7}6.1.3). At paper scale (TraceSpec::paper_default) the secure\n\
+         overhead dominates and NP leads; see fig10_performance."
+    );
+}

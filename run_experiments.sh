@@ -1,0 +1,10 @@
+#!/bin/bash
+# Runs every per-figure experiment harness, teeing output to results/.
+set -u
+cd "$(dirname "$0")"
+BINS="table1_params table2_overhead table3_config fig02_traffic fig03_ctr_size fig04_early_access fig05_classic_opts fig08_generalization fig09_cet_sweep fig10_performance fig11_ctr_miss fig12_prediction fig13_locality fig14_smat fig15_scaling fig16_emcc fig17_ml hyperparam_sweep ablation_design"
+for bin in $BINS; do
+  echo "=== $bin ==="
+  cargo run --release -q -p cosmos-experiments --bin "$bin" -- "$@" 2>&1 | tee "results/$bin.txt"
+  echo
+done

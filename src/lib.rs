@@ -1,0 +1,39 @@
+//! # COSMOS — RL-Enhanced Locality-Aware Counter Cache Optimization for Secure Memory
+//!
+//! A from-scratch Rust reproduction of the MICRO 2025 paper: a trace-driven
+//! secure-memory simulator with AES-CTR + MAC + Merkle-tree protection,
+//! MorphCtr counters, and the two tabular-RL predictors (data location and
+//! CTR locality) driving a locality-centric CTR cache.
+//!
+//! This crate is a facade: it re-exports the workspace's substrate crates
+//! under one roof. See the README for the architecture overview and
+//! DESIGN.md for the full system inventory.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use cosmos::core::{Design, SimConfig, Simulator};
+//! use cosmos::workloads::{TraceSpec, Workload, graph::GraphKernel};
+//!
+//! let spec = TraceSpec::small_test(42);
+//! let trace = Workload::Graph(GraphKernel::Dfs).generate(&spec);
+//! let stats = Simulator::new(SimConfig::paper_default(Design::Cosmos)).run(&trace);
+//! println!("IPC = {:.3}, CTR miss = {:.1}%", stats.ipc(), stats.ctr_miss_rate() * 100.0);
+//! ```
+
+/// Shared primitives: addresses, cycles, traces, hashing, RNG, statistics.
+pub use cosmos_common as common;
+/// Functional crypto: AES-128, SHA-256, OTP, MAC.
+pub use cosmos_crypto as crypto;
+/// Set-associative caches, replacement policies (incl. LCR), prefetchers.
+pub use cosmos_cache as cache;
+/// DDR4-style bank/row-buffer DRAM timing model.
+pub use cosmos_dram as dram;
+/// Counter schemes (split, MorphCtr), Merkle tree, functional secure memory.
+pub use cosmos_secure as secure;
+/// Tabular RL: Q-tables, the data-location and CTR-locality predictors.
+pub use cosmos_rl as rl;
+/// The simulator: designs, hierarchy, secure path, SMAT, overhead model.
+pub use cosmos_core as core;
+/// Workload generators: graph kernels, SPEC-like, ML inference.
+pub use cosmos_workloads as workloads;

@@ -1,0 +1,172 @@
+//! `cosmos` — command-line driver for the secure-memory simulator.
+//!
+//! ```sh
+//! cosmos --workload dfs --design cosmos --accesses 2000000
+//! cosmos --workload mcf --design all
+//! cosmos --list
+//! ```
+
+use cosmos::core::{smat::smat, Design, SimConfig, Simulator};
+use cosmos::workloads::{graph::GraphKernel, ml::MlModel, spec::SpecKind, TraceSpec, Workload};
+use std::process::exit;
+
+const USAGE: &str = "\
+cosmos — COSMOS secure-memory simulator (MICRO 2025 reproduction)
+
+USAGE:
+    cosmos [--workload NAME] [--design NAME|all] [--accesses N] [--seed N]
+           [--cores N] [--paper-ctr-sizes] [--list]
+
+OPTIONS:
+    --workload NAME     dfs|bfs|gc|pr|tc|cc|sp|dc|mcf|canneal|omnetpp|
+                        mlp|alexnet|resnet|vgg|bert|transformer|dlrm  [dfs]
+    --design NAME       np|morphctr|emcc|rmcc|cosmos-dp|cosmos-cp|cosmos|all  [all]
+    --accesses N        trace length                                  [1000000]
+    --seed N            deterministic seed                            [42]
+    --cores N           cores/threads                                 [4]
+    --paper-ctr-sizes   shrink COSMOS variants' CTR cache to 128 KB (paper §5)
+    --list              list workloads and designs, then exit
+";
+
+fn workload_by_name(name: &str) -> Option<Workload> {
+    let graph = |k| Some(Workload::Graph(k));
+    let spec = |s| Some(Workload::Spec(s));
+    let ml = |m| Some(Workload::Ml(m));
+    match name.to_ascii_lowercase().as_str() {
+        "dfs" => graph(GraphKernel::Dfs),
+        "bfs" => graph(GraphKernel::Bfs),
+        "gc" => graph(GraphKernel::Gc),
+        "pr" => graph(GraphKernel::Pr),
+        "tc" => graph(GraphKernel::Tc),
+        "cc" => graph(GraphKernel::Cc),
+        "sp" => graph(GraphKernel::Sp),
+        "dc" => graph(GraphKernel::Dc),
+        "mcf" => spec(SpecKind::Mcf),
+        "canneal" => spec(SpecKind::Canneal),
+        "omnetpp" => spec(SpecKind::Omnetpp),
+        "mlp" => ml(MlModel::Mlp),
+        "alexnet" => ml(MlModel::AlexNet),
+        "resnet" => ml(MlModel::ResNet),
+        "vgg" => ml(MlModel::Vgg),
+        "bert" => ml(MlModel::Bert),
+        "transformer" => ml(MlModel::Transformer),
+        "dlrm" => ml(MlModel::Dlrm),
+        _ => None,
+    }
+}
+
+fn design_by_name(name: &str) -> Option<Design> {
+    match name.to_ascii_lowercase().as_str() {
+        "np" => Some(Design::Np),
+        "morphctr" => Some(Design::MorphCtr),
+        "emcc" => Some(Design::Emcc),
+        "rmcc" => Some(Design::Rmcc),
+        "cosmos-dp" | "cosmosdp" => Some(Design::CosmosDp),
+        "cosmos-cp" | "cosmoscp" => Some(Design::CosmosCp),
+        "cosmos" => Some(Design::Cosmos),
+        _ => None,
+    }
+}
+
+fn main() {
+    let mut workload = Workload::Graph(GraphKernel::Dfs);
+    let mut designs = vec![
+        Design::Np,
+        Design::MorphCtr,
+        Design::Emcc,
+        Design::Rmcc,
+        Design::CosmosDp,
+        Design::CosmosCp,
+        Design::Cosmos,
+    ];
+    let mut accesses = 1_000_000usize;
+    let mut seed = 42u64;
+    let mut cores = 4usize;
+    let mut paper_sizes = false;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value\n\n{USAGE}");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--workload" => {
+                let name = value("--workload");
+                workload = workload_by_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown workload `{name}`\n\n{USAGE}");
+                    exit(2);
+                });
+            }
+            "--design" => {
+                let name = value("--design");
+                if name != "all" {
+                    designs = vec![design_by_name(&name).unwrap_or_else(|| {
+                        eprintln!("unknown design `{name}`\n\n{USAGE}");
+                        exit(2);
+                    })];
+                }
+            }
+            "--accesses" => accesses = value("--accesses").parse().expect("number"),
+            "--seed" => seed = value("--seed").parse().expect("number"),
+            "--cores" => cores = value("--cores").parse().expect("number"),
+            "--paper-ctr-sizes" => paper_sizes = true,
+            "--list" => {
+                println!("workloads: dfs bfs gc pr tc cc sp dc mcf canneal omnetpp");
+                println!("           mlp alexnet resnet vgg bert transformer dlrm");
+                println!("designs:   np morphctr emcc rmcc cosmos-dp cosmos-cp cosmos all");
+                return;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{USAGE}");
+                exit(2);
+            }
+        }
+    }
+
+    let spec = TraceSpec::paper_default(accesses, seed).with_cores(cores);
+    eprintln!("generating {} trace ({accesses} accesses, {cores} cores)...", workload.name());
+    let trace = workload.generate(&spec);
+
+    println!(
+        "{:<10} {:>8} {:>8} {:>10} {:>10} {:>12} {:>8}",
+        "design", "IPC", "vs NP", "CTR miss", "SMAT", "DRAM lines", "DP acc"
+    );
+    let mut np_ipc: Option<f64> = None;
+    for &design in &designs {
+        let mut config = SimConfig::paper_default(design);
+        config.cores = cores;
+        config.seed = seed;
+        if paper_sizes {
+            config = config.with_paper_ctr_sizes();
+        }
+        let stats = Simulator::new(config.clone()).run(&trace);
+        let m = smat(&config, &stats);
+        let ipc = stats.ipc();
+        if design == Design::Np {
+            np_ipc = Some(ipc);
+        }
+        let vs_np = np_ipc.map(|n| format!("{:.1}%", ipc / n * 100.0)).unwrap_or_else(|| "-".into());
+        let dp = if stats.data_pred.total() > 0 {
+            format!("{:.1}%", stats.data_pred.accuracy() * 100.0)
+        } else {
+            "-".into()
+        };
+        println!(
+            "{:<10} {:>8.4} {:>8} {:>9.1}% {:>10.1} {:>12} {:>8}",
+            design.name(),
+            ipc,
+            vs_np,
+            stats.ctr_miss_rate() * 100.0,
+            m.total,
+            stats.traffic.total(),
+            dp,
+        );
+    }
+}
