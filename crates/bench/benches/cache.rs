@@ -3,7 +3,7 @@
 
 use cosmos_cache::{Cache, CacheConfig, PolicyKind, PrefetcherKind};
 use cosmos_common::{LineAddr, SplitMix64};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cosmos_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 fn stream(n: usize, span: u64, seed: u64) -> Vec<LineAddr> {

@@ -3,7 +3,7 @@
 
 use cosmos_common::PhysAddr;
 use cosmos_crypto::{aes::Aes128, mac, otp, Sha256};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cosmos_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_crypto(c: &mut Criterion) {

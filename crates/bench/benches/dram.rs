@@ -3,7 +3,7 @@
 
 use cosmos_common::{Cycle, LineAddr, SplitMix64};
 use cosmos_dram::{Dram, DramConfig};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cosmos_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_dram(c: &mut Criterion) {

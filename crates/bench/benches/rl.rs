@@ -6,7 +6,7 @@
 use cosmos_common::{LineAddr, PhysAddr, SplitMix64};
 use cosmos_rl::params::RlParams;
 use cosmos_rl::{CtrLocalityPredictor, DataLocation, DataLocationPredictor, QTable};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cosmos_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_rl(c: &mut Criterion) {

@@ -4,7 +4,7 @@
 
 use cosmos_common::{LineAddr, SplitMix64};
 use cosmos_secure::{CounterScheme, CounterStore, MerkleTree, SecureMemory};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cosmos_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_counters(c: &mut Criterion) {

@@ -4,7 +4,7 @@
 
 use cosmos_core::{Design, SimConfig, Simulator};
 use cosmos_workloads::{graph::GraphKernel, TraceSpec, Workload};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cosmos_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_designs(c: &mut Criterion) {

@@ -1,1 +1,214 @@
-//! Criterion benchmark harness for COSMOS (see `benches/`).
+//! Self-timed benchmark harness for COSMOS (see `benches/`).
+//!
+//! The container build has no network access to crates.io, so the usual
+//! `criterion` dev-dependency is unavailable. This module provides the
+//! small slice of its API the benches use — `Criterion`, `Throughput`,
+//! benchmark groups, `b.iter(..)`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by plain [`std::time::Instant`]
+//! timing: per benchmark it calibrates an iteration count targeting
+//! ~10 ms per sample, takes `sample_size` samples, and reports the
+//! median time per iteration plus derived throughput.
+//!
+//! Numbers from this harness are indicative (no outlier rejection, no
+//! statistical tests); for the tracked end-to-end figure see the
+//! `sim_throughput` experiment binary, which persists `BENCH_sim.json`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-iteration work unit, used to derive a throughput figure.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level harness handle; mirrors `criterion::Criterion`.
+#[derive(Clone, Copy, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-iteration work unit for subsequent `bench_function`s.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            median_ns: 0.0,
+        };
+        f(&mut b);
+        let per_iter = b.median_ns;
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => format_rate(n as f64 / (per_iter * 1e-9), "elem/s"),
+            Throughput::Bytes(n) => format_rate(n as f64 / (per_iter * 1e-9), "B/s"),
+        });
+        println!(
+            "{}/{:<28} {:>14}/iter{}",
+            self.name,
+            id,
+            format_ns(per_iter),
+            rate.map(|r| format!("   {r}")).unwrap_or_default()
+        );
+        self
+    }
+
+    /// Group separator in the output; `criterion` writes summaries here.
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Measurement driver handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median per-iteration cost across samples.
+    ///
+    /// One calibration call estimates the cost of a single iteration and
+    /// sizes each sample at ~10 ms of work; slow benchmarks (>100 ms per
+    /// iteration) are limited to 3 samples so whole-simulator benches
+    /// stay tractable.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed();
+
+        let target = Duration::from_millis(10);
+        let iters = if once >= target {
+            1
+        } else {
+            (target.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        let samples = if once > Duration::from_millis(100) {
+            self.sample_size.min(3)
+        } else {
+            self.sample_size
+        };
+
+        let mut per_iter_ns = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = per_iter_ns[per_iter_ns.len() / 2];
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn format_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}")
+    }
+}
+
+/// Drop-in for `criterion::criterion_group!`: bundles benchmark functions
+/// into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Drop-in for `criterion::criterion_main!`: the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("harness_test");
+        g.throughput(Throughput::Elements(1000));
+        g.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.finish();
+    }
+
+    #[test]
+    fn formatting_units() {
+        assert!(format_ns(12.3).ends_with("ns"));
+        assert!(format_ns(12_300.0).ends_with("µs"));
+        assert!(format_ns(12_300_000.0).ends_with("ms"));
+        assert!(format_rate(2.5e7, "elem/s").starts_with("25.00 M"));
+    }
+}

@@ -77,6 +77,13 @@ pub struct Cache {
     entries: Vec<Entry>,
     policy: Box<dyn ReplacementPolicy>,
     stats: CacheStats,
+    /// Valid-line count, maintained on fill/invalidate so `occupancy` is
+    /// O(1) instead of a scan over every line.
+    occupied: usize,
+    /// Reusable victim-selection buffer: `fill_internal` runs on every
+    /// miss, and rebuilding a fresh `Vec<WayView>` per eviction was the
+    /// hottest allocation in the simulator.
+    scratch: Vec<WayView>,
 }
 
 impl core::fmt::Debug for Cache {
@@ -103,6 +110,8 @@ impl Cache {
             entries: vec![Entry::INVALID; config.num_lines()],
             policy,
             stats: CacheStats::default(),
+            occupied: 0,
+            scratch: Vec::with_capacity(config.ways()),
         }
     }
 
@@ -134,8 +143,9 @@ impl Cache {
     pub fn access(&mut self, line: LineAddr, write: bool, hint: Option<LocalityHint>) -> AccessResult {
         let set = self.config.set_of(line.index());
         let tag = self.config.tag_of(line.index());
-        if let Some(way) = self.find_way(line) {
-            let idx = self.entry_index(set, way);
+        let base = set * self.config.ways();
+        if let Some(way) = self.find_way_in_set(base, tag) {
+            let idx = base + way;
             let first_use = self.entries[idx].prefetched && !self.entries[idx].demand_used;
             self.entries[idx].demand_used = true;
             if write {
@@ -172,15 +182,16 @@ impl Cache {
     /// Returns the eviction caused, if any.
     pub fn fill(&mut self, line: LineAddr, dirty: bool) -> Option<Eviction> {
         let set = self.config.set_of(line.index());
-        if let Some(way) = self.find_way(line) {
-            let idx = self.entry_index(set, way);
+        let tag = self.config.tag_of(line.index());
+        let base = set * self.config.ways();
+        if let Some(way) = self.find_way_in_set(base, tag) {
+            let idx = base + way;
             if dirty {
                 self.entries[idx].dirty = true;
             }
             self.policy.on_hit(set, way, line);
             return None;
         }
-        let tag = self.config.tag_of(line.index());
         self.fill_internal(set, tag, line, dirty, None, false)
     }
 
@@ -189,31 +200,36 @@ impl Cache {
     /// Returns the eviction caused, if any. A line already present is left
     /// untouched (the prefetch is redundant and counted as such).
     pub fn prefetch_fill(&mut self, line: LineAddr, hint: Option<LocalityHint>) -> Option<Eviction> {
-        if self.contains(line) {
+        let set = self.config.set_of(line.index());
+        let tag = self.config.tag_of(line.index());
+        let base = set * self.config.ways();
+        if self.find_way_in_set(base, tag).is_some() {
             self.stats.prefetch_redundant += 1;
             return None;
         }
         self.stats.prefetch_issued += 1;
-        let set = self.config.set_of(line.index());
-        let tag = self.config.tag_of(line.index());
         self.fill_internal(set, tag, line, false, hint, true)
     }
 
     /// Removes a line if present; returns whether it was dirty.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
         let set = self.config.set_of(line.index());
-        let way = self.find_way(line)?;
-        let idx = self.entry_index(set, way);
+        let tag = self.config.tag_of(line.index());
+        let base = set * self.config.ways();
+        let way = self.find_way_in_set(base, tag)?;
+        let idx = base + way;
         let dirty = self.entries[idx].dirty;
         let reused = self.entries[idx].demand_used;
         self.policy.on_evict(set, way, line, reused);
         self.entries[idx] = Entry::INVALID;
+        self.occupied -= 1;
         Some(dirty)
     }
 
-    /// Number of valid lines currently cached.
+    /// Number of valid lines currently cached (O(1): maintained on
+    /// fill/invalidate rather than scanned).
     pub fn occupancy(&self) -> usize {
-        self.entries.iter().filter(|e| e.valid).count()
+        self.occupied
     }
 
     /// Iterates over all valid resident lines.
@@ -224,16 +240,19 @@ impl Cache {
             .map(|e| LineAddr::new(e.tag))
     }
 
-    fn entry_index(&self, set: usize, way: usize) -> usize {
-        set * self.config.ways() + way
-    }
-
     fn find_way(&self, line: LineAddr) -> Option<usize> {
         let set = self.config.set_of(line.index());
         let tag = self.config.tag_of(line.index());
-        let base = set * self.config.ways();
-        (0..self.config.ways())
-            .find(|&w| self.entries[base + w].valid && self.entries[base + w].tag == tag)
+        self.find_way_in_set(set * self.config.ways(), tag)
+    }
+
+    /// Way lookup with the set/tag decomposition already done — the public
+    /// entry points compute `set`/`tag` exactly once and share them with
+    /// the fill path instead of re-deriving them per lookup.
+    #[inline]
+    fn find_way_in_set(&self, base: usize, tag: u64) -> Option<usize> {
+        let set = &self.entries[base..base + self.config.ways()];
+        set.iter().position(|e| e.valid && e.tag == tag)
     }
 
     fn fill_internal(
@@ -249,20 +268,19 @@ impl Cache {
         let base = set * ways;
         // Prefer an invalid way.
         let (way, eviction) = match (0..ways).find(|&w| !self.entries[base + w].valid) {
-            Some(w) => (w, None),
+            Some(w) => {
+                self.occupied += 1;
+                (w, None)
+            }
             None => {
-                let views: Vec<WayView> = (0..ways)
-                    .map(|w| {
-                        let e = &self.entries[base + w];
-                        WayView {
-                            line: LineAddr::new(e.tag),
-                            hint: e.hint,
-                            dirty: e.dirty,
-                            demand_used: e.demand_used,
-                        }
-                    })
-                    .collect();
-                let victim = self.policy.choose_victim(set, &views);
+                self.scratch.clear();
+                self.scratch.extend(self.entries[base..base + ways].iter().map(|e| WayView {
+                    line: LineAddr::new(e.tag),
+                    hint: e.hint,
+                    dirty: e.dirty,
+                    demand_used: e.demand_used,
+                }));
+                let victim = self.policy.choose_victim(set, &self.scratch);
                 assert!(victim < ways, "policy returned way {victim} >= {ways}");
                 let e = &self.entries[base + victim];
                 let ev = Eviction {
@@ -393,6 +411,28 @@ mod tests {
             c.access(LineAddr::new(i), false, None);
         }
         assert_eq!(c.occupancy(), 8);
+    }
+
+    #[test]
+    fn occupancy_counter_matches_scan() {
+        let scan = |c: &Cache| c.entries.iter().filter(|e| e.valid).count();
+        let mut c = small_lru();
+        assert_eq!(c.occupancy(), 0);
+        // Mixed fills, prefetches, invalidations, and evictions.
+        for i in 0..6 {
+            c.access(LineAddr::new(i), i % 2 == 0, None);
+            assert_eq!(c.occupancy(), scan(&c));
+        }
+        c.prefetch_fill(LineAddr::new(20), None);
+        assert_eq!(c.occupancy(), scan(&c));
+        c.invalidate(LineAddr::new(2));
+        c.invalidate(LineAddr::new(2)); // absent: no change
+        assert_eq!(c.occupancy(), scan(&c));
+        for i in 0..64 {
+            c.access(LineAddr::new(100 + i), false, None);
+        }
+        assert_eq!(c.occupancy(), scan(&c));
+        assert_eq!(c.occupancy(), 8); // full again after the sweep
     }
 
     #[test]

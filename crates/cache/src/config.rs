@@ -17,6 +17,11 @@ pub struct CacheConfig {
     size_bytes: usize,
     ways: usize,
     line_size: usize,
+    // Derived geometry, precomputed once at construction so the per-access
+    // set lookup is a single mask instead of two divisions.
+    num_sets: usize,
+    num_lines: usize,
+    set_mask: usize,
 }
 
 impl CacheConfig {
@@ -51,6 +56,9 @@ impl CacheConfig {
             size_bytes,
             ways,
             line_size,
+            num_sets: sets,
+            num_lines: size_bytes / line_size,
+            set_mask: sets - 1,
         }
     }
 
@@ -71,18 +79,18 @@ impl CacheConfig {
 
     /// Number of sets.
     pub const fn num_sets(&self) -> usize {
-        self.size_bytes / (self.ways * self.line_size)
+        self.num_sets
     }
 
     /// Total number of lines.
     pub const fn num_lines(&self) -> usize {
-        self.size_bytes / self.line_size
+        self.num_lines
     }
 
     /// Set index for a line index.
     #[inline]
     pub fn set_of(&self, line_index: u64) -> usize {
-        (line_index as usize) & (self.num_sets() - 1)
+        (line_index as usize) & self.set_mask
     }
 
     /// Tag (the line index itself; sets store full line indices for

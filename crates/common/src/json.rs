@@ -1,0 +1,536 @@
+//! A minimal JSON document model and serializer.
+//!
+//! The experiment harnesses emit machine-readable results; this module
+//! replaces the `serde`/`serde_json` dependency with a self-contained
+//! equivalent so the workspace builds with **zero registry dependencies**
+//! (the build environment has no network access to crates.io).
+//!
+//! Supported surface — deliberately only what the workspace uses:
+//!
+//! - [`Value`]: null / bool / integer / float / string / array / object,
+//! - [`Map`]: an insertion-ordered string→[`Value`] map,
+//! - [`json!`](crate::json!): a literal macro accepting arbitrary Rust
+//!   expressions in value position,
+//! - [`Value::to_string`](core::fmt::Display) (compact) and
+//!   [`Value::pretty`] (2-space indent, `serde_json`-style).
+//!
+//! # Examples
+//!
+//! ```
+//! use cosmos_common::json::{json, Value};
+//! let v = json!({"name": "dfs", "ipc": 0.25, "rows": [1, 2, 3]});
+//! assert_eq!(v["name"].as_str(), Some("dfs"));
+//! assert_eq!(v["rows"][2].as_u64(), Some(3));
+//! assert!(v.pretty().contains("\"ipc\": 0.25"));
+//! ```
+
+pub use crate::json;
+
+/// An insertion-ordered JSON object.
+///
+/// Iteration and serialization follow insertion order, which keeps emitted
+/// documents deterministic and in the order the harness built them.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub const fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Inserts `value` under `key`, replacing (in place) any existing entry.
+    /// Returns the previous value, if any.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        let key = key.into();
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => Some(core::mem::replace(v, value)),
+            None => {
+                self.entries.push((key, value));
+                None
+            }
+        }
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+impl core::ops::Index<&str> for Map {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key)
+            .unwrap_or_else(|| panic!("no key {key:?} in JSON object"))
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+/// A JSON document node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (kept separate so `u64` counters round-trip).
+    UInt(u64),
+    /// A double. Non-finite values serialize as `null` (JSON has no NaN).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// The value as `f64` (any numeric variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` (non-negative integer variants).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(i) => u64::try_from(i).ok(),
+            Value::UInt(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) => i64::try_from(u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Serializes with 2-space indentation (like `to_string_pretty`).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(0));
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::UInt(u) => out.push_str(&u.to_string()),
+            Value::Float(f) if f.is_finite() => {
+                // `{:?}` keeps a trailing `.0` on whole floats, matching the
+                // conventional JSON rendering of a float-typed field.
+                out.push_str(&format!("{f:?}"));
+            }
+            Value::Float(_) => out.push_str("null"),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent.map(|d| d + 1));
+                    item.write(out, indent.map(|d| d + 1));
+                }
+                newline_indent(out, indent);
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent.map(|d| d + 1));
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent.map(|d| d + 1));
+                }
+                newline_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>) {
+    if let Some(depth) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl core::fmt::Display for Value {
+    /// Compact (no-whitespace) serialization.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None);
+        f.write_str(&out)
+    }
+}
+
+impl core::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        &self.as_object().expect("indexing a non-object JSON value")[key]
+    }
+}
+
+impl core::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, i: usize) -> &Value {
+        &self.as_array().expect("indexing a non-array JSON value")[i]
+    }
+}
+
+macro_rules! from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(x: $t) -> Value {
+                Value::Int(x as i64)
+            }
+        }
+    )*};
+}
+from_int!(i8, i16, i32, i64);
+
+macro_rules! from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(x: $t) -> Value {
+                Value::UInt(x as u64)
+            }
+        }
+    )*};
+}
+from_uint!(u8, u16, u32, u64, usize);
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::Float(x)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(x: f32) -> Value {
+        // Round-trip through the decimal shortest representation so `0.09f32`
+        // serializes as `0.09`, not `0.09000000357627869`.
+        Value::Float(x.to_string().parse().unwrap_or(x as f64))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(x: bool) -> Value {
+        Value::Bool(x)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(x: &str) -> Value {
+        Value::Str(x.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(x: String) -> Value {
+        Value::Str(x)
+    }
+}
+
+impl From<Map> for Value {
+    fn from(x: Map) -> Value {
+        Value::Object(x)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(x: Vec<T>) -> Value {
+        Value::Array(x.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Builds a [`Value`] from a JSON-like literal.
+///
+/// Object keys are string literals; values are nested literals or arbitrary
+/// Rust expressions (anything convertible to [`Value`] via `From`).
+///
+/// # Examples
+///
+/// ```
+/// use cosmos_common::json::json;
+/// let ipc = 0.5;
+/// let v = json!({"kernel": "bfs", "ipc": ipc, "norm": ipc / 0.25});
+/// assert_eq!(v["norm"].as_f64(), Some(2.0));
+/// ```
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::json::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut items = ::std::vec::Vec::<$crate::json::Value>::new();
+        $crate::json_items!(items () $($tt)*);
+        $crate::json::Value::Array(items)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::json::Map::new();
+        $crate::json_entries!(map $($tt)*);
+        $crate::json::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::json::Value::from($other) };
+}
+
+/// Internal: accumulates array elements (tt-muncher, splits on top-level
+/// commas so elements may be arbitrary expressions).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_items {
+    ($vec:ident ()) => {};
+    ($vec:ident ($($buf:tt)+)) => {
+        // `extend` rather than `push`: a `Vec::new()` followed by pushes in
+        // the same expansion trips clippy::vec_init_then_push at every call
+        // site, and the macro cannot know its element count up front.
+        $vec.extend([$crate::json!($($buf)+)]);
+    };
+    ($vec:ident ($($buf:tt)+) , $($rest:tt)*) => {
+        $vec.extend([$crate::json!($($buf)+)]);
+        $crate::json_items!($vec () $($rest)*);
+    };
+    ($vec:ident ($($buf:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_items!($vec ($($buf)* $next) $($rest)*);
+    };
+}
+
+/// Internal: parses `"key": value` object entries.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entries {
+    ($map:ident) => {};
+    ($map:ident $key:literal : $($rest:tt)+) => {
+        $crate::json_entry_value!($map $key () $($rest)+);
+    };
+}
+
+/// Internal: accumulates one entry's value tokens up to a top-level comma.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entry_value {
+    ($map:ident $key:literal ($($buf:tt)+)) => {
+        $map.insert($key, $crate::json!($($buf)+));
+    };
+    ($map:ident $key:literal ($($buf:tt)+) , $($rest:tt)*) => {
+        $map.insert($key, $crate::json!($($buf)+));
+        $crate::json_entries!($map $($rest)*);
+    };
+    ($map:ident $key:literal ($($buf:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_entry_value!($map $key ($($buf)* $next) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(json!(null).to_string(), "null");
+        assert_eq!(json!(true).to_string(), "true");
+        assert_eq!(json!(3u64).to_string(), "3");
+        assert_eq!(json!(-7).to_string(), "-7");
+        assert_eq!(json!(1.5).to_string(), "1.5");
+        assert_eq!(json!(1.0).to_string(), "1.0");
+        assert_eq!(json!("hi").to_string(), "\"hi\"");
+        assert_eq!(json!(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn f32_values_round_trip_decimally() {
+        assert_eq!(json!(0.09f32).to_string(), "0.09");
+        assert_eq!(json!(0.35f32).to_string(), "0.35");
+    }
+
+    #[test]
+    fn arrays_and_expressions() {
+        let x = 4;
+        let v = json!([1, x + 1, "s", [true]]);
+        assert_eq!(v.to_string(), "[1,5,\"s\",[true]]");
+        assert_eq!(v[1].as_i64(), Some(5));
+        assert_eq!(json!([]).to_string(), "[]");
+    }
+
+    #[test]
+    fn objects_nested_and_ordered() {
+        let t = (2u64, 3u64);
+        let v = json!({
+            "b": 1,
+            "a": {"x": t.0 + t.1, "y": [1, 2]},
+            "s": "str",
+        });
+        // Insertion order is preserved (not sorted).
+        assert_eq!(
+            v.to_string(),
+            "{\"b\":1,\"a\":{\"x\":5,\"y\":[1,2]},\"s\":\"str\"}"
+        );
+        assert_eq!(v["a"]["x"].as_u64(), Some(5));
+    }
+
+    #[test]
+    fn pretty_matches_two_space_style() {
+        let v = json!({"a": 1, "b": [true, null]});
+        assert_eq!(
+            v.pretty(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    true,\n    null\n  ]\n}"
+        );
+        assert_eq!(json!({}).pretty(), "{}");
+    }
+
+    #[test]
+    fn map_insert_replaces_in_place() {
+        let mut m = Map::new();
+        m.insert("k", json!(1));
+        m.insert("j", json!(2));
+        assert_eq!(m.insert("k", json!(3)), Some(json!(1)));
+        assert_eq!(Value::Object(m).to_string(), "{\"k\":3,\"j\":2}");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = json!("a\"b\\c\nd\u{1}");
+        assert_eq!(v.to_string(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn vec_of_values_converts() {
+        let rows = vec![json!(1), json!("x")];
+        let v = json!({"rows": rows});
+        assert_eq!(v.to_string(), "{\"rows\":[1,\"x\"]}");
+    }
+
+    #[test]
+    fn index_by_key_and_position() {
+        let v = json!({"rows": [{"k": "bfs"}]});
+        assert_eq!(v["rows"][0]["k"].as_str(), Some("bfs"));
+        assert_eq!(v.get("missing"), None);
+    }
+}

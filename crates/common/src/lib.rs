@@ -12,7 +12,9 @@
 //! - cycle-count arithmetic ([`Cycle`]),
 //! - memory-access/trace types ([`MemAccess`], [`AccessKind`]) shared between
 //!   workload generators and the simulator,
-//! - lightweight statistics counters ([`stats`]).
+//! - lightweight statistics counters ([`stats`]),
+//! - a dependency-free JSON document model ([`json`]) the experiment
+//!   harnesses use to emit machine-readable results.
 //!
 //! # Examples
 //!
@@ -27,6 +29,7 @@
 pub mod addr;
 pub mod cycle;
 pub mod hash;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod trace;

@@ -2,13 +2,13 @@
 //! (paper Table 4).
 
 use cosmos_cache::{PolicyKind, PrefetcherKind};
+use cosmos_common::json::{json, Value};
 use cosmos_dram::DramConfig;
 use cosmos_rl::params::{RewardTable, RlParams};
 use cosmos_secure::CounterScheme;
-use serde::Serialize;
 
 /// The secure-memory designs under evaluation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Design {
     /// Non-protected memory: no counters, MACs, or tree.
     Np,
@@ -86,7 +86,7 @@ impl core::fmt::Display for Design {
 }
 
 /// One cache level's geometry and access latency.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheLevelConfig {
     /// Capacity in bytes.
     pub size_bytes: usize,
@@ -96,8 +96,19 @@ pub struct CacheLevelConfig {
     pub latency: u64,
 }
 
+impl CacheLevelConfig {
+    /// The level as a JSON object.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "size_bytes": self.size_bytes,
+            "ways": self.ways,
+            "latency": self.latency,
+        })
+    }
+}
+
 /// Full simulation configuration (paper Table 3 defaults).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SimConfig {
     /// The design variant to simulate.
     pub design: Design,
@@ -113,10 +124,8 @@ pub struct SimConfig {
     /// with the locality predictor use a 128 KB LCR cache (paper §5).
     pub ctr_cache: CacheLevelConfig,
     /// CTR cache replacement policy (LRU baseline, LCR for COSMOS-CP/full).
-    #[serde(skip)]
     pub ctr_policy: PolicyKind,
     /// Optional prefetcher on the CTR cache (Figure-5 study only).
-    #[serde(skip)]
     pub ctr_prefetcher: PrefetcherKind,
     /// Merkle-tree metadata cache in the MC.
     pub mt_cache: CacheLevelConfig,
@@ -127,21 +136,16 @@ pub struct SimConfig {
     /// Major/minor counter combination latency (MorphCtr, 1 cycle).
     pub ctr_combine_latency: u64,
     /// Counter scheme.
-    #[serde(skip)]
     pub scheme: CounterScheme,
     /// Protected-region size (sets the Merkle-tree depth); 32 GB default.
     pub protected_bytes: u64,
     /// DRAM configuration.
-    #[serde(skip)]
     pub dram: DramConfig,
     /// Data-location predictor hyperparameters.
-    #[serde(skip)]
     pub data_rl: RlParams,
     /// CTR-locality predictor hyperparameters.
-    #[serde(skip)]
     pub ctr_rl: RlParams,
     /// Reward table for both agents.
-    #[serde(skip)]
     pub rewards: RewardTable,
     /// CET entries (Table 2: 8,192).
     pub cet_entries: usize,
@@ -231,6 +235,28 @@ impl SimConfig {
         c.cores = 8;
         c.llc.size_bytes = 16 * 1024 * 1024;
         c
+    }
+
+    /// The plain-data configuration fields as a JSON object (policy,
+    /// scheme, DRAM, and RL sub-configs are reported elsewhere).
+    pub fn to_json(&self) -> Value {
+        json!({
+            "design": self.design.name(),
+            "cores": self.cores,
+            "l1": self.l1.to_json(),
+            "l2": self.l2.to_json(),
+            "llc": self.llc.to_json(),
+            "ctr_cache": self.ctr_cache.to_json(),
+            "mt_cache": self.mt_cache.to_json(),
+            "aes_latency": self.aes_latency,
+            "auth_latency": self.auth_latency,
+            "ctr_combine_latency": self.ctr_combine_latency,
+            "protected_bytes": self.protected_bytes,
+            "cet_entries": self.cet_entries,
+            "cet_radius": self.cet_radius,
+            "seed": self.seed,
+            "sample_interval": self.sample_interval,
+        })
     }
 
     /// Validates internal consistency.

@@ -2,10 +2,9 @@
 
 use crate::config::SimConfig;
 use cosmos_common::LINE_SIZE;
-use serde::Serialize;
 
 /// One component of the COSMOS on-chip storage budget.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct OverheadComponent {
     /// Component name (matches Table 2).
     pub name: &'static str,
@@ -18,7 +17,7 @@ pub struct OverheadComponent {
 }
 
 /// The full Table-2 breakdown.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StorageOverhead {
     /// Per-component breakdown.
     pub components: Vec<OverheadComponent>,

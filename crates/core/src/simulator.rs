@@ -94,7 +94,11 @@ impl Simulator {
             self.ready[core] = done;
         }
 
-        self.maybe_sample();
+        // Timeline sampling is off (interval 0) for every figure run except
+        // fig13; skip the call entirely on the common path.
+        if self.config.sample_interval != 0 {
+            self.maybe_sample();
+        }
     }
 
     /// Finishes the run and extracts statistics.
@@ -263,6 +267,7 @@ impl Simulator {
         }
     }
 
+    #[cold]
     fn maybe_sample(&mut self) {
         let interval = self.config.sample_interval;
         if interval == 0 || !self.stats.accesses.is_multiple_of(interval as u64) {

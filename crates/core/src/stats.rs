@@ -5,11 +5,10 @@ use cosmos_cache::CacheStats;
 use cosmos_common::stats::HitMiss;
 use cosmos_dram::DramStats;
 use cosmos_rl::{CtrLocalityStats, DataLocationStats};
-use serde::Serialize;
 
 /// DRAM traffic in 64 B line transfers, split by purpose (paper Figure 2's
 /// categories).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TrafficBreakdown {
     /// Demand data reads from DRAM.
     pub data_reads: u64,
@@ -54,7 +53,7 @@ impl TrafficBreakdown {
 }
 
 /// A convergence sample (paper Figure 8).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct TimelinePoint {
     /// Accesses processed when the sample was taken.
     pub accesses: u64,
@@ -65,7 +64,7 @@ pub struct TimelinePoint {
 }
 
 /// Everything a simulation run measures.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimStats {
     /// Total instructions retired (memory accesses + `inst_gap` filler).
     pub instructions: u64,
@@ -78,30 +77,22 @@ pub struct SimStats {
     /// Writes processed.
     pub writes: u64,
     /// Per-level demand hit/miss (aggregated over cores for L1/L2).
-    #[serde(skip)]
     pub l1: HitMiss,
     /// L2 hit/miss.
-    #[serde(skip)]
     pub l2: HitMiss,
     /// LLC hit/miss.
-    #[serde(skip)]
     pub llc: HitMiss,
     /// CTR cache statistics (demand = CTR lookups).
-    #[serde(skip)]
     pub ctr_cache: CacheStats,
     /// MT metadata cache statistics.
-    #[serde(skip)]
     pub mt_cache: CacheStats,
     /// DRAM statistics.
-    #[serde(skip)]
     pub dram: DramStats,
     /// Traffic breakdown.
     pub traffic: TrafficBreakdown,
     /// Data-location predictor quality (designs with the DP).
-    #[serde(skip)]
     pub data_pred: DataLocationStats,
     /// CTR-locality predictor quality (designs with the CP).
-    #[serde(skip)]
     pub ctr_pred: CtrLocalityStats,
     /// Counter overflow (re-encryption) events.
     pub ctr_overflows: u64,

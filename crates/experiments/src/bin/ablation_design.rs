@@ -6,23 +6,74 @@
 //! 3. graph memory layout (Object vs. CSR),
 //! 4. the paper's 128 KB COSMOS CTR-cache size accounting vs. equal sizes.
 
+use cosmos_common::json::json;
 use cosmos_core::Design;
-use cosmos_experiments::{emit_json, f3, pct, print_table, run, run_with, Args, GraphSet};
+use cosmos_experiments::runner::{run_jobs, Job};
+use cosmos_experiments::{emit_json, f3, pct, print_table, Args, GraphSet};
 use cosmos_workloads::graph::{GraphKernel, LayoutMode};
-use serde_json::json;
 
 fn main() {
     let args = Args::parse(1_000_000);
     let set = GraphSet::new(args.spec());
     let trace = set.trace(GraphKernel::Dfs);
+
+    // Layout-ablation traces (regenerated per layout; the shared DFS trace
+    // above uses the spec's default layout).
+    let layout_modes = [LayoutMode::Object, LayoutMode::Csr];
+    let layout_traces: Vec<_> = layout_modes
+        .iter()
+        .map(|&mode| {
+            let mut spec = *set.spec();
+            spec.graph_layout = mode;
+            cosmos_workloads::Workload::Graph(GraphKernel::Dfs).generate(&spec)
+        })
+        .collect();
+
+    let assoc_ways = [8usize, 64, 8192];
+    let dram_variants = [
+        ("bank model", cosmos_dram::DramConfig::ddr4_2400()),
+        ("fixed latency", cosmos_dram::DramConfig::fixed_latency()),
+    ];
+    let size_variants = [("equal 512 KB", false), ("paper 128 KB", true)];
+
+    let mut jobs = Vec::new();
+    for ways in assoc_ways {
+        jobs.push(
+            Job::new(format!("assoc/{ways}"), Design::MorphCtr, &trace, args.seed)
+                .with_tweak(move |c| c.ctr_cache.ways = ways),
+        );
+    }
+    for (name, dram) in dram_variants {
+        jobs.push(
+            Job::new(format!("dram/{name}"), Design::Cosmos, &trace, args.seed)
+                .with_tweak(move |c| c.dram = dram),
+        );
+    }
+    for (mode, t) in layout_modes.iter().zip(&layout_traces) {
+        jobs.push(Job::new(
+            format!("layout/{mode:?}"),
+            Design::MorphCtr,
+            t,
+            args.seed,
+        ));
+    }
+    for (name, small) in size_variants {
+        jobs.push(
+            Job::new(format!("ctr_size/{name}"), Design::Cosmos, &trace, args.seed).with_tweak(
+                move |c| {
+                    if small {
+                        *c = c.clone().with_paper_ctr_sizes();
+                    }
+                },
+            ),
+        );
+    }
+    let mut outcomes = run_jobs(jobs, args.jobs).into_iter();
+
     let mut rows = Vec::new();
     let mut results = Vec::new();
-
-    // 1. Associativity of the baseline CTR cache.
-    for ways in [8usize, 64, 8192] {
-        let stats = run_with(Design::MorphCtr, &trace, args.seed, |c| {
-            c.ctr_cache.ways = ways;
-        });
+    for ways in assoc_ways {
+        let stats = outcomes.next().expect("assoc result").stats;
         rows.push(vec![
             format!("MorphCtr, CTR cache {ways}-way"),
             pct(stats.ctr_miss_rate()),
@@ -31,15 +82,8 @@ fn main() {
         results.push(json!({"ablation": "assoc", "ways": ways,
             "ctr_miss": stats.ctr_miss_rate(), "ipc": stats.ipc()}));
     }
-
-    // 2. DRAM bank model vs. fixed latency.
-    for (name, dram) in [
-        ("bank model", cosmos_dram::DramConfig::ddr4_2400()),
-        ("fixed latency", cosmos_dram::DramConfig::fixed_latency()),
-    ] {
-        let stats = run_with(Design::Cosmos, &trace, args.seed, |c| {
-            c.dram = dram;
-        });
+    for (name, _) in dram_variants {
+        let stats = outcomes.next().expect("dram result").stats;
         rows.push(vec![
             format!("COSMOS, DRAM {name}"),
             pct(stats.ctr_miss_rate()),
@@ -48,13 +92,8 @@ fn main() {
         results.push(json!({"ablation": "dram", "variant": name,
             "ctr_miss": stats.ctr_miss_rate(), "ipc": stats.ipc()}));
     }
-
-    // 3. Graph layout: Object vs. CSR.
-    for mode in [LayoutMode::Object, LayoutMode::Csr] {
-        let mut spec = *set.spec();
-        spec.graph_layout = mode;
-        let t = cosmos_workloads::Workload::Graph(GraphKernel::Dfs).generate(&spec);
-        let stats = run(Design::MorphCtr, &t, args.seed);
+    for mode in layout_modes {
+        let stats = outcomes.next().expect("layout result").stats;
         rows.push(vec![
             format!("MorphCtr, {mode:?} layout"),
             pct(stats.ctr_miss_rate()),
@@ -63,14 +102,8 @@ fn main() {
         results.push(json!({"ablation": "layout", "mode": format!("{mode:?}"),
             "ctr_miss": stats.ctr_miss_rate(), "ipc": stats.ipc()}));
     }
-
-    // 4. COSMOS CTR cache size accounting.
-    for (name, small) in [("equal 512 KB", false), ("paper 128 KB", true)] {
-        let stats = run_with(Design::Cosmos, &trace, args.seed, |c| {
-            if small {
-                *c = c.clone().with_paper_ctr_sizes();
-            }
-        });
+    for (name, _) in size_variants {
+        let stats = outcomes.next().expect("ctr_size result").stats;
         rows.push(vec![
             format!("COSMOS, {name}"),
             pct(stats.ctr_miss_rate()),

@@ -1,20 +1,38 @@
 //! Figure 2: memory traffic (normalized to NP) and CTR cache miss rate,
 //! non-protected vs. secure memory (MorphCtr), across the graph kernels.
 
+use cosmos_common::json::json;
 use cosmos_core::Design;
-use cosmos_experiments::{emit_json, f3, pct, print_table, run, Args, GraphSet};
+use cosmos_experiments::runner::{run_jobs, Job};
+use cosmos_experiments::{emit_json, f3, pct, print_table, Args, GraphSet};
 use cosmos_workloads::graph::GraphKernel;
-use serde_json::json;
 
 fn main() {
     let args = Args::parse(2_000_000);
     let set = GraphSet::new(args.spec());
+    let traces: Vec<_> = GraphKernel::all()
+        .into_iter()
+        .map(|k| (k, set.trace(k)))
+        .collect();
+
+    let mut jobs = Vec::new();
+    for (kernel, trace) in &traces {
+        for design in [Design::Np, Design::MorphCtr] {
+            jobs.push(Job::new(
+                format!("{}/{design}", kernel.name()),
+                design,
+                trace,
+                args.seed,
+            ));
+        }
+    }
+    let mut outcomes = run_jobs(jobs, args.jobs).into_iter();
+
     let mut rows = Vec::new();
     let mut results = Vec::new();
-    for kernel in GraphKernel::all() {
-        let trace = set.trace(kernel);
-        let np = run(Design::Np, &trace, args.seed);
-        let mc = run(Design::MorphCtr, &trace, args.seed);
+    for (kernel, _) in &traces {
+        let np = outcomes.next().expect("np result").stats;
+        let mc = outcomes.next().expect("morphctr result").stats;
         let t = &mc.traffic;
         let np_total = np.traffic.total() as f64;
         let norm = |x: u64| x as f64 / np_total;

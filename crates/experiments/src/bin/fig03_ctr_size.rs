@@ -1,10 +1,11 @@
 //! Figure 3: CTR cache size (128 KB → 2 MB) vs. miss rate for DFS, PR, GC
 //! under the MorphCtr baseline — the "limited gains from scaling" result.
 
+use cosmos_common::json::json;
 use cosmos_core::Design;
-use cosmos_experiments::{emit_json, pct, print_table, run_with, Args, GraphSet};
+use cosmos_experiments::runner::{run_jobs, Job};
+use cosmos_experiments::{emit_json, pct, print_table, Args, GraphSet};
 use cosmos_workloads::graph::GraphKernel;
-use serde_json::json;
 
 const SIZES_KB: [usize; 5] = [128, 256, 512, 1024, 2048];
 
@@ -12,16 +13,31 @@ fn main() {
     let args = Args::parse(2_000_000);
     let set = GraphSet::new(args.spec());
     let kernels = [GraphKernel::Dfs, GraphKernel::Pr, GraphKernel::Gc];
+    let traces: Vec<_> = kernels.into_iter().map(|k| (k, set.trace(k))).collect();
+
+    let mut jobs = Vec::new();
+    for (kernel, trace) in &traces {
+        for kb in SIZES_KB {
+            jobs.push(
+                Job::new(
+                    format!("{}/{kb}KB", kernel.name()),
+                    Design::MorphCtr,
+                    trace,
+                    args.seed,
+                )
+                .with_tweak(move |c| c.ctr_cache.size_bytes = kb * 1024),
+            );
+        }
+    }
+    let mut outcomes = run_jobs(jobs, args.jobs).into_iter();
+
     let mut rows = Vec::new();
     let mut results = Vec::new();
-    for kernel in kernels {
-        let trace = set.trace(kernel);
+    for (kernel, _) in &traces {
         let mut cells = vec![kernel.name().to_string()];
         let mut series = Vec::new();
         for kb in SIZES_KB {
-            let stats = run_with(Design::MorphCtr, &trace, args.seed, |c| {
-                c.ctr_cache.size_bytes = kb * 1024;
-            });
+            let stats = outcomes.next().expect("sweep result").stats;
             cells.push(pct(stats.ctr_miss_rate()));
             series.push(json!({"size_kb": kb, "ctr_miss_rate": stats.ctr_miss_rate()}));
         }

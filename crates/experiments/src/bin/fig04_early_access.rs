@@ -4,21 +4,39 @@
 //! The post-L1 tap is the idealized early-access experiment (EMCC-like
 //! datapath); the post-LLC tap is the MorphCtr baseline.
 
+use cosmos_common::json::json;
 use cosmos_core::Design;
-use cosmos_experiments::{emit_json, f3, pct, print_table, run, Args, GraphSet};
+use cosmos_experiments::runner::{run_jobs, Job};
+use cosmos_experiments::{emit_json, f3, pct, print_table, Args, GraphSet};
 use cosmos_workloads::graph::GraphKernel;
-use serde_json::json;
 
 fn main() {
     let args = Args::parse(2_000_000);
     let set = GraphSet::new(args.spec());
+    let traces: Vec<_> = GraphKernel::all()
+        .into_iter()
+        .map(|k| (k, set.trace(k)))
+        .collect();
+
+    let mut jobs = Vec::new();
+    for (kernel, trace) in &traces {
+        for design in [Design::MorphCtr, Design::Emcc] {
+            jobs.push(Job::new(
+                format!("{}/{design}", kernel.name()),
+                design,
+                trace,
+                args.seed,
+            ));
+        }
+    }
+    let mut outcomes = run_jobs(jobs, args.jobs).into_iter();
+
     let mut rows = Vec::new();
     let mut results = Vec::new();
     let mut miss_drop = Vec::new();
-    for kernel in GraphKernel::all() {
-        let trace = set.trace(kernel);
-        let after_llc = run(Design::MorphCtr, &trace, args.seed);
-        let after_l1 = run(Design::Emcc, &trace, args.seed);
+    for (kernel, _) in &traces {
+        let after_llc = outcomes.next().expect("morphctr result").stats;
+        let after_l1 = outcomes.next().expect("emcc result").stats;
         let traffic_ratio =
             after_l1.traffic.total() as f64 / after_llc.traffic.total() as f64;
         let mt_ratio = after_l1.traffic.mt_reads as f64 / after_llc.traffic.mt_reads.max(1) as f64;

@@ -7,10 +7,11 @@
 //! stream.
 
 use cosmos_cache::{PolicyKind, PrefetcherKind};
+use cosmos_common::json::json;
 use cosmos_core::Design;
-use cosmos_experiments::{emit_json, f3, pct, print_table, run_with, Args, GraphSet};
+use cosmos_experiments::runner::{run_jobs, Job};
+use cosmos_experiments::{emit_json, f3, pct, print_table, Args, GraphSet};
 use cosmos_workloads::graph::GraphKernel;
-use serde_json::json;
 
 fn main() {
     let args = Args::parse(2_000_000);
@@ -28,17 +29,22 @@ fn main() {
         ("Mockingjay", PolicyKind::Mockingjay, PrefetcherKind::None),
     ];
 
+    let jobs = variants
+        .iter()
+        .map(|&(name, policy, prefetcher)| {
+            Job::new(name, Design::Emcc, &trace, args.seed).with_tweak(move |c| {
+                c.ctr_policy = policy;
+                c.ctr_prefetcher = prefetcher;
+            })
+        })
+        .collect();
+    let outcomes = run_jobs(jobs, args.jobs);
+
+    let base_ipc = outcomes[0].stats.ipc();
     let mut rows = Vec::new();
     let mut results = Vec::new();
-    let mut base_ipc = 0.0;
-    for (name, policy, prefetcher) in variants {
-        let stats = run_with(Design::Emcc, &trace, args.seed, |c| {
-            c.ctr_policy = policy;
-            c.ctr_prefetcher = prefetcher;
-        });
-        if name == "LRU (base)" {
-            base_ipc = stats.ipc();
-        }
+    for ((name, _, _), outcome) in variants.iter().zip(&outcomes) {
+        let stats = &outcome.stats;
         let pf_acc = stats.ctr_cache.prefetch_accuracy();
         rows.push(vec![
             name.to_string(),
@@ -51,7 +57,7 @@ fn main() {
             },
         ]);
         results.push(json!({
-            "variant": name,
+            "variant": *name,
             "ctr_miss_rate": stats.ctr_miss_rate(),
             "ipc": stats.ipc(),
             "ipc_norm_to_lru": stats.ipc() / base_ipc,

@@ -7,7 +7,7 @@ use cosmos_core::Design;
 use cosmos_experiments::{emit_json, pct, print_table, run_with, Args, GraphSet};
 use cosmos_workloads::graph::GraphKernel;
 use cosmos_workloads::ml::MlModel;
-use serde_json::json;
+use cosmos_common::json::json;
 
 fn main() {
     // Default sweep reaches 4M accesses; `--large` reaches the paper's 10M.

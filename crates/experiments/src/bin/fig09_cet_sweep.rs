@@ -5,10 +5,11 @@
 //! bigger CET labels more accesses good (diluting the LCR's
 //! discrimination), while a tiny CET starves it.
 
+use cosmos_common::json::json;
 use cosmos_core::Design;
-use cosmos_experiments::{emit_json, pct, print_table, run_with, Args, GraphSet};
+use cosmos_experiments::runner::{run_jobs, Job};
+use cosmos_experiments::{emit_json, pct, print_table, Args, GraphSet};
 use cosmos_workloads::graph::GraphKernel;
-use serde_json::json;
 
 const CET_SIZES: [usize; 6] = [1024, 2048, 4096, 8192, 10240, 16384];
 
@@ -17,12 +18,19 @@ fn main() {
     let set = GraphSet::new(args.spec());
     let trace = set.trace(GraphKernel::Dfs);
 
+    let jobs = CET_SIZES
+        .into_iter()
+        .map(|entries| {
+            Job::new(format!("cet{entries}"), Design::Cosmos, &trace, args.seed)
+                .with_tweak(move |c| c.cet_entries = entries)
+        })
+        .collect();
+    let outcomes = run_jobs(jobs, args.jobs);
+
     let mut rows = Vec::new();
     let mut results = Vec::new();
-    for entries in CET_SIZES {
-        let stats = run_with(Design::Cosmos, &trace, args.seed, |c| {
-            c.cet_entries = entries;
-        });
+    for (entries, outcome) in CET_SIZES.into_iter().zip(&outcomes) {
+        let stats = &outcome.stats;
         rows.push(vec![
             entries.to_string(),
             pct(stats.ctr_pred.good_fraction()),

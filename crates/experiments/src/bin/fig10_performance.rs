@@ -5,45 +5,69 @@
 //! This is the paper's headline result: COSMOS ≈ +25% over MorphCtr on
 //! irregular workloads, with COSMOS-DP contributing most of it.
 
+use cosmos_common::json::{json, Map};
 use cosmos_core::Design;
-use cosmos_experiments::{emit_json, f3, print_table, run, trace_of, Args, GraphSet};
+use cosmos_experiments::runner::{run_jobs, Job};
+use cosmos_experiments::{emit_json, f3, print_table, trace_of, Args, GraphSet};
 use cosmos_workloads::Workload;
-use serde_json::json;
 
 fn main() {
     let args = Args::parse(2_000_000);
     let set = GraphSet::new(args.spec());
     let designs = Design::figure10();
 
+    let workloads = Workload::irregular_suite();
+    let traces: Vec<_> = workloads
+        .iter()
+        .map(|w| match w {
+            Workload::Graph(k) => set.trace(*k),
+            _ => trace_of(*w, set.spec()),
+        })
+        .collect();
+
+    let mut jobs = Vec::new();
+    for (w, trace) in workloads.iter().zip(&traces) {
+        jobs.push(Job::new(
+            format!("{}/NP", w.name()),
+            Design::Np,
+            trace,
+            args.seed,
+        ));
+        for d in designs {
+            jobs.push(Job::new(
+                format!("{}/{d}", w.name()),
+                d,
+                trace,
+                args.seed,
+            ));
+        }
+    }
+    let mut outcomes = run_jobs(jobs, args.jobs).into_iter();
+
     let mut rows = Vec::new();
     let mut results = Vec::new();
     let mut geo: Vec<f64> = vec![0.0; designs.len()];
-    let workloads = Workload::irregular_suite();
     for w in &workloads {
-        let trace = match w {
-            Workload::Graph(k) => set.trace(*k),
-            _ => trace_of(*w, set.spec()),
-        };
-        let np = run(Design::Np, &trace, args.seed);
+        let np = outcomes.next().expect("np result").stats;
         let mut cells = vec![w.name().to_string()];
-        let mut per_design = serde_json::Map::new();
+        let mut per_design = Map::new();
         for (i, d) in designs.iter().enumerate() {
-            let stats = run(*d, &trace, args.seed);
+            let stats = outcomes.next().expect("design result").stats;
             let norm = stats.ipc() / np.ipc();
             geo[i] += norm.ln();
             cells.push(f3(norm));
-            per_design.insert(d.name().to_string(), json!(norm));
+            per_design.insert(d.name(), json!(norm));
         }
         rows.push(cells);
         results.push(json!({"workload": w.name(), "normalized_ipc": per_design}));
     }
     let n = workloads.len() as f64;
     let mut mean_cells = vec!["**geomean**".to_string()];
-    let mut means = serde_json::Map::new();
+    let mut means = Map::new();
     for (i, d) in designs.iter().enumerate() {
         let g = (geo[i] / n).exp();
         mean_cells.push(f3(g));
-        means.insert(d.name().to_string(), json!(g));
+        means.insert(d.name(), json!(g));
     }
     rows.push(mean_cells);
 

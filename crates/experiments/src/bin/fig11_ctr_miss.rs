@@ -1,29 +1,46 @@
 //! Figure 11: CTR cache miss rate of MorphCtr, COSMOS-CP, COSMOS-DP, and
 //! full COSMOS across the graph kernels.
 
+use cosmos_common::json::{json, Map};
 use cosmos_core::Design;
-use cosmos_experiments::{emit_json, pct, print_table, run, Args, GraphSet};
+use cosmos_experiments::runner::{run_jobs, Job};
+use cosmos_experiments::{emit_json, pct, print_table, Args, GraphSet};
 use cosmos_workloads::graph::GraphKernel;
-use serde_json::json;
 
 fn main() {
     let args = Args::parse(2_000_000);
     let set = GraphSet::new(args.spec());
     let designs = Design::figure10();
 
+    let traces: Vec<_> = GraphKernel::all()
+        .into_iter()
+        .map(|k| (k, set.trace(k)))
+        .collect();
+    let mut jobs = Vec::new();
+    for (kernel, trace) in &traces {
+        for d in designs {
+            jobs.push(Job::new(
+                format!("{}/{d}", kernel.name()),
+                d,
+                trace,
+                args.seed,
+            ));
+        }
+    }
+    let mut outcomes = run_jobs(jobs, args.jobs).into_iter();
+
     let mut rows = Vec::new();
     let mut results = Vec::new();
     let mut avg = vec![0.0; designs.len()];
-    for kernel in GraphKernel::all() {
-        let trace = set.trace(kernel);
+    for (kernel, _) in &traces {
         let mut cells = vec![kernel.name().to_string()];
-        let mut per_design = serde_json::Map::new();
+        let mut per_design = Map::new();
         for (i, d) in designs.iter().enumerate() {
-            let stats = run(*d, &trace, args.seed);
+            let stats = outcomes.next().expect("design result").stats;
             let miss = stats.ctr_miss_rate();
             avg[i] += miss;
             cells.push(pct(miss));
-            per_design.insert(d.name().to_string(), json!(miss));
+            per_design.insert(d.name(), json!(miss));
         }
         rows.push(cells);
         results.push(json!({"kernel": kernel.name(), "ctr_miss": per_design}));

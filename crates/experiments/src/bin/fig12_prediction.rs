@@ -7,7 +7,7 @@
 use cosmos_core::Design;
 use cosmos_experiments::{emit_json, pct, print_table, run, Args, GraphSet};
 use cosmos_workloads::graph::GraphKernel;
-use serde_json::json;
+use cosmos_common::json::json;
 
 fn main() {
     let args = Args::parse(2_000_000);

@@ -1,32 +1,46 @@
 //! Figure 14: Secure Memory Access Time (SMAT, paper Eq. 1–2) across
 //! MorphCtr, COSMOS-CP, COSMOS-DP, and full COSMOS.
 
+use cosmos_common::json::{json, Map};
 use cosmos_core::{smat::smat, Design, SimConfig};
-use cosmos_experiments::{emit_json, f3, print_table, run, Args, GraphSet};
+use cosmos_experiments::runner::{run_jobs, Job};
+use cosmos_experiments::{emit_json, f3, print_table, Args, GraphSet};
 use cosmos_workloads::graph::GraphKernel;
-use serde_json::json;
 
 fn main() {
     let args = Args::parse(2_000_000);
     let set = GraphSet::new(args.spec());
     let designs = Design::figure10();
 
+    let traces: Vec<_> = GraphKernel::all()
+        .into_iter()
+        .map(|k| (k, set.trace(k)))
+        .collect();
+    let mut jobs = Vec::new();
+    for (kernel, trace) in &traces {
+        for d in designs {
+            jobs.push(Job::new(
+                format!("{}/{d}", kernel.name()),
+                d,
+                trace,
+                args.seed,
+            ));
+        }
+    }
+    let mut outcomes = run_jobs(jobs, args.jobs).into_iter();
+
     let mut rows = Vec::new();
     let mut results = Vec::new();
     let mut avg = vec![0.0; designs.len()];
-    for kernel in GraphKernel::all() {
-        let trace = set.trace(kernel);
+    for (kernel, _) in &traces {
         let mut cells = vec![kernel.name().to_string()];
-        let mut per_design = serde_json::Map::new();
+        let mut per_design = Map::new();
         for (i, d) in designs.iter().enumerate() {
-            let stats = run(*d, &trace, args.seed);
+            let stats = outcomes.next().expect("design result").stats;
             let m = smat(&SimConfig::paper_default(*d), &stats);
             avg[i] += m.total;
             cells.push(f3(m.total));
-            per_design.insert(
-                d.name().to_string(),
-                json!({"smat": m.total, "ctr_term": m.ctr_term}),
-            );
+            per_design.insert(d.name(), json!({"smat": m.total, "ctr_term": m.ctr_term}));
         }
         rows.push(cells);
         results.push(json!({"kernel": kernel.name(), "smat": per_design}));

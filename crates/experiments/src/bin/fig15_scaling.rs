@@ -2,11 +2,11 @@
 //! systems (8-core doubles the shared LLC to 16 MB) across seven graph
 //! kernels.
 
+use cosmos_common::json::json;
 use cosmos_core::{Design, SimConfig};
+use cosmos_experiments::runner::{run_jobs, Job};
 use cosmos_experiments::{emit_json, f3, print_table, Args, GraphSet};
 use cosmos_workloads::graph::GraphKernel;
-use cosmos_core::Simulator;
-use serde_json::json;
 
 const KERNELS: [GraphKernel; 7] = [
     GraphKernel::Bfs,
@@ -18,45 +18,68 @@ const KERNELS: [GraphKernel; 7] = [
     GraphKernel::Dc,
 ];
 
+const DESIGNS: [Design; 3] = [Design::Np, Design::MorphCtr, Design::Cosmos];
+
 fn main() {
     let args = Args::parse(2_000_000);
-    let mut rows = Vec::new();
-    let mut results = Vec::new();
-    let mut gains = [0.0f64; 2];
-    for (ci, cores) in [4usize, 8].into_iter().enumerate() {
+
+    // Per core-count trace sets (the 8-core spec spreads accesses over
+    // more cores, so the traces differ, not just the config).
+    let mut traces = Vec::new();
+    for cores in [4usize, 8] {
         let mut spec = args.spec().with_cores(cores);
         spec.seed = args.seed;
         let set = GraphSet::new(spec);
         for kernel in KERNELS {
-            let trace = set.trace(kernel);
-            let run_cfg = |design: Design| {
-                let mut cfg = if cores == 8 {
-                    SimConfig::eight_core(design)
-                } else {
-                    SimConfig::paper_default(design)
-                };
-                cfg.seed = args.seed;
-                Simulator::new(cfg).run(&trace)
-            };
-            let np = run_cfg(Design::Np);
-            let mc = run_cfg(Design::MorphCtr);
-            let cosmos = run_cfg(Design::Cosmos);
-            let mc_n = mc.ipc() / np.ipc();
-            let co_n = cosmos.ipc() / np.ipc();
-            gains[ci] += co_n / mc_n - 1.0;
-            rows.push(vec![
-                format!("{cores}-core {}", kernel.name()),
-                f3(mc_n),
-                f3(co_n),
-                format!("{:+.1}%", (co_n / mc_n - 1.0) * 100.0),
-            ]);
-            results.push(json!({
-                "cores": cores,
-                "kernel": kernel.name(),
-                "morphctr_norm": mc_n,
-                "cosmos_norm": co_n,
-            }));
+            traces.push((cores, kernel, set.trace(kernel)));
         }
+    }
+
+    let mut jobs = Vec::new();
+    for (cores, kernel, trace) in &traces {
+        let (cores, seed) = (*cores, args.seed);
+        for design in DESIGNS {
+            jobs.push(
+                Job::new(
+                    format!("{cores}c/{}/{design}", kernel.name()),
+                    design,
+                    trace,
+                    seed,
+                )
+                .with_tweak(move |c| {
+                    if cores == 8 {
+                        *c = SimConfig::eight_core(design);
+                        c.seed = seed;
+                    }
+                }),
+            );
+        }
+    }
+    let mut outcomes = run_jobs(jobs, args.jobs).into_iter();
+
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    let mut gains = [0.0f64; 2];
+    for (cores, kernel, _) in &traces {
+        let np = outcomes.next().expect("np result").stats;
+        let mc = outcomes.next().expect("morphctr result").stats;
+        let cosmos = outcomes.next().expect("cosmos result").stats;
+        let ci = usize::from(*cores == 8);
+        let mc_n = mc.ipc() / np.ipc();
+        let co_n = cosmos.ipc() / np.ipc();
+        gains[ci] += co_n / mc_n - 1.0;
+        rows.push(vec![
+            format!("{cores}-core {}", kernel.name()),
+            f3(mc_n),
+            f3(co_n),
+            format!("{:+.1}%", (co_n / mc_n - 1.0) * 100.0),
+        ]);
+        results.push(json!({
+            "cores": *cores,
+            "kernel": kernel.name(),
+            "morphctr_norm": mc_n,
+            "cosmos_norm": co_n,
+        }));
     }
     println!("## Figure 15: multi-core scaling (normalized to NP per config)\n");
     print_table(&["config", "MorphCtr", "COSMOS", "gain"], &rows);

@@ -2,23 +2,43 @@
 //! implementation and the RMCC-like memoization baseline, all normalized
 //! to NP, across the graph kernels.
 
+use cosmos_common::json::json;
 use cosmos_core::Design;
-use cosmos_experiments::{emit_json, f3, print_table, run, Args, GraphSet};
+use cosmos_experiments::runner::{run_jobs, Job};
+use cosmos_experiments::{emit_json, f3, print_table, Args, GraphSet};
 use cosmos_workloads::graph::GraphKernel;
-use serde_json::json;
+
+const DESIGNS: [Design; 4] = [Design::Np, Design::Emcc, Design::Rmcc, Design::Cosmos];
 
 fn main() {
     let args = Args::parse(2_000_000);
     let set = GraphSet::new(args.spec());
+    let traces: Vec<_> = GraphKernel::all()
+        .into_iter()
+        .map(|k| (k, set.trace(k)))
+        .collect();
+
+    let mut jobs = Vec::new();
+    for (kernel, trace) in &traces {
+        for design in DESIGNS {
+            jobs.push(Job::new(
+                format!("{}/{design}", kernel.name()),
+                design,
+                trace,
+                args.seed,
+            ));
+        }
+    }
+    let mut outcomes = run_jobs(jobs, args.jobs).into_iter();
+
     let mut rows = Vec::new();
     let mut results = Vec::new();
     let (mut gain_emcc, mut gain_rmcc) = (0.0, 0.0);
-    for kernel in GraphKernel::all() {
-        let trace = set.trace(kernel);
-        let np = run(Design::Np, &trace, args.seed);
-        let emcc = run(Design::Emcc, &trace, args.seed);
-        let rmcc = run(Design::Rmcc, &trace, args.seed);
-        let cosmos = run(Design::Cosmos, &trace, args.seed);
+    for (kernel, _) in &traces {
+        let np = outcomes.next().expect("np result").stats;
+        let emcc = outcomes.next().expect("emcc result").stats;
+        let rmcc = outcomes.next().expect("rmcc result").stats;
+        let cosmos = outcomes.next().expect("cosmos result").stats;
         let e_n = emcc.ipc() / np.ipc();
         let r_n = rmcc.ipc() / np.ipc();
         let c_n = cosmos.ipc() / np.ipc();

@@ -5,23 +5,40 @@
 //! caches, and same-counter re-encryption (not CTR misses) dominates the
 //! residual overhead.
 
+use cosmos_common::json::json;
 use cosmos_core::Design;
-use cosmos_experiments::{emit_json, f3, print_table, run, trace_of, Args};
+use cosmos_experiments::runner::{run_jobs, Job};
+use cosmos_experiments::{emit_json, f3, print_table, trace_of, Args};
 use cosmos_workloads::Workload;
-use serde_json::json;
+
+const DESIGNS: [Design; 3] = [Design::Np, Design::MorphCtr, Design::Cosmos];
 
 fn main() {
     let args = Args::parse(2_000_000);
     let spec = args.spec();
+    let suite = Workload::ml_suite();
+    let traces: Vec<_> = suite.iter().map(|w| trace_of(*w, &spec)).collect();
+
+    let mut jobs = Vec::new();
+    for (w, trace) in suite.iter().zip(&traces) {
+        for design in DESIGNS {
+            jobs.push(Job::new(
+                format!("{}/{design}", w.name()),
+                design,
+                trace,
+                args.seed,
+            ));
+        }
+    }
+    let mut outcomes = run_jobs(jobs, args.jobs).into_iter();
+
     let mut rows = Vec::new();
     let mut results = Vec::new();
     let mut gain = 0.0;
-    let suite = Workload::ml_suite();
     for w in &suite {
-        let trace = trace_of(*w, &spec);
-        let np = run(Design::Np, &trace, args.seed);
-        let mc = run(Design::MorphCtr, &trace, args.seed);
-        let cosmos = run(Design::Cosmos, &trace, args.seed);
+        let np = outcomes.next().expect("np result").stats;
+        let mc = outcomes.next().expect("morphctr result").stats;
+        let cosmos = outcomes.next().expect("cosmos result").stats;
         let mc_n = mc.ipc() / np.ipc();
         let co_n = cosmos.ipc() / np.ipc();
         gain += co_n / mc_n - 1.0;

@@ -4,11 +4,12 @@
 //! procedure (they sample 1,000 combinations; default here is 27, `--large`
 //! for 108).
 
+use cosmos_common::json::json;
 use cosmos_core::Design;
-use cosmos_experiments::{emit_json, f3, print_table, run_with, Args, GraphSet};
+use cosmos_experiments::runner::{run_jobs, Job};
+use cosmos_experiments::{emit_json, f3, print_table, Args, GraphSet};
 use cosmos_rl::params::{CtrRewards, DataRewards};
 use cosmos_workloads::graph::GraphKernel;
-use serde_json::json;
 
 fn main() {
     let mut args = Args::parse(500_000);
@@ -51,38 +52,56 @@ fn main() {
         r_eg: -10.0,
     };
 
-    let mut best: Option<(f64, (f32, f32, f32))> = None;
-    let mut rows = Vec::new();
-    let mut results = Vec::new();
+    let mut grid = Vec::new();
     for &alpha in alphas {
         for &gamma in gammas {
             for &eps in epsilons {
-                let stats = run_with(Design::Cosmos, &trace, args.seed, |c| {
-                    c.data_rl.alpha = alpha;
-                    c.data_rl.gamma = gamma;
-                    c.data_rl.epsilon = eps;
-                    c.ctr_rl.alpha = alpha;
-                    c.ctr_rl.gamma = gamma;
-                    c.ctr_rl.epsilon = eps;
-                    c.rewards.data = flat_data;
-                    c.rewards.ctr = flat_ctr;
-                });
-                let hit = 1.0 - stats.ctr_miss_rate();
-                if best.map(|(b, _)| hit > b).unwrap_or(true) {
-                    best = Some((hit, (alpha, gamma, eps)));
-                }
-                rows.push(vec![
-                    format!("α={alpha} γ={gamma} ε={eps}"),
-                    f3(hit),
-                    f3(stats.data_pred.accuracy()),
-                ]);
-                results.push(json!({
-                    "alpha": alpha, "gamma": gamma, "epsilon": eps,
-                    "ctr_hit_rate": hit,
-                    "dp_accuracy": stats.data_pred.accuracy(),
-                }));
+                grid.push((alpha, gamma, eps));
             }
         }
+    }
+    let jobs = grid
+        .iter()
+        .map(|&(alpha, gamma, eps)| {
+            Job::new(
+                format!("a{alpha}/g{gamma}/e{eps}"),
+                Design::Cosmos,
+                &trace,
+                args.seed,
+            )
+            .with_tweak(move |c| {
+                c.data_rl.alpha = alpha;
+                c.data_rl.gamma = gamma;
+                c.data_rl.epsilon = eps;
+                c.ctr_rl.alpha = alpha;
+                c.ctr_rl.gamma = gamma;
+                c.ctr_rl.epsilon = eps;
+                c.rewards.data = flat_data;
+                c.rewards.ctr = flat_ctr;
+            })
+        })
+        .collect();
+    let outcomes = run_jobs(jobs, args.jobs);
+
+    let mut best: Option<(f64, (f32, f32, f32))> = None;
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for (&(alpha, gamma, eps), outcome) in grid.iter().zip(&outcomes) {
+        let stats = &outcome.stats;
+        let hit = 1.0 - stats.ctr_miss_rate();
+        if best.map(|(b, _)| hit > b).unwrap_or(true) {
+            best = Some((hit, (alpha, gamma, eps)));
+        }
+        rows.push(vec![
+            format!("α={alpha} γ={gamma} ε={eps}"),
+            f3(hit),
+            f3(stats.data_pred.accuracy()),
+        ]);
+        results.push(json!({
+            "alpha": alpha, "gamma": gamma, "epsilon": eps,
+            "ctr_hit_rate": hit,
+            "dp_accuracy": stats.data_pred.accuracy(),
+        }));
     }
     println!("## Hyperparameter sweep (fixed ±10 rewards, DFS)\n");
     print_table(&["combination", "CTR hit rate", "DP accuracy"], &rows);

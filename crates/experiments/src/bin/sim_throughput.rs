@@ -1,0 +1,93 @@
+//! Tracked simulator-throughput benchmark: accesses/second per design on
+//! a fixed irregular (DFS) trace, timed with [`std::time::Instant`].
+//!
+//! Unlike the figure binaries this measures the *simulator itself*, not
+//! the modeled hardware — it is the number that bounds how large the
+//! experiment grids can scale. Results go to `BENCH_sim.json` at the repo
+//! root (current snapshot) and are appended to `BENCH_sim.history.jsonl`
+//! (one line per run, so the trajectory across changes is preserved).
+//!
+//! Run with `--release`; a debug build is an order of magnitude slower
+//! and the output marks it as such.
+
+use std::path::{Path, PathBuf};
+
+use cosmos_common::json::{json, Map, Value};
+use cosmos_experiments::throughput::{measure, to_json, DESIGNS};
+use cosmos_experiments::{f3, print_table, Args};
+use cosmos_workloads::graph::GraphKernel;
+use cosmos_workloads::{TraceSpec, Workload};
+
+const REPS: usize = 3;
+
+fn repo_root() -> PathBuf {
+    // crates/experiments -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn main() {
+    let args = Args::parse(200_000);
+    let mut spec = TraceSpec::small_test(args.seed);
+    spec.accesses = args.accesses;
+    spec.graph_vertices = 1 << 17;
+    let trace = Workload::Graph(GraphKernel::Dfs).generate(&spec);
+
+    let results = measure(&trace, REPS);
+    let per_design = to_json(&results);
+    let mean_rate =
+        results.iter().map(|r| r.accesses_per_sec).sum::<f64>() / results.len() as f64;
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.design.name().to_string(),
+                format!("{:.0}", r.accesses_per_sec / 1e3),
+                format!("{:.1}", r.median_run_secs * 1e3),
+                f3(r.sim_cycles_per_access),
+            ]
+        })
+        .collect();
+    println!(
+        "## Simulator throughput ({} DFS accesses, {} reps, {} build)\n",
+        trace.len(),
+        REPS,
+        if cfg!(debug_assertions) { "DEBUG" } else { "release" },
+    );
+    print_table(&["design", "Kacc/s", "run ms", "model cyc/acc"], &rows);
+    println!("\nmean: {:.0} Kacc/s", mean_rate / 1e3);
+
+    let snapshot = json!({
+        "bench": "sim_throughput",
+        "accesses": trace.len(),
+        "seed": args.seed,
+        "reps": REPS,
+        "debug_build": cfg!(debug_assertions),
+        "designs": per_design,
+        "mean_accesses_per_sec": mean_rate,
+    });
+    let root = repo_root();
+    let snap_path = root.join("BENCH_sim.json");
+    std::fs::write(&snap_path, format!("{}\n", snapshot.pretty())).expect("write BENCH_sim.json");
+    println!("wrote {}", snap_path.display());
+
+    // Trajectory line: compact (one JSON object per line), stamped with
+    // wall-clock seconds so successive runs order themselves.
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut line = Map::new();
+    line.insert("unix_time", Value::from(stamp));
+    line.insert("accesses", Value::from(trace.len()));
+    line.insert("debug_build", Value::from(cfg!(debug_assertions)));
+    line.insert("mean_accesses_per_sec", Value::from(mean_rate));
+    for (design, r) in DESIGNS.iter().zip(&results) {
+        line.insert(design.name(), Value::from(r.accesses_per_sec));
+    }
+    let hist_path = root.join("BENCH_sim.history.jsonl");
+    let mut history = std::fs::read_to_string(&hist_path).unwrap_or_default();
+    history.push_str(&format!("{}\n", Value::Object(line)));
+    std::fs::write(&hist_path, history).expect("write BENCH_sim.history.jsonl");
+    println!("appended {}", hist_path.display());
+}

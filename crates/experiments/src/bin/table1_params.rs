@@ -2,7 +2,7 @@
 
 use cosmos_experiments::{emit_json, print_table, Args};
 use cosmos_rl::params::{CtrRewards, DataRewards, RlParams};
-use serde_json::json;
+use cosmos_common::json::json;
 
 fn main() {
     let args = Args::parse(0);

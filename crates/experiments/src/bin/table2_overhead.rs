@@ -6,7 +6,7 @@
 
 use cosmos_core::{overhead::storage_overhead, Design, SimConfig};
 use cosmos_experiments::{emit_json, print_table, Args};
-use serde_json::json;
+use cosmos_common::json::json;
 
 fn main() {
     let args = Args::parse(0);

@@ -11,13 +11,9 @@ fn main() {
         let cfg = SimConfig::paper_default(design);
         println!("### {design}\n");
         println!("```json");
-        println!("{}", serde_json::to_string_pretty(&cfg).expect("serializable"));
+        println!("{}", cfg.to_json().pretty());
         println!("```\n");
     }
     let cfg = SimConfig::paper_default(Design::Cosmos);
-    emit_json(
-        &args,
-        "table3",
-        &serde_json::to_value(&cfg).expect("serializable"),
-    );
+    emit_json(&args, "table3", &cfg.to_json());
 }

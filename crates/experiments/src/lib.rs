@@ -4,13 +4,19 @@
 //! for the index). Binaries share:
 //!
 //! - [`Args`]: a tiny CLI (`--accesses N`, `--large`, `--seed N`,
-//!   `--json PATH`),
+//!   `--json PATH`, `--jobs N`),
 //! - [`GraphSet`]: generates the synthetic graph **once** and produces
 //!   per-kernel traces from it (graph generation dominates setup time),
 //! - [`run`] / [`run_with`]: run one design over a trace,
+//! - [`runner`]: the parallel job-grid executor the figure sweeps fan out
+//!   over,
 //! - table formatting and JSON result emission (results land in
 //!   `results/` for EXPERIMENTS.md).
 
+pub mod runner;
+pub mod throughput;
+
+use cosmos_common::json::Value;
 use cosmos_common::{PhysAddr, Trace};
 use cosmos_core::{Design, SimConfig, SimStats, Simulator};
 use cosmos_workloads::graph::{Graph, GraphKernel, GraphLayout};
@@ -28,6 +34,9 @@ pub struct Args {
     pub large: bool,
     /// Where to write the machine-readable results.
     pub json: Option<PathBuf>,
+    /// Worker threads for grid sweeps (`--jobs N`, `COSMOS_JOBS`, or the
+    /// machine's available parallelism, in that precedence order).
+    pub jobs: usize,
 }
 
 impl Args {
@@ -42,6 +51,7 @@ impl Args {
             seed: 42,
             large: false,
             json: None,
+            jobs: default_jobs(),
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -62,6 +72,13 @@ impl Args {
                 "--json" => {
                     args.json = Some(PathBuf::from(it.next().expect("--json needs a path")));
                 }
+                "--jobs" => {
+                    let n: usize = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--jobs needs a number");
+                    args.jobs = n.max(1);
+                }
                 other => panic!("unknown argument: {other}"),
             }
         }
@@ -75,6 +92,22 @@ impl Args {
     pub fn spec(&self) -> TraceSpec {
         TraceSpec::paper_default(self.accesses, self.seed)
     }
+}
+
+/// The default worker count: `COSMOS_JOBS` when set and positive, otherwise
+/// the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    if let Some(n) = std::env::var("COSMOS_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if n >= 1 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// A generated graph shared across kernels (graph generation is the
@@ -173,8 +206,8 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
 
 /// Writes the JSON result document to `--json` (when passed) and to
 /// `results/<name>.json`.
-pub fn emit_json(args: &Args, name: &str, value: &serde_json::Value) {
-    let pretty = serde_json::to_string_pretty(value).expect("serializable");
+pub fn emit_json(args: &Args, name: &str, value: &Value) {
+    let pretty = value.pretty();
     if let Some(path) = &args.json {
         std::fs::write(path, &pretty).expect("write json");
     }

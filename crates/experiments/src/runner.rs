@@ -1,0 +1,253 @@
+//! Parallel job-grid executor for the experiment sweeps.
+//!
+//! Every figure harness runs a grid of *independent* simulations
+//! (design × kernel × sweep point). This module turns that grid into a
+//! [`Job`] list and fans it out over a worker pool:
+//!
+//! - workers are plain [`std::thread::scope`] threads (no external
+//!   crates), sized by [`Args::jobs`](crate::Args) — i.e. `--jobs N`,
+//!   `COSMOS_JOBS`, or the machine's available parallelism,
+//! - traces are shared **by reference** into the scope: a multi-million
+//!   access `Trace` is generated once and never cloned,
+//! - results come back in **job order**, no matter which worker finished
+//!   when, so serial and parallel runs produce byte-identical reports.
+//!
+//! Each simulation is itself single-threaded and deterministic (seeded
+//! [`SplitMix64`](cosmos_common::SplitMix64) streams), so the only source
+//! of nondeterminism a pool could introduce is result ordering — which the
+//! index-tagged merge below removes.
+//!
+//! # Examples
+//!
+//! ```
+//! use cosmos_experiments::runner::{run_jobs, Job};
+//! use cosmos_core::Design;
+//! use cosmos_workloads::{TraceSpec, Workload};
+//!
+//! let spec = TraceSpec::small_test(7).with_accesses(2000);
+//! let trace = Workload::Spec(cosmos_workloads::spec::SpecKind::Mcf).generate(&spec);
+//! let jobs = vec![
+//!     Job::new("np", Design::Np, &trace, 1),
+//!     Job::new("morph", Design::MorphCtr, &trace, 1)
+//!         .with_tweak(|c| c.ctr_cache.size_bytes = 64 * 1024),
+//! ];
+//! let results = run_jobs(jobs, 2);
+//! assert_eq!(results[0].label, "np");
+//! assert_eq!(results[1].label, "morph");
+//! ```
+
+use cosmos_common::Trace;
+use cosmos_core::{Design, SimConfig, SimStats, Simulator};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A configuration tweak applied on top of [`SimConfig::paper_default`].
+///
+/// `Send + Sync` because workers apply tweaks from pool threads; the
+/// lifetime lets closures capture locals of the harness (sweep values).
+pub type Tweak<'a> = Box<dyn Fn(&mut SimConfig) + Send + Sync + 'a>;
+
+/// One independent simulation point in a grid.
+pub struct Job<'a> {
+    /// Label carried through to the result (kernel name, sweep value, …).
+    pub label: String,
+    /// Design variant to simulate.
+    pub design: Design,
+    /// The input trace, shared by reference — never cloned.
+    pub trace: &'a Trace,
+    /// Predictor/exploration seed.
+    pub seed: u64,
+    /// Optional configuration tweak (sweep parameter overrides).
+    pub tweak: Option<Tweak<'a>>,
+}
+
+impl<'a> Job<'a> {
+    /// A job running `design` with the paper-default configuration.
+    pub fn new(label: impl Into<String>, design: Design, trace: &'a Trace, seed: u64) -> Self {
+        Self {
+            label: label.into(),
+            design,
+            trace,
+            seed,
+            tweak: None,
+        }
+    }
+
+    /// Adds a configuration tweak, applied after `seed` is set.
+    #[must_use]
+    pub fn with_tweak(mut self, tweak: impl Fn(&mut SimConfig) + Send + Sync + 'a) -> Self {
+        self.tweak = Some(Box::new(tweak));
+        self
+    }
+
+    fn execute(&self) -> JobResult {
+        let mut config = SimConfig::paper_default(self.design);
+        config.seed = self.seed;
+        if let Some(tweak) = &self.tweak {
+            tweak(&mut config);
+        }
+        let stats = Simulator::new(config).run(self.trace);
+        JobResult {
+            label: self.label.clone(),
+            design: self.design,
+            stats,
+        }
+    }
+}
+
+/// The outcome of one [`Job`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobResult {
+    /// The job's label, verbatim.
+    pub label: String,
+    /// The design that ran.
+    pub design: Design,
+    /// Everything the simulation measured.
+    pub stats: SimStats,
+}
+
+/// Runs `jobs` on up to `workers` threads, returning results **in job
+/// order**.
+///
+/// `workers` is clamped to `1..=jobs.len()`; with one worker (or one job)
+/// the pool is skipped entirely and the grid runs inline on the calling
+/// thread. Workers pull the next unstarted job from a shared atomic
+/// cursor, so long jobs don't serialize behind short ones.
+///
+/// # Panics
+///
+/// Propagates a panic from any job (the remaining jobs may or may not have
+/// run).
+pub fn run_jobs(jobs: Vec<Job<'_>>, workers: usize) -> Vec<JobResult> {
+    let workers = workers.clamp(1, jobs.len().max(1));
+    if workers == 1 {
+        return jobs.iter().map(Job::execute).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let jobs = &jobs;
+    let mut tagged: Vec<(usize, JobResult)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else { break };
+                        out.push((i, job.execute()));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+
+    tagged.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert!(tagged.iter().enumerate().all(|(k, (i, _))| k == *i));
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmos_workloads::graph::GraphKernel;
+    use cosmos_workloads::{TraceSpec, Workload};
+    use crate::GraphSet;
+
+    fn build_grid<'a>(traces: &'a [(String, Trace)]) -> Vec<Job<'a>> {
+        let designs = [Design::Np, Design::MorphCtr, Design::Cosmos];
+        let mut jobs = Vec::new();
+        for (name, trace) in traces {
+            for design in designs {
+                jobs.push(Job::new(format!("{name}/{design}"), design, trace, 42));
+            }
+        }
+        // A tweaked job, to cover the sweep-override path.
+        jobs.push(
+            Job::new("tweaked", Design::MorphCtr, &traces[0].1, 42)
+                .with_tweak(|c| c.ctr_cache.size_bytes = 64 * 1024),
+        );
+        jobs
+    }
+
+    fn test_traces() -> Vec<(String, Trace)> {
+        let set = GraphSet::new(TraceSpec::small_test(7).with_accesses(2500));
+        vec![
+            ("bfs".to_string(), set.trace(GraphKernel::Bfs)),
+            (
+                "chase".to_string(),
+                Workload::Spec(cosmos_workloads::spec::SpecKind::Mcf).generate(&TraceSpec::small_test(9).with_accesses(2500)),
+            ),
+        ]
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_exactly() {
+        let traces = test_traces();
+        let serial = run_jobs(build_grid(&traces), 1);
+        let parallel = run_jobs(build_grid(&traces), 4);
+        assert_eq!(serial.len(), parallel.len());
+        // Identical SimStats, not just identical summaries.
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let traces = test_traces();
+        for workers in [1, 2, 8] {
+            let results = run_jobs(build_grid(&traces), workers);
+            let labels: Vec<_> = results.iter().map(|r| r.label.as_str()).collect();
+            assert_eq!(
+                labels,
+                [
+                    "bfs/NP",
+                    "bfs/MorphCtr",
+                    "bfs/COSMOS",
+                    "chase/NP",
+                    "chase/MorphCtr",
+                    "chase/COSMOS",
+                    "tweaked",
+                ],
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_pool_is_clamped() {
+        let traces = test_traces();
+        let jobs = vec![Job::new("only", Design::Np, &traces[0].1, 1)];
+        let results = run_jobs(jobs, 64);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].stats.accesses > 0);
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        assert!(run_jobs(Vec::new(), 8).is_empty());
+    }
+
+    #[test]
+    fn tweaks_actually_apply() {
+        let traces = test_traces();
+        let trace = &traces[0].1;
+        let base = run_jobs(vec![Job::new("base", Design::MorphCtr, trace, 42)], 1);
+        let slow = run_jobs(
+            vec![
+                Job::new("slow", Design::MorphCtr, trace, 42)
+                    .with_tweak(|c| c.aes_latency = 400),
+            ],
+            1,
+        );
+        // A 10× AES latency must cost cycles.
+        assert!(
+            slow[0].stats.cycles > base[0].stats.cycles,
+            "slow {} vs base {}",
+            slow[0].stats.cycles,
+            base[0].stats.cycles
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Simulator-throughput measurement shared by the `sim_throughput` binary
+//! and its smoke test: wall-clock accesses/second per [`Design`] on a
+//! caller-provided trace, timed with [`std::time::Instant`].
+
+use std::time::Instant;
+
+use cosmos_common::json::{json, Map};
+use cosmos_common::Trace;
+use cosmos_core::{Design, SimConfig, Simulator};
+
+/// The designs measured, in report order.
+pub const DESIGNS: [Design; 7] = [
+    Design::Np,
+    Design::MorphCtr,
+    Design::Emcc,
+    Design::Rmcc,
+    Design::CosmosDp,
+    Design::CosmosCp,
+    Design::Cosmos,
+];
+
+/// One design's measured throughput.
+#[derive(Clone, Debug)]
+pub struct DesignThroughput {
+    pub design: Design,
+    /// Simulated accesses per wall-clock second (median of the reps).
+    pub accesses_per_sec: f64,
+    /// Median wall-clock seconds for one full run.
+    pub median_run_secs: f64,
+    /// Modeled cycles per access — a pure function of the simulation, so
+    /// any change here means the optimization altered results.
+    pub sim_cycles_per_access: f64,
+}
+
+/// Times `reps` full simulator runs per design over `trace` and returns
+/// the per-design medians. Each rep rebuilds the simulator so
+/// cold-structure costs are included, as they are in the experiment grids.
+///
+/// # Panics
+///
+/// Panics if `reps` is zero or `trace` is empty.
+pub fn measure(trace: &Trace, reps: usize) -> Vec<DesignThroughput> {
+    assert!(reps > 0, "need at least one rep");
+    assert!(!trace.is_empty(), "need a non-empty trace");
+    DESIGNS
+        .iter()
+        .map(|&design| {
+            let mut secs = Vec::with_capacity(reps);
+            let mut cycles = 0u64;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let stats = Simulator::new(SimConfig::paper_default(design)).run(trace);
+                secs.push(t0.elapsed().as_secs_f64());
+                cycles = stats.cycles;
+            }
+            secs.sort_by(|a, b| a.total_cmp(b));
+            let median = secs[reps / 2].max(f64::MIN_POSITIVE);
+            DesignThroughput {
+                design,
+                accesses_per_sec: trace.len() as f64 / median,
+                median_run_secs: median,
+                sim_cycles_per_access: cycles as f64 / trace.len() as f64,
+            }
+        })
+        .collect()
+}
+
+/// The measurements as a `{design name: {...}}` JSON map.
+pub fn to_json(results: &[DesignThroughput]) -> Map {
+    let mut per_design = Map::new();
+    for r in results {
+        per_design.insert(
+            r.design.name(),
+            json!({
+                "accesses_per_sec": r.accesses_per_sec,
+                "median_run_secs": r.median_run_secs,
+                "sim_cycles_per_access": r.sim_cycles_per_access,
+            }),
+        );
+    }
+    per_design
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmos_workloads::graph::GraphKernel;
+    use cosmos_workloads::{TraceSpec, Workload};
+
+    fn tiny_trace() -> Trace {
+        let mut spec = TraceSpec::small_test(7);
+        spec.accesses = 2_000;
+        Workload::Graph(GraphKernel::Dfs).generate(&spec)
+    }
+
+    #[test]
+    fn every_design_reports_positive_throughput() {
+        let trace = tiny_trace();
+        let results = measure(&trace, 1);
+        assert_eq!(results.len(), DESIGNS.len());
+        for r in &results {
+            assert!(
+                r.accesses_per_sec > 0.0,
+                "{}: non-positive accesses/sec",
+                r.design
+            );
+            assert!(r.median_run_secs > 0.0, "{}: zero run time", r.design);
+            assert!(
+                r.sim_cycles_per_access > 1.0,
+                "{}: implausible cycles/access",
+                r.design
+            );
+        }
+    }
+
+    #[test]
+    fn json_snapshot_has_every_design() {
+        let trace = tiny_trace();
+        let results = measure(&trace, 1);
+        let map = to_json(&results);
+        for design in DESIGNS {
+            let rate = map[design.name()]["accesses_per_sec"]
+                .as_f64()
+                .expect("accesses_per_sec is a number");
+            assert!(rate > 0.0, "{design}: bad rate in JSON");
+        }
+        // Serialized form is structurally sound (balanced, all keys present).
+        let text = cosmos_common::json::Value::Object(map).pretty();
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "unbalanced JSON"
+        );
+        assert!(text.contains("\"COSMOS\""));
+    }
+}

@@ -1,0 +1,9 @@
+#!/bin/bash
+# Full local gate: release build, all workspace tests, and clippy with
+# warnings denied — what CI runs, in one command.
+set -eu
+cd "$(dirname "$0")/.."
+cargo build --release
+cargo test -q --workspace
+cargo clippy --workspace -- -D warnings
+echo "check.sh: all green"
