@@ -1,14 +1,16 @@
 //! Cache-substrate benchmarks: demand-access throughput per replacement
 //! policy and prefetcher overheads, on an irregular address stream.
 
+use cosmos_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use cosmos_cache::{Cache, CacheConfig, PolicyKind, PrefetcherKind};
 use cosmos_common::{LineAddr, SplitMix64};
-use cosmos_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 fn stream(n: usize, span: u64, seed: u64) -> Vec<LineAddr> {
     let mut rng = SplitMix64::new(seed);
-    (0..n).map(|_| LineAddr::new(rng.next_below(span))).collect()
+    (0..n)
+        .map(|_| LineAddr::new(rng.next_below(span)))
+        .collect()
 }
 
 fn bench_policies(c: &mut Criterion) {

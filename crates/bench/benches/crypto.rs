@@ -1,9 +1,9 @@
 //! Microbenchmarks for the crypto substrate: AES-128 block ops, SHA-256
 //! hashing, OTP generation, and MAC computation.
 
+use cosmos_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use cosmos_common::PhysAddr;
 use cosmos_crypto::{aes::Aes128, mac, otp, Sha256};
-use cosmos_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_crypto(c: &mut Criterion) {
@@ -21,7 +21,9 @@ fn bench_crypto(c: &mut Criterion) {
         b.iter(|| aes.decrypt_block(black_box(&ct)))
     });
     g.throughput(Throughput::Bytes(64));
-    g.bench_function("sha256_64B", |b| b.iter(|| Sha256::digest(black_box(&line))));
+    g.bench_function("sha256_64B", |b| {
+        b.iter(|| Sha256::digest(black_box(&line)))
+    });
     g.bench_function("otp_generate_64B", |b| {
         b.iter(|| otp::generate(&aes, black_box(PhysAddr::new(0x1000)), black_box(9)))
     });

@@ -1,9 +1,9 @@
 //! DRAM-model benchmarks: request throughput for streaming vs. random
 //! address patterns, bank model vs. fixed latency.
 
+use cosmos_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use cosmos_common::{Cycle, LineAddr, SplitMix64};
 use cosmos_dram::{Dram, DramConfig};
-use cosmos_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_dram(c: &mut Criterion) {

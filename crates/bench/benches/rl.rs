@@ -3,10 +3,10 @@
 //! simulator throughput (the modeled hardware cost is 1 cycle, off the
 //! critical path).
 
+use cosmos_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use cosmos_common::{LineAddr, PhysAddr, SplitMix64};
 use cosmos_rl::params::RlParams;
 use cosmos_rl::{CtrLocalityPredictor, DataLocation, DataLocationPredictor, QTable};
-use cosmos_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_rl(c: &mut Criterion) {

@@ -2,9 +2,9 @@
 //! morphing), Merkle-tree update/verify, and full functional protected
 //! writes/reads.
 
+use cosmos_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use cosmos_common::{LineAddr, SplitMix64};
 use cosmos_secure::{CounterScheme, CounterStore, MerkleTree, SecureMemory};
-use cosmos_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_counters(c: &mut Criterion) {

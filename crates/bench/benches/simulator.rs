@@ -2,9 +2,9 @@
 //! over one irregular trace, plus trace-generation throughput — the
 //! numbers that bound how large the figure experiments can scale.
 
+use cosmos_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use cosmos_core::{Design, SimConfig, Simulator};
 use cosmos_workloads::{graph::GraphKernel, TraceSpec, Workload};
-use cosmos_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_designs(c: &mut Criterion) {

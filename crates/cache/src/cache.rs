@@ -140,7 +140,12 @@ impl Cache {
     ///
     /// `hint` attaches/refreshes an RL locality annotation (LCR policy); it
     /// is stored on fill and refreshed on hit when provided.
-    pub fn access(&mut self, line: LineAddr, write: bool, hint: Option<LocalityHint>) -> AccessResult {
+    pub fn access(
+        &mut self,
+        line: LineAddr,
+        write: bool,
+        hint: Option<LocalityHint>,
+    ) -> AccessResult {
         let set = self.config.set_of(line.index());
         let tag = self.config.tag_of(line.index());
         let base = set * self.config.ways();
@@ -199,7 +204,11 @@ impl Cache {
     ///
     /// Returns the eviction caused, if any. A line already present is left
     /// untouched (the prefetch is redundant and counted as such).
-    pub fn prefetch_fill(&mut self, line: LineAddr, hint: Option<LocalityHint>) -> Option<Eviction> {
+    pub fn prefetch_fill(
+        &mut self,
+        line: LineAddr,
+        hint: Option<LocalityHint>,
+    ) -> Option<Eviction> {
         let set = self.config.set_of(line.index());
         let tag = self.config.tag_of(line.index());
         let base = set * self.config.ways();
@@ -274,12 +283,13 @@ impl Cache {
             }
             None => {
                 self.scratch.clear();
-                self.scratch.extend(self.entries[base..base + ways].iter().map(|e| WayView {
-                    line: LineAddr::new(e.tag),
-                    hint: e.hint,
-                    dirty: e.dirty,
-                    demand_used: e.demand_used,
-                }));
+                self.scratch
+                    .extend(self.entries[base..base + ways].iter().map(|e| WayView {
+                        line: LineAddr::new(e.tag),
+                        hint: e.hint,
+                        dirty: e.dirty,
+                        demand_used: e.demand_used,
+                    }));
                 let victim = self.policy.choose_victim(set, &self.scratch);
                 assert!(victim < ways, "policy returned way {victim} >= {ways}");
                 let e = &self.entries[base + victim];

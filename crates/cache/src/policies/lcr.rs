@@ -78,13 +78,20 @@ impl ReplacementPolicy for Lcr {
                 let cand = (w, hint.score, touch);
                 best_bad = Some(match best_bad {
                     None => cand,
-                    Some(cur) if (core::cmp::Reverse(hint.score), touch)
-                        < (core::cmp::Reverse(cur.1), cur.2) => cand,
+                    Some(cur)
+                        if (core::cmp::Reverse(hint.score), touch)
+                            < (core::cmp::Reverse(cur.1), cur.2) =>
+                    {
+                        cand
+                    }
                     Some(cur) => cur,
                 });
             }
         }
-        best_bad.or(best_good).map(|(w, _, _)| w).expect("non-empty set")
+        best_bad
+            .or(best_good)
+            .map(|(w, _, _)| w)
+            .expect("non-empty set")
     }
 
     fn name(&self) -> &'static str {
@@ -132,10 +139,18 @@ mod tests {
     fn unannotated_treated_as_bad_score_zero() {
         let mut p = Lcr::new(1, 3);
         // bad(60) beats unannotated (bad 0); good survives.
-        let ways = vec![way(0, None), way(1, Some((false, 60))), way(2, Some((true, 1)))];
+        let ways = vec![
+            way(0, None),
+            way(1, Some((false, 60))),
+            way(2, Some((true, 1))),
+        ];
         assert_eq!(p.choose_victim(0, &ways), 1);
         // With only unannotated + good, unannotated goes first.
-        let ways = vec![way(0, None), way(1, Some((true, 1))), way(2, Some((true, 9)))];
+        let ways = vec![
+            way(0, None),
+            way(1, Some((true, 1))),
+            way(2, Some((true, 9))),
+        ];
         assert_eq!(p.choose_victim(0, &ways), 0);
     }
 

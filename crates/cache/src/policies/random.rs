@@ -56,7 +56,10 @@ mod tests {
             assert!(v < 8);
             seen[v] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all ways should be chosen eventually");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all ways should be chosen eventually"
+        );
     }
 
     #[test]

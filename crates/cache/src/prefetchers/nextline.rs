@@ -31,7 +31,13 @@ mod tests {
     #[test]
     fn always_prefetches_successor() {
         let mut p = NextLine::new();
-        assert_eq!(p.on_access(LineAddr::new(10), true), vec![LineAddr::new(11)]);
-        assert_eq!(p.on_access(LineAddr::new(10), false), vec![LineAddr::new(11)]);
+        assert_eq!(
+            p.on_access(LineAddr::new(10), true),
+            vec![LineAddr::new(11)]
+        );
+        assert_eq!(
+            p.on_access(LineAddr::new(10), false),
+            vec![LineAddr::new(11)]
+        );
     }
 }

@@ -32,6 +32,28 @@ impl CacheStats {
         self.demand.miss_rate()
     }
 
+    /// Counts accumulated since `baseline` (saturating per field), for
+    /// warmup-excluding measurement windows.
+    pub const fn since(&self, baseline: &CacheStats) -> CacheStats {
+        CacheStats {
+            demand: self.demand.since(&baseline.demand),
+            evictions: self.evictions.saturating_sub(baseline.evictions),
+            writebacks: self.writebacks.saturating_sub(baseline.writebacks),
+            prefetch_issued: self
+                .prefetch_issued
+                .saturating_sub(baseline.prefetch_issued),
+            prefetch_useful: self
+                .prefetch_useful
+                .saturating_sub(baseline.prefetch_useful),
+            prefetch_unused: self
+                .prefetch_unused
+                .saturating_sub(baseline.prefetch_unused),
+            prefetch_redundant: self
+                .prefetch_redundant
+                .saturating_sub(baseline.prefetch_redundant),
+        }
+    }
+
     /// Merges another stats block into this one.
     pub fn merge(&mut self, other: &CacheStats) {
         self.demand.merge(&other.demand);
@@ -52,6 +74,23 @@ mod tests {
     fn accuracy_handles_zero_issued() {
         let s = CacheStats::default();
         assert_eq!(s.prefetch_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn since_subtracts_baseline() {
+        let mut warm = CacheStats::default();
+        warm.demand.hit();
+        warm.evictions = 2;
+        let mut total = warm;
+        total.demand.hit();
+        total.demand.miss();
+        total.evictions = 5;
+        total.writebacks = 1;
+        let window = total.since(&warm);
+        assert_eq!(window.demand.total(), 2);
+        assert_eq!(window.demand.misses(), 1);
+        assert_eq!(window.evictions, 3);
+        assert_eq!(window.writebacks, 1);
     }
 
     #[test]

@@ -75,10 +75,25 @@ impl HitMiss {
         ratio(self.misses, self.total())
     }
 
+    /// Builds a counter from explicit counts (useful when reconstructing
+    /// statistics from estimates).
+    pub const fn from_counts(hits: u64, misses: u64) -> Self {
+        Self { hits, misses }
+    }
+
     /// Merges another counter into this one.
     pub fn merge(&mut self, other: &HitMiss) {
         self.hits += other.hits;
         self.misses += other.misses;
+    }
+
+    /// Counts accumulated since `baseline` (saturating, so a stale baseline
+    /// cannot underflow).
+    pub const fn since(&self, baseline: &HitMiss) -> HitMiss {
+        HitMiss {
+            hits: self.hits.saturating_sub(baseline.hits),
+            misses: self.misses.saturating_sub(baseline.misses),
+        }
     }
 
     /// Resets both counts to zero.
@@ -219,7 +234,11 @@ impl Log2Histogram {
     /// Adds a value.
     #[inline]
     pub fn push(&mut self, v: u64) {
-        let b = if v <= 1 { 0 } else { 63 - v.leading_zeros() as usize };
+        let b = if v <= 1 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
         self.buckets[b] += 1;
         self.count += 1;
     }
@@ -267,6 +286,15 @@ mod tests {
         assert_eq!(hm.total(), 4);
         assert_eq!(hm.hit_rate(), 0.75);
         assert_eq!(hm.miss_rate(), 0.25);
+    }
+
+    #[test]
+    fn hitmiss_since_subtracts_and_saturates() {
+        let early = HitMiss::from_counts(3, 1);
+        let late = HitMiss::from_counts(10, 4);
+        assert_eq!(late.since(&early), HitMiss::from_counts(7, 3));
+        // A baseline ahead of the counter saturates to zero.
+        assert_eq!(early.since(&late), HitMiss::from_counts(0, 0));
     }
 
     #[test]

@@ -270,7 +270,10 @@ impl SimConfig {
         self.data_rl.validate();
         self.ctr_rl.validate();
         assert!(self.cet_entries > 0, "CET must have entries");
-        assert!(self.protected_bytes > 0, "protected region must be non-empty");
+        assert!(
+            self.protected_bytes > 0,
+            "protected region must be non-empty"
+        );
         self.dram.validate();
     }
 }

@@ -1,0 +1,321 @@
+//! Weighted reconstruction of full-trace statistics from sampled interval
+//! measurements.
+//!
+//! Interval sampling (the `cosmos-sampling` crate) simulates only a
+//! representative subset of a trace. Each representative's measured
+//! [`SimStats`] window stands in for every interval of its cluster, so the
+//! full-trace estimate of an additive counter `C` is
+//!
+//! ```text
+//! Ĉ = Σ_reps  C_rep × (cluster_accesses / rep_accesses)
+//! ```
+//!
+//! [`StatsEstimate`] accumulates those weighted contributions in `f64`
+//! (one rounding at reconstruction time, not one per sample) and
+//! [`StatsEstimate::reconstruct`] rounds the result back into a plain
+//! [`SimStats`], so every downstream consumer — tables, JSON emitters,
+//! normalization against NP — works unchanged on sampled runs.
+//!
+//! Derived metrics (IPC, miss rates) are ratios of estimated counters,
+//! which is exactly the weighted-rate reconstruction SimPoint-style
+//! samplers use.
+
+use crate::stats::{SimStats, TrafficBreakdown};
+use cosmos_cache::CacheStats;
+use cosmos_common::stats::HitMiss;
+use cosmos_dram::DramStats;
+use cosmos_rl::{CtrLocalityStats, DataLocationStats};
+
+fn round(x: f64) -> u64 {
+    if x <= 0.0 {
+        0
+    } else {
+        x.round() as u64
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct HmAcc {
+    hits: f64,
+    misses: f64,
+}
+
+impl HmAcc {
+    fn add(&mut self, s: &HitMiss, w: f64) {
+        self.hits += s.hits() as f64 * w;
+        self.misses += s.misses() as f64 * w;
+    }
+
+    fn reconstruct(&self) -> HitMiss {
+        HitMiss::from_counts(round(self.hits), round(self.misses))
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct CacheAcc {
+    demand: HmAcc,
+    evictions: f64,
+    writebacks: f64,
+    prefetch_issued: f64,
+    prefetch_useful: f64,
+    prefetch_unused: f64,
+    prefetch_redundant: f64,
+}
+
+impl CacheAcc {
+    fn add(&mut self, s: &CacheStats, w: f64) {
+        self.demand.add(&s.demand, w);
+        self.evictions += s.evictions as f64 * w;
+        self.writebacks += s.writebacks as f64 * w;
+        self.prefetch_issued += s.prefetch_issued as f64 * w;
+        self.prefetch_useful += s.prefetch_useful as f64 * w;
+        self.prefetch_unused += s.prefetch_unused as f64 * w;
+        self.prefetch_redundant += s.prefetch_redundant as f64 * w;
+    }
+
+    fn reconstruct(&self) -> CacheStats {
+        CacheStats {
+            demand: self.demand.reconstruct(),
+            evictions: round(self.evictions),
+            writebacks: round(self.writebacks),
+            prefetch_issued: round(self.prefetch_issued),
+            prefetch_useful: round(self.prefetch_useful),
+            prefetch_unused: round(self.prefetch_unused),
+            prefetch_redundant: round(self.prefetch_redundant),
+        }
+    }
+}
+
+/// Accumulates weighted per-interval [`SimStats`] windows into a
+/// full-trace estimate.
+///
+/// # Examples
+///
+/// ```
+/// use cosmos_core::estimate::StatsEstimate;
+/// use cosmos_core::SimStats;
+///
+/// let window = SimStats { instructions: 100, cycles: 50, accesses: 10, ..SimStats::default() };
+/// let mut est = StatsEstimate::new();
+/// // The window stands in for 3× its own length.
+/// est.add_weighted(&window, 3.0);
+/// let full = est.reconstruct();
+/// assert_eq!(full.accesses, 30);
+/// assert_eq!(full.instructions, 300);
+/// assert!((full.ipc() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct StatsEstimate {
+    samples: usize,
+    instructions: f64,
+    cycles: f64,
+    accesses: f64,
+    reads: f64,
+    writes: f64,
+    l1: HmAcc,
+    l2: HmAcc,
+    llc: HmAcc,
+    ctr_cache: CacheAcc,
+    mt_cache: CacheAcc,
+    dram_reads: f64,
+    dram_writes: f64,
+    dram_row_hits: f64,
+    dram_row_closed: f64,
+    dram_row_conflicts: f64,
+    dram_queue_cycles: f64,
+    traffic: [f64; 10],
+    dp_correct_onchip: f64,
+    dp_correct_offchip: f64,
+    dp_wrong_offchip: f64,
+    dp_wrong_onchip: f64,
+    cp_predictions: f64,
+    cp_predicted_good: f64,
+    cp_cet_hits: f64,
+    cp_cet_evictions: f64,
+    cp_agreements: f64,
+    ctr_overflows: f64,
+    total_read_latency: f64,
+    early_offchip_reads: f64,
+}
+
+impl StatsEstimate {
+    /// An empty estimate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of weighted windows accumulated so far.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Adds a measured window, scaled by `weight` (the number of accesses
+    /// this window represents divided by the accesses it measured).
+    pub fn add_weighted(&mut self, s: &SimStats, weight: f64) {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "bad sample weight {weight}"
+        );
+        self.samples += 1;
+        self.instructions += s.instructions as f64 * weight;
+        self.cycles += s.cycles as f64 * weight;
+        self.accesses += s.accesses as f64 * weight;
+        self.reads += s.reads as f64 * weight;
+        self.writes += s.writes as f64 * weight;
+        self.l1.add(&s.l1, weight);
+        self.l2.add(&s.l2, weight);
+        self.llc.add(&s.llc, weight);
+        self.ctr_cache.add(&s.ctr_cache, weight);
+        self.mt_cache.add(&s.mt_cache, weight);
+        self.dram_reads += s.dram.reads as f64 * weight;
+        self.dram_writes += s.dram.writes as f64 * weight;
+        self.dram_row_hits += s.dram.row_hits as f64 * weight;
+        self.dram_row_closed += s.dram.row_closed as f64 * weight;
+        self.dram_row_conflicts += s.dram.row_conflicts as f64 * weight;
+        self.dram_queue_cycles += s.dram.queue_cycles as f64 * weight;
+        let t = &s.traffic;
+        for (acc, v) in self.traffic.iter_mut().zip([
+            t.data_reads,
+            t.data_writes,
+            t.ctr_reads,
+            t.ctr_writes,
+            t.mt_reads,
+            t.mt_writes,
+            t.mac_reads,
+            t.mac_writes,
+            t.reencrypt_writes,
+            t.killed_speculative,
+        ]) {
+            *acc += v as f64 * weight;
+        }
+        self.dp_correct_onchip += s.data_pred.correct_onchip as f64 * weight;
+        self.dp_correct_offchip += s.data_pred.correct_offchip as f64 * weight;
+        self.dp_wrong_offchip += s.data_pred.wrong_offchip as f64 * weight;
+        self.dp_wrong_onchip += s.data_pred.wrong_onchip as f64 * weight;
+        self.cp_predictions += s.ctr_pred.predictions as f64 * weight;
+        self.cp_predicted_good += s.ctr_pred.predicted_good as f64 * weight;
+        self.cp_cet_hits += s.ctr_pred.cet_hits as f64 * weight;
+        self.cp_cet_evictions += s.ctr_pred.cet_evictions as f64 * weight;
+        self.cp_agreements += s.ctr_pred.agreements as f64 * weight;
+        self.ctr_overflows += s.ctr_overflows as f64 * weight;
+        self.total_read_latency += s.total_read_latency as f64 * weight;
+        self.early_offchip_reads += s.early_offchip_reads as f64 * weight;
+    }
+
+    /// Rounds the accumulated estimate into a [`SimStats`]. The timeline is
+    /// empty — point-in-time samples cannot be reconstructed from weighted
+    /// windows.
+    pub fn reconstruct(&self) -> SimStats {
+        SimStats {
+            instructions: round(self.instructions),
+            cycles: round(self.cycles),
+            accesses: round(self.accesses),
+            reads: round(self.reads),
+            writes: round(self.writes),
+            l1: self.l1.reconstruct(),
+            l2: self.l2.reconstruct(),
+            llc: self.llc.reconstruct(),
+            ctr_cache: self.ctr_cache.reconstruct(),
+            mt_cache: self.mt_cache.reconstruct(),
+            dram: DramStats {
+                reads: round(self.dram_reads),
+                writes: round(self.dram_writes),
+                row_hits: round(self.dram_row_hits),
+                row_closed: round(self.dram_row_closed),
+                row_conflicts: round(self.dram_row_conflicts),
+                queue_cycles: round(self.dram_queue_cycles),
+            },
+            traffic: TrafficBreakdown {
+                data_reads: round(self.traffic[0]),
+                data_writes: round(self.traffic[1]),
+                ctr_reads: round(self.traffic[2]),
+                ctr_writes: round(self.traffic[3]),
+                mt_reads: round(self.traffic[4]),
+                mt_writes: round(self.traffic[5]),
+                mac_reads: round(self.traffic[6]),
+                mac_writes: round(self.traffic[7]),
+                reencrypt_writes: round(self.traffic[8]),
+                killed_speculative: round(self.traffic[9]),
+            },
+            data_pred: DataLocationStats {
+                correct_onchip: round(self.dp_correct_onchip),
+                correct_offchip: round(self.dp_correct_offchip),
+                wrong_offchip: round(self.dp_wrong_offchip),
+                wrong_onchip: round(self.dp_wrong_onchip),
+            },
+            ctr_pred: CtrLocalityStats {
+                predictions: round(self.cp_predictions),
+                predicted_good: round(self.cp_predicted_good),
+                cet_hits: round(self.cp_cet_hits),
+                cet_evictions: round(self.cp_cet_evictions),
+                agreements: round(self.cp_agreements),
+            },
+            ctr_overflows: round(self.ctr_overflows),
+            total_read_latency: round(self.total_read_latency),
+            early_offchip_reads: round(self.early_offchip_reads),
+            timeline: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(scale: u64) -> SimStats {
+        SimStats {
+            instructions: 100 * scale,
+            cycles: 50 * scale,
+            accesses: 10 * scale,
+            reads: 8 * scale,
+            writes: 2 * scale,
+            l1: HitMiss::from_counts(6 * scale, 4 * scale),
+            total_read_latency: 70 * scale,
+            ..SimStats::default()
+        }
+    }
+
+    #[test]
+    fn identity_weight_roundtrips() {
+        let w = window(3);
+        let mut est = StatsEstimate::new();
+        est.add_weighted(&w, 1.0);
+        let got = est.reconstruct();
+        assert_eq!(got.instructions, w.instructions);
+        assert_eq!(got.accesses, w.accesses);
+        assert_eq!(got.l1, w.l1);
+        assert_eq!(got.ipc(), w.ipc());
+    }
+
+    #[test]
+    fn weights_scale_counters_and_preserve_rates() {
+        let mut est = StatsEstimate::new();
+        est.add_weighted(&window(1), 4.0);
+        est.add_weighted(&window(2), 3.0);
+        let got = est.reconstruct();
+        // 4×10 + 3×20 accesses.
+        assert_eq!(got.accesses, 100);
+        assert_eq!(got.instructions, 1000);
+        assert_eq!(got.cycles, 500);
+        // Both windows have identical rates, so ratios must be exact.
+        assert!((got.ipc() - 2.0).abs() < 1e-9);
+        assert!((got.l1.miss_rate() - 0.4).abs() < 1e-9);
+        assert!((got.avg_read_latency() - 8.75).abs() < 1e-9);
+        assert_eq!(est.samples(), 2);
+    }
+
+    #[test]
+    fn zero_weight_contributes_nothing() {
+        let mut est = StatsEstimate::new();
+        est.add_weighted(&window(5), 0.0);
+        let got = est.reconstruct();
+        assert_eq!(got.accesses, 0);
+        assert_eq!(got.cycles, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad sample weight")]
+    fn negative_weight_panics() {
+        StatsEstimate::new().add_weighted(&window(1), -1.0);
+    }
+}

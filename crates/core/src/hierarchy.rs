@@ -53,10 +53,7 @@ impl CacheHierarchy {
     /// Builds the hierarchy described by `config`.
     pub fn new(config: &SimConfig) -> Self {
         let mk = |lvl: &crate::config::CacheLevelConfig| {
-            Cache::new(
-                CacheConfig::new(lvl.size_bytes, lvl.ways),
-                PolicyKind::Lru,
-            )
+            Cache::new(CacheConfig::new(lvl.size_bytes, lvl.ways), PolicyKind::Lru)
         };
         Self {
             l1: (0..config.cores).map(|_| mk(&config.l1)).collect(),

@@ -30,6 +30,7 @@
 //! ```
 
 pub mod config;
+pub mod estimate;
 pub mod hierarchy;
 pub mod overhead;
 pub mod secure_path;
@@ -38,5 +39,6 @@ pub mod smat;
 pub mod stats;
 
 pub use config::{Design, SimConfig};
+pub use estimate::StatsEstimate;
 pub use simulator::Simulator;
 pub use stats::{SimStats, TimelinePoint, TrafficBreakdown};

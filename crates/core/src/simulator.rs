@@ -24,6 +24,9 @@ pub struct Simulator {
     dram: Dram,
     ready: Vec<Cycle>,
     stats: SimStats,
+    // Statistics snapshot taken at the end of warmup; `finalize` reports
+    // only what accumulated after it (boxed: it is absent on the hot path).
+    baseline: Option<Box<SimStats>>,
     // Timeline window state.
     window_ctr_total: u64,
     window_ctr_miss: u64,
@@ -52,6 +55,7 @@ impl Simulator {
             dram: Dram::new(config.dram),
             ready: vec![Cycle::ZERO; config.cores],
             stats: SimStats::default(),
+            baseline: None,
             window_ctr_total: 0,
             window_ctr_miss: 0,
             config,
@@ -101,25 +105,72 @@ impl Simulator {
         }
     }
 
-    /// Finishes the run and extracts statistics.
-    pub fn finalize(mut self) -> SimStats {
-        self.stats.cycles = self.ready.iter().map(|c| c.value()).max().unwrap_or(0);
-        self.stats.l1 = self.hierarchy.l1_stats();
-        self.stats.l2 = self.hierarchy.l2_stats();
-        self.stats.llc = self.hierarchy.llc_stats();
+    /// Runs `accesses` as a warmup prefix: caches, predictors, and DRAM
+    /// state all evolve exactly as in a normal run, but the statistics
+    /// accumulated so far are excluded from [`Simulator::finalize`]'s
+    /// report. Used by interval sampling to prime microarchitectural state
+    /// before a measured representative interval.
+    ///
+    /// Calling it again replaces the previous measurement baseline.
+    pub fn warmup<'a>(&mut self, accesses: impl IntoIterator<Item = &'a MemAccess>) {
+        for access in accesses {
+            self.step(access);
+        }
+        self.freeze_stats();
+    }
+
+    /// Marks the current statistics as the measurement baseline:
+    /// [`Simulator::finalize`] will report only what accumulates from here
+    /// on. State (cache contents, predictor tables, core timelines) is
+    /// untouched.
+    pub fn freeze_stats(&mut self) {
+        self.baseline = Some(Box::new(self.snapshot()));
+    }
+
+    /// A non-destructive snapshot of the *cumulative* statistics (warmup
+    /// included), as of the accesses processed so far.
+    pub fn snapshot(&self) -> SimStats {
+        let mut stats = self.stats.clone();
+        stats.cycles = self.ready.iter().map(|c| c.value()).max().unwrap_or(0);
+        stats.l1 = self.hierarchy.l1_stats();
+        stats.l2 = self.hierarchy.l2_stats();
+        stats.llc = self.hierarchy.llc_stats();
         if let Some(sp) = &self.secure {
-            self.stats.ctr_cache = *sp.ctr_cache().stats();
-            self.stats.mt_cache = *sp.mt_cache().stats();
-            self.stats.ctr_overflows = sp.overflows();
+            stats.ctr_cache = *sp.ctr_cache().stats();
+            stats.mt_cache = *sp.mt_cache().stats();
+            stats.ctr_overflows = sp.overflows();
             if let Some(loc) = sp.locality() {
-                self.stats.ctr_pred = *loc.stats();
+                stats.ctr_pred = *loc.stats();
             }
         }
         if let Some(dp) = &self.data_pred {
-            self.stats.data_pred = *dp.stats();
+            stats.data_pred = *dp.stats();
         }
-        self.stats.dram = *self.dram.stats();
-        self.stats
+        stats.dram = *self.dram.stats();
+        stats
+    }
+
+    /// The baseline frozen by the last [`Simulator::warmup`] /
+    /// [`Simulator::freeze_stats`] call, or zeroed statistics if none was
+    /// frozen — `snapshot().since(&frozen_baseline())` is the current
+    /// measurement window either way. Lets one simulator measure several
+    /// windows without being consumed by [`Simulator::finalize`].
+    pub fn frozen_baseline(&self) -> SimStats {
+        match &self.baseline {
+            Some(baseline) => (**baseline).clone(),
+            None => SimStats::default(),
+        }
+    }
+
+    /// Finishes the run and extracts statistics. With a warmup baseline
+    /// ([`Simulator::warmup`] / [`Simulator::freeze_stats`]), reports only
+    /// the measurement window after it.
+    pub fn finalize(self) -> SimStats {
+        let stats = self.snapshot();
+        match &self.baseline {
+            Some(baseline) => stats.since(baseline),
+            None => stats,
+        }
     }
 
     fn on_chip_latency(&self, hit: DataHit) -> u64 {
@@ -172,8 +223,7 @@ impl Simulator {
                     // both starting right after the L1 miss — L2/LLC lookup
                     // happens in parallel and is off the critical path.
                     let sp = self.secure.as_mut().expect("COSMOS is secure");
-                    let ctr =
-                        sp.ctr_read(line, t_l1_miss, &mut self.dram, &mut self.stats.traffic);
+                    let ctr = sp.ctr_read(line, t_l1_miss, &mut self.dram, &mut self.stats.traffic);
                     let data_done = self.dram.access(line, t_l1_miss, false);
                     self.stats.traffic.data_reads += 1;
                     sp.mac_read(&mut self.stats.traffic);
@@ -402,7 +452,10 @@ mod tests {
         cfg.sample_interval = 1000;
         let stats = Simulator::new(cfg).run(&t);
         assert_eq!(stats.timeline.len(), 5);
-        assert!(stats.timeline.windows(2).all(|w| w[0].accesses < w[1].accesses));
+        assert!(stats
+            .timeline
+            .windows(2)
+            .all(|w| w[0].accesses < w[1].accesses));
     }
 
     #[test]
@@ -455,6 +508,53 @@ mod tests {
         let mc = Simulator::new(tiny_config(Design::MorphCtr)).run(&t);
         // Secure cold read pays CTR DRAM + Merkle + AES + auth on top of NP.
         assert!(mc.total_read_latency > np.total_read_latency + 100);
+    }
+
+    #[test]
+    fn warmup_excludes_prefix_from_stats() {
+        let t = random_trace(6_000, 20_000, 0.2, 9);
+        let half = t.len() / 2;
+        let (prefix, suffix) = t.as_slice().split_at(half);
+
+        let mut sim = Simulator::new(tiny_config(Design::Cosmos));
+        sim.warmup(prefix.iter());
+        for a in suffix {
+            sim.step(a);
+        }
+        let window = sim.finalize();
+        assert_eq!(window.accesses, suffix.len() as u64);
+
+        // The warmup path must agree exactly with an explicit
+        // snapshot-and-subtract over the same access stream.
+        let mut manual = Simulator::new(tiny_config(Design::Cosmos));
+        for a in prefix {
+            manual.step(a);
+        }
+        let base = manual.snapshot();
+        for a in suffix {
+            manual.step(a);
+        }
+        let expected = manual.finalize().since(&base);
+        assert_eq!(window, expected);
+
+        // And the window is a strict subset of the full run.
+        let full = Simulator::new(tiny_config(Design::Cosmos)).run(&t);
+        assert!(window.cycles < full.cycles);
+        assert!(window.l1.total() < full.l1.total());
+        assert!(window.traffic.total() <= full.traffic.total());
+    }
+
+    #[test]
+    fn freeze_stats_without_warmup_reports_everything_after() {
+        let t = random_trace(2_000, 10_000, 0.2, 10);
+        let mut sim = Simulator::new(tiny_config(Design::MorphCtr));
+        sim.freeze_stats();
+        for a in t.iter() {
+            sim.step(a);
+        }
+        let stats = sim.finalize();
+        assert_eq!(stats.accesses, t.len() as u64);
+        assert!(stats.cycles > 0);
     }
 
     #[test]

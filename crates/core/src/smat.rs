@@ -35,9 +35,9 @@ pub fn smat(config: &SimConfig, stats: &SimStats) -> Smat {
 
     let ctr_term = if config.design.is_secure() {
         let mr_ctr = stats.ctr_cache.demand.miss_rate();
-        let ctr_hit =
-            config.ctr_cache.latency as f64 + config.ctr_combine_latency as f64
-                + config.aes_latency as f64;
+        let ctr_hit = config.ctr_cache.latency as f64
+            + config.ctr_combine_latency as f64
+            + config.aes_latency as f64;
         // A CTR miss adds the counter DRAM trip and verification; the MT
         // hash checks overlap AES, so the verify term is the authentication
         // latency.
@@ -51,8 +51,7 @@ pub fn smat(config: &SimConfig, stats: &SimStats) -> Smat {
     let total = config.l1.latency as f64
         + mr_l1
             * (config.l2.latency as f64
-                + mr_l2
-                    * (config.llc.latency as f64 + mr_llc * (ctr_term + dram_latency)));
+                + mr_l2 * (config.llc.latency as f64 + mr_llc * (ctr_term + dram_latency)));
     Smat {
         total,
         ctr_term,

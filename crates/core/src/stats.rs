@@ -50,6 +50,27 @@ impl TrafficBreakdown {
     pub const fn metadata_total(&self) -> u64 {
         self.total() - self.data_reads - self.data_writes
     }
+
+    /// Traffic accumulated since `baseline` (saturating per field), for
+    /// warmup-excluding measurement windows.
+    pub const fn since(&self, baseline: &TrafficBreakdown) -> TrafficBreakdown {
+        TrafficBreakdown {
+            data_reads: self.data_reads.saturating_sub(baseline.data_reads),
+            data_writes: self.data_writes.saturating_sub(baseline.data_writes),
+            ctr_reads: self.ctr_reads.saturating_sub(baseline.ctr_reads),
+            ctr_writes: self.ctr_writes.saturating_sub(baseline.ctr_writes),
+            mt_reads: self.mt_reads.saturating_sub(baseline.mt_reads),
+            mt_writes: self.mt_writes.saturating_sub(baseline.mt_writes),
+            mac_reads: self.mac_reads.saturating_sub(baseline.mac_reads),
+            mac_writes: self.mac_writes.saturating_sub(baseline.mac_writes),
+            reencrypt_writes: self
+                .reencrypt_writes
+                .saturating_sub(baseline.reencrypt_writes),
+            killed_speculative: self
+                .killed_speculative
+                .saturating_sub(baseline.killed_speculative),
+        }
+    }
 }
 
 /// A convergence sample (paper Figure 8).
@@ -132,6 +153,41 @@ impl SimStats {
     pub fn traffic_bytes(&self) -> u64 {
         self.traffic.total() * 64
     }
+
+    /// Statistics accumulated since `baseline` — the measurement window of
+    /// a warmed-up run. Every counter subtracts saturating; the timeline
+    /// keeps only points sampled after the baseline.
+    pub fn since(&self, baseline: &SimStats) -> SimStats {
+        SimStats {
+            instructions: self.instructions.saturating_sub(baseline.instructions),
+            cycles: self.cycles.saturating_sub(baseline.cycles),
+            accesses: self.accesses.saturating_sub(baseline.accesses),
+            reads: self.reads.saturating_sub(baseline.reads),
+            writes: self.writes.saturating_sub(baseline.writes),
+            l1: self.l1.since(&baseline.l1),
+            l2: self.l2.since(&baseline.l2),
+            llc: self.llc.since(&baseline.llc),
+            ctr_cache: self.ctr_cache.since(&baseline.ctr_cache),
+            mt_cache: self.mt_cache.since(&baseline.mt_cache),
+            dram: self.dram.since(&baseline.dram),
+            traffic: self.traffic.since(&baseline.traffic),
+            data_pred: self.data_pred.since(&baseline.data_pred),
+            ctr_pred: self.ctr_pred.since(&baseline.ctr_pred),
+            ctr_overflows: self.ctr_overflows.saturating_sub(baseline.ctr_overflows),
+            total_read_latency: self
+                .total_read_latency
+                .saturating_sub(baseline.total_read_latency),
+            early_offchip_reads: self
+                .early_offchip_reads
+                .saturating_sub(baseline.early_offchip_reads),
+            timeline: self
+                .timeline
+                .iter()
+                .filter(|p| p.accesses > baseline.accesses)
+                .copied()
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +217,47 @@ mod tests {
         let s = SimStats::default();
         assert_eq!(s.ipc(), 0.0);
         assert_eq!(s.avg_read_latency(), 0.0);
+    }
+
+    #[test]
+    fn since_subtracts_and_filters_timeline() {
+        let baseline = SimStats {
+            instructions: 100,
+            cycles: 50,
+            accesses: 10,
+            reads: 8,
+            writes: 2,
+            total_read_latency: 400,
+            ..SimStats::default()
+        };
+        let total = SimStats {
+            instructions: 1000,
+            cycles: 600,
+            accesses: 100,
+            reads: 70,
+            writes: 30,
+            total_read_latency: 4000,
+            timeline: vec![
+                TimelinePoint {
+                    accesses: 5,
+                    ..TimelinePoint::default()
+                },
+                TimelinePoint {
+                    accesses: 50,
+                    ..TimelinePoint::default()
+                },
+            ],
+            ..SimStats::default()
+        };
+        let window = total.since(&baseline);
+        assert_eq!(window.instructions, 900);
+        assert_eq!(window.cycles, 550);
+        assert_eq!(window.accesses, 90);
+        assert_eq!(window.reads, 62);
+        assert_eq!(window.writes, 28);
+        assert_eq!(window.total_read_latency, 3600);
+        assert_eq!(window.timeline.len(), 1);
+        assert_eq!(window.timeline[0].accesses, 50);
     }
 
     #[test]

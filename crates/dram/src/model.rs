@@ -46,6 +46,19 @@ impl DramStats {
     pub const fn bytes(&self) -> u64 {
         self.requests() * LINE_SIZE as u64
     }
+
+    /// Counts accumulated since `baseline` (saturating per field), for
+    /// warmup-excluding measurement windows.
+    pub const fn since(&self, baseline: &DramStats) -> DramStats {
+        DramStats {
+            reads: self.reads.saturating_sub(baseline.reads),
+            writes: self.writes.saturating_sub(baseline.writes),
+            row_hits: self.row_hits.saturating_sub(baseline.row_hits),
+            row_closed: self.row_closed.saturating_sub(baseline.row_closed),
+            row_conflicts: self.row_conflicts.saturating_sub(baseline.row_conflicts),
+            queue_cycles: self.queue_cycles.saturating_sub(baseline.queue_cycles),
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -172,7 +185,10 @@ mod tests {
         let mut d = dram();
         let t0 = Cycle::new(100);
         let done = d.access(LineAddr::new(0), t0, false);
-        assert_eq!(done - t0, Cycle::new(DramConfig::ddr4_2400().timings.row_closed()));
+        assert_eq!(
+            done - t0,
+            Cycle::new(DramConfig::ddr4_2400().timings.row_closed())
+        );
         assert_eq!(d.stats().row_closed, 1);
     }
 

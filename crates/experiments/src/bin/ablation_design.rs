@@ -8,8 +8,8 @@
 
 use cosmos_common::json::json;
 use cosmos_core::Design;
-use cosmos_experiments::runner::{run_jobs, Job};
-use cosmos_experiments::{emit_json, f3, pct, print_table, Args, GraphSet};
+use cosmos_experiments::runner::Job;
+use cosmos_experiments::{emit_json, f3, pct, print_table, run_grid, Args, GraphSet};
 use cosmos_workloads::graph::{GraphKernel, LayoutMode};
 
 fn main() {
@@ -59,16 +59,20 @@ fn main() {
     }
     for (name, small) in size_variants {
         jobs.push(
-            Job::new(format!("ctr_size/{name}"), Design::Cosmos, &trace, args.seed).with_tweak(
-                move |c| {
-                    if small {
-                        *c = c.clone().with_paper_ctr_sizes();
-                    }
-                },
-            ),
+            Job::new(
+                format!("ctr_size/{name}"),
+                Design::Cosmos,
+                &trace,
+                args.seed,
+            )
+            .with_tweak(move |c| {
+                if small {
+                    *c = c.clone().with_paper_ctr_sizes();
+                }
+            }),
         );
     }
-    let mut outcomes = run_jobs(jobs, args.jobs).into_iter();
+    let mut outcomes = run_grid(jobs, &args).into_iter();
 
     let mut rows = Vec::new();
     let mut results = Vec::new();
@@ -115,5 +119,9 @@ fn main() {
 
     println!("## Design ablations (DFS)\n");
     print_table(&["variant", "CTR miss", "IPC"], &rows);
-    emit_json(&args, "ablation_design", &json!({"accesses": args.accesses, "rows": results}));
+    emit_json(
+        &args,
+        "ablation_design",
+        &json!({"accesses": args.accesses, "rows": results}),
+    );
 }

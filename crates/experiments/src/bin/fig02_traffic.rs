@@ -3,8 +3,8 @@
 
 use cosmos_common::json::json;
 use cosmos_core::Design;
-use cosmos_experiments::runner::{run_jobs, Job};
-use cosmos_experiments::{emit_json, f3, pct, print_table, Args, GraphSet};
+use cosmos_experiments::runner::Job;
+use cosmos_experiments::{emit_json, f3, pct, print_table, run_grid, Args, GraphSet};
 use cosmos_workloads::graph::GraphKernel;
 
 fn main() {
@@ -26,7 +26,7 @@ fn main() {
             ));
         }
     }
-    let mut outcomes = run_jobs(jobs, args.jobs).into_iter();
+    let mut outcomes = run_grid(jobs, &args).into_iter();
 
     let mut rows = Vec::new();
     let mut results = Vec::new();
@@ -65,10 +65,13 @@ fn main() {
     println!("## Figure 2: traffic breakdown (normalized to NP total) + CTR miss rate\n");
     print_table(
         &[
-            "kernel", "data_rd", "data_wr", "ctr", "mt", "mac", "reenc", "total/NP",
-            "CTR miss",
+            "kernel", "data_rd", "data_wr", "ctr", "mt", "mac", "reenc", "total/NP", "CTR miss",
         ],
         &rows,
     );
-    emit_json(&args, "fig02", &json!({ "accesses": args.accesses, "rows": results }));
+    emit_json(
+        &args,
+        "fig02",
+        &json!({ "accesses": args.accesses, "rows": results }),
+    );
 }

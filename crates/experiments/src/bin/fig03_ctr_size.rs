@@ -3,8 +3,8 @@
 
 use cosmos_common::json::json;
 use cosmos_core::Design;
-use cosmos_experiments::runner::{run_jobs, Job};
-use cosmos_experiments::{emit_json, pct, print_table, Args, GraphSet};
+use cosmos_experiments::runner::Job;
+use cosmos_experiments::{emit_json, pct, print_table, run_grid, Args, GraphSet};
 use cosmos_workloads::graph::GraphKernel;
 
 const SIZES_KB: [usize; 5] = [128, 256, 512, 1024, 2048];
@@ -29,7 +29,7 @@ fn main() {
             );
         }
     }
-    let mut outcomes = run_jobs(jobs, args.jobs).into_iter();
+    let mut outcomes = run_grid(jobs, &args).into_iter();
 
     let mut rows = Vec::new();
     let mut results = Vec::new();
@@ -46,5 +46,9 @@ fn main() {
     }
     println!("## Figure 3: CTR cache size vs. miss rate (MorphCtr)\n");
     print_table(&["kernel", "128KB", "256KB", "512KB", "1MB", "2MB"], &rows);
-    emit_json(&args, "fig03", &json!({"accesses": args.accesses, "rows": results}));
+    emit_json(
+        &args,
+        "fig03",
+        &json!({"accesses": args.accesses, "rows": results}),
+    );
 }

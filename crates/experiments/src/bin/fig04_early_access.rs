@@ -6,8 +6,8 @@
 
 use cosmos_common::json::json;
 use cosmos_core::Design;
-use cosmos_experiments::runner::{run_jobs, Job};
-use cosmos_experiments::{emit_json, f3, pct, print_table, Args, GraphSet};
+use cosmos_experiments::runner::Job;
+use cosmos_experiments::{emit_json, f3, pct, print_table, run_grid, Args, GraphSet};
 use cosmos_workloads::graph::GraphKernel;
 
 fn main() {
@@ -29,7 +29,7 @@ fn main() {
             ));
         }
     }
-    let mut outcomes = run_jobs(jobs, args.jobs).into_iter();
+    let mut outcomes = run_grid(jobs, &args).into_iter();
 
     let mut rows = Vec::new();
     let mut results = Vec::new();
@@ -37,8 +37,7 @@ fn main() {
     for (kernel, _) in &traces {
         let after_llc = outcomes.next().expect("morphctr result").stats;
         let after_l1 = outcomes.next().expect("emcc result").stats;
-        let traffic_ratio =
-            after_l1.traffic.total() as f64 / after_llc.traffic.total() as f64;
+        let traffic_ratio = after_l1.traffic.total() as f64 / after_llc.traffic.total() as f64;
         let mt_ratio = after_l1.traffic.mt_reads as f64 / after_llc.traffic.mt_reads.max(1) as f64;
         miss_drop.push(after_llc.ctr_miss_rate() - after_l1.ctr_miss_rate());
         rows.push(vec![
@@ -68,7 +67,10 @@ fn main() {
         &rows,
     );
     let avg_drop = miss_drop.iter().sum::<f64>() / miss_drop.len() as f64;
-    println!("\naverage CTR miss-rate reduction: {:.1} points", avg_drop * 100.0);
+    println!(
+        "\naverage CTR miss-rate reduction: {:.1} points",
+        avg_drop * 100.0
+    );
     emit_json(
         &args,
         "fig04",

@@ -9,8 +9,8 @@
 use cosmos_cache::{PolicyKind, PrefetcherKind};
 use cosmos_common::json::json;
 use cosmos_core::Design;
-use cosmos_experiments::runner::{run_jobs, Job};
-use cosmos_experiments::{emit_json, f3, pct, print_table, Args, GraphSet};
+use cosmos_experiments::runner::Job;
+use cosmos_experiments::{emit_json, f3, pct, print_table, run_grid, Args, GraphSet};
 use cosmos_workloads::graph::GraphKernel;
 
 fn main() {
@@ -38,7 +38,7 @@ fn main() {
             })
         })
         .collect();
-    let outcomes = run_jobs(jobs, args.jobs);
+    let outcomes = run_grid(jobs, &args);
 
     let base_ipc = outcomes[0].stats.ipc();
     let mut rows = Vec::new();
@@ -67,5 +67,9 @@ fn main() {
     }
     println!("## Figure 5: classic optimizations on the CTR cache (DFS)\n");
     print_table(&["variant", "CTR miss", "IPC / LRU", "prefetch acc"], &rows);
-    emit_json(&args, "fig05", &json!({"accesses": args.accesses, "rows": results}));
+    emit_json(
+        &args,
+        "fig05",
+        &json!({"accesses": args.accesses, "rows": results}),
+    );
 }

@@ -3,11 +3,11 @@
 //! accesses increase, for BFS (graph, similar to the tuning workload) and
 //! MLP (non-graph, unseen).
 
+use cosmos_common::json::json;
 use cosmos_core::Design;
 use cosmos_experiments::{emit_json, pct, print_table, run_with, Args, GraphSet};
 use cosmos_workloads::graph::GraphKernel;
 use cosmos_workloads::ml::MlModel;
-use cosmos_common::json::json;
 
 fn main() {
     // Default sweep reaches 4M accesses; `--large` reaches the paper's 10M.
@@ -43,5 +43,9 @@ fn main() {
         println!();
         results.push(json!({"workload": name, "series": series}));
     }
-    emit_json(&args, "fig08", &json!({"accesses": args.accesses, "rows": results}));
+    emit_json(
+        &args,
+        "fig08",
+        &json!({"accesses": args.accesses, "rows": results}),
+    );
 }

@@ -7,8 +7,8 @@
 
 use cosmos_common::json::json;
 use cosmos_core::Design;
-use cosmos_experiments::runner::{run_jobs, Job};
-use cosmos_experiments::{emit_json, pct, print_table, Args, GraphSet};
+use cosmos_experiments::runner::Job;
+use cosmos_experiments::{emit_json, pct, print_table, run_grid, Args, GraphSet};
 use cosmos_workloads::graph::GraphKernel;
 
 const CET_SIZES: [usize; 6] = [1024, 2048, 4096, 8192, 10240, 16384];
@@ -25,7 +25,7 @@ fn main() {
                 .with_tweak(move |c| c.cet_entries = entries)
         })
         .collect();
-    let outcomes = run_jobs(jobs, args.jobs);
+    let outcomes = run_grid(jobs, &args);
 
     let mut rows = Vec::new();
     let mut results = Vec::new();
@@ -44,5 +44,9 @@ fn main() {
     }
     println!("## Figure 9: CET entries vs. good-locality fraction and LCR miss rate (DFS)\n");
     print_table(&["CET entries", "marked good", "LCR-CTR miss"], &rows);
-    emit_json(&args, "fig09", &json!({"accesses": args.accesses, "rows": results}));
+    emit_json(
+        &args,
+        "fig09",
+        &json!({"accesses": args.accesses, "rows": results}),
+    );
 }

@@ -7,8 +7,8 @@
 
 use cosmos_common::json::{json, Map};
 use cosmos_core::Design;
-use cosmos_experiments::runner::{run_jobs, Job};
-use cosmos_experiments::{emit_json, f3, print_table, trace_of, Args, GraphSet};
+use cosmos_experiments::runner::Job;
+use cosmos_experiments::{emit_json, f3, print_table, run_grid, trace_of, Args, GraphSet};
 use cosmos_workloads::Workload;
 
 fn main() {
@@ -34,15 +34,10 @@ fn main() {
             args.seed,
         ));
         for d in designs {
-            jobs.push(Job::new(
-                format!("{}/{d}", w.name()),
-                d,
-                trace,
-                args.seed,
-            ));
+            jobs.push(Job::new(format!("{}/{d}", w.name()), d, trace, args.seed));
         }
     }
-    let mut outcomes = run_jobs(jobs, args.jobs).into_iter();
+    let mut outcomes = run_grid(jobs, &args).into_iter();
 
     let mut rows = Vec::new();
     let mut results = Vec::new();

@@ -4,10 +4,10 @@
 //! Reports the four quadrants — correct on-chip, correct off-chip, wrong
 //! on-chip, wrong off-chip — as fractions of all L1-miss predictions.
 
+use cosmos_common::json::json;
 use cosmos_core::Design;
 use cosmos_experiments::{emit_json, pct, print_table, run, Args, GraphSet};
 use cosmos_workloads::graph::GraphKernel;
-use cosmos_common::json::json;
 
 fn main() {
     let args = Args::parse(2_000_000);
@@ -54,5 +54,9 @@ fn main() {
         "\nmean accuracy: {:.1}% (paper: ~85%)",
         total_acc / GraphKernel::all().len() as f64 * 100.0
     );
-    emit_json(&args, "fig12", &json!({"accesses": args.accesses, "rows": results}));
+    emit_json(
+        &args,
+        "fig12",
+        &json!({"accesses": args.accesses, "rows": results}),
+    );
 }

@@ -4,10 +4,10 @@
 //! The paper's point: the post-LLC stream is locality-starved (~5% good),
 //! while early access exposes far more reusable CTRs (~20%).
 
+use cosmos_common::json::json;
 use cosmos_core::Design;
 use cosmos_experiments::{emit_json, pct, print_table, run, Args, GraphSet};
 use cosmos_workloads::graph::GraphKernel;
-use cosmos_common::json::json;
 
 fn main() {
     let args = Args::parse(2_000_000);
@@ -38,5 +38,9 @@ fn main() {
     ]);
     println!("## Figure 13: CTR accesses classified good locality\n");
     print_table(&["kernel", "COSMOS", "COSMOS-CP"], &rows);
-    emit_json(&args, "fig13", &json!({"accesses": args.accesses, "rows": results}));
+    emit_json(
+        &args,
+        "fig13",
+        &json!({"accesses": args.accesses, "rows": results}),
+    );
 }

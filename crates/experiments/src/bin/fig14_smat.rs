@@ -3,8 +3,8 @@
 
 use cosmos_common::json::{json, Map};
 use cosmos_core::{smat::smat, Design, SimConfig};
-use cosmos_experiments::runner::{run_jobs, Job};
-use cosmos_experiments::{emit_json, f3, print_table, Args, GraphSet};
+use cosmos_experiments::runner::Job;
+use cosmos_experiments::{emit_json, f3, print_table, run_grid, Args, GraphSet};
 use cosmos_workloads::graph::GraphKernel;
 
 fn main() {
@@ -27,7 +27,7 @@ fn main() {
             ));
         }
     }
-    let mut outcomes = run_jobs(jobs, args.jobs).into_iter();
+    let mut outcomes = run_grid(jobs, &args).into_iter();
 
     let mut rows = Vec::new();
     let mut results = Vec::new();
@@ -56,5 +56,9 @@ fn main() {
         &["kernel", "MorphCtr", "COSMOS-CP", "COSMOS-DP", "COSMOS"],
         &rows,
     );
-    emit_json(&args, "fig14", &json!({"accesses": args.accesses, "rows": results}));
+    emit_json(
+        &args,
+        "fig14",
+        &json!({"accesses": args.accesses, "rows": results}),
+    );
 }

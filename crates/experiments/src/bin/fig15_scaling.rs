@@ -4,8 +4,8 @@
 
 use cosmos_common::json::json;
 use cosmos_core::{Design, SimConfig};
-use cosmos_experiments::runner::{run_jobs, Job};
-use cosmos_experiments::{emit_json, f3, print_table, Args, GraphSet};
+use cosmos_experiments::runner::Job;
+use cosmos_experiments::{emit_json, f3, print_table, run_grid, Args, GraphSet};
 use cosmos_workloads::graph::GraphKernel;
 
 const KERNELS: [GraphKernel; 7] = [
@@ -55,7 +55,7 @@ fn main() {
             );
         }
     }
-    let mut outcomes = run_jobs(jobs, args.jobs).into_iter();
+    let mut outcomes = run_grid(jobs, &args).into_iter();
 
     let mut rows = Vec::new();
     let mut results = Vec::new();
@@ -88,5 +88,9 @@ fn main() {
         gains[0] / KERNELS.len() as f64 * 100.0,
         gains[1] / KERNELS.len() as f64 * 100.0
     );
-    emit_json(&args, "fig15", &json!({"accesses": args.accesses, "rows": results}));
+    emit_json(
+        &args,
+        "fig15",
+        &json!({"accesses": args.accesses, "rows": results}),
+    );
 }

@@ -4,8 +4,8 @@
 
 use cosmos_common::json::json;
 use cosmos_core::Design;
-use cosmos_experiments::runner::{run_jobs, Job};
-use cosmos_experiments::{emit_json, f3, print_table, Args, GraphSet};
+use cosmos_experiments::runner::Job;
+use cosmos_experiments::{emit_json, f3, print_table, run_grid, Args, GraphSet};
 use cosmos_workloads::graph::GraphKernel;
 
 const DESIGNS: [Design; 4] = [Design::Np, Design::Emcc, Design::Rmcc, Design::Cosmos];
@@ -29,7 +29,7 @@ fn main() {
             ));
         }
     }
-    let mut outcomes = run_jobs(jobs, args.jobs).into_iter();
+    let mut outcomes = run_grid(jobs, &args).into_iter();
 
     let mut rows = Vec::new();
     let mut results = Vec::new();
@@ -66,5 +66,9 @@ fn main() {
         gain_emcc / n * 100.0,
         gain_rmcc / n * 100.0
     );
-    emit_json(&args, "fig16", &json!({"accesses": args.accesses, "rows": results}));
+    emit_json(
+        &args,
+        "fig16",
+        &json!({"accesses": args.accesses, "rows": results}),
+    );
 }

@@ -7,8 +7,8 @@
 
 use cosmos_common::json::json;
 use cosmos_core::Design;
-use cosmos_experiments::runner::{run_jobs, Job};
-use cosmos_experiments::{emit_json, f3, print_table, trace_of, Args};
+use cosmos_experiments::runner::Job;
+use cosmos_experiments::{emit_json, f3, print_table, run_grid, trace_of, Args};
 use cosmos_workloads::Workload;
 
 const DESIGNS: [Design; 3] = [Design::Np, Design::MorphCtr, Design::Cosmos];
@@ -30,7 +30,7 @@ fn main() {
             ));
         }
     }
-    let mut outcomes = run_jobs(jobs, args.jobs).into_iter();
+    let mut outcomes = run_grid(jobs, &args).into_iter();
 
     let mut rows = Vec::new();
     let mut results = Vec::new();
@@ -65,5 +65,9 @@ fn main() {
         "\nmean COSMOS-over-MorphCtr gain: {:+.1}% (paper: ~+3%, no regression)",
         gain / suite.len() as f64 * 100.0
     );
-    emit_json(&args, "fig17", &json!({"accesses": args.accesses, "rows": results}));
+    emit_json(
+        &args,
+        "fig17",
+        &json!({"accesses": args.accesses, "rows": results}),
+    );
 }

@@ -6,8 +6,8 @@
 
 use cosmos_common::json::json;
 use cosmos_core::Design;
-use cosmos_experiments::runner::{run_jobs, Job};
-use cosmos_experiments::{emit_json, f3, print_table, Args, GraphSet};
+use cosmos_experiments::runner::Job;
+use cosmos_experiments::{emit_json, f3, print_table, run_grid, Args, GraphSet};
 use cosmos_rl::params::{CtrRewards, DataRewards};
 use cosmos_workloads::graph::GraphKernel;
 
@@ -81,7 +81,7 @@ fn main() {
             })
         })
         .collect();
-    let outcomes = run_jobs(jobs, args.jobs);
+    let outcomes = run_grid(jobs, &args);
 
     let mut best: Option<(f64, (f32, f32, f32))> = None;
     let mut rows = Vec::new();

@@ -3,15 +3,27 @@ use cosmos_workloads::{graph::GraphKernel, TraceSpec, Workload};
 use std::time::Instant;
 
 fn main() {
-    let accesses: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2_000_000);
+    let accesses: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
     let kernel = match std::env::args().nth(2).as_deref() {
-        Some("bfs") => GraphKernel::Bfs, Some("pr") => GraphKernel::Pr, _ => GraphKernel::Dfs,
+        Some("bfs") => GraphKernel::Bfs,
+        Some("pr") => GraphKernel::Pr,
+        _ => GraphKernel::Dfs,
     };
     let spec = TraceSpec::paper_default(accesses, 42);
     let t0 = Instant::now();
     let trace = Workload::Graph(kernel).generate(&spec);
     println!("trace gen: {} accesses in {:?}", trace.len(), t0.elapsed());
-    for d in [Design::Np, Design::MorphCtr, Design::Emcc, Design::CosmosDp, Design::CosmosCp, Design::Cosmos] {
+    for d in [
+        Design::Np,
+        Design::MorphCtr,
+        Design::Emcc,
+        Design::CosmosDp,
+        Design::CosmosCp,
+        Design::Cosmos,
+    ] {
         let t0 = Instant::now();
         let stats = Simulator::new(SimConfig::paper_default(d)).run(&trace);
         let m = smat(&SimConfig::paper_default(d), &stats);

@@ -13,8 +13,9 @@
 use std::path::{Path, PathBuf};
 
 use cosmos_common::json::{json, Map, Value};
-use cosmos_experiments::throughput::{measure, to_json, DESIGNS};
+use cosmos_experiments::throughput::{measure, measure_sampled, to_json, DESIGNS};
 use cosmos_experiments::{f3, print_table, Args};
+use cosmos_sampling::SamplingConfig;
 use cosmos_workloads::graph::GraphKernel;
 use cosmos_workloads::{TraceSpec, Workload};
 
@@ -34,8 +35,7 @@ fn main() {
 
     let results = measure(&trace, REPS);
     let per_design = to_json(&results);
-    let mean_rate =
-        results.iter().map(|r| r.accesses_per_sec).sum::<f64>() / results.len() as f64;
+    let mean_rate = results.iter().map(|r| r.accesses_per_sec).sum::<f64>() / results.len() as f64;
 
     let rows: Vec<Vec<String>> = results
         .iter()
@@ -52,10 +52,58 @@ fn main() {
         "## Simulator throughput ({} DFS accesses, {} reps, {} build)\n",
         trace.len(),
         REPS,
-        if cfg!(debug_assertions) { "DEBUG" } else { "release" },
+        if cfg!(debug_assertions) {
+            "DEBUG"
+        } else {
+            "release"
+        },
     );
     print_table(&["design", "Kacc/s", "run ms", "model cyc/acc"], &rows);
     println!("\nmean: {:.0} Kacc/s", mean_rate / 1e3);
+
+    // Sampled mode (`--sample`): how much faster a grid point progresses
+    // when only representative intervals are simulated. Measured on a
+    // 10×-larger trace (the figure-budget scale): below ~1 M accesses the
+    // priming floor covers most of the trace and sampling deliberately
+    // degenerates toward a full run.
+    let mut sampled_spec = spec;
+    sampled_spec.accesses = args.accesses * 10;
+    let sampled_trace = Workload::Graph(GraphKernel::Dfs).generate(&sampled_spec);
+    let sampling = SamplingConfig::for_trace(sampled_trace.len());
+    let full_at_scale = measure(&sampled_trace, REPS);
+    let sampled = measure_sampled(&sampled_trace, &sampling, REPS);
+    let mut sampled_json = Map::new();
+    let mut speedups = Vec::new();
+    let mut sampled_rows = Vec::new();
+    for (f, s) in full_at_scale.iter().zip(&sampled) {
+        let speedup = s.effective_accesses_per_sec / f.accesses_per_sec;
+        speedups.push(speedup);
+        sampled_rows.push(vec![
+            s.design.name().to_string(),
+            format!("{:.0}", s.effective_accesses_per_sec / 1e3),
+            format!("{:.1}", s.median_run_secs * 1e3),
+            format!("{speedup:.2}x"),
+        ]);
+        sampled_json.insert(
+            s.design.name(),
+            json!({
+                "effective_accesses_per_sec": s.effective_accesses_per_sec,
+                "median_run_secs": s.median_run_secs,
+                "speedup_vs_full": speedup,
+            }),
+        );
+    }
+    let mean_speedup = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    println!(
+        "\n## Sampled mode ({} of {} accesses simulated)\n",
+        sampled[0].simulated_accesses,
+        sampled_trace.len(),
+    );
+    print_table(
+        &["design", "eff Kacc/s", "run ms", "speedup"],
+        &sampled_rows,
+    );
+    println!("\nmean sampled speedup: {mean_speedup:.2}x");
 
     let snapshot = json!({
         "bench": "sim_throughput",
@@ -65,6 +113,12 @@ fn main() {
         "debug_build": cfg!(debug_assertions),
         "designs": per_design,
         "mean_accesses_per_sec": mean_rate,
+        "sampled": {
+            "accesses": sampled_trace.len(),
+            "simulated_accesses": sampled[0].simulated_accesses,
+            "designs": sampled_json,
+            "mean_speedup_vs_full": mean_speedup,
+        },
     });
     let root = repo_root();
     let snap_path = root.join("BENCH_sim.json");
@@ -82,6 +136,7 @@ fn main() {
     line.insert("accesses", Value::from(trace.len()));
     line.insert("debug_build", Value::from(cfg!(debug_assertions)));
     line.insert("mean_accesses_per_sec", Value::from(mean_rate));
+    line.insert("sampled_mean_speedup", Value::from(mean_speedup));
     for (design, r) in DESIGNS.iter().zip(&results) {
         line.insert(design.name(), Value::from(r.accesses_per_sec));
     }

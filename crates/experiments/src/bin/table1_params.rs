@@ -1,8 +1,8 @@
 //! Table 1: the reward values and hyperparameters COSMOS ships with.
 
+use cosmos_common::json::json;
 use cosmos_experiments::{emit_json, print_table, Args};
 use cosmos_rl::params::{CtrRewards, DataRewards, RlParams};
-use cosmos_common::json::json;
 
 fn main() {
     let args = Args::parse(0);

@@ -4,15 +4,20 @@
 //! values are printed alongside (the paper rounds per component and
 //! assumes a larger LCR line budget — see EXPERIMENTS.md).
 
+use cosmos_common::json::json;
 use cosmos_core::{overhead::storage_overhead, Design, SimConfig};
 use cosmos_experiments::{emit_json, print_table, Args};
-use cosmos_common::json::json;
 
 fn main() {
     let args = Args::parse(0);
     let cfg = SimConfig::paper_default(Design::Cosmos).with_paper_ctr_sizes();
     let o = storage_overhead(&cfg);
-    let paper_kb = [("Data Q-Table", 32), ("CTR Q-Table", 32), ("CET", 66), ("LCR-CTR cache", 17)];
+    let paper_kb = [
+        ("Data Q-Table", 32),
+        ("CTR Q-Table", 32),
+        ("CET", 66),
+        ("LCR-CTR cache", 17),
+    ];
 
     println!("## Table 2: storage overhead of COSMOS\n");
     let mut rows = Vec::new();

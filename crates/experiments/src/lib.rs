@@ -19,12 +19,28 @@ pub mod throughput;
 use cosmos_common::json::Value;
 use cosmos_common::{PhysAddr, Trace};
 use cosmos_core::{Design, SimConfig, SimStats, Simulator};
+use cosmos_sampling::SamplingConfig;
 use cosmos_workloads::graph::{Graph, GraphKernel, GraphLayout};
 use cosmos_workloads::{TraceSpec, Workload};
 use std::path::PathBuf;
 
+/// Flag reference printed by `--help` and on argument errors.
+pub const USAGE: &str = "usage: <experiment> [OPTIONS]
+
+options:
+  --accesses N   access budget per trace (positive; figure-specific default)
+  --seed N       trace/predictor seed (default 42)
+  --large        paper-scale run: 4x the access budget
+  --sample       representative-interval sampling instead of full traces
+                 (phase clustering + warmup; see DESIGN.md \"Sampling\")
+  --jobs N       worker threads for grid sweeps (default: COSMOS_JOBS or
+                 the machine's available parallelism)
+  --json PATH    write the JSON result document to PATH instead of
+                 the default results/<name>.json
+  --help         print this help and exit";
+
 /// Command-line arguments shared by all experiment binaries.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Args {
     /// Access budget per trace.
     pub accesses: usize,
@@ -32,6 +48,8 @@ pub struct Args {
     pub seed: u64,
     /// Paper-scale run (`--large`): 4× the default budget.
     pub large: bool,
+    /// Sampled mode (`--sample`): simulate representative intervals only.
+    pub sample: bool,
     /// Where to write the machine-readable results.
     pub json: Option<PathBuf>,
     /// Worker threads for grid sweeps (`--jobs N`, `COSMOS_JOBS`, or the
@@ -42,56 +60,95 @@ pub struct Args {
 impl Args {
     /// Parses `std::env::args`, with a figure-specific default budget.
     ///
-    /// # Panics
-    ///
-    /// Panics on unknown or malformed arguments.
+    /// Prints [`USAGE`] and exits on `--help` (status 0) or on an unknown
+    /// or malformed argument (status 2).
     pub fn parse(default_accesses: usize) -> Args {
+        match Self::try_parse(std::env::args().skip(1), default_accesses) {
+            Ok(Some(args)) => args,
+            Ok(None) => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            Err(err) => {
+                eprintln!("error: {err}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The testable parse core. `Ok(None)` means `--help` was requested.
+    pub fn try_parse(
+        argv: impl IntoIterator<Item = String>,
+        default_accesses: usize,
+    ) -> Result<Option<Args>, String> {
         let mut args = Args {
             accesses: default_accesses,
             seed: 42,
             large: false,
+            sample: false,
             json: None,
             jobs: default_jobs(),
         };
-        let mut it = std::env::args().skip(1);
+        let mut it = argv.into_iter();
         while let Some(a) = it.next() {
+            let mut number = |flag: &str| -> Result<u64, String> {
+                let v = it.next().ok_or_else(|| format!("{flag} needs a number"))?;
+                v.parse()
+                    .map_err(|_| format!("{flag} needs a number, got {v:?}"))
+            };
             match a.as_str() {
+                "--help" | "-h" => return Ok(None),
                 "--accesses" => {
-                    args.accesses = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--accesses needs a number");
+                    let n = number("--accesses")?;
+                    if n == 0 {
+                        return Err("--accesses must be positive".into());
+                    }
+                    args.accesses = n as usize;
                 }
-                "--seed" => {
-                    args.seed = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--seed needs a number");
-                }
+                "--seed" => args.seed = number("--seed")?,
                 "--large" => args.large = true,
+                "--sample" => args.sample = true,
                 "--json" => {
-                    args.json = Some(PathBuf::from(it.next().expect("--json needs a path")));
+                    let path = it.next().ok_or("--json needs a path")?;
+                    args.json = Some(PathBuf::from(path));
                 }
                 "--jobs" => {
-                    let n: usize = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--jobs needs a number");
-                    args.jobs = n.max(1);
+                    let n = number("--jobs")?;
+                    if n == 0 {
+                        return Err("--jobs must be positive".into());
+                    }
+                    args.jobs = n as usize;
                 }
-                other => panic!("unknown argument: {other}"),
+                other => return Err(format!("unknown argument: {other}")),
             }
         }
         if args.large {
             args.accesses *= 4;
         }
-        args
+        Ok(Some(args))
     }
 
     /// The trace spec for this run.
     pub fn spec(&self) -> TraceSpec {
         TraceSpec::paper_default(self.accesses, self.seed)
     }
+
+    /// The sampling configuration for this run's budget — `Some` exactly
+    /// when `--sample` was passed. Feed it to
+    /// [`Job::with_sample`](runner::Job::with_sample).
+    pub fn sampling(&self) -> Option<SamplingConfig> {
+        self.sample
+            .then(|| SamplingConfig::for_trace(self.accesses))
+    }
+}
+
+/// Runs a job grid under `args`: applies `--sample` to every job and fans
+/// out over `--jobs` workers. The figure binaries call this instead of
+/// [`runner::run_jobs`] directly so every grid honors sampled mode.
+pub fn run_grid<'a>(jobs: Vec<runner::Job<'a>>, args: &Args) -> Vec<runner::JobResult> {
+    let sampling = args.sampling();
+    let jobs = jobs.into_iter().map(|j| j.with_sample(sampling)).collect();
+    runner::run_jobs(jobs, args.jobs)
 }
 
 /// The default worker count: `COSMOS_JOBS` when set and positive, otherwise
@@ -204,12 +261,15 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
-/// Writes the JSON result document to `--json` (when passed) and to
-/// `results/<name>.json`.
+/// Writes the JSON result document to `--json` when passed, otherwise to
+/// `results/<name>.json` — an explicit path *redirects* the document, so
+/// off-budget runs (CI smoke tests, scratch sweeps) don't clobber the
+/// committed default-budget artifacts.
 pub fn emit_json(args: &Args, name: &str, value: &Value) {
     let pretty = value.pretty();
     if let Some(path) = &args.json {
         std::fs::write(path, &pretty).expect("write json");
+        return;
     }
     let results = std::path::Path::new("results");
     if results.is_dir() || std::fs::create_dir_all(results).is_ok() {
@@ -254,5 +314,73 @@ mod tests {
         assert_eq!(row(&["a".into(), "b".into()]), "| a | b |");
         assert_eq!(f3(1.23456), "1.235");
         assert_eq!(pct(0.256), "25.6%");
+    }
+
+    fn parse(argv: &[&str]) -> Result<Option<Args>, String> {
+        Args::try_parse(argv.iter().map(|s| s.to_string()), 1_000)
+    }
+
+    #[test]
+    fn args_parse_all_flags() {
+        let args = parse(&[
+            "--accesses",
+            "500",
+            "--seed",
+            "7",
+            "--large",
+            "--sample",
+            "--jobs",
+            "3",
+            "--json",
+            "out.json",
+        ])
+        .unwrap()
+        .unwrap();
+        assert_eq!(args.accesses, 2_000); // 500 × 4 (--large)
+        assert_eq!(args.seed, 7);
+        assert!(args.large);
+        assert!(args.sample);
+        assert_eq!(args.jobs, 3);
+        assert_eq!(args.json.as_deref(), Some(std::path::Path::new("out.json")));
+        assert_eq!(args.sampling(), Some(SamplingConfig::for_trace(2_000)));
+    }
+
+    #[test]
+    fn args_defaults_without_flags() {
+        let args = parse(&[]).unwrap().unwrap();
+        assert_eq!(args.accesses, 1_000);
+        assert_eq!(args.seed, 42);
+        assert!(!args.sample);
+        assert_eq!(args.sampling(), None);
+    }
+
+    #[test]
+    fn args_help_and_errors() {
+        assert_eq!(parse(&["--help"]).unwrap(), None);
+        assert_eq!(parse(&["-h"]).unwrap(), None);
+        for bad in [
+            &["--accesses", "0"][..],
+            &["--accesses"],
+            &["--accesses", "lots"],
+            &["--jobs", "0"],
+            &["--seed", "-1"],
+            &["--json"],
+            &["--frobnicate"],
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(!err.is_empty(), "{bad:?}");
+        }
+        // Every flag the parser knows is documented in the usage text.
+        for flag in [
+            "--accesses",
+            "--seed",
+            "--large",
+            "--sample",
+            "--jobs",
+            "--json",
+            "--help",
+        ] {
+            assert!(USAGE.contains(flag), "{flag} missing from USAGE");
+        }
     }
 }

@@ -38,6 +38,7 @@
 
 use cosmos_common::Trace;
 use cosmos_core::{Design, SimConfig, SimStats, Simulator};
+use cosmos_sampling::{run_sampled, SamplingConfig, SamplingPlan};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A configuration tweak applied on top of [`SimConfig::paper_default`].
@@ -58,6 +59,9 @@ pub struct Job<'a> {
     pub seed: u64,
     /// Optional configuration tweak (sweep parameter overrides).
     pub tweak: Option<Tweak<'a>>,
+    /// Sampled mode: simulate representative intervals under this
+    /// configuration instead of the full trace.
+    pub sample: Option<SamplingConfig>,
 }
 
 impl<'a> Job<'a> {
@@ -69,6 +73,7 @@ impl<'a> Job<'a> {
             trace,
             seed,
             tweak: None,
+            sample: None,
         }
     }
 
@@ -79,17 +84,37 @@ impl<'a> Job<'a> {
         self
     }
 
+    /// Switches the job to sampled mode (`None` keeps the full run) —
+    /// thread [`Args::sampling`](crate::Args::sampling) through here.
+    #[must_use]
+    pub fn with_sample(mut self, sample: Option<SamplingConfig>) -> Self {
+        self.sample = sample;
+        self
+    }
+
     fn execute(&self) -> JobResult {
         let mut config = SimConfig::paper_default(self.design);
         config.seed = self.seed;
         if let Some(tweak) = &self.tweak {
             tweak(&mut config);
         }
-        let stats = Simulator::new(config).run(self.trace);
+        let (stats, simulated_accesses) = match &self.sample {
+            Some(sampling) => {
+                let plan = SamplingPlan::build(self.trace, sampling);
+                let run = run_sampled(&config, self.trace, &plan);
+                (run.stats, run.simulated_accesses)
+            }
+            None => {
+                let stats = Simulator::new(config).run(self.trace);
+                let simulated = stats.accesses;
+                (stats, simulated)
+            }
+        };
         JobResult {
             label: self.label.clone(),
             design: self.design,
             stats,
+            simulated_accesses,
         }
     }
 }
@@ -101,8 +126,12 @@ pub struct JobResult {
     pub label: String,
     /// The design that ran.
     pub design: Design,
-    /// Everything the simulation measured.
+    /// Everything the simulation measured (in sampled mode: the
+    /// reconstructed full-trace estimate).
     pub stats: SimStats,
+    /// Accesses actually simulated — equals `stats.accesses` for full
+    /// runs, fewer in sampled mode.
+    pub simulated_accesses: u64,
 }
 
 /// Runs `jobs` on up to `workers` threads, returning results **in job
@@ -153,9 +182,9 @@ pub fn run_jobs(jobs: Vec<Job<'_>>, workers: usize) -> Vec<JobResult> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::GraphSet;
     use cosmos_workloads::graph::GraphKernel;
     use cosmos_workloads::{TraceSpec, Workload};
-    use crate::GraphSet;
 
     fn build_grid<'a>(traces: &'a [(String, Trace)]) -> Vec<Job<'a>> {
         let designs = [Design::Np, Design::MorphCtr, Design::Cosmos];
@@ -179,7 +208,8 @@ mod tests {
             ("bfs".to_string(), set.trace(GraphKernel::Bfs)),
             (
                 "chase".to_string(),
-                Workload::Spec(cosmos_workloads::spec::SpecKind::Mcf).generate(&TraceSpec::small_test(9).with_accesses(2500)),
+                Workload::Spec(cosmos_workloads::spec::SpecKind::Mcf)
+                    .generate(&TraceSpec::small_test(9).with_accesses(2500)),
             ),
         ]
     }
@@ -231,15 +261,42 @@ mod tests {
     }
 
     #[test]
+    fn sampled_jobs_simulate_less_and_stay_deterministic() {
+        let set = GraphSet::new(TraceSpec::small_test(7).with_accesses(40_000));
+        let trace = set.trace(GraphKernel::Bfs);
+        let sampling = Some(SamplingConfig {
+            interval_len: 4_096,
+            clusters: 3,
+            warmup_len: 1_024,
+            prime_len: 0,
+            kmeans_iters: 32,
+            seed: 9,
+        });
+        let grid = |workers| {
+            run_jobs(
+                vec![
+                    Job::new("full", Design::MorphCtr, &trace, 42),
+                    Job::new("sampled", Design::MorphCtr, &trace, 42).with_sample(sampling),
+                ],
+                workers,
+            )
+        };
+        let serial = grid(1);
+        assert_eq!(serial[0].simulated_accesses, serial[0].stats.accesses);
+        assert!(serial[1].simulated_accesses < serial[0].simulated_accesses);
+        // The estimate still spans the whole trace (up to rounding).
+        assert!(serial[1].stats.accesses.abs_diff(trace.len() as u64) <= 8);
+        // Byte-identical for any worker count.
+        assert_eq!(serial, grid(4));
+    }
+
+    #[test]
     fn tweaks_actually_apply() {
         let traces = test_traces();
         let trace = &traces[0].1;
         let base = run_jobs(vec![Job::new("base", Design::MorphCtr, trace, 42)], 1);
         let slow = run_jobs(
-            vec![
-                Job::new("slow", Design::MorphCtr, trace, 42)
-                    .with_tweak(|c| c.aes_latency = 400),
-            ],
+            vec![Job::new("slow", Design::MorphCtr, trace, 42).with_tweak(|c| c.aes_latency = 400)],
             1,
         );
         // A 10× AES latency must cost cycles.

@@ -7,6 +7,7 @@ use std::time::Instant;
 use cosmos_common::json::{json, Map};
 use cosmos_common::Trace;
 use cosmos_core::{Design, SimConfig, Simulator};
+use cosmos_sampling::{run_sampled, SamplingConfig, SamplingPlan};
 
 /// The designs measured, in report order.
 pub const DESIGNS: [Design; 7] = [
@@ -65,6 +66,57 @@ pub fn measure(trace: &Trace, reps: usize) -> Vec<DesignThroughput> {
         .collect()
 }
 
+/// One design's sampled-mode (`--sample`) throughput.
+#[derive(Clone, Debug)]
+pub struct SampledThroughput {
+    pub design: Design,
+    /// Full-trace accesses covered per wall-clock second — the effective
+    /// rate a sampled grid point progresses at.
+    pub effective_accesses_per_sec: f64,
+    /// Median wall-clock seconds for plan construction plus the sampled
+    /// run (the grids rebuild the plan per job, so both are counted).
+    pub median_run_secs: f64,
+    /// Simulated accesses under the plan (identical across designs).
+    pub simulated_accesses: u64,
+}
+
+/// Times `reps` sampled runs per design over `trace` under `sampling`,
+/// including plan construction, and returns the per-design medians.
+///
+/// # Panics
+///
+/// Panics if `reps` is zero or `trace` is empty.
+pub fn measure_sampled(
+    trace: &Trace,
+    sampling: &SamplingConfig,
+    reps: usize,
+) -> Vec<SampledThroughput> {
+    assert!(reps > 0, "need at least one rep");
+    assert!(!trace.is_empty(), "need a non-empty trace");
+    DESIGNS
+        .iter()
+        .map(|&design| {
+            let mut secs = Vec::with_capacity(reps);
+            let mut simulated = 0u64;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let plan = SamplingPlan::build(trace, sampling);
+                let run = run_sampled(&SimConfig::paper_default(design), trace, &plan);
+                secs.push(t0.elapsed().as_secs_f64());
+                simulated = run.simulated_accesses;
+            }
+            secs.sort_by(|a, b| a.total_cmp(b));
+            let median = secs[reps / 2].max(f64::MIN_POSITIVE);
+            SampledThroughput {
+                design,
+                effective_accesses_per_sec: trace.len() as f64 / median,
+                median_run_secs: median,
+                simulated_accesses: simulated,
+            }
+        })
+        .collect()
+}
+
 /// The measurements as a `{design name: {...}}` JSON map.
 pub fn to_json(results: &[DesignThroughput]) -> Map {
     let mut per_design = Map::new();
@@ -110,6 +162,26 @@ mod tests {
                 "{}: implausible cycles/access",
                 r.design
             );
+        }
+    }
+
+    #[test]
+    fn sampled_throughput_covers_every_design() {
+        let trace = tiny_trace();
+        let sampling = SamplingConfig {
+            interval_len: 256,
+            clusters: 2,
+            warmup_len: 64,
+            prime_len: 0,
+            kmeans_iters: 16,
+            seed: 1,
+        };
+        let results = measure_sampled(&trace, &sampling, 1);
+        assert_eq!(results.len(), DESIGNS.len());
+        for r in &results {
+            assert!(r.effective_accesses_per_sec > 0.0, "{}", r.design);
+            assert!(r.simulated_accesses > 0);
+            assert!(r.simulated_accesses < trace.len() as u64, "{}", r.design);
         }
     }
 

@@ -68,6 +68,19 @@ impl DataLocationStats {
     pub fn offchip_fraction(&self) -> f64 {
         cosmos_common::stats::ratio(self.correct_offchip + self.wrong_offchip, self.total())
     }
+
+    /// Counts accumulated since `baseline` (saturating per field), for
+    /// warmup-excluding measurement windows.
+    pub const fn since(&self, baseline: &DataLocationStats) -> DataLocationStats {
+        DataLocationStats {
+            correct_onchip: self.correct_onchip.saturating_sub(baseline.correct_onchip),
+            correct_offchip: self
+                .correct_offchip
+                .saturating_sub(baseline.correct_offchip),
+            wrong_offchip: self.wrong_offchip.saturating_sub(baseline.wrong_offchip),
+            wrong_onchip: self.wrong_onchip.saturating_sub(baseline.wrong_onchip),
+        }
+    }
 }
 
 /// The ε-greedy tabular agent of Algorithm 3.

@@ -81,6 +81,18 @@ impl CtrLocalityStats {
     pub fn agreement_rate(&self) -> f64 {
         cosmos_common::stats::ratio(self.agreements, self.predictions)
     }
+
+    /// Counts accumulated since `baseline` (saturating per field), for
+    /// warmup-excluding measurement windows.
+    pub const fn since(&self, baseline: &CtrLocalityStats) -> CtrLocalityStats {
+        CtrLocalityStats {
+            predictions: self.predictions.saturating_sub(baseline.predictions),
+            predicted_good: self.predicted_good.saturating_sub(baseline.predicted_good),
+            cet_hits: self.cet_hits.saturating_sub(baseline.cet_hits),
+            cet_evictions: self.cet_evictions.saturating_sub(baseline.cet_evictions),
+            agreements: self.agreements.saturating_sub(baseline.agreements),
+        }
+    }
 }
 
 /// The CTR locality agent: Q-table + CET, implementing Algorithm 1 in a

@@ -35,7 +35,10 @@ impl QuantizedQTable {
     /// Panics if `num_states == 0` or `alpha_shift > 6`.
     pub fn new(num_states: usize, alpha_shift: u32) -> Self {
         assert!(num_states > 0, "Q-table must have states");
-        assert!(alpha_shift <= 6, "alpha below 1/64 cannot move 8-bit values");
+        assert!(
+            alpha_shift <= 6,
+            "alpha below 1/64 cannot move 8-bit values"
+        );
         Self {
             q: vec![[0; 2]; num_states],
             alpha_shift,
@@ -69,8 +72,8 @@ impl QuantizedQTable {
     /// Shift-based TD update toward `target` (saturating fixed-point).
     #[inline]
     pub fn update(&mut self, state: usize, action: usize, target: f32) {
-        let t_fixed = (target * (1 << FRAC_BITS) as f32)
-            .clamp(i16::MIN as f32, i16::MAX as f32) as i16;
+        let t_fixed =
+            (target * (1 << FRAC_BITS) as f32).clamp(i16::MIN as f32, i16::MAX as f32) as i16;
         let cur = self.q[state][action] as i16;
         let delta = (t_fixed - cur) >> self.alpha_shift;
         // Guarantee progress: a non-zero error always moves at least one ULP.

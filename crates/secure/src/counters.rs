@@ -120,13 +120,9 @@ impl MorphFormat {
     pub fn fits(self, minors: &[u32]) -> bool {
         match self {
             MorphFormat::Uniform => minors.iter().all(|&m| m as u64 <= 7),
-            MorphFormat::Zcc {
-                max_nonzero,
-                width,
-            } => {
+            MorphFormat::Zcc { max_nonzero, width } => {
                 let nz = minors.iter().filter(|&&m| m != 0).count();
-                nz <= max_nonzero as usize
-                    && minors.iter().all(|&m| (m as u64) < (1u64 << width))
+                nz <= max_nonzero as usize && minors.iter().all(|&m| (m as u64) < (1u64 << width))
             }
         }
     }

@@ -230,10 +230,7 @@ fn run_pagerank(graph: &Graph, em: &mut Emitter<'_>, core: usize, cores: usize) 
                 break 'outer;
             }
             em.read_vertex_meta(v as u32);
-            let (s, e) = (
-                graph.row_ptr()[v] as usize,
-                graph.row_ptr()[v + 1] as usize,
-            );
+            let (s, e) = (graph.row_ptr()[v] as usize, graph.row_ptr()[v + 1] as usize);
             em.read(em.layout.prop(0, v as u64)); // rank[v]
             for eidx in s..e {
                 if em.full() {
@@ -261,10 +258,7 @@ fn run_coloring(graph: &Graph, em: &mut Emitter<'_>, core: usize, cores: usize) 
                 break 'outer;
             }
             em.read_vertex_meta(v as u32);
-            let (s, e) = (
-                graph.row_ptr()[v] as usize,
-                graph.row_ptr()[v + 1] as usize,
-            );
+            let (s, e) = (graph.row_ptr()[v] as usize, graph.row_ptr()[v + 1] as usize);
             let mut used = 0u64;
             for eidx in s..e {
                 if em.full() {
@@ -297,10 +291,7 @@ fn run_triangles(graph: &Graph, em: &mut Emitter<'_>, core: usize, cores: usize)
                 break 'outer;
             }
             em.read_vertex_meta(v as u32);
-            let (s, e) = (
-                graph.row_ptr()[v] as usize,
-                graph.row_ptr()[v + 1] as usize,
-            );
+            let (s, e) = (graph.row_ptr()[v] as usize, graph.row_ptr()[v + 1] as usize);
             for eidx in s..e {
                 if em.full() {
                     break 'outer;
@@ -339,10 +330,7 @@ fn run_components(graph: &Graph, em: &mut Emitter<'_>, core: usize, cores: usize
             }
             em.read_vertex_meta(v as u32);
             em.read(em.layout.prop(0, v as u64)); // label[v]
-            let (s, e) = (
-                graph.row_ptr()[v] as usize,
-                graph.row_ptr()[v + 1] as usize,
-            );
+            let (s, e) = (graph.row_ptr()[v] as usize, graph.row_ptr()[v + 1] as usize);
             let mut best = labels[v];
             for eidx in s..e {
                 if em.full() {
@@ -363,7 +351,10 @@ fn run_components(graph: &Graph, em: &mut Emitter<'_>, core: usize, cores: usize
         if !changed {
             // Converged: perturb to keep emitting until the budget is hit
             // (models the verification sweep GraphBIG performs).
-            labels.iter_mut().enumerate().for_each(|(i, l)| *l = i as u32);
+            labels
+                .iter_mut()
+                .enumerate()
+                .for_each(|(i, l)| *l = i as u32);
         }
     }
 }

@@ -139,8 +139,8 @@ impl GraphLayout {
         debug_assert!(k < self.num_props);
         match self.mode {
             LayoutMode::Csr => {
-                let stride = self.num_vertices.div_ceil(PAGE_SIZE as u64 / PROP_BYTES)
-                    * PAGE_SIZE as u64;
+                let stride =
+                    self.num_vertices.div_ceil(PAGE_SIZE as u64 / PROP_BYTES) * PAGE_SIZE as u64;
                 PhysAddr::new(self.props_base + k as u64 * stride + v * PROP_BYTES)
             }
             LayoutMode::Object => PhysAddr::new(
@@ -153,13 +153,12 @@ impl GraphLayout {
     pub fn footprint(&self) -> u64 {
         match self.mode {
             LayoutMode::Csr => {
-                let stride = self.num_vertices.div_ceil(PAGE_SIZE as u64 / PROP_BYTES)
-                    * PAGE_SIZE as u64;
+                let stride =
+                    self.num_vertices.div_ceil(PAGE_SIZE as u64 / PROP_BYTES) * PAGE_SIZE as u64;
                 self.props_base + self.num_props as u64 * stride - self.base
             }
             LayoutMode::Object => {
-                self.eheap_base + self.num_vertices * EDGE_SLOT_BYTES
-                    + self.num_edges * IDX_BYTES
+                self.eheap_base + self.num_vertices * EDGE_SLOT_BYTES + self.num_edges * IDX_BYTES
                     - self.base
             }
         }

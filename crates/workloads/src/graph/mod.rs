@@ -220,7 +220,11 @@ mod tests {
 
     #[test]
     fn generators_produce_requested_size() {
-        for kind in [GraphKind::Rmat, GraphKind::Uniform, GraphKind::BarabasiAlbert] {
+        for kind in [
+            GraphKind::Rmat,
+            GraphKind::Uniform,
+            GraphKind::BarabasiAlbert,
+        ] {
             let g = Graph::generate(kind, 500, 4, 1);
             assert_eq!(g.num_vertices(), 500, "{kind:?}");
             assert!(g.num_edges() >= 500 * 3, "{kind:?}: too few edges");

@@ -71,10 +71,7 @@ mod tests {
     fn actually_interleaves() {
         let merged = interleave(vec![stream(0, 100), stream(1, 100)], 3);
         let first_core = merged.as_slice()[0].core;
-        let first_block = merged
-            .iter()
-            .take_while(|a| a.core == first_core)
-            .count();
+        let first_block = merged.iter().take_while(|a| a.core == first_core).count();
         assert!(first_block <= 8, "chunks must be small, got {first_block}");
     }
 

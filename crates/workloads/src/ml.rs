@@ -97,12 +97,8 @@ impl MlModel {
             ],
             MlModel::ResNet => {
                 let mut layers = vec![conv(7, 3, 64, 112)];
-                for (cin, cout, sp) in [
-                    (64, 64, 56),
-                    (64, 128, 28),
-                    (128, 256, 14),
-                    (256, 512, 7),
-                ] {
+                for (cin, cout, sp) in [(64, 64, 56), (64, 128, 28), (128, 256, 14), (256, 512, 7)]
+                {
                     for _ in 0..4 {
                         layers.push(conv(3, cin, cout, sp));
                         layers.push(conv(3, cout, cout, sp));
@@ -333,7 +329,11 @@ mod tests {
         }
         // VGG is the biggest CNN here.
         let vgg: u64 = MlModel::Vgg.layers().iter().map(|l| l.weight_bytes).sum();
-        let alex: u64 = MlModel::AlexNet.layers().iter().map(|l| l.weight_bytes).sum();
+        let alex: u64 = MlModel::AlexNet
+            .layers()
+            .iter()
+            .map(|l| l.weight_bytes)
+            .sum();
         assert!(vgg > alex);
     }
 

@@ -46,13 +46,7 @@ impl SpecKind {
 
     /// Generates a multi-core trace of up to `budget` accesses over a
     /// working set of `footprint_bytes`.
-    pub fn generate(
-        self,
-        footprint_bytes: u64,
-        cores: usize,
-        budget: usize,
-        seed: u64,
-    ) -> Trace {
+    pub fn generate(self, footprint_bytes: u64, cores: usize, budget: usize, seed: u64) -> Trace {
         assert!(cores > 0, "need at least one core");
         let per_core = budget / cores;
         let streams: Vec<Trace> = (0..cores)
@@ -130,7 +124,11 @@ impl SpecKind {
                 let m = rng.next_below(pool_slots);
                 out.push(MemAccess::read(core, PhysAddr::new(pool_base + m * 128), 4));
                 if rng.chance(0.5) {
-                    out.push(MemAccess::write(core, PhysAddr::new(pool_base + m * 128 + 64), 2));
+                    out.push(MemAccess::write(
+                        core,
+                        PhysAddr::new(pool_base + m * 128 + 64),
+                        2,
+                    ));
                 }
             }
         }

@@ -92,7 +92,10 @@ impl Repeat {
     ///
     /// Panics if `trace` is empty and `total > 0`.
     pub fn new(trace: Trace, total: usize) -> Self {
-        assert!(total == 0 || !trace.is_empty(), "cannot repeat an empty trace");
+        assert!(
+            total == 0 || !trace.is_empty(),
+            "cannot repeat an empty trace"
+        );
         Self {
             trace,
             cursor: 0,

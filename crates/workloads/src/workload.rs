@@ -29,7 +29,10 @@ impl Workload {
 
     /// The 8 graph kernels only (Figures 2, 4, 11–14).
     pub fn graph_suite() -> Vec<Workload> {
-        GraphKernel::all().into_iter().map(Workload::Graph).collect()
+        GraphKernel::all()
+            .into_iter()
+            .map(Workload::Graph)
+            .collect()
     }
 
     /// The Figure-17 ML set.

@@ -1,8 +1,8 @@
 //! Property-based tests for the workload generators.
 
+use cosmos_common::PhysAddr;
 use cosmos_workloads::graph::{Graph, GraphKernel, GraphKind, GraphLayout};
 use cosmos_workloads::{TraceSpec, Workload};
-use cosmos_common::PhysAddr;
 use proptest::prelude::*;
 
 proptest! {

@@ -45,14 +45,20 @@ fn main() {
     new_orders[..25].copy_from_slice(b"new orders: hold position");
     memory.write(line, &new_orders);
     memory.replay(line, &stale);
-    println!("[4] replay of stale data+MAC -> {:?}", memory.read(line).unwrap_err());
+    println!(
+        "[4] replay of stale data+MAC -> {:?}",
+        memory.read(line).unwrap_err()
+    );
 
     // 5. Counter tamper (without the tree update only the memory controller
     //    can do): detected by Merkle verification.
     let victim = LineAddr::new(99_999);
     memory.write(victim, &secret);
     memory.tamper_counter(victim);
-    println!("[5] counter tamper -> {:?}", memory.read(victim).unwrap_err());
+    println!(
+        "[5] counter tamper -> {:?}",
+        memory.read(victim).unwrap_err()
+    );
 
     // 6. MorphCtr in action: hammer one line and watch minors morph instead
     //    of forcing page re-encryption.

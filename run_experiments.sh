@@ -4,6 +4,12 @@
 # Extra flags are forwarded to every binary — in particular `--jobs N`
 # (or the COSMOS_JOBS env var) sets the worker-thread count for the
 # grid-shaped experiments; by default they use all available cores.
+#
+# Not in the list: `sampling_validation` (sampled-vs-full error
+# accounting). Its default budget is paper-scale (24 M accesses/kernel,
+# ~15 min) and it is run separately:
+#   cargo run --release -p cosmos-experiments --bin sampling_validation \
+#     2>&1 | tee results/sampling_validation.txt
 set -u
 cd "$(dirname "$0")"
 BINS="table1_params table2_overhead table3_config fig02_traffic fig03_ctr_size fig04_early_access fig05_classic_opts fig08_generalization fig09_cet_sweep fig10_performance fig11_ctr_miss fig12_prediction fig13_locality fig14_smat fig15_scaling fig16_emcc fig17_ml hyperparam_sweep ablation_design"

@@ -1,9 +1,20 @@
 #!/bin/bash
-# Full local gate: release build, all workspace tests, and clippy with
-# warnings denied — what CI runs, in one command.
+# Full local gate: formatting, release build, all workspace tests, clippy
+# with warnings denied, and a sampled-mode smoke run — what CI runs, in one
+# command.
 set -eu
 cd "$(dirname "$0")/.."
+cargo fmt --all -- --check
 cargo build --release
 cargo test -q --workspace
 cargo clippy --workspace -- -D warnings
+# Sampled-mode smoke: the validation harness end-to-end at a tiny budget
+# (exercises plan building, warmup/priming, and the weighted merge; the
+# accuracy/reduction targets only apply at its default paper-scale budget).
+# --json redirects the result document so the committed default-budget
+# results/sampling_validation.json is left alone.
+smoke_json="$(mktemp)"
+cargo run --release -q -p cosmos-experiments --bin sampling_validation -- \
+    --accesses 120000 --jobs 2 --json "$smoke_json" >/dev/null
+rm -f "$smoke_json"
 echo "check.sh: all green"

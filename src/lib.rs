@@ -21,19 +21,19 @@
 //! println!("IPC = {:.3}, CTR miss = {:.1}%", stats.ipc(), stats.ctr_miss_rate() * 100.0);
 //! ```
 
-/// Shared primitives: addresses, cycles, traces, hashing, RNG, statistics.
-pub use cosmos_common as common;
-/// Functional crypto: AES-128, SHA-256, OTP, MAC.
-pub use cosmos_crypto as crypto;
 /// Set-associative caches, replacement policies (incl. LCR), prefetchers.
 pub use cosmos_cache as cache;
-/// DDR4-style bank/row-buffer DRAM timing model.
-pub use cosmos_dram as dram;
-/// Counter schemes (split, MorphCtr), Merkle tree, functional secure memory.
-pub use cosmos_secure as secure;
-/// Tabular RL: Q-tables, the data-location and CTR-locality predictors.
-pub use cosmos_rl as rl;
+/// Shared primitives: addresses, cycles, traces, hashing, RNG, statistics.
+pub use cosmos_common as common;
 /// The simulator: designs, hierarchy, secure path, SMAT, overhead model.
 pub use cosmos_core as core;
+/// Functional crypto: AES-128, SHA-256, OTP, MAC.
+pub use cosmos_crypto as crypto;
+/// DDR4-style bank/row-buffer DRAM timing model.
+pub use cosmos_dram as dram;
+/// Tabular RL: Q-tables, the data-location and CTR-locality predictors.
+pub use cosmos_rl as rl;
+/// Counter schemes (split, MorphCtr), Merkle tree, functional secure memory.
+pub use cosmos_secure as secure;
 /// Workload generators: graph kernels, SPEC-like, ML inference.
 pub use cosmos_workloads as workloads;

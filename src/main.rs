@@ -131,7 +131,10 @@ fn main() {
     }
 
     let spec = TraceSpec::paper_default(accesses, seed).with_cores(cores);
-    eprintln!("generating {} trace ({accesses} accesses, {cores} cores)...", workload.name());
+    eprintln!(
+        "generating {} trace ({accesses} accesses, {cores} cores)...",
+        workload.name()
+    );
     let trace = workload.generate(&spec);
 
     println!(
@@ -152,7 +155,9 @@ fn main() {
         if design == Design::Np {
             np_ipc = Some(ipc);
         }
-        let vs_np = np_ipc.map(|n| format!("{:.1}%", ipc / n * 100.0)).unwrap_or_else(|| "-".into());
+        let vs_np = np_ipc
+            .map(|n| format!("{:.1}%", ipc / n * 100.0))
+            .unwrap_or_else(|| "-".into());
         let dp = if stats.data_pred.total() > 0 {
             format!("{:.1}%", stats.data_pred.accuracy() * 100.0)
         } else {

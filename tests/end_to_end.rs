@@ -32,7 +32,11 @@ fn every_design_runs_every_workload_family() {
             let stats = Simulator::new(SimConfig::paper_default(d)).run(&trace);
             assert_eq!(stats.accesses, trace.len() as u64, "{w}/{d}");
             assert!(stats.cycles > 0, "{w}/{d}");
-            assert!(stats.ipc() > 0.0 && stats.ipc() < 1.0, "{w}/{d}: ipc {}", stats.ipc());
+            assert!(
+                stats.ipc() > 0.0 && stats.ipc() < 1.0,
+                "{w}/{d}: ipc {}",
+                stats.ipc()
+            );
         }
     }
 }
@@ -51,7 +55,11 @@ fn secure_designs_generate_metadata_traffic_np_does_not() {
                 "{d}: metadata traffic missing"
             );
         } else {
-            assert_eq!(stats.traffic.metadata_total(), 0, "NP must be metadata-free");
+            assert_eq!(
+                stats.traffic.metadata_total(),
+                0,
+                "NP must be metadata-free"
+            );
         }
     }
 }
@@ -143,7 +151,10 @@ fn streaming_source_matches_materialized_distribution() {
     let mut src = StreamingSpec::new(SpecKind::Mcf, 16 << 20, 4, 20_000, 9);
     let stats = Simulator::new(SimConfig::paper_default(Design::Cosmos)).run_source(&mut src);
     assert_eq!(stats.accesses, 20_000);
-    assert!(stats.ctr_miss_rate() > 0.1, "mcf stream should miss the CTR cache");
+    assert!(
+        stats.ctr_miss_rate() > 0.1,
+        "mcf stream should miss the CTR cache"
+    );
 
     // Repeat source: loop a tiny trace far beyond its length.
     let spec = small_spec(10).with_accesses(500);

@@ -97,7 +97,10 @@ fn locality_predictor_separates_hot_from_cold() {
     let good = stats.ctr_pred.good_fraction();
     // The hot region is ~64 counter blocks of a much larger stream: some,
     // but not everything, should classify good.
-    assert!(good > 0.02 && good < 0.9, "good fraction {good:.3} implausible");
+    assert!(
+        good > 0.02 && good < 0.9,
+        "good fraction {good:.3} implausible"
+    );
 }
 
 #[test]
