@@ -33,8 +33,15 @@ impl CacheStats {
     }
 
     /// Counts accumulated since `baseline` (saturating per field), for
-    /// warmup-excluding measurement windows.
+    /// warmup-excluding measurement windows. Debug builds assert that no
+    /// field went backwards — actual saturation means a counter reset.
     pub const fn since(&self, baseline: &CacheStats) -> CacheStats {
+        debug_assert!(self.evictions >= baseline.evictions);
+        debug_assert!(self.writebacks >= baseline.writebacks);
+        debug_assert!(self.prefetch_issued >= baseline.prefetch_issued);
+        debug_assert!(self.prefetch_useful >= baseline.prefetch_useful);
+        debug_assert!(self.prefetch_unused >= baseline.prefetch_unused);
+        debug_assert!(self.prefetch_redundant >= baseline.prefetch_redundant);
         CacheStats {
             demand: self.demand.since(&baseline.demand),
             evictions: self.evictions.saturating_sub(baseline.evictions),

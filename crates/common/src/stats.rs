@@ -88,8 +88,12 @@ impl HitMiss {
     }
 
     /// Counts accumulated since `baseline` (saturating, so a stale baseline
-    /// cannot underflow).
+    /// cannot underflow in release builds). Debug builds assert the counter
+    /// never went backwards — actual saturation means it was reset
+    /// mid-window and the window is garbage.
     pub const fn since(&self, baseline: &HitMiss) -> HitMiss {
+        debug_assert!(self.hits >= baseline.hits);
+        debug_assert!(self.misses >= baseline.misses);
         HitMiss {
             hits: self.hits.saturating_sub(baseline.hits),
             misses: self.misses.saturating_sub(baseline.misses),
@@ -289,12 +293,21 @@ mod tests {
     }
 
     #[test]
-    fn hitmiss_since_subtracts_and_saturates() {
+    fn hitmiss_since_subtracts() {
         let early = HitMiss::from_counts(3, 1);
         let late = HitMiss::from_counts(10, 4);
         assert_eq!(late.since(&early), HitMiss::from_counts(7, 3));
-        // A baseline ahead of the counter saturates to zero.
-        assert_eq!(early.since(&late), HitMiss::from_counts(0, 0));
+    }
+
+    /// A baseline ahead of the counter means the counter was reset — debug
+    /// builds flag it instead of silently saturating to zero.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic]
+    fn hitmiss_since_rejects_backwards_counter() {
+        let early = HitMiss::from_counts(3, 1);
+        let late = HitMiss::from_counts(10, 4);
+        let _ = early.since(&late);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! println!("IPC = {:.3}", stats.ipc());
 //! ```
 
+pub mod check;
 pub mod config;
 pub mod estimate;
 pub mod hierarchy;
@@ -38,6 +39,7 @@ pub mod simulator;
 pub mod smat;
 pub mod stats;
 
+pub use check::SecureObserver;
 pub use config::{Design, SimConfig};
 pub use estimate::StatsEstimate;
 pub use simulator::Simulator;

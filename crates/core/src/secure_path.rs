@@ -15,6 +15,7 @@
 //!   the CTR cache, update the tree path, and emit MAC traffic — all off
 //!   the read critical path (background queue slots, paper §5).
 
+use crate::check::SecureObserver;
 use crate::config::SimConfig;
 use crate::stats::TrafficBreakdown;
 use cosmos_cache::{Cache, CacheConfig, LocalityHint, Prefetcher};
@@ -46,6 +47,9 @@ pub struct SecurePath {
     mac_read_counter: u64,
     mac_write_counter: u64,
     overflows: u64,
+    // Pure-output correctness hook (see crate::check); never affects
+    // timing, replacement, or statistics.
+    observer: Option<Box<dyn SecureObserver>>,
 }
 
 impl SecurePath {
@@ -79,7 +83,14 @@ impl SecurePath {
             mac_read_counter: 0,
             mac_write_counter: 0,
             overflows: 0,
+            observer: None,
         }
+    }
+
+    /// Attaches a correctness observer (see [`crate::check`]). Replaces
+    /// any previous observer.
+    pub fn set_observer(&mut self, observer: Box<dyn SecureObserver>) {
+        self.observer = Some(observer);
     }
 
     /// The CTR cache (stats access).
@@ -95,6 +106,16 @@ impl SecurePath {
     /// The locality predictor, when the design has one.
     pub fn locality(&self) -> Option<&CtrLocalityPredictor> {
         self.locality.as_ref()
+    }
+
+    /// The functional counter store (checker access).
+    pub fn counters(&self) -> &CounterStore {
+        &self.counters
+    }
+
+    /// The metadata address layout (checker access).
+    pub fn layout(&self) -> &MetadataLayout {
+        &self.layout
     }
 
     /// Counter overflow events so far.
@@ -119,6 +140,9 @@ impl SecurePath {
         let ctr_line = self.layout.ctr_line_of(data_line);
         let hint = self.classify(ctr_line);
         let res = self.ctr_cache.access(ctr_line, false, hint);
+        if let Some(obs) = self.observer.as_mut() {
+            obs.ctr_access(ctr_line, false, res.hit, res.evicted);
+        }
         if let Some(ev) = res.evicted {
             if ev.dirty {
                 traffic.ctr_writes += 1;
@@ -157,9 +181,15 @@ impl SecurePath {
             }
             IncrementOutcome::Ok | IncrementOutcome::Morphed { .. } => {}
         }
+        if let Some(obs) = self.observer.as_mut() {
+            obs.ctr_increment(data_line);
+        }
         let ctr_line = self.layout.ctr_line_of(data_line);
         let hint = self.classify(ctr_line);
         let res = self.ctr_cache.access(ctr_line, true, hint);
+        if let Some(obs) = self.observer.as_mut() {
+            obs.ctr_access(ctr_line, true, res.hit, res.evicted);
+        }
         if let Some(ev) = res.evicted {
             if ev.dirty {
                 traffic.ctr_writes += 1;
@@ -175,6 +205,9 @@ impl SecurePath {
         // Tree path update: dirty the path nodes in the metadata cache.
         for node in self.layout.mt_path(ctr_line) {
             let r = self.mt_cache.access(node, true, None);
+            if let Some(obs) = self.observer.as_mut() {
+                obs.mt_access(node, true, r.hit, r.evicted);
+            }
             if let Some(ev) = r.evicted {
                 if ev.dirty {
                     traffic.mt_writes += 1;
@@ -210,6 +243,9 @@ impl SecurePath {
         let mut done = start;
         for node in self.layout.mt_path(ctr_line) {
             let r = self.mt_cache.access(node, false, None);
+            if let Some(obs) = self.observer.as_mut() {
+                obs.mt_access(node, false, r.hit, r.evicted);
+            }
             if let Some(ev) = r.evicted {
                 if ev.dirty {
                     traffic.mt_writes += 1;
@@ -250,6 +286,9 @@ impl SecurePath {
                 // (the paper's point about wasted prefetch traffic).
                 traffic.ctr_reads += 1;
                 let ev = self.ctr_cache.prefetch_fill(cand, None);
+                if let Some(obs) = self.observer.as_mut() {
+                    obs.ctr_prefetch(cand, ev);
+                }
                 if let Some(ev) = ev {
                     if ev.dirty {
                         traffic.ctr_writes += 1;
@@ -258,6 +297,9 @@ impl SecurePath {
                 // Integrity verification for the prefetched counter.
                 for node in self.layout.mt_path(cand) {
                     let r = self.mt_cache.access(node, false, None);
+                    if let Some(obs) = self.observer.as_mut() {
+                        obs.mt_access(node, false, r.hit, r.evicted);
+                    }
                     if r.hit {
                         break;
                     }

@@ -62,6 +62,35 @@ impl Simulator {
         }
     }
 
+    /// The configuration this simulator was built with.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The secure path, when the design has one (checker access).
+    pub fn secure(&self) -> Option<&SecurePath> {
+        self.secure.as_ref()
+    }
+
+    /// Per-core completion cycles so far (checker access: each core's
+    /// timeline must only move forward).
+    pub fn core_ready(&self) -> &[Cycle] {
+        &self.ready
+    }
+
+    /// Attaches a correctness observer to the secure path (see
+    /// [`crate::check`]). Returns `false` when the design has no secure
+    /// path to observe (NP).
+    pub fn set_secure_observer(&mut self, observer: Box<dyn crate::check::SecureObserver>) -> bool {
+        match self.secure.as_mut() {
+            Some(sp) => {
+                sp.set_observer(observer);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Runs the whole trace and returns the statistics.
     pub fn run(mut self, trace: &Trace) -> SimStats {
         for access in trace.iter() {
@@ -334,14 +363,20 @@ impl Simulator {
         let window_miss = ctr_miss - self.window_ctr_miss;
         self.window_ctr_total = ctr_total;
         self.window_ctr_miss = ctr_miss;
-        let dp_accuracy = self
+        let (dp_accuracy, dp_correct, dp_total) = self
             .data_pred
             .as_ref()
-            .map(|p| p.stats().accuracy())
-            .unwrap_or(0.0);
+            .map(|p| {
+                let s = p.stats();
+                let correct = s.correct_onchip + s.correct_offchip;
+                (s.accuracy(), correct, s.total())
+            })
+            .unwrap_or((0.0, 0, 0));
         self.stats.timeline.push(TimelinePoint {
             accesses: self.stats.accesses,
             dp_accuracy,
+            dp_correct,
+            dp_total,
             ctr_miss_rate_window: cosmos_common::stats::ratio(window_miss, window_total),
         });
     }

@@ -33,7 +33,9 @@ pub struct TrafficBreakdown {
 }
 
 impl TrafficBreakdown {
-    /// Total line transfers.
+    /// Total line transfers. Killed speculative fetches still move bus
+    /// lines (the row was activated and the burst issued before the kill),
+    /// so they count toward the total even though no useful data arrived.
     pub const fn total(&self) -> u64 {
         self.data_reads
             + self.data_writes
@@ -44,16 +46,37 @@ impl TrafficBreakdown {
             + self.mac_reads
             + self.mac_writes
             + self.reencrypt_writes
+            + self.killed_speculative
     }
 
-    /// Security-metadata transfers only (everything beyond NP's traffic).
+    /// Security-metadata transfers only (everything beyond NP's traffic
+    /// that isn't data movement — killed speculative fetches are wasted
+    /// *data* transfers, not metadata).
     pub const fn metadata_total(&self) -> u64 {
-        self.total() - self.data_reads - self.data_writes
+        self.total() - self.data_reads - self.data_writes - self.killed_speculative
+    }
+
+    /// Wasted transfers: lines moved without delivering useful data
+    /// (speculative DRAM fetches killed by a wrong off-chip prediction).
+    pub const fn wasted_total(&self) -> u64 {
+        self.killed_speculative
     }
 
     /// Traffic accumulated since `baseline` (saturating per field), for
-    /// warmup-excluding measurement windows.
+    /// warmup-excluding measurement windows. Debug builds assert that no
+    /// field went backwards — a subtraction that actually saturates means
+    /// a counter was reset mid-window and the window is garbage.
     pub const fn since(&self, baseline: &TrafficBreakdown) -> TrafficBreakdown {
+        debug_assert!(self.data_reads >= baseline.data_reads);
+        debug_assert!(self.data_writes >= baseline.data_writes);
+        debug_assert!(self.ctr_reads >= baseline.ctr_reads);
+        debug_assert!(self.ctr_writes >= baseline.ctr_writes);
+        debug_assert!(self.mt_reads >= baseline.mt_reads);
+        debug_assert!(self.mt_writes >= baseline.mt_writes);
+        debug_assert!(self.mac_reads >= baseline.mac_reads);
+        debug_assert!(self.mac_writes >= baseline.mac_writes);
+        debug_assert!(self.reencrypt_writes >= baseline.reencrypt_writes);
+        debug_assert!(self.killed_speculative >= baseline.killed_speculative);
         TrafficBreakdown {
             data_reads: self.data_reads.saturating_sub(baseline.data_reads),
             data_writes: self.data_writes.saturating_sub(baseline.data_writes),
@@ -78,8 +101,19 @@ impl TrafficBreakdown {
 pub struct TimelinePoint {
     /// Accesses processed when the sample was taken.
     pub accesses: u64,
-    /// Cumulative data-location prediction accuracy.
+    /// Data-location prediction accuracy over the accesses this
+    /// [`SimStats`] covers — cumulative from access 0 in a full run, and
+    /// rebased onto the measurement window by [`SimStats::since`] (so a
+    /// warmup-excluded window is not contaminated by pre-baseline
+    /// predictor history).
     pub dp_accuracy: f64,
+    /// Correct data-location predictions when the sample was taken,
+    /// cumulative from access 0 (kept raw so `since` can rebase
+    /// `dp_accuracy` onto any baseline).
+    pub dp_correct: u64,
+    /// Resolved data-location predictions when the sample was taken,
+    /// cumulative from access 0.
+    pub dp_total: u64,
     /// CTR cache miss rate over the window since the previous sample.
     pub ctr_miss_rate_window: f64,
 }
@@ -156,8 +190,23 @@ impl SimStats {
 
     /// Statistics accumulated since `baseline` — the measurement window of
     /// a warmed-up run. Every counter subtracts saturating; the timeline
-    /// keeps only points sampled after the baseline.
+    /// keeps only points sampled after the baseline, with each point's
+    /// `dp_accuracy` rebased onto the window (predictions resolved before
+    /// the baseline no longer dilute it). Debug builds assert that no
+    /// scalar went backwards — a subtraction that actually saturates means
+    /// a counter was reset mid-window and the window is garbage.
     pub fn since(&self, baseline: &SimStats) -> SimStats {
+        debug_assert!(self.instructions >= baseline.instructions);
+        debug_assert!(self.cycles >= baseline.cycles);
+        debug_assert!(self.accesses >= baseline.accesses);
+        debug_assert!(self.reads >= baseline.reads);
+        debug_assert!(self.writes >= baseline.writes);
+        debug_assert!(self.ctr_overflows >= baseline.ctr_overflows);
+        debug_assert!(self.total_read_latency >= baseline.total_read_latency);
+        debug_assert!(self.early_offchip_reads >= baseline.early_offchip_reads);
+        let base_correct = baseline.data_pred.correct_onchip + baseline.data_pred.correct_offchip;
+        let base_total =
+            base_correct + baseline.data_pred.wrong_onchip + baseline.data_pred.wrong_offchip;
         SimStats {
             instructions: self.instructions.saturating_sub(baseline.instructions),
             cycles: self.cycles.saturating_sub(baseline.cycles),
@@ -184,7 +233,21 @@ impl SimStats {
                 .timeline
                 .iter()
                 .filter(|p| p.accesses > baseline.accesses)
-                .copied()
+                .map(|p| {
+                    let correct = p.dp_correct.saturating_sub(base_correct);
+                    let total = p.dp_total.saturating_sub(base_total);
+                    TimelinePoint {
+                        accesses: p.accesses - baseline.accesses,
+                        dp_accuracy: if total == 0 {
+                            0.0
+                        } else {
+                            correct as f64 / total as f64
+                        },
+                        dp_correct: correct,
+                        dp_total: total,
+                        ctr_miss_rate_window: p.ctr_miss_rate_window,
+                    }
+                })
                 .collect(),
         }
     }
@@ -208,8 +271,9 @@ mod tests {
             reencrypt_writes: 4,
             killed_speculative: 7,
         };
-        assert_eq!(t.total(), 47);
+        assert_eq!(t.total(), 54);
         assert_eq!(t.metadata_total(), 32);
+        assert_eq!(t.wasted_total(), 7);
     }
 
     #[test]
@@ -257,7 +321,45 @@ mod tests {
         assert_eq!(window.writes, 28);
         assert_eq!(window.total_read_latency, 3600);
         assert_eq!(window.timeline.len(), 1);
-        assert_eq!(window.timeline[0].accesses, 50);
+        assert_eq!(window.timeline[0].accesses, 40, "rebased onto window");
+    }
+
+    #[test]
+    fn since_rebases_timeline_dp_accuracy() {
+        // Before the baseline: 8/10 correct. After: 2/10 correct. The
+        // cumulative point reads 10/20; the window must report 2/10.
+        let mut baseline = SimStats {
+            accesses: 100,
+            ..SimStats::default()
+        };
+        baseline.data_pred.correct_onchip = 5;
+        baseline.data_pred.correct_offchip = 3;
+        baseline.data_pred.wrong_onchip = 2;
+        let total = SimStats {
+            accesses: 200,
+            data_pred: DataLocationStats {
+                correct_onchip: 6,
+                correct_offchip: 4,
+                wrong_onchip: 6,
+                wrong_offchip: 4,
+            },
+            timeline: vec![TimelinePoint {
+                accesses: 200,
+                dp_accuracy: 0.5,
+                dp_correct: 10,
+                dp_total: 20,
+                ctr_miss_rate_window: 0.25,
+            }],
+            ..SimStats::default()
+        };
+        let window = total.since(&baseline);
+        assert_eq!(window.timeline.len(), 1);
+        let p = window.timeline[0];
+        assert_eq!(p.accesses, 100);
+        assert_eq!(p.dp_correct, 2);
+        assert_eq!(p.dp_total, 10);
+        assert!((p.dp_accuracy - 0.2).abs() < 1e-12);
+        assert_eq!(p.ctr_miss_rate_window, 0.25, "window rate is untouched");
     }
 
     #[test]

@@ -48,8 +48,15 @@ impl DramStats {
     }
 
     /// Counts accumulated since `baseline` (saturating per field), for
-    /// warmup-excluding measurement windows.
+    /// warmup-excluding measurement windows. Debug builds assert that no
+    /// field went backwards — actual saturation means a counter reset.
     pub const fn since(&self, baseline: &DramStats) -> DramStats {
+        debug_assert!(self.reads >= baseline.reads);
+        debug_assert!(self.writes >= baseline.writes);
+        debug_assert!(self.row_hits >= baseline.row_hits);
+        debug_assert!(self.row_closed >= baseline.row_closed);
+        debug_assert!(self.row_conflicts >= baseline.row_conflicts);
+        debug_assert!(self.queue_cycles >= baseline.queue_cycles);
         DramStats {
             reads: self.reads.saturating_sub(baseline.reads),
             writes: self.writes.saturating_sub(baseline.writes),

@@ -44,6 +44,7 @@ fn main() {
             f3(norm(t.mt_reads + t.mt_writes)),
             f3(norm(t.mac_reads + t.mac_writes)),
             f3(norm(t.reencrypt_writes)),
+            f3(norm(t.wasted_total())),
             f3(norm(t.total())),
             pct(mc.ctr_miss_rate()),
         ]);
@@ -57,6 +58,7 @@ fn main() {
                 "mt": t.mt_reads + t.mt_writes,
                 "mac": t.mac_reads + t.mac_writes,
                 "reencrypt": t.reencrypt_writes,
+                "wasted": t.wasted_total(),
                 "total_norm_to_np": norm(t.total()),
                 "ctr_miss_rate": mc.ctr_miss_rate(),
             },
@@ -65,7 +67,8 @@ fn main() {
     println!("## Figure 2: traffic breakdown (normalized to NP total) + CTR miss rate\n");
     print_table(
         &[
-            "kernel", "data_rd", "data_wr", "ctr", "mt", "mac", "reenc", "total/NP", "CTR miss",
+            "kernel", "data_rd", "data_wr", "ctr", "mt", "mac", "reenc", "wasted", "total/NP",
+            "CTR miss",
         ],
         &rows,
     );

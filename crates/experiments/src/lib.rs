@@ -33,6 +33,9 @@ options:
   --large        paper-scale run: 4x the access budget
   --sample       representative-interval sampling instead of full traces
                  (phase clustering + warmup; see DESIGN.md \"Sampling\")
+  --check        run the cosmos-verify oracles in lockstep: shadow
+                 reference models + conservation-law invariants. Results
+                 are byte-identical; violations print to stderr
   --jobs N       worker threads for grid sweeps (default: COSMOS_JOBS or
                  the machine's available parallelism)
   --json PATH    write the JSON result document to PATH instead of
@@ -50,6 +53,9 @@ pub struct Args {
     pub large: bool,
     /// Sampled mode (`--sample`): simulate representative intervals only.
     pub sample: bool,
+    /// Checked mode (`--check`): run every simulation with the
+    /// `cosmos-verify` oracles attached (see DESIGN.md "Verification").
+    pub check: bool,
     /// Where to write the machine-readable results.
     pub json: Option<PathBuf>,
     /// Worker threads for grid sweeps (`--jobs N`, `COSMOS_JOBS`, or the
@@ -86,6 +92,7 @@ impl Args {
             seed: 42,
             large: false,
             sample: false,
+            check: false,
             json: None,
             jobs: default_jobs(),
         };
@@ -108,6 +115,7 @@ impl Args {
                 "--seed" => args.seed = number("--seed")?,
                 "--large" => args.large = true,
                 "--sample" => args.sample = true,
+                "--check" => args.check = true,
                 "--json" => {
                     let path = it.next().ok_or("--json needs a path")?;
                     args.json = Some(PathBuf::from(path));
@@ -142,12 +150,16 @@ impl Args {
     }
 }
 
-/// Runs a job grid under `args`: applies `--sample` to every job and fans
-/// out over `--jobs` workers. The figure binaries call this instead of
-/// [`runner::run_jobs`] directly so every grid honors sampled mode.
+/// Runs a job grid under `args`: applies `--sample` and `--check` to every
+/// job and fans out over `--jobs` workers. The figure binaries call this
+/// instead of [`runner::run_jobs`] directly so every grid honors both
+/// modes.
 pub fn run_grid<'a>(jobs: Vec<runner::Job<'a>>, args: &Args) -> Vec<runner::JobResult> {
     let sampling = args.sampling();
-    let jobs = jobs.into_iter().map(|j| j.with_sample(sampling)).collect();
+    let jobs = jobs
+        .into_iter()
+        .map(|j| j.with_sample(sampling).with_check(args.check))
+        .collect();
     runner::run_jobs(jobs, args.jobs)
 }
 
@@ -329,6 +341,7 @@ mod tests {
             "7",
             "--large",
             "--sample",
+            "--check",
             "--jobs",
             "3",
             "--json",
@@ -340,6 +353,7 @@ mod tests {
         assert_eq!(args.seed, 7);
         assert!(args.large);
         assert!(args.sample);
+        assert!(args.check);
         assert_eq!(args.jobs, 3);
         assert_eq!(args.json.as_deref(), Some(std::path::Path::new("out.json")));
         assert_eq!(args.sampling(), Some(SamplingConfig::for_trace(2_000)));
@@ -351,6 +365,7 @@ mod tests {
         assert_eq!(args.accesses, 1_000);
         assert_eq!(args.seed, 42);
         assert!(!args.sample);
+        assert!(!args.check);
         assert_eq!(args.sampling(), None);
     }
 
@@ -376,6 +391,7 @@ mod tests {
             "--seed",
             "--large",
             "--sample",
+            "--check",
             "--jobs",
             "--json",
             "--help",

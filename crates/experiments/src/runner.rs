@@ -39,6 +39,7 @@
 use cosmos_common::Trace;
 use cosmos_core::{Design, SimConfig, SimStats, Simulator};
 use cosmos_sampling::{run_sampled, SamplingConfig, SamplingPlan};
+use cosmos_verify::CheckReport;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A configuration tweak applied on top of [`SimConfig::paper_default`].
@@ -62,6 +63,9 @@ pub struct Job<'a> {
     /// Sampled mode: simulate representative intervals under this
     /// configuration instead of the full trace.
     pub sample: Option<SamplingConfig>,
+    /// Checked mode (`--check`): run the `cosmos-verify` oracles in
+    /// lockstep. Statistics stay byte-identical; violations go to stderr.
+    pub check: bool,
 }
 
 impl<'a> Job<'a> {
@@ -74,6 +78,7 @@ impl<'a> Job<'a> {
             seed,
             tweak: None,
             sample: None,
+            check: false,
         }
     }
 
@@ -92,20 +97,42 @@ impl<'a> Job<'a> {
         self
     }
 
+    /// Switches the job to checked mode — thread
+    /// [`Args::check`](crate::Args) through here. The oracles observe,
+    /// never perturb: statistics (and therefore result artifacts) are
+    /// byte-identical with and without checking.
+    #[must_use]
+    pub fn with_check(mut self, check: bool) -> Self {
+        self.check = check;
+        self
+    }
+
     fn execute(&self) -> JobResult {
         let mut config = SimConfig::paper_default(self.design);
         config.seed = self.seed;
         if let Some(tweak) = &self.tweak {
             tweak(&mut config);
         }
-        let (stats, simulated_accesses) = match &self.sample {
-            Some(sampling) => {
+        let (stats, simulated_accesses) = match (&self.sample, self.check) {
+            (Some(sampling), false) => {
                 let plan = SamplingPlan::build(self.trace, sampling);
                 let run = run_sampled(&config, self.trace, &plan);
                 (run.stats, run.simulated_accesses)
             }
-            None => {
+            (Some(sampling), true) => {
+                let plan = SamplingPlan::build(self.trace, sampling);
+                let (run, report) = cosmos_verify::run_checked_sampled(&config, self.trace, &plan);
+                self.report_check(&report);
+                (run.stats, run.simulated_accesses)
+            }
+            (None, false) => {
                 let stats = Simulator::new(config).run(self.trace);
+                let simulated = stats.accesses;
+                (stats, simulated)
+            }
+            (None, true) => {
+                let (stats, report) = cosmos_verify::run_checked(&config, self.trace);
+                self.report_check(&report);
                 let simulated = stats.accesses;
                 (stats, simulated)
             }
@@ -115,6 +142,18 @@ impl<'a> Job<'a> {
             design: self.design,
             stats,
             simulated_accesses,
+        }
+    }
+
+    /// Surfaces oracle findings on stderr, away from the result tables
+    /// and JSON on stdout/disk (which must not change under `--check`).
+    fn report_check(&self, report: &CheckReport) {
+        if report.is_clean() {
+            return;
+        }
+        eprintln!("verify[{}]: {}", self.label, report.summary());
+        for v in report.violations.iter().take(16) {
+            eprintln!("verify[{}]:   {v}", self.label);
         }
     }
 }
@@ -288,6 +327,37 @@ mod tests {
         assert!(serial[1].stats.accesses.abs_diff(trace.len() as u64) <= 8);
         // Byte-identical for any worker count.
         assert_eq!(serial, grid(4));
+    }
+
+    #[test]
+    fn checked_jobs_produce_byte_identical_results() {
+        let traces = test_traces();
+        let trace = &traces[0].1;
+        for design in [Design::Np, Design::MorphCtr, Design::Cosmos] {
+            let plain = run_jobs(vec![Job::new("x", design, trace, 42)], 1);
+            let checked = run_jobs(vec![Job::new("x", design, trace, 42).with_check(true)], 1);
+            assert_eq!(plain, checked, "{design}: --check perturbed the results");
+        }
+        // Sampled + checked as well.
+        let sampling = Some(SamplingConfig {
+            interval_len: 1_024,
+            clusters: 2,
+            warmup_len: 512,
+            prime_len: 0,
+            kmeans_iters: 16,
+            seed: 9,
+        });
+        let plain = run_jobs(
+            vec![Job::new("s", Design::MorphCtr, trace, 42).with_sample(sampling)],
+            1,
+        );
+        let checked = run_jobs(
+            vec![Job::new("s", Design::MorphCtr, trace, 42)
+                .with_sample(sampling)
+                .with_check(true)],
+            1,
+        );
+        assert_eq!(plain, checked, "--check perturbed the sampled results");
     }
 
     #[test]

@@ -70,8 +70,13 @@ impl DataLocationStats {
     }
 
     /// Counts accumulated since `baseline` (saturating per field), for
-    /// warmup-excluding measurement windows.
+    /// warmup-excluding measurement windows. Debug builds assert that no
+    /// field went backwards — actual saturation means a counter reset.
     pub const fn since(&self, baseline: &DataLocationStats) -> DataLocationStats {
+        debug_assert!(self.correct_onchip >= baseline.correct_onchip);
+        debug_assert!(self.correct_offchip >= baseline.correct_offchip);
+        debug_assert!(self.wrong_offchip >= baseline.wrong_offchip);
+        debug_assert!(self.wrong_onchip >= baseline.wrong_onchip);
         DataLocationStats {
             correct_onchip: self.correct_onchip.saturating_sub(baseline.correct_onchip),
             correct_offchip: self

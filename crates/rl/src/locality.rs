@@ -83,8 +83,14 @@ impl CtrLocalityStats {
     }
 
     /// Counts accumulated since `baseline` (saturating per field), for
-    /// warmup-excluding measurement windows.
+    /// warmup-excluding measurement windows. Debug builds assert that no
+    /// field went backwards — actual saturation means a counter reset.
     pub const fn since(&self, baseline: &CtrLocalityStats) -> CtrLocalityStats {
+        debug_assert!(self.predictions >= baseline.predictions);
+        debug_assert!(self.predicted_good >= baseline.predicted_good);
+        debug_assert!(self.cet_hits >= baseline.cet_hits);
+        debug_assert!(self.cet_evictions >= baseline.cet_evictions);
+        debug_assert!(self.agreements >= baseline.agreements);
         CtrLocalityStats {
             predictions: self.predictions.saturating_sub(baseline.predictions),
             predicted_good: self.predicted_good.saturating_sub(baseline.predicted_good),

@@ -1,0 +1,34 @@
+//! Differential verification layer for the COSMOS simulator.
+//!
+//! The simulator earns trust three ways, all packaged here:
+//!
+//! 1. **Shadow reference models** ([`shadow`]): a naive MRU-list cache and
+//!    a dense counter store — trivially correct by construction — run in
+//!    lockstep with the real [`cosmos_cache::Cache`] and
+//!    [`cosmos_secure::CounterStore`] via the pure-output
+//!    [`cosmos_core::SecureObserver`] hook, diffing hit/miss outcomes,
+//!    victims, dirty bits, residency sets, and counter values.
+//! 2. **Conservation-law invariants** ([`invariants`]): structural
+//!    identities (`hits + misses == lookups`, `dram.writes ==
+//!    data_writes`, MAC 1-per-8, …) checked on cumulative statistics
+//!    snapshots at interval boundaries.
+//! 3. **Seeded fuzzing** ([`fuzz`], the `verify_fuzz` binary): random
+//!    configurations × random synthetic traces through both checkers,
+//!    with ddmin-style shrinking of any failure to a minimal repro.
+//!
+//! The entry points are [`run_checked`] / [`run_checked_sampled`]
+//! ([`runner`]), which produce statistics byte-identical to their
+//! unchecked counterparts plus a [`CheckReport`] — experiments expose
+//! them behind a `--check` flag.
+
+pub mod fuzz;
+pub mod invariants;
+pub mod observer;
+pub mod runner;
+pub mod shadow;
+
+pub use fuzz::{run_case, FuzzCase, FuzzFailure};
+pub use invariants::{check_monotonic, check_stats, Violation};
+pub use observer::{ShadowHook, ShadowState};
+pub use runner::{run_checked, run_checked_sampled, CheckReport};
+pub use shadow::{DenseCounterStore, ShadowCache, ShadowMode};

@@ -1,0 +1,327 @@
+//! Checked simulation: the real simulator plus every oracle in this crate.
+//!
+//! [`run_checked`] and [`run_checked_sampled`] drive exactly the accesses
+//! their unchecked counterparts ([`cosmos_core::Simulator::run`],
+//! [`cosmos_sampling::run_sampled`]) would, while (1) a [`ShadowHook`]
+//! observer mirrors every secure-path event into the shadow models and (2)
+//! the conservation-law catalogue runs on cumulative snapshots at interval
+//! boundaries. The returned statistics are byte-identical to an unchecked
+//! run — the oracles observe, they never perturb.
+
+use crate::invariants::{check_monotonic, check_stats, Violation};
+use crate::observer::{ShadowHook, ShadowState};
+use cosmos_common::Trace;
+use cosmos_core::{SimConfig, SimStats, Simulator};
+use cosmos_sampling::{SampledRun, SamplingPlan};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Cumulative-snapshot checks run every this many measured accesses.
+const CHECK_INTERVAL: usize = 4_096;
+
+/// Retained-violation cap for a whole checked run.
+const REPORT_CAP: usize = 256;
+
+/// Everything the oracles observed during a checked run.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Violations, in discovery order (capped; see `total_violations`).
+    pub violations: Vec<Violation>,
+    /// Total violations found, including any past the retention cap.
+    pub total_violations: u64,
+    /// Secure-path events the shadow models mirrored.
+    pub observer_events: u64,
+    /// Snapshot boundaries at which the invariant catalogue ran.
+    pub boundary_checks: u64,
+}
+
+impl CheckReport {
+    /// Whether every oracle passed.
+    pub fn is_clean(&self) -> bool {
+        self.total_violations == 0
+    }
+
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} violations ({} retained) over {} observer events, {} boundary checks",
+            self.total_violations,
+            self.violations.len(),
+            self.observer_events,
+            self.boundary_checks,
+        )
+    }
+}
+
+/// Boundary-check state shared by the full and sampled checked runners.
+struct Checker {
+    config: SimConfig,
+    shadow: Option<Rc<RefCell<ShadowState>>>,
+    prev: Option<SimStats>,
+    prev_ready: Vec<u64>,
+    report: CheckReport,
+}
+
+impl Checker {
+    /// Builds the checker and attaches the shadow observer to `sim`.
+    fn attach(config: &SimConfig, sim: &mut Simulator) -> Self {
+        let shadow = ShadowState::new(config).map(|s| Rc::new(RefCell::new(s)));
+        if let Some(state) = &shadow {
+            let attached = sim.set_secure_observer(Box::new(ShadowHook::new(Rc::clone(state))));
+            debug_assert!(attached, "secure design must accept an observer");
+        }
+        Self {
+            config: config.clone(),
+            shadow,
+            prev: None,
+            prev_ready: Vec::new(),
+            report: CheckReport::default(),
+        }
+    }
+
+    fn record(&mut self, batch: Vec<Violation>) {
+        self.report.total_violations += batch.len() as u64;
+        for v in batch {
+            if self.report.violations.len() < REPORT_CAP {
+                self.report.violations.push(v);
+            }
+        }
+    }
+
+    /// Runs the cumulative-snapshot checks at an interval boundary.
+    fn boundary(&mut self, sim: &Simulator) {
+        self.report.boundary_checks += 1;
+        let snap = sim.snapshot();
+        let mut batch = check_stats(&snap, &self.config);
+        if let Some(prev) = &self.prev {
+            batch.extend(check_monotonic(prev, &snap));
+        }
+        let ready: Vec<u64> = sim.core_ready().iter().map(|c| c.value()).collect();
+        for (core, (before, after)) in self.prev_ready.iter().zip(&ready).enumerate() {
+            if after < before {
+                batch.push(Violation::new(
+                    "core-cycle-regression",
+                    format!("core {core} ready cycle went backwards: {before} -> {after}"),
+                ));
+            }
+        }
+        self.prev_ready = ready;
+        self.prev = Some(snap);
+        self.record(batch);
+    }
+
+    /// End-of-run shadow diffs (residency, counters, Merkle replay), then
+    /// folds the shadow's own violations into the report.
+    fn finish(mut self, sim: &Simulator) -> CheckReport {
+        self.boundary(sim);
+        if let Some(state) = self.shadow.take() {
+            {
+                let mut s = state.borrow_mut();
+                if let Some(sp) = sim.secure() {
+                    s.final_checks(sp);
+                }
+            }
+            let s = state.borrow();
+            self.report.observer_events = s.events();
+            self.report.total_violations += s.total_violations();
+            for v in s.violations() {
+                if self.report.violations.len() < REPORT_CAP {
+                    self.report.violations.push(v.clone());
+                }
+            }
+        }
+        self.report
+    }
+}
+
+/// Runs `trace` exactly as [`Simulator::run`] would, with every oracle
+/// attached. The returned statistics are byte-identical to the unchecked
+/// run's.
+pub fn run_checked(config: &SimConfig, trace: &Trace) -> (SimStats, CheckReport) {
+    let mut sim = Simulator::new(config.clone());
+    let mut checker = Checker::attach(config, &mut sim);
+    for (i, access) in trace.iter().enumerate() {
+        sim.step(access);
+        if (i + 1) % CHECK_INTERVAL == 0 {
+            checker.boundary(&sim);
+        }
+    }
+    let report = checker.finish(&sim);
+    (sim.finalize(), report)
+}
+
+/// Runs `plan` over `trace` exactly as [`cosmos_sampling::run_sampled`]
+/// would — same warmup/measure/merge loop, same cursor arithmetic — with
+/// every oracle attached. Invariants run on *cumulative* snapshots (where
+/// the laws are exact), never on the reconstructed estimate.
+pub fn run_checked_sampled(
+    config: &SimConfig,
+    trace: &Trace,
+    plan: &SamplingPlan,
+) -> (SampledRun, CheckReport) {
+    let accesses = trace.as_slice();
+    let mut sim = Simulator::new(config.clone());
+    let mut checker = Checker::attach(config, &mut sim);
+    let mut estimate = cosmos_core::StatsEstimate::new();
+    let mut simulated = 0u64;
+    let mut cursor = 0usize;
+    for rep in &plan.representatives {
+        let warm_from = rep.warmup_start.max(cursor);
+        sim.warmup(accesses[warm_from..rep.interval.start].iter());
+        for a in &accesses[rep.interval.range()] {
+            sim.step(a);
+        }
+        let window = sim.snapshot().since(&sim.frozen_baseline());
+        estimate.add_weighted(&window, rep.scale());
+        simulated += (rep.interval.start - warm_from + rep.interval.len) as u64;
+        cursor = rep.interval.start + rep.interval.len;
+        checker.boundary(&sim);
+    }
+    let report = checker.finish(&sim);
+    (
+        SampledRun {
+            stats: estimate.reconstruct(),
+            simulated_accesses: simulated,
+        },
+        report,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmos_common::{MemAccess, PhysAddr, SplitMix64};
+    use cosmos_core::Design;
+    use cosmos_sampling::SamplingConfig;
+
+    fn small_config(design: Design) -> SimConfig {
+        let mut c = SimConfig::paper_default(design);
+        c.cores = 2;
+        c.l1.size_bytes = 4096;
+        c.l2.size_bytes = 16 * 1024;
+        c.llc.size_bytes = 64 * 1024;
+        c.ctr_cache.size_bytes = 8192;
+        c.mt_cache.size_bytes = 8192;
+        c.protected_bytes = 1 << 30;
+        c
+    }
+
+    fn random_trace(n: usize, lines: u64, write_frac: f64, seed: u64) -> Trace {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| {
+                let addr = PhysAddr::new(rng.next_below(lines) * 64);
+                let core = (rng.next_u32() % 2) as u8;
+                if rng.chance(write_frac) {
+                    MemAccess::write(core, addr, 2)
+                } else {
+                    MemAccess::read(core, addr, 2)
+                }
+            })
+            .collect()
+    }
+
+    const ALL_DESIGNS: [Design; 7] = [
+        Design::Np,
+        Design::MorphCtr,
+        Design::Emcc,
+        Design::Rmcc,
+        Design::CosmosDp,
+        Design::CosmosCp,
+        Design::Cosmos,
+    ];
+
+    #[test]
+    fn checked_run_is_clean_and_byte_identical_for_every_design() {
+        let t = random_trace(12_000, 40_000, 0.3, 11);
+        for d in ALL_DESIGNS {
+            let config = small_config(d);
+            let plain = Simulator::new(config.clone()).run(&t);
+            let (checked, report) = run_checked(&config, &t);
+            assert!(
+                report.is_clean(),
+                "{d}: {}\n{:#?}",
+                report.summary(),
+                report.violations
+            );
+            assert_eq!(checked, plain, "{d}: checked stats diverged from unchecked");
+            if d.is_secure() {
+                assert!(report.observer_events > 0, "{d}: observer saw nothing");
+            }
+        }
+    }
+
+    #[test]
+    fn checked_run_exercises_overflow_reencryption() {
+        // A write-heavy working set four times the LLC: dirty lines cycle
+        // out constantly, so MorphCtr blocks accumulate >64 nonzero minors
+        // past the uniform format and overflow — covering the dense
+        // store's morph rule and the Merkle replay under re-encryption.
+        let mut config = small_config(Design::MorphCtr);
+        config.llc.size_bytes = 16 * 1024;
+        let t = random_trace(60_000, 1024, 0.9, 12);
+        let (stats, report) = run_checked(&config, &t);
+        assert!(
+            stats.ctr_overflows > 0,
+            "trace failed to overflow a counter"
+        );
+        assert!(
+            report.is_clean(),
+            "{}\n{:#?}",
+            report.summary(),
+            report.violations
+        );
+    }
+
+    #[test]
+    fn checked_run_with_prefetcher_is_clean() {
+        let mut config = small_config(Design::MorphCtr);
+        config.ctr_prefetcher = cosmos_cache::PrefetcherKind::NextLine;
+        let t = random_trace(12_000, 40_000, 0.3, 13);
+        let plain = Simulator::new(config.clone()).run(&t);
+        let (checked, report) = run_checked(&config, &t);
+        assert!(
+            report.is_clean(),
+            "{}\n{:#?}",
+            report.summary(),
+            report.violations
+        );
+        assert_eq!(checked, plain);
+    }
+
+    #[test]
+    fn checked_sampled_run_is_clean_and_byte_identical() {
+        let t = random_trace(40_000, 100_000, 0.25, 14);
+        let scfg = SamplingConfig {
+            interval_len: 4_096,
+            clusters: 4,
+            warmup_len: 2_048,
+            prime_len: 0,
+            kmeans_iters: 50,
+            seed: 3,
+        };
+        let plan = SamplingPlan::build(&t, &scfg);
+        assert!(plan.representatives.len() > 1);
+        for d in [Design::MorphCtr, Design::Cosmos] {
+            let config = small_config(d);
+            let plain = cosmos_sampling::run_sampled(&config, &t, &plan);
+            let (checked, report) = run_checked_sampled(&config, &t, &plan);
+            assert!(
+                report.is_clean(),
+                "{d}: {}\n{:#?}",
+                report.summary(),
+                report.violations
+            );
+            assert_eq!(checked, plain, "{d}: checked sampled run diverged");
+        }
+    }
+
+    #[test]
+    fn report_summary_mentions_counts() {
+        let t = random_trace(5_000, 20_000, 0.3, 15);
+        let (_, report) = run_checked(&small_config(Design::Cosmos), &t);
+        let s = report.summary();
+        assert!(s.contains("violations"), "{s}");
+        assert!(s.contains("boundary"), "{s}");
+    }
+}

@@ -17,4 +17,22 @@ smoke_json="$(mktemp)"
 cargo run --release -q -p cosmos-experiments --bin sampling_validation -- \
     --accesses 120000 --jobs 2 --json "$smoke_json" >/dev/null
 rm -f "$smoke_json"
+# Checked-mode smoke: the oracles must observe without perturbing — the
+# same grid with and without --check has to emit byte-identical artifacts.
+plain_json="$(mktemp)"
+checked_json="$(mktemp)"
+cargo run --release -q -p cosmos-experiments --bin fig02_traffic -- \
+    --accesses 20000 --jobs 2 --json "$plain_json" >/dev/null
+cargo run --release -q -p cosmos-experiments --bin fig02_traffic -- \
+    --accesses 20000 --jobs 2 --check --json "$checked_json" >/dev/null
+cmp "$plain_json" "$checked_json" || {
+    echo "check.sh: --check perturbed the fig02_traffic artifact" >&2
+    exit 1
+}
+rm -f "$plain_json" "$checked_json"
+# Differential fuzzing at a fixed seed: a bounded pass over random
+# configurations x synthetic traces through the shadow models and the
+# invariant catalogue (~30 s; failures shrink to results/*.json repros).
+cargo run --release -q -p cosmos-verify --bin verify_fuzz -- \
+    --seed 1 --cases 16 --accesses 5000 >/dev/null
 echo "check.sh: all green"

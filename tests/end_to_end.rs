@@ -137,7 +137,8 @@ fn traffic_breakdown_is_consistent() {
         + t.mt_writes
         + t.mac_reads
         + t.mac_writes
-        + t.reencrypt_writes;
+        + t.reencrypt_writes
+        + t.killed_speculative;
     assert_eq!(t.total(), sum);
     // DRAM served at least the demand reads and metadata reads we charged.
     assert!(stats.dram.requests() >= t.data_reads + t.ctr_reads + t.mt_reads);
