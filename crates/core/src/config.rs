@@ -6,6 +6,7 @@ use cosmos_common::json::{json, Value};
 use cosmos_dram::DramConfig;
 use cosmos_rl::params::{RewardTable, RlParams};
 use cosmos_secure::CounterScheme;
+use cosmos_telemetry::Telemetry;
 
 /// The secure-memory designs under evaluation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -156,6 +157,9 @@ pub struct SimConfig {
     pub seed: u64,
     /// Record a timeline sample every this many accesses (0 = never).
     pub sample_interval: usize,
+    /// Observability handle, distributed to every component at build time.
+    /// Disabled by default; hooks observe only and never change results.
+    pub telemetry: Telemetry,
 }
 
 impl SimConfig {
@@ -216,6 +220,7 @@ impl SimConfig {
             cet_radius: 0,
             seed: 0xC05_305,
             sample_interval: 0,
+            telemetry: Telemetry::disabled(),
         }
     }
 

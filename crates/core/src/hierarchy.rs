@@ -50,15 +50,19 @@ pub struct CacheHierarchy {
 }
 
 impl CacheHierarchy {
-    /// Builds the hierarchy described by `config`.
+    /// Builds the hierarchy described by `config`. When telemetry is
+    /// enabled, each level reports into `cache.{l1,l2,llc}.*` (aggregated
+    /// across cores).
     pub fn new(config: &SimConfig) -> Self {
-        let mk = |lvl: &crate::config::CacheLevelConfig| {
-            Cache::new(CacheConfig::new(lvl.size_bytes, lvl.ways), PolicyKind::Lru)
+        let mk = |lvl: &crate::config::CacheLevelConfig, role: &str| {
+            let mut c = Cache::new(CacheConfig::new(lvl.size_bytes, lvl.ways), PolicyKind::Lru);
+            c.attach_telemetry(&config.telemetry, role);
+            c
         };
         Self {
-            l1: (0..config.cores).map(|_| mk(&config.l1)).collect(),
-            l2: (0..config.cores).map(|_| mk(&config.l2)).collect(),
-            llc: mk(&config.llc),
+            l1: (0..config.cores).map(|_| mk(&config.l1, "l1")).collect(),
+            l2: (0..config.cores).map(|_| mk(&config.l2, "l2")).collect(),
+            llc: mk(&config.llc, "llc"),
             l1_stats: HitMiss::new(),
             l2_stats: HitMiss::new(),
             llc_stats: HitMiss::new(),

@@ -23,6 +23,7 @@ use cosmos_common::{Cycle, LineAddr};
 use cosmos_dram::Dram;
 use cosmos_rl::{CtrLocalityPredictor, Locality};
 use cosmos_secure::{CounterScheme, CounterStore, IncrementOutcome, MetadataLayout};
+use cosmos_telemetry::Telemetry;
 
 /// Result of a CTR read on the critical path.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,6 +51,9 @@ pub struct SecurePath {
     // Pure-output correctness hook (see crate::check); never affects
     // timing, replacement, or statistics.
     observer: Option<Box<dyn SecureObserver>>,
+    // Observability: per-set CTR heatmap + sampled events (see
+    // cosmos-telemetry). Like the observer, strictly pure-output.
+    telemetry: Telemetry,
 }
 
 impl SecurePath {
@@ -64,15 +68,25 @@ impl SecurePath {
                 config.seed ^ 0xC7_12,
             )
         });
+        let mut ctr_cache = Cache::new(
+            CacheConfig::new(config.ctr_cache.size_bytes, config.ctr_cache.ways),
+            config.ctr_policy,
+        );
+        let mut mt_cache = Cache::new(
+            CacheConfig::new(config.mt_cache.size_bytes, config.mt_cache.ways),
+            cosmos_cache::PolicyKind::Lru,
+        );
+        let mut telemetry = config.telemetry.clone();
+        ctr_cache.attach_telemetry(&telemetry, "ctr");
+        mt_cache.attach_telemetry(&telemetry, "mt");
+        telemetry.ctr_heatmap_init(ctr_cache.config().num_sets());
+        let mut locality = locality;
+        if let Some(p) = &mut locality {
+            p.set_telemetry(telemetry.clone());
+        }
         Self {
-            ctr_cache: Cache::new(
-                CacheConfig::new(config.ctr_cache.size_bytes, config.ctr_cache.ways),
-                config.ctr_policy,
-            ),
-            mt_cache: Cache::new(
-                CacheConfig::new(config.mt_cache.size_bytes, config.mt_cache.ways),
-                cosmos_cache::PolicyKind::Lru,
-            ),
+            ctr_cache,
+            mt_cache,
             prefetcher: config.ctr_prefetcher.build(),
             counters: CounterStore::new(config.scheme),
             layout: MetadataLayout::new(config.protected_bytes, config.scheme),
@@ -84,6 +98,7 @@ impl SecurePath {
             mac_write_counter: 0,
             overflows: 0,
             observer: None,
+            telemetry,
         }
     }
 
@@ -143,6 +158,7 @@ impl SecurePath {
         if let Some(obs) = self.observer.as_mut() {
             obs.ctr_access(ctr_line, false, res.hit, res.evicted);
         }
+        self.telemetry_ctr_access(ctr_line, false, &res);
         if let Some(ev) = res.evicted {
             if ev.dirty {
                 traffic.ctr_writes += 1;
@@ -190,6 +206,7 @@ impl SecurePath {
         if let Some(obs) = self.observer.as_mut() {
             obs.ctr_access(ctr_line, true, res.hit, res.evicted);
         }
+        self.telemetry_ctr_access(ctr_line, true, &res);
         if let Some(ev) = res.evicted {
             if ev.dirty {
                 traffic.ctr_writes += 1;
@@ -241,7 +258,10 @@ impl SecurePath {
         traffic: &mut TrafficBreakdown,
     ) -> Cycle {
         let mut done = start;
+        let mut depth = 0u32;
+        let mut fetched = 0u32;
         for node in self.layout.mt_path(ctr_line) {
+            depth += 1;
             let r = self.mt_cache.access(node, false, None);
             if let Some(obs) = self.observer.as_mut() {
                 obs.mt_access(node, false, r.hit, r.evicted);
@@ -254,10 +274,33 @@ impl SecurePath {
             if r.hit {
                 break; // verified ancestor found
             }
+            fetched += 1;
             traffic.mt_reads += 1;
             done = done.max(dram.access(node, start, false));
         }
+        self.telemetry.merkle_walk(depth, fetched);
         done
+    }
+
+    /// Telemetry view of one demand CTR-cache access: per-set heatmap and
+    /// sampled flight-recorder events. A miss that evicted nothing filled
+    /// a previously invalid way, growing the set's occupancy (the CTR
+    /// cache is never invalidated, so this tracks exactly).
+    fn telemetry_ctr_access(
+        &self,
+        ctr_line: LineAddr,
+        write: bool,
+        res: &cosmos_cache::AccessResult,
+    ) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let set = self.ctr_cache.config().set_of(ctr_line.index());
+        self.telemetry
+            .ctr_access(set, res.hit, write, !res.hit && res.evicted.is_none());
+        if let Some(ev) = res.evicted {
+            self.telemetry.ctr_evict(set, ev.dirty);
+        }
     }
 
     fn classify(&mut self, ctr_line: LineAddr) -> Option<LocalityHint> {

@@ -42,17 +42,21 @@ impl Simulator {
         config.validate();
         let secure = config.design.is_secure().then(|| SecurePath::new(&config));
         let data_pred = config.design.has_data_predictor().then(|| {
-            DataLocationPredictor::with_rewards(
+            let mut dp = DataLocationPredictor::with_rewards(
                 config.data_rl,
                 config.rewards.data,
                 config.seed ^ 0xDA7A,
-            )
+            );
+            dp.set_telemetry(config.telemetry.clone());
+            dp
         });
+        let mut dram = Dram::new(config.dram);
+        dram.set_telemetry(config.telemetry.clone());
         Self {
             hierarchy: CacheHierarchy::new(&config),
             secure,
             data_pred,
-            dram: Dram::new(config.dram),
+            dram,
             ready: vec![Cycle::ZERO; config.cores],
             stats: SimStats::default(),
             baseline: None,
@@ -257,6 +261,7 @@ impl Simulator {
                     self.stats.traffic.data_reads += 1;
                     sp.mac_read(&mut self.stats.traffic);
                     self.stats.early_offchip_reads += 1;
+                    self.config.telemetry.spec_issue();
                     data_done.max(ctr.otp_ready) + self.config.auth_latency
                 }
                 (DataLocation::OffChip, DataLocation::OnChip) => {
@@ -266,6 +271,7 @@ impl Simulator {
                     let sp = self.secure.as_mut().expect("COSMOS is secure");
                     sp.ctr_read(line, t_l1_miss, &mut self.dram, &mut self.stats.traffic);
                     self.stats.traffic.killed_speculative += 1;
+                    self.config.telemetry.spec_kill();
                     issue + self.on_chip_latency(res.hit)
                 }
                 (DataLocation::OnChip, DataLocation::OnChip) => {
@@ -602,5 +608,67 @@ mod tests {
             stats.early_offchip_reads > 0,
             "no early off-chip reads despite DRAM-heavy workload"
         );
+    }
+
+    fn counter(tele: &cosmos_telemetry::Telemetry, name: &str) -> u64 {
+        let snap = tele.registry().expect("telemetry enabled").snapshot();
+        match snap.iter().find(|(n, _)| n == name) {
+            Some((_, cosmos_telemetry::metrics::MetricSnapshot::Counter(v))) => *v,
+            other => panic!("no counter {name:?}: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn telemetry_hooks_observe_without_changing_results() {
+        let t = random_trace(8_000, 500_000, 0.25, 9);
+        let baseline = Simulator::new(tiny_config(Design::Cosmos)).run(&t);
+
+        let mut cfg = tiny_config(Design::Cosmos);
+        cfg.telemetry = cosmos_telemetry::Telemetry::in_memory();
+        let tele = cfg.telemetry.clone();
+        let observed = Simulator::new(cfg).run(&t);
+
+        assert_eq!(baseline, observed, "telemetry must not perturb results");
+
+        // Hooks populated: caches, DRAM, RL, Merkle, speculation.
+        let ctr = counter(&tele, "cache.ctr.hits") + counter(&tele, "cache.ctr.misses");
+        assert_eq!(
+            ctr,
+            observed.ctr_cache.demand.total(),
+            "CTR telemetry mirrors stats"
+        );
+        assert!(counter(&tele, "cache.l1.hits") > 0);
+        assert!(counter(&tele, "dram.accesses") > 0);
+        assert!(counter(&tele, "secure.merkle.walks") > 0);
+        assert!(
+            counter(&tele, "rl.ctr.actions.good") + counter(&tele, "rl.ctr.actions.bad") > 0,
+            "CTR RL actions recorded"
+        );
+        assert_eq!(
+            counter(&tele, "sim.spec.issued"),
+            observed.early_offchip_reads,
+            "speculative issues mirror early off-chip reads"
+        );
+        assert_eq!(
+            counter(&tele, "sim.spec.killed"),
+            observed.traffic.killed_speculative,
+            "speculative kills mirror killed_speculative"
+        );
+    }
+
+    #[test]
+    fn telemetry_heatmap_tracks_ctr_sets() {
+        let t = random_trace(6_000, 200_000, 0.2, 10);
+        let mut cfg = tiny_config(Design::Cosmos);
+        cfg.telemetry = cosmos_telemetry::Telemetry::in_memory();
+        let tele = cfg.telemetry.clone();
+        Simulator::new(cfg).run(&t);
+
+        let heat = tele.heatmap_value().to_string();
+        assert!(
+            heat.contains("\"windows\""),
+            "heatmap export has windows: {heat}"
+        );
+        assert!(heat.contains("\"sets\""), "heatmap export has set count");
     }
 }

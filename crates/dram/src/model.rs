@@ -2,6 +2,7 @@
 
 use crate::config::DramConfig;
 use cosmos_common::{Cycle, LineAddr, LINE_SIZE};
+use cosmos_telemetry::Telemetry;
 
 /// How a request interacted with its bank's row buffer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -80,6 +81,7 @@ pub struct Dram {
     config: DramConfig,
     banks: Vec<Bank>,
     stats: DramStats,
+    telemetry: Telemetry,
 }
 
 impl Dram {
@@ -100,7 +102,15 @@ impl Dram {
                 config.total_banks()
             ],
             stats: DramStats::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; every access then feeds the
+    /// `dram.*` metrics and (sampled) `dram_access` events. Observation
+    /// only — timing and stats are unaffected.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The configuration.
@@ -152,6 +162,8 @@ impl Dram {
         } else {
             self.stats.reads += 1;
         }
+        self.telemetry
+            .dram_access(queued.value(), outcome == RowBufferOutcome::Hit, write);
         done
     }
 

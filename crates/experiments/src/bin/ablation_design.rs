@@ -9,12 +9,12 @@
 use cosmos_common::json::json;
 use cosmos_core::Design;
 use cosmos_experiments::runner::Job;
-use cosmos_experiments::{emit_json, f3, pct, print_table, run_grid, Args, GraphSet};
+use cosmos_experiments::{emit_json, f3, pct, print_table, run_grid, Args};
 use cosmos_workloads::graph::{GraphKernel, LayoutMode};
 
 fn main() {
     let args = Args::parse(1_000_000);
-    let set = GraphSet::new(args.spec());
+    let set = args.graph_set();
     let trace = set.trace(GraphKernel::Dfs);
 
     // Layout-ablation traces (regenerated per layout; the shared DFS trace

@@ -4,14 +4,14 @@
 use cosmos_common::json::json;
 use cosmos_core::Design;
 use cosmos_experiments::runner::Job;
-use cosmos_experiments::{emit_json, pct, print_table, run_grid, Args, GraphSet};
+use cosmos_experiments::{emit_json, pct, print_table, run_grid, Args};
 use cosmos_workloads::graph::GraphKernel;
 
 const SIZES_KB: [usize; 5] = [128, 256, 512, 1024, 2048];
 
 fn main() {
     let args = Args::parse(2_000_000);
-    let set = GraphSet::new(args.spec());
+    let set = args.graph_set();
     let kernels = [GraphKernel::Dfs, GraphKernel::Pr, GraphKernel::Gc];
     let traces: Vec<_> = kernels.into_iter().map(|k| (k, set.trace(k))).collect();
 

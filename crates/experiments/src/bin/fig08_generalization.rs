@@ -5,7 +5,7 @@
 
 use cosmos_common::json::json;
 use cosmos_core::Design;
-use cosmos_experiments::{emit_json, pct, print_table, run_with, Args, GraphSet};
+use cosmos_experiments::{emit_json, pct, print_table, run_with, Args};
 use cosmos_workloads::graph::GraphKernel;
 use cosmos_workloads::ml::MlModel;
 
@@ -14,7 +14,7 @@ fn main() {
     let args = Args::parse(4_000_000);
     let sample = (args.accesses / 8).max(1);
 
-    let set = GraphSet::new(args.spec());
+    let set = args.graph_set();
     let bfs = set.trace(GraphKernel::Bfs);
     let mlp = MlModel::Mlp.generate(args.spec().cores, args.accesses, args.seed);
 

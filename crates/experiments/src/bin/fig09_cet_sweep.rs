@@ -8,14 +8,14 @@
 use cosmos_common::json::json;
 use cosmos_core::Design;
 use cosmos_experiments::runner::Job;
-use cosmos_experiments::{emit_json, pct, print_table, run_grid, Args, GraphSet};
+use cosmos_experiments::{emit_json, pct, print_table, run_grid, Args};
 use cosmos_workloads::graph::GraphKernel;
 
 const CET_SIZES: [usize; 6] = [1024, 2048, 4096, 8192, 10240, 16384];
 
 fn main() {
     let args = Args::parse(2_000_000);
-    let set = GraphSet::new(args.spec());
+    let set = args.graph_set();
     let trace = set.trace(GraphKernel::Dfs);
 
     let jobs = CET_SIZES

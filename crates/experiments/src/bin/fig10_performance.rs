@@ -8,12 +8,12 @@
 use cosmos_common::json::{json, Map};
 use cosmos_core::Design;
 use cosmos_experiments::runner::Job;
-use cosmos_experiments::{emit_json, f3, print_table, run_grid, trace_of, Args, GraphSet};
+use cosmos_experiments::{emit_json, f3, print_table, run_grid, trace_of, Args};
 use cosmos_workloads::Workload;
 
 fn main() {
     let args = Args::parse(2_000_000);
-    let set = GraphSet::new(args.spec());
+    let set = args.graph_set();
     let designs = Design::figure10();
 
     let workloads = Workload::irregular_suite();

@@ -6,12 +6,12 @@
 
 use cosmos_common::json::json;
 use cosmos_core::Design;
-use cosmos_experiments::{emit_json, pct, print_table, run, Args, GraphSet};
+use cosmos_experiments::{emit_json, pct, print_table, run, Args};
 use cosmos_workloads::graph::GraphKernel;
 
 fn main() {
     let args = Args::parse(2_000_000);
-    let set = GraphSet::new(args.spec());
+    let set = args.graph_set();
     let mut rows = Vec::new();
     let mut results = Vec::new();
     let mut total_acc = 0.0;

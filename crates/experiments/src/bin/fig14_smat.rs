@@ -4,12 +4,12 @@
 use cosmos_common::json::{json, Map};
 use cosmos_core::{smat::smat, Design, SimConfig};
 use cosmos_experiments::runner::Job;
-use cosmos_experiments::{emit_json, f3, print_table, run_grid, Args, GraphSet};
+use cosmos_experiments::{emit_json, f3, print_table, run_grid, Args};
 use cosmos_workloads::graph::GraphKernel;
 
 fn main() {
     let args = Args::parse(2_000_000);
-    let set = GraphSet::new(args.spec());
+    let set = args.graph_set();
     let designs = Design::figure10();
 
     let traces: Vec<_> = GraphKernel::all()

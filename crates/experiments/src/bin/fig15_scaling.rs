@@ -29,7 +29,7 @@ fn main() {
     for cores in [4usize, 8] {
         let mut spec = args.spec().with_cores(cores);
         spec.seed = args.seed;
-        let set = GraphSet::new(spec);
+        let set = GraphSet::with_telemetry(spec, args.telemetry.clone());
         for kernel in KERNELS {
             traces.push((cores, kernel, set.trace(kernel)));
         }

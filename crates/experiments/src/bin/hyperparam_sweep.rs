@@ -7,7 +7,7 @@
 use cosmos_common::json::json;
 use cosmos_core::Design;
 use cosmos_experiments::runner::Job;
-use cosmos_experiments::{emit_json, f3, print_table, run_grid, Args, GraphSet};
+use cosmos_experiments::{emit_json, f3, print_table, run_grid, Args};
 use cosmos_rl::params::{CtrRewards, DataRewards};
 use cosmos_workloads::graph::GraphKernel;
 
@@ -17,7 +17,7 @@ fn main() {
     let wide = args.large;
     args.large = false;
 
-    let set = GraphSet::new(args.spec());
+    let set = args.graph_set();
     let trace = set.trace(GraphKernel::Dfs);
 
     let alphas: &[f32] = if wide {

@@ -22,7 +22,7 @@
 use cosmos_common::json::{json, Map};
 use cosmos_core::Design;
 use cosmos_experiments::runner::{run_jobs, Job};
-use cosmos_experiments::{emit_json, f3, pct, print_table, Args, GraphSet};
+use cosmos_experiments::{emit_json, f3, pct, print_table, Args};
 use cosmos_sampling::SamplingConfig;
 use cosmos_workloads::graph::GraphKernel;
 
@@ -44,7 +44,7 @@ fn rel_err(sampled: f64, full: f64) -> f64 {
 fn main() {
     let args = Args::parse(24_000_000);
     let sampling = SamplingConfig::for_trace(args.accesses);
-    let set = GraphSet::new(args.spec());
+    let set = args.graph_set();
 
     let mut rows = Vec::new();
     let mut kernels_json = Vec::new();

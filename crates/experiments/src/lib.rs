@@ -20,6 +20,7 @@ use cosmos_common::json::Value;
 use cosmos_common::{PhysAddr, Trace};
 use cosmos_core::{Design, SimConfig, SimStats, Simulator};
 use cosmos_sampling::SamplingConfig;
+use cosmos_telemetry::Telemetry;
 use cosmos_workloads::graph::{Graph, GraphKernel, GraphLayout};
 use cosmos_workloads::{TraceSpec, Workload};
 use std::path::PathBuf;
@@ -40,6 +41,11 @@ options:
                  the machine's available parallelism)
   --json PATH    write the JSON result document to PATH instead of
                  the default results/<name>.json
+  --telemetry DIR
+                 record run telemetry (metrics, flight-recorder events,
+                 phase timers) and export a Chrome trace, a per-set CTR
+                 cache heatmap, and a metrics dump into DIR. Purely
+                 observational: results are byte-identical either way
   --help         print this help and exit";
 
 /// Command-line arguments shared by all experiment binaries.
@@ -61,6 +67,9 @@ pub struct Args {
     /// Worker threads for grid sweeps (`--jobs N`, `COSMOS_JOBS`, or the
     /// machine's available parallelism, in that precedence order).
     pub jobs: usize,
+    /// Telemetry handle (`--telemetry DIR`); disabled by default. Hooks
+    /// observe only — results are byte-identical with and without it.
+    pub telemetry: Telemetry,
 }
 
 impl Args {
@@ -95,6 +104,7 @@ impl Args {
             check: false,
             json: None,
             jobs: default_jobs(),
+            telemetry: Telemetry::disabled(),
         };
         let mut it = argv.into_iter();
         while let Some(a) = it.next() {
@@ -127,6 +137,11 @@ impl Args {
                     }
                     args.jobs = n as usize;
                 }
+                "--telemetry" => {
+                    let dir = it.next().ok_or("--telemetry needs a directory")?;
+                    args.telemetry =
+                        Telemetry::to_dir(&dir).map_err(|e| format!("--telemetry {dir}: {e}"))?;
+                }
                 other => return Err(format!("unknown argument: {other}")),
             }
         }
@@ -148,6 +163,12 @@ impl Args {
         self.sample
             .then(|| SamplingConfig::for_trace(self.accesses))
     }
+
+    /// A [`GraphSet`] for this run's spec, with graph and trace generation
+    /// timed under the `trace_gen` telemetry phase.
+    pub fn graph_set(&self) -> GraphSet {
+        GraphSet::with_telemetry(self.spec(), self.telemetry.clone())
+    }
 }
 
 /// Runs a job grid under `args`: applies `--sample` and `--check` to every
@@ -158,7 +179,12 @@ pub fn run_grid<'a>(jobs: Vec<runner::Job<'a>>, args: &Args) -> Vec<runner::JobR
     let sampling = args.sampling();
     let jobs = jobs
         .into_iter()
-        .map(|j| j.with_sample(sampling).with_check(args.check))
+        .map(|j| {
+            let telemetry = args.telemetry.scope(&j.label);
+            j.with_sample(sampling)
+                .with_check(args.check)
+                .with_telemetry(telemetry)
+        })
         .collect();
     runner::run_jobs(jobs, args.jobs)
 }
@@ -185,11 +211,20 @@ pub struct GraphSet {
     graph: Graph,
     layout: GraphLayout,
     spec: TraceSpec,
+    telemetry: Telemetry,
 }
 
 impl GraphSet {
     /// Generates the graph described by `spec`.
     pub fn new(spec: TraceSpec) -> Self {
+        Self::with_telemetry(spec, Telemetry::disabled())
+    }
+
+    /// Generates the graph described by `spec`, timing generation (and
+    /// every later [`trace`](Self::trace) call) under the `trace_gen`
+    /// telemetry phase. Prefer [`Args::graph_set`].
+    pub fn with_telemetry(spec: TraceSpec, telemetry: Telemetry) -> Self {
+        let _p = telemetry.phase("trace_gen");
         let graph = Graph::generate(
             spec.graph_kind,
             spec.graph_vertices,
@@ -203,10 +238,12 @@ impl GraphSet {
             graph.num_edges() as u64,
             2,
         );
+        drop(_p);
         Self {
             graph,
             layout,
             spec,
+            telemetry,
         }
     }
 
@@ -217,6 +254,7 @@ impl GraphSet {
 
     /// Generates one kernel's trace with an explicit budget.
     pub fn trace_sized(&self, kernel: GraphKernel, accesses: usize) -> Trace {
+        let _p = self.telemetry.phase("trace_gen");
         kernel.generate(
             &self.graph,
             &self.layout,
@@ -278,14 +316,20 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
 /// off-budget runs (CI smoke tests, scratch sweeps) don't clobber the
 /// committed default-budget artifacts.
 pub fn emit_json(args: &Args, name: &str, value: &Value) {
+    let emit = args.telemetry.phase("emit");
     let pretty = value.pretty();
     if let Some(path) = &args.json {
         std::fs::write(path, &pretty).expect("write json");
-        return;
+    } else {
+        let results = std::path::Path::new("results");
+        if results.is_dir() || std::fs::create_dir_all(results).is_ok() {
+            let _ = std::fs::write(results.join(format!("{name}.json")), &pretty);
+        }
     }
-    let results = std::path::Path::new("results");
-    if results.is_dir() || std::fs::create_dir_all(results).is_ok() {
-        let _ = std::fs::write(results.join(format!("{name}.json")), &pretty);
+    // Close the emit span before exporting, so it appears in the trace.
+    drop(emit);
+    if let Err(err) = args.telemetry.export(name) {
+        eprintln!("warning: telemetry export for {name} failed: {err}");
     }
 }
 
@@ -394,9 +438,31 @@ mod tests {
             "--check",
             "--jobs",
             "--json",
+            "--telemetry",
             "--help",
         ] {
             assert!(USAGE.contains(flag), "{flag} missing from USAGE");
         }
+    }
+
+    #[test]
+    fn args_telemetry_flag_enables_telemetry() {
+        let dir = std::env::temp_dir().join("cosmos-args-telemetry-test");
+        let args = parse(&["--telemetry", dir.to_str().unwrap()])
+            .unwrap()
+            .unwrap();
+        assert!(args.telemetry.is_enabled());
+        assert_eq!(args.telemetry.dir(), Some(dir.as_path()));
+        // Default stays off.
+        assert!(!parse(&[]).unwrap().unwrap().telemetry.is_enabled());
+    }
+
+    #[test]
+    fn args_telemetry_unwritable_dir_is_a_parse_error() {
+        // /dev/null is a file, so it can't be a parent directory — the
+        // flag must fail up front with a clear message, not panic mid-run.
+        let err = parse(&["--telemetry", "/dev/null/nested"]).unwrap_err();
+        assert!(err.contains("--telemetry"), "unhelpful error: {err}");
+        assert!(parse(&["--telemetry"]).is_err(), "missing operand");
     }
 }

@@ -39,6 +39,7 @@
 use cosmos_common::Trace;
 use cosmos_core::{Design, SimConfig, SimStats, Simulator};
 use cosmos_sampling::{run_sampled, SamplingConfig, SamplingPlan};
+use cosmos_telemetry::Telemetry;
 use cosmos_verify::CheckReport;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -66,6 +67,9 @@ pub struct Job<'a> {
     /// Checked mode (`--check`): run the `cosmos-verify` oracles in
     /// lockstep. Statistics stay byte-identical; violations go to stderr.
     pub check: bool,
+    /// Telemetry handle threaded into the simulation (`--telemetry`);
+    /// disabled by default. Observational only.
+    pub telemetry: Telemetry,
 }
 
 impl<'a> Job<'a> {
@@ -79,6 +83,7 @@ impl<'a> Job<'a> {
             tweak: None,
             sample: None,
             check: false,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -107,12 +112,23 @@ impl<'a> Job<'a> {
         self
     }
 
+    /// Attaches a telemetry handle — thread
+    /// [`Args::telemetry`](crate::Args) (scoped per job) through here.
+    /// Hooks observe only; results stay byte-identical.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     fn execute(&self) -> JobResult {
         let mut config = SimConfig::paper_default(self.design);
         config.seed = self.seed;
         if let Some(tweak) = &self.tweak {
             tweak(&mut config);
         }
+        config.telemetry = self.telemetry.clone();
+        let _sim_phase = self.telemetry.phase("sim");
         let (stats, simulated_accesses) = match (&self.sample, self.check) {
             (Some(sampling), false) => {
                 let plan = SamplingPlan::build(self.trace, sampling);
@@ -358,6 +374,22 @@ mod tests {
             1,
         );
         assert_eq!(plain, checked, "--check perturbed the sampled results");
+    }
+
+    #[test]
+    fn telemetry_jobs_produce_byte_identical_results() {
+        let traces = test_traces();
+        let trace = &traces[0].1;
+        let plain = run_jobs(vec![Job::new("x", Design::Cosmos, trace, 42)], 1);
+        let tele = Telemetry::in_memory();
+        let observed = run_jobs(
+            vec![Job::new("x", Design::Cosmos, trace, 42).with_telemetry(tele.scope("x"))],
+            1,
+        );
+        assert_eq!(plain, observed, "telemetry perturbed the results");
+        let text = tele.metrics_text();
+        assert!(text.contains("phase sim"), "sim phase missing:\n{text}");
+        assert!(text.contains("counter cache.ctr."), "CTR counters missing");
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::params::{DataRewards, RlParams};
 use crate::qtable::QTable;
 use cosmos_common::hash::hash_address;
 use cosmos_common::{PhysAddr, SplitMix64};
+use cosmos_telemetry::Telemetry;
 
 /// Where a piece of data actually resides (or is predicted to reside)
 /// after an L1 miss.
@@ -111,6 +112,7 @@ pub struct DataLocationPredictor {
     rewards: DataRewards,
     rng: SplitMix64,
     stats: DataLocationStats,
+    telemetry: Telemetry,
 }
 
 impl DataLocationPredictor {
@@ -136,7 +138,15 @@ impl DataLocationPredictor {
             rewards,
             rng: SplitMix64::new(seed),
             stats: DataLocationStats::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; each resolved prediction then feeds
+    /// the `rl.data.*` metrics and sampled `rl_data_action` events.
+    /// Observation only — predictions and training are unaffected.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Accumulated prediction statistics.
@@ -186,6 +196,8 @@ impl DataLocationPredictor {
                 self.rewards.r_mi
             }
         };
+        self.telemetry
+            .rl_data_action(predicted == DataLocation::OffChip, predicted == actual);
         let s = self.state_of(addr);
         let target = r + self.params.gamma * self.qtable.max_q(s);
         self.qtable

@@ -5,6 +5,7 @@ use crate::params::{CtrRewards, RlParams};
 use crate::qtable::QTable;
 use cosmos_common::hash::hash_address;
 use cosmos_common::{LineAddr, SplitMix64};
+use cosmos_telemetry::Telemetry;
 
 /// A CTR locality classification.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -121,6 +122,7 @@ pub struct CtrLocalityPredictor {
     rewards: CtrRewards,
     rng: SplitMix64,
     stats: CtrLocalityStats,
+    telemetry: Telemetry,
 }
 
 impl CtrLocalityPredictor {
@@ -154,7 +156,15 @@ impl CtrLocalityPredictor {
             rewards,
             rng: SplitMix64::new(seed),
             stats: CtrLocalityStats::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; each `classify` then reports its
+    /// action and reward (`rl.ctr.*` metrics + sampled `rl_ctr_action`
+    /// events). Observation only — decisions and training are unaffected.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Accumulated statistics.
@@ -216,6 +226,8 @@ impl CtrLocalityPredictor {
                 self.rewards.r_mb
             }
         };
+
+        self.telemetry.rl_ctr_action(action.is_good(), r);
 
         // Bootstrap on CET.head (lines 16-17).
         let boot = match self.cet.head() {

@@ -54,10 +54,17 @@ pub fn run_sampled(config: &SimConfig, trace: &Trace, plan: &SamplingPlan) -> Sa
     let mut cursor = 0usize;
     for rep in &plan.representatives {
         let warm_from = rep.warmup_start.max(cursor);
-        sim.warmup(accesses[warm_from..rep.interval.start].iter());
-        for a in &accesses[rep.interval.range()] {
-            sim.step(a);
+        {
+            let _p = config.telemetry.phase("warmup");
+            sim.warmup(accesses[warm_from..rep.interval.start].iter());
         }
+        {
+            let _p = config.telemetry.phase("sim");
+            for a in &accesses[rep.interval.range()] {
+                sim.step(a);
+            }
+        }
+        let _p = config.telemetry.phase("merge");
         let window = sim.snapshot().since(&sim.frozen_baseline());
         estimate.add_weighted(&window, rep.scale());
         simulated += (rep.interval.start - warm_from + rep.interval.len) as u64;

@@ -1,0 +1,354 @@
+//! Exporters: Chrome trace-event JSON, per-set CTR heatmap JSON, and a
+//! plain-text metrics dump.
+//!
+//! Everything JSON-shaped is built as a [`cosmos_common::json::Value`] and
+//! serialized through that module — no ad-hoc string formatting — so
+//! escaping and number rendering are handled in exactly one place.
+
+use cosmos_common::json::{json, Value};
+
+use crate::heatmap::CtrHeatmap;
+use crate::metrics::{bucket_floor, MetricSnapshot};
+use crate::phase::PhaseSpan;
+use crate::recorder::{Event, TimedEvent};
+
+/// Stats the recorder reports alongside its retained events.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecorderStats {
+    /// Events pushed into the ring (post-sampling).
+    pub recorded: u64,
+    /// Events lost to ring wraparound.
+    pub overwritten: u64,
+    /// Candidate events seen before sampling.
+    pub candidates: u64,
+    /// The sampling rate (`1` = every event).
+    pub sample_every: u64,
+}
+
+fn uints(values: &[u32]) -> Value {
+    Value::Array(values.iter().map(|&v| Value::UInt(u64::from(v))).collect())
+}
+
+fn event_args(ev: &Event) -> Value {
+    match *ev {
+        Event::CtrAccess { set, hit, write } => json!({
+            "set": set, "hit": hit, "write": write,
+        }),
+        Event::CtrEvict { set, dirty } => json!({ "set": set, "dirty": dirty }),
+        Event::RlCtrAction { good, reward } => json!({ "good": good, "reward": reward }),
+        Event::RlDataAction { offchip, correct } => json!({
+            "offchip": offchip, "correct": correct,
+        }),
+        Event::SpecIssue | Event::SpecKill => json!({}),
+        Event::MerkleWalk { depth, fetched } => json!({
+            "depth": depth as u64, "fetched": fetched as u64,
+        }),
+        Event::DramAccess {
+            queued_cycles,
+            row_hit,
+            write,
+        } => json!({
+            "queued_cycles": queued_cycles, "row_hit": row_hit, "write": write,
+        }),
+    }
+}
+
+/// Builds a Chrome trace-event document (the JSON-array flavour that
+/// `chrome://tracing` and Perfetto load directly).
+///
+/// Layout: pid 0 is the whole run; each telemetry stream is a tid, named
+/// via `M`-phase metadata. Runner phases become `X` (complete) spans on
+/// their stream's track; sampled simulation events become `i` (instant)
+/// marks. Every object carries the full `{name, ph, ts, pid, tid}` set.
+pub fn chrome_trace(
+    phases: &[PhaseSpan],
+    events: &[TimedEvent],
+    stream_labels: &[String],
+) -> Value {
+    let mut out: Vec<Value> = Vec::new();
+    out.push(json!({
+        "name": "process_name", "ph": "M", "ts": 0u64, "pid": 0u64, "tid": 0u64,
+        "args": { "name": "cosmos-sim" },
+    }));
+    for (tid, label) in stream_labels.iter().enumerate() {
+        out.push(json!({
+            "name": "thread_name", "ph": "M", "ts": 0u64, "pid": 0u64,
+            "tid": tid as u64,
+            "args": { "name": label.as_str() },
+        }));
+    }
+    for p in phases {
+        out.push(json!({
+            "name": p.name, "ph": "X", "cat": "phase",
+            "ts": p.start_us, "dur": p.dur_us,
+            "pid": 0u64, "tid": u64::from(p.stream),
+        }));
+    }
+    for e in events {
+        out.push(json!({
+            "name": e.event.name(), "ph": "i", "cat": "sim", "s": "t",
+            "ts": e.ts_us, "pid": 0u64, "tid": u64::from(e.stream),
+            "args": event_args(&e.event),
+        }));
+    }
+    Value::Array(out)
+}
+
+/// Builds the per-set CTR-cache heatmap document: one entry per stream
+/// that ran a secure design, each with per-window access/miss/occupancy
+/// vectors indexed by cache set.
+pub fn heatmap_json(streams: &[(String, Option<CtrHeatmap>)]) -> Value {
+    let entries: Vec<Value> = streams
+        .iter()
+        .filter_map(|(label, map)| map.as_ref().map(|m| (label, m)))
+        .map(|(label, m)| {
+            let windows: Vec<Value> = m
+                .windows()
+                .iter()
+                .map(|w| {
+                    json!({
+                        "end_access": w.end_access,
+                        "accesses": uints(&w.accesses),
+                        "misses": uints(&w.misses),
+                        "occupancy": uints(&w.occupancy),
+                    })
+                })
+                .collect();
+            json!({
+                "stream": label.as_str(),
+                "sets": m.sets() as u64,
+                "window_len": m.window_len(),
+                "total_ctr_accesses": m.total_accesses(),
+                "windows": Value::Array(windows),
+            })
+        })
+        .collect();
+    json!({ "kind": "ctr_heatmap", "streams": Value::Array(entries) })
+}
+
+/// Aggregates phase spans by name: `(name, calls, total_us)`, name-sorted.
+pub fn aggregate_phases(phases: &[PhaseSpan]) -> Vec<(&'static str, u64, u64)> {
+    let mut agg: Vec<(&'static str, u64, u64)> = Vec::new();
+    for p in phases {
+        match agg.iter_mut().find(|(n, _, _)| *n == p.name) {
+            Some(entry) => {
+                entry.1 += 1;
+                entry.2 += p.dur_us;
+            }
+            None => agg.push((p.name, 1, p.dur_us)),
+        }
+    }
+    agg.sort_by(|a, b| a.0.cmp(b.0));
+    agg
+}
+
+/// Renders the plain-text metrics dump: every registered metric, phase
+/// timing totals, and the flight recorder's drop accounting.
+pub fn metrics_text(
+    metrics: &[(String, MetricSnapshot)],
+    phases: &[PhaseSpan],
+    recorder: RecorderStats,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("# cosmos-telemetry metrics dump\n");
+    for (name, snap) in metrics {
+        match snap {
+            MetricSnapshot::Counter(v) => {
+                let _ = writeln!(out, "counter {name} {v}");
+            }
+            MetricSnapshot::Gauge(v) => {
+                let _ = writeln!(out, "gauge {name} {v}");
+            }
+            MetricSnapshot::Histogram {
+                count,
+                sum,
+                buckets,
+            } => {
+                let mean = if *count == 0 {
+                    0.0
+                } else {
+                    *sum as f64 / *count as f64
+                };
+                let _ = write!(
+                    out,
+                    "histogram {name} count {count} sum {sum} mean {mean:.3}"
+                );
+                for (i, n) in buckets.iter().enumerate() {
+                    if *n > 0 {
+                        let _ = write!(out, " ge{}:{n}", bucket_floor(i));
+                    }
+                }
+                out.push('\n');
+            }
+        }
+    }
+    for (name, calls, total_us) in aggregate_phases(phases) {
+        let _ = writeln!(out, "phase {name} calls {calls} total_us {total_us}");
+    }
+    let _ = writeln!(
+        out,
+        "recorder candidates {} sampled {} overwritten {} sample_every {}",
+        recorder.candidates, recorder.recorded, recorder.overwritten, recorder.sample_every
+    );
+    out
+}
+
+/// Whether `v` is a structurally valid Chrome trace-event array: every
+/// element an object with at least `name`, `ph`, `ts`, `pid`, `tid`.
+/// Exposed for tests and smoke checks.
+pub fn is_valid_chrome_trace(v: &Value) -> bool {
+    let Some(items) = v.as_array() else {
+        return false;
+    };
+    items.iter().all(|item| {
+        let Some(obj) = item.as_object() else {
+            return false;
+        };
+        obj.get("name").map(Value::as_str).is_some()
+            && obj.get("ph").and_then(Value::as_str).is_some()
+            && obj.get("ts").and_then(Value::as_u64).is_some()
+            && obj.get("pid").and_then(Value::as_u64).is_some()
+            && obj.get("tid").and_then(Value::as_u64).is_some()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &'static str, stream: u16, start: u64, dur: u64) -> PhaseSpan {
+        PhaseSpan {
+            name,
+            stream,
+            start_us: start,
+            dur_us: dur,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_objects_have_required_keys() {
+        let phases = vec![span("trace_gen", 0, 0, 50), span("sim", 1, 60, 1000)];
+        let events = vec![
+            TimedEvent {
+                ts_us: 70,
+                stream: 1,
+                event: Event::CtrAccess {
+                    set: 3,
+                    hit: false,
+                    write: true,
+                },
+            },
+            TimedEvent {
+                ts_us: 80,
+                stream: 1,
+                event: Event::RlCtrAction {
+                    good: true,
+                    reward: 1.5,
+                },
+            },
+        ];
+        let labels = vec!["main".to_string(), "fig02/np/graph500".to_string()];
+        let doc = chrome_trace(&phases, &events, &labels);
+        assert!(is_valid_chrome_trace(&doc));
+        // 1 process_name + 2 thread_name + 2 phases + 2 events.
+        assert_eq!(doc.as_array().unwrap().len(), 7);
+        let text = doc.to_string();
+        assert!(text.starts_with('[') && text.ends_with(']'));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"dur\":1000"));
+    }
+
+    #[test]
+    fn chrome_trace_escapes_hostile_labels() {
+        // Stream labels come from job labels; exporters must not let a
+        // quote, backslash, or newline corrupt the JSON document.
+        let labels = vec!["evil \"label\"\\with\nnewline\ttab".to_string()];
+        let doc = chrome_trace(&[], &[], &labels);
+        assert!(is_valid_chrome_trace(&doc));
+        let text = doc.to_string();
+        assert!(text.contains(r#"evil \"label\"\\with\nnewline\ttab"#));
+        // The raw control characters must not appear unescaped.
+        assert!(!text.contains('\n'));
+        assert!(!text.contains('\t'));
+        // Still one balanced array of objects.
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        let doc = chrome_trace(&[], &[], &[]);
+        assert!(is_valid_chrome_trace(&doc));
+        assert_eq!(
+            doc.to_string(),
+            r#"[{"name":"process_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"cosmos-sim"}}]"#
+        );
+    }
+
+    #[test]
+    fn heatmap_json_shape() {
+        let mut m = CtrHeatmap::new(2, 2, 8);
+        m.record(0, false, true);
+        m.record(1, true, false);
+        m.finish();
+        let doc = heatmap_json(&[
+            ("cosmos/bfs".to_string(), Some(m)),
+            ("np/bfs".to_string(), None),
+        ]);
+        assert_eq!(doc.get("kind").and_then(Value::as_str), Some("ctr_heatmap"));
+        let streams = doc.get("streams").and_then(Value::as_array).unwrap();
+        // Streams without a heatmap (insecure designs) are omitted.
+        assert_eq!(streams.len(), 1);
+        let s = &streams[0];
+        assert_eq!(s.get("sets").and_then(Value::as_u64), Some(2));
+        let windows = s.get("windows").and_then(Value::as_array).unwrap();
+        assert_eq!(windows.len(), 1);
+        let w = &windows[0];
+        assert_eq!(
+            w.get("accesses").and_then(Value::as_array).unwrap().len(),
+            2
+        );
+        assert_eq!(w.get("misses").unwrap().to_string(), "[1,0]");
+        assert_eq!(w.get("occupancy").unwrap().to_string(), "[1,0]");
+    }
+
+    #[test]
+    fn metrics_text_sections() {
+        let metrics = vec![
+            ("cache.ctr.hits".to_string(), MetricSnapshot::Counter(10)),
+            ("dram.queue.depth".to_string(), MetricSnapshot::Gauge(-2)),
+            (
+                "dram.queue_delay_cycles".to_string(),
+                MetricSnapshot::Histogram {
+                    count: 2,
+                    sum: 6,
+                    buckets: {
+                        let mut b = vec![0u64; 65];
+                        b[2] = 1;
+                        b[3] = 1;
+                        b
+                    },
+                },
+            ),
+        ];
+        let phases = vec![span("sim", 0, 0, 100), span("sim", 1, 0, 50)];
+        let text = metrics_text(
+            &metrics,
+            &phases,
+            RecorderStats {
+                recorded: 5,
+                overwritten: 1,
+                candidates: 320,
+                sample_every: 64,
+            },
+        );
+        assert!(text.contains("counter cache.ctr.hits 10"));
+        assert!(text.contains("gauge dram.queue.depth -2"));
+        assert!(text.contains("histogram dram.queue_delay_cycles count 2 sum 6 mean 3.000"));
+        assert!(text.contains("ge2:1"));
+        assert!(text.contains("ge4:1"));
+        assert!(text.contains("phase sim calls 2 total_us 150"));
+        assert!(text.contains("recorder candidates 320 sampled 5 overwritten 1 sample_every 64"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Per-set CTR-cache activity over time, for heatmap export.
+//!
+//! The CTR cache is where COSMOS's policies differ, so this tracks, per
+//! cache set, accesses / misses / occupancy across windows of N CTR
+//! accesses. Memory is bounded: when the window list would exceed its cap,
+//! adjacent windows are merged pairwise and the window length doubles, so
+//! an arbitrarily long run degrades resolution instead of growing.
+
+/// Per-set activity for one time window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HeatmapWindow {
+    /// Cumulative CTR-access count when this window closed.
+    pub end_access: u64,
+    /// Demand accesses per set during the window.
+    pub accesses: Vec<u32>,
+    /// Misses per set during the window.
+    pub misses: Vec<u32>,
+    /// Valid lines per set when the window closed.
+    pub occupancy: Vec<u32>,
+}
+
+/// Windowed per-set CTR-cache activity with bounded memory.
+#[derive(Clone, Debug)]
+pub struct CtrHeatmap {
+    sets: usize,
+    window_len: u64,
+    max_windows: usize,
+    in_window: u64,
+    total_accesses: u64,
+    cur_accesses: Vec<u32>,
+    cur_misses: Vec<u32>,
+    occupancy: Vec<u32>,
+    windows: Vec<HeatmapWindow>,
+}
+
+impl CtrHeatmap {
+    /// A heatmap over `sets` cache sets, closing a window every
+    /// `window_len` accesses and keeping at most `max_windows` windows
+    /// (both must be positive; `max_windows` ≥ 2 so pair-merging can halve
+    /// the list).
+    pub fn new(sets: usize, window_len: u64, max_windows: usize) -> Self {
+        assert!(sets > 0 && window_len > 0 && max_windows >= 2);
+        Self {
+            sets,
+            window_len,
+            max_windows,
+            in_window: 0,
+            total_accesses: 0,
+            cur_accesses: vec![0; sets],
+            cur_misses: vec![0; sets],
+            occupancy: vec![0; sets],
+            windows: Vec::new(),
+        }
+    }
+
+    /// Number of cache sets tracked.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Current window length in CTR accesses (doubles on merge).
+    pub fn window_len(&self) -> u64 {
+        self.window_len
+    }
+
+    /// Total CTR accesses recorded.
+    pub fn total_accesses(&self) -> u64 {
+        self.total_accesses
+    }
+
+    /// Closed windows so far, oldest first.
+    pub fn windows(&self) -> &[HeatmapWindow] {
+        &self.windows
+    }
+
+    /// Records one demand CTR access. `grew` flags a miss that filled a
+    /// previously invalid way (occupancy +1, no eviction).
+    pub fn record(&mut self, set: usize, hit: bool, grew: bool) {
+        debug_assert!(set < self.sets);
+        self.total_accesses += 1;
+        self.in_window += 1;
+        self.cur_accesses[set] += 1;
+        if !hit {
+            self.cur_misses[set] += 1;
+        }
+        if grew {
+            self.occupancy[set] += 1;
+        }
+        if self.in_window >= self.window_len {
+            self.close_window();
+        }
+    }
+
+    /// Closes any partial window so `windows()` covers every access.
+    pub fn finish(&mut self) {
+        if self.in_window > 0 {
+            self.close_window();
+        }
+    }
+
+    fn close_window(&mut self) {
+        self.windows.push(HeatmapWindow {
+            end_access: self.total_accesses,
+            accesses: std::mem::replace(&mut self.cur_accesses, vec![0; self.sets]),
+            misses: std::mem::replace(&mut self.cur_misses, vec![0; self.sets]),
+            occupancy: self.occupancy.clone(),
+        });
+        self.in_window = 0;
+        if self.windows.len() > self.max_windows {
+            self.merge_pairs();
+        }
+    }
+
+    /// Merges adjacent window pairs: counts add, the later window's
+    /// end-of-window occupancy wins. Halves the list, doubles resolution.
+    fn merge_pairs(&mut self) {
+        let merged: Vec<HeatmapWindow> = self
+            .windows
+            .chunks(2)
+            .map(|pair| {
+                if pair.len() == 1 {
+                    return pair[0].clone();
+                }
+                let (a, b) = (&pair[0], &pair[1]);
+                HeatmapWindow {
+                    end_access: b.end_access,
+                    accesses: a
+                        .accesses
+                        .iter()
+                        .zip(&b.accesses)
+                        .map(|(x, y)| x + y)
+                        .collect(),
+                    misses: a.misses.iter().zip(&b.misses).map(|(x, y)| x + y).collect(),
+                    occupancy: b.occupancy.clone(),
+                }
+            })
+            .collect();
+        self.windows = merged;
+        self.window_len *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_close_at_window_len() {
+        let mut h = CtrHeatmap::new(4, 3, 8);
+        for i in 0..7 {
+            h.record(i % 4, i % 2 == 0, false);
+        }
+        assert_eq!(h.windows().len(), 2);
+        assert_eq!(h.windows()[0].end_access, 3);
+        assert_eq!(h.windows()[1].end_access, 6);
+        h.finish();
+        assert_eq!(h.windows().len(), 3);
+        assert_eq!(h.windows()[2].end_access, 7);
+        let total: u32 = h.windows().iter().flat_map(|w| &w.accesses).sum();
+        assert_eq!(total as u64, h.total_accesses());
+    }
+
+    #[test]
+    fn occupancy_grows_only_on_grew_and_carries_forward() {
+        let mut h = CtrHeatmap::new(2, 2, 8);
+        h.record(0, false, true);
+        h.record(0, false, true);
+        h.record(1, true, false);
+        h.record(0, false, false); // miss with eviction: occupancy unchanged
+        assert_eq!(h.windows()[0].occupancy, vec![2, 0]);
+        assert_eq!(h.windows()[1].occupancy, vec![2, 0]);
+    }
+
+    #[test]
+    fn merging_bounds_memory_and_doubles_window_len() {
+        let mut h = CtrHeatmap::new(2, 1, 4);
+        for i in 0..64 {
+            h.record(i % 2, false, false);
+        }
+        h.finish();
+        assert!(h.windows().len() <= 5, "got {}", h.windows().len());
+        assert!(h.window_len() > 1);
+        // No accesses lost to merging.
+        let total: u32 = h.windows().iter().flat_map(|w| &w.accesses).sum();
+        assert_eq!(total as u64, h.total_accesses());
+        // Windows stay ordered and end at the final access count.
+        let ends: Vec<u64> = h.windows().iter().map(|w| w.end_access).collect();
+        assert!(ends.windows(2).all(|p| p[0] < p[1]));
+        assert_eq!(*ends.last().unwrap(), 64);
+    }
+}

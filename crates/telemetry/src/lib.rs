@@ -1,0 +1,643 @@
+//! Observability for the COSMOS simulator.
+//!
+//! Everything hangs off a cheap, cloneable [`Telemetry`] handle that is
+//! threaded through `SimConfig` into every instrumented component:
+//!
+//! - a by-name **metrics registry** ([`metrics`]) of atomic counters,
+//!   gauges, and log2-bucket histograms — registration locks once, the
+//!   hot path is a relaxed atomic add;
+//! - a bounded ring-buffer **flight recorder** ([`recorder`]) of typed
+//!   simulation events, sampled at a configurable rate;
+//! - per-set CTR-cache **heatmaps** ([`heatmap`]) with bounded memory;
+//! - RAII **phase timers** ([`phase`]) for the experiment pipeline;
+//! - **exporters** ([`export`]): Chrome trace-event JSON, heatmap JSON,
+//!   and a plain-text metrics dump, all serialized via
+//!   `cosmos_common::json`.
+//!
+//! A disabled handle (the default — [`Telemetry::disabled`]) carries a
+//! `None` and every hook returns after that single branch: no clock
+//! reads, no locks, no allocation, no output. Simulation results must be
+//! byte-identical with telemetry on or off; hooks observe, never steer.
+
+pub mod export;
+pub mod heatmap;
+pub mod metrics;
+pub mod phase;
+pub mod recorder;
+
+use std::fmt;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use cosmos_common::json::Value;
+
+use export::RecorderStats;
+use heatmap::CtrHeatmap;
+use metrics::{Counter, Histogram, Registry};
+use phase::{PhaseGuard, PhaseGuardInner, PhaseSpan};
+use recorder::{Event, FlightRecorder, TimedEvent};
+
+/// Tuning knobs for an enabled telemetry pipeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TelemetryConfig {
+    /// Record every Nth candidate event into the flight recorder.
+    pub sample_every: u64,
+    /// Flight-recorder capacity in events.
+    pub recorder_capacity: usize,
+    /// CTR accesses per heatmap window.
+    pub heatmap_window: u64,
+    /// Heatmap windows kept before pair-merging halves resolution.
+    pub heatmap_max_windows: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            sample_every: 64,
+            recorder_capacity: 1 << 16,
+            heatmap_window: 8192,
+            heatmap_max_windows: 256,
+        }
+    }
+}
+
+struct StreamEntry {
+    label: String,
+    heatmap: Option<Arc<Mutex<CtrHeatmap>>>,
+}
+
+/// Metric handles used by the built-in hooks, resolved once at
+/// construction. Pre-registering them also guarantees the metrics dump
+/// always lists the well-known names (as zeros) even for runs that never
+/// touch a given subsystem — e.g. RL action counts under a non-RL design.
+struct HotMetrics {
+    rl_ctr_good: Counter,
+    rl_ctr_bad: Counter,
+    rl_data_offchip: Counter,
+    rl_data_onchip: Counter,
+    rl_data_correct: Counter,
+    rl_data_wrong: Counter,
+    spec_issued: Counter,
+    spec_killed: Counter,
+    merkle_walks: Counter,
+    merkle_depth: Histogram,
+    merkle_fetched: Histogram,
+    dram_accesses: Counter,
+    dram_row_hits: Counter,
+    dram_queue_delay: Histogram,
+}
+
+impl HotMetrics {
+    fn resolve(reg: &Registry) -> Self {
+        // Cache hit/miss counters are owned by the cache layer
+        // (`cache.<role>.*`); registering the CTR/MT ones here keeps them
+        // in every dump regardless of design.
+        for role in ["ctr", "mt"] {
+            for what in ["hits", "misses", "evictions", "writebacks"] {
+                reg.counter(&format!("cache.{role}.{what}"));
+            }
+        }
+        Self {
+            rl_ctr_good: reg.counter("rl.ctr.actions.good"),
+            rl_ctr_bad: reg.counter("rl.ctr.actions.bad"),
+            rl_data_offchip: reg.counter("rl.data.pred.offchip"),
+            rl_data_onchip: reg.counter("rl.data.pred.onchip"),
+            rl_data_correct: reg.counter("rl.data.correct"),
+            rl_data_wrong: reg.counter("rl.data.wrong"),
+            spec_issued: reg.counter("sim.spec.issued"),
+            spec_killed: reg.counter("sim.spec.killed"),
+            merkle_walks: reg.counter("secure.merkle.walks"),
+            merkle_depth: reg.histogram("secure.merkle.depth"),
+            merkle_fetched: reg.histogram("secure.merkle.fetched"),
+            dram_accesses: reg.counter("dram.accesses"),
+            dram_row_hits: reg.counter("dram.row_hits"),
+            dram_queue_delay: reg.histogram("dram.queue_delay_cycles"),
+        }
+    }
+}
+
+struct Shared {
+    config: TelemetryConfig,
+    dir: Option<PathBuf>,
+    epoch: Instant,
+    registry: Registry,
+    recorder: Mutex<FlightRecorder>,
+    event_seq: AtomicU64,
+    phases: Arc<Mutex<Vec<PhaseSpan>>>,
+    streams: Mutex<Vec<StreamEntry>>,
+    hot: HotMetrics,
+}
+
+/// The telemetry handle threaded through `SimConfig` and the runner.
+///
+/// Cloning is cheap (two `Option<Arc>`s and a stream id). A handle is
+/// either *disabled* — every hook is one branch and a return — or backed
+/// by shared state. [`Telemetry::scope`] derives per-grid-job handles
+/// ("streams") so concurrent jobs tag their phases, events, and heatmaps
+/// distinctly while aggregating into the same registry.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    shared: Option<Arc<Shared>>,
+    stream: u16,
+    heatmap: Option<Arc<Mutex<CtrHeatmap>>>,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .field("stream", &self.stream)
+            .field("dir", &self.dir())
+            .finish()
+    }
+}
+
+impl PartialEq for Telemetry {
+    /// Two handles are equal when they view the same shared pipeline (or
+    /// are both disabled) under the same stream.
+    fn eq(&self, other: &Self) -> bool {
+        self.stream == other.stream
+            && match (&self.shared, &other.shared) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+    }
+}
+
+impl Telemetry {
+    /// The default, do-nothing handle.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled pipeline that writes artifacts into `dir` at
+    /// [`Telemetry::export`] time. Creates the directory and probes it
+    /// for writability up front, so a bad `--telemetry` argument fails
+    /// here with a clear error instead of panicking mid-run.
+    pub fn to_dir(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::with_config(Some(dir.into()), TelemetryConfig::default())
+    }
+
+    /// An enabled pipeline with no output directory — hooks and exporters
+    /// run, artifacts are only available in memory. Used by tests and the
+    /// identity smoke.
+    pub fn in_memory() -> Self {
+        Self::with_config(None, TelemetryConfig::default()).expect("no I/O to fail")
+    }
+
+    /// [`Telemetry::in_memory`] with explicit tuning knobs.
+    pub fn in_memory_with(config: TelemetryConfig) -> Self {
+        Self::with_config(None, config).expect("no I/O to fail")
+    }
+
+    /// The general constructor: optional output directory + knobs.
+    pub fn with_config(dir: Option<PathBuf>, config: TelemetryConfig) -> io::Result<Self> {
+        if let Some(dir) = &dir {
+            std::fs::create_dir_all(dir)?;
+            // `create_dir_all` succeeds on an existing read-only dir;
+            // probe an actual write so failure is reported now.
+            let probe = dir.join(".cosmos-telemetry-probe");
+            std::fs::File::create(&probe)
+                .and_then(|mut f| f.write_all(b"probe"))
+                .map_err(|e| {
+                    io::Error::new(e.kind(), format!("directory {dir:?} is not writable: {e}"))
+                })?;
+            let _ = std::fs::remove_file(&probe);
+        }
+        let registry = Registry::new();
+        let hot = HotMetrics::resolve(&registry);
+        let recorder = Mutex::new(FlightRecorder::new(config.recorder_capacity));
+        Ok(Self {
+            shared: Some(Arc::new(Shared {
+                config,
+                dir,
+                epoch: Instant::now(),
+                registry,
+                recorder,
+                event_seq: AtomicU64::new(0),
+                phases: Arc::new(Mutex::new(Vec::new())),
+                streams: Mutex::new(vec![StreamEntry {
+                    label: "main".to_string(),
+                    heatmap: None,
+                }]),
+                hot,
+            })),
+            stream: 0,
+            heatmap: None,
+        })
+    }
+
+    /// Whether hooks do anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// The export directory, if any.
+    pub fn dir(&self) -> Option<&Path> {
+        self.shared.as_ref().and_then(|s| s.dir.as_deref())
+    }
+
+    /// The metrics registry, for components that register their own
+    /// names. `None` when disabled.
+    pub fn registry(&self) -> Option<&Registry> {
+        self.shared.as_ref().map(|s| &s.registry)
+    }
+
+    /// A handle for one grid job (a "stream"): phases, events, and
+    /// heatmaps recorded through it are tagged with a fresh stream id
+    /// labelled `label`. Metrics still aggregate globally. On a disabled
+    /// handle this is free and returns another disabled handle.
+    pub fn scope(&self, label: &str) -> Telemetry {
+        let Some(sh) = &self.shared else {
+            return Telemetry::disabled();
+        };
+        let mut streams = sh.streams.lock().unwrap();
+        assert!(streams.len() <= usize::from(u16::MAX), "too many streams");
+        let id = streams.len() as u16;
+        streams.push(StreamEntry {
+            label: label.to_string(),
+            heatmap: None,
+        });
+        Telemetry {
+            shared: Some(Arc::clone(sh)),
+            stream: id,
+            heatmap: None,
+        }
+    }
+
+    /// Starts a wall-clock phase span; it ends when the guard drops.
+    pub fn phase(&self, name: &'static str) -> PhaseGuard {
+        let Some(sh) = &self.shared else {
+            return PhaseGuard::inert();
+        };
+        PhaseGuard {
+            inner: Some(PhaseGuardInner {
+                sink: Arc::clone(&sh.phases),
+                name,
+                stream: self.stream,
+                start_us: sh.epoch.elapsed().as_micros() as u64,
+                t0: Instant::now(),
+            }),
+        }
+    }
+
+    /// Applies the sampling rate and, for survivors, timestamps and
+    /// records the event. `make` runs only for sampled-in events.
+    #[inline]
+    fn record_event(&self, make: impl FnOnce() -> Event) {
+        let Some(sh) = &self.shared else { return };
+        let seq = sh.event_seq.fetch_add(1, Ordering::Relaxed);
+        if seq % sh.config.sample_every != 0 {
+            return;
+        }
+        let ev = TimedEvent {
+            ts_us: sh.epoch.elapsed().as_micros() as u64,
+            stream: self.stream,
+            event: make(),
+        };
+        sh.recorder.lock().unwrap().push(ev);
+    }
+
+    // ---- component hooks -------------------------------------------------
+
+    /// Sizes this stream's per-set CTR heatmap. Called by the secure path
+    /// once it knows its CTR-cache geometry; no-op when disabled.
+    pub fn ctr_heatmap_init(&mut self, sets: usize) {
+        let Some(sh) = &self.shared else { return };
+        let map = Arc::new(Mutex::new(CtrHeatmap::new(
+            sets,
+            sh.config.heatmap_window,
+            sh.config.heatmap_max_windows,
+        )));
+        sh.streams.lock().unwrap()[usize::from(self.stream)].heatmap = Some(Arc::clone(&map));
+        self.heatmap = Some(map);
+    }
+
+    /// One demand CTR-cache access. `grew` flags a miss that filled a
+    /// previously invalid way (per-set occupancy +1).
+    #[inline]
+    pub fn ctr_access(&self, set: usize, hit: bool, write: bool, grew: bool) {
+        if self.shared.is_none() {
+            return;
+        }
+        if let Some(h) = &self.heatmap {
+            h.lock().unwrap().record(set, hit, grew);
+        }
+        self.record_event(|| Event::CtrAccess {
+            set: set as u32,
+            hit,
+            write,
+        });
+    }
+
+    /// One CTR-cache eviction (counters live in `cache.ctr.*`).
+    #[inline]
+    pub fn ctr_evict(&self, set: usize, dirty: bool) {
+        if self.shared.is_none() {
+            return;
+        }
+        self.record_event(|| Event::CtrEvict {
+            set: set as u32,
+            dirty,
+        });
+    }
+
+    /// One CTR-locality RL decision and its reward.
+    #[inline]
+    pub fn rl_ctr_action(&self, good: bool, reward: f32) {
+        let Some(sh) = &self.shared else { return };
+        if good {
+            sh.hot.rl_ctr_good.inc();
+        } else {
+            sh.hot.rl_ctr_bad.inc();
+        }
+        self.record_event(|| Event::RlCtrAction { good, reward });
+    }
+
+    /// One resolved data-location RL prediction.
+    #[inline]
+    pub fn rl_data_action(&self, offchip: bool, correct: bool) {
+        let Some(sh) = &self.shared else { return };
+        if offchip {
+            sh.hot.rl_data_offchip.inc();
+        } else {
+            sh.hot.rl_data_onchip.inc();
+        }
+        if correct {
+            sh.hot.rl_data_correct.inc();
+        } else {
+            sh.hot.rl_data_wrong.inc();
+        }
+        self.record_event(|| Event::RlDataAction { offchip, correct });
+    }
+
+    /// A speculative early DRAM read was issued.
+    #[inline]
+    pub fn spec_issue(&self) {
+        let Some(sh) = &self.shared else { return };
+        sh.hot.spec_issued.inc();
+        self.record_event(|| Event::SpecIssue);
+    }
+
+    /// A speculative read was killed (data turned out on-chip).
+    #[inline]
+    pub fn spec_kill(&self) {
+        let Some(sh) = &self.shared else { return };
+        sh.hot.spec_killed.inc();
+        self.record_event(|| Event::SpecKill);
+    }
+
+    /// One Merkle-tree authentication walk: `depth` levels visited,
+    /// `fetched` of them missed on-chip caches.
+    #[inline]
+    pub fn merkle_walk(&self, depth: u32, fetched: u32) {
+        let Some(sh) = &self.shared else { return };
+        sh.hot.merkle_walks.inc();
+        sh.hot.merkle_depth.record(u64::from(depth));
+        sh.hot.merkle_fetched.record(u64::from(fetched));
+        self.record_event(|| Event::MerkleWalk {
+            depth: depth.min(255) as u8,
+            fetched: fetched.min(255) as u8,
+        });
+    }
+
+    /// One DRAM access: how long it queued and how the row buffer fared.
+    #[inline]
+    pub fn dram_access(&self, queued_cycles: u64, row_hit: bool, write: bool) {
+        let Some(sh) = &self.shared else { return };
+        sh.hot.dram_accesses.inc();
+        if row_hit {
+            sh.hot.dram_row_hits.inc();
+        }
+        sh.hot.dram_queue_delay.record(queued_cycles);
+        self.record_event(|| Event::DramAccess {
+            queued_cycles: queued_cycles.min(u64::from(u32::MAX)) as u32,
+            row_hit,
+            write,
+        });
+    }
+
+    // ---- export ----------------------------------------------------------
+
+    /// The Chrome trace-event document for everything recorded so far.
+    /// `Value::Null` when disabled.
+    pub fn chrome_trace_value(&self) -> Value {
+        let Some(sh) = &self.shared else {
+            return Value::Null;
+        };
+        let phases = sh.phases.lock().unwrap().clone();
+        let events: Vec<TimedEvent> = sh
+            .recorder
+            .lock()
+            .unwrap()
+            .iter_oldest_first()
+            .copied()
+            .collect();
+        let labels: Vec<String> = sh
+            .streams
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|s| s.label.clone())
+            .collect();
+        export::chrome_trace(&phases, &events, &labels)
+    }
+
+    /// The per-set CTR heatmap document. `Value::Null` when disabled.
+    pub fn heatmap_value(&self) -> Value {
+        let Some(sh) = &self.shared else {
+            return Value::Null;
+        };
+        let streams: Vec<(String, Option<CtrHeatmap>)> = sh
+            .streams
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|s| {
+                let map = s.heatmap.as_ref().map(|m| {
+                    let mut snap = m.lock().unwrap().clone();
+                    snap.finish();
+                    snap
+                });
+                (s.label.clone(), map)
+            })
+            .collect();
+        export::heatmap_json(&streams)
+    }
+
+    /// The plain-text metrics dump (empty when disabled).
+    pub fn metrics_text(&self) -> String {
+        let Some(sh) = &self.shared else {
+            return String::new();
+        };
+        let metrics = sh.registry.snapshot();
+        let phases = sh.phases.lock().unwrap().clone();
+        let rec = sh.recorder.lock().unwrap();
+        let stats = RecorderStats {
+            recorded: rec.recorded(),
+            overwritten: rec.overwritten(),
+            candidates: sh.event_seq.load(Ordering::Relaxed),
+            sample_every: sh.config.sample_every,
+        };
+        drop(rec);
+        export::metrics_text(&metrics, &phases, stats)
+    }
+
+    /// Writes `<name>.trace.json`, `<name>.heatmap.json`, and
+    /// `<name>.metrics.txt` into the export directory. No-op (Ok) when
+    /// disabled or when no directory was configured.
+    pub fn export(&self, name: &str) -> io::Result<()> {
+        let Some(dir) = self.dir().map(Path::to_path_buf) else {
+            return Ok(());
+        };
+        let mut trace = self.chrome_trace_value().to_string();
+        trace.push('\n');
+        std::fs::write(dir.join(format!("{name}.trace.json")), trace)?;
+        let mut heat = self.heatmap_value().pretty();
+        heat.push('\n');
+        std::fs::write(dir.join(format!("{name}.heatmap.json")), heat)?;
+        std::fs::write(dir.join(format!("{name}.metrics.txt")), self.metrics_text())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use export::is_valid_chrome_trace;
+
+    #[test]
+    fn disabled_handle_is_inert_and_cheap() {
+        let mut t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        t.ctr_heatmap_init(64);
+        t.ctr_access(1, true, false, false);
+        t.rl_ctr_action(true, 1.0);
+        t.rl_data_action(false, true);
+        t.spec_issue();
+        t.spec_kill();
+        t.merkle_walk(3, 1);
+        t.dram_access(12, true, false);
+        let _g = t.phase("sim");
+        assert!(t.registry().is_none());
+        assert_eq!(t.chrome_trace_value(), Value::Null);
+        assert_eq!(t.heatmap_value(), Value::Null);
+        assert_eq!(t.metrics_text(), "");
+        t.export("x").unwrap();
+        assert_eq!(t.scope("job"), Telemetry::disabled());
+    }
+
+    #[test]
+    fn hooks_feed_registry_recorder_and_heatmap() {
+        let root = Telemetry::in_memory_with(TelemetryConfig {
+            sample_every: 1,
+            recorder_capacity: 128,
+            heatmap_window: 2,
+            heatmap_max_windows: 8,
+        });
+        let mut job = root.scope("fig/np/bfs");
+        job.ctr_heatmap_init(4);
+        job.ctr_access(0, false, false, true);
+        job.ctr_access(0, true, true, false);
+        job.ctr_evict(0, true);
+        job.rl_ctr_action(true, 2.0);
+        job.rl_ctr_action(false, -1.0);
+        job.rl_data_action(true, true);
+        job.spec_issue();
+        job.spec_kill();
+        job.merkle_walk(5, 2);
+        job.dram_access(100, false, true);
+        {
+            let _p = job.phase("sim");
+        }
+
+        let reg = root.registry().unwrap();
+        assert_eq!(reg.counter("rl.ctr.actions.good").get(), 1);
+        assert_eq!(reg.counter("rl.ctr.actions.bad").get(), 1);
+        assert_eq!(reg.counter("sim.spec.issued").get(), 1);
+        assert_eq!(reg.counter("sim.spec.killed").get(), 1);
+        assert_eq!(reg.counter("secure.merkle.walks").get(), 1);
+        assert_eq!(reg.counter("dram.accesses").get(), 1);
+        assert_eq!(reg.histogram("dram.queue_delay_cycles").sum(), 100);
+
+        let trace = root.chrome_trace_value();
+        assert!(is_valid_chrome_trace(&trace));
+        let text = trace.to_string();
+        assert!(text.contains("fig/np/bfs"));
+        assert!(text.contains("ctr_access"));
+        assert!(text.contains("\"name\":\"sim\""));
+
+        let heat = root.heatmap_value();
+        let streams = heat.get("streams").and_then(Value::as_array).unwrap();
+        assert_eq!(streams.len(), 1);
+        assert_eq!(streams[0].get("sets").and_then(Value::as_u64), Some(4));
+
+        let dump = root.metrics_text();
+        assert!(dump.contains("counter cache.ctr.hits 0"));
+        assert!(dump.contains("counter rl.ctr.actions.good 1"));
+        assert!(dump.contains("phase sim calls 1"));
+    }
+
+    #[test]
+    fn sampling_thins_the_recorder() {
+        let t = Telemetry::in_memory_with(TelemetryConfig {
+            sample_every: 10,
+            recorder_capacity: 1024,
+            ..TelemetryConfig::default()
+        });
+        for _ in 0..100 {
+            t.spec_issue();
+        }
+        assert_eq!(t.registry().unwrap().counter("sim.spec.issued").get(), 100);
+        let text = t.metrics_text();
+        assert!(text.contains("recorder candidates 100 sampled 10 overwritten 0 sample_every 10"));
+    }
+
+    #[test]
+    fn scopes_get_distinct_streams_but_shared_metrics() {
+        let root = Telemetry::in_memory();
+        let a = root.scope("a");
+        let b = root.scope("b");
+        assert_ne!(a, b);
+        a.spec_issue();
+        b.spec_issue();
+        assert_eq!(root.registry().unwrap().counter("sim.spec.issued").get(), 2);
+        let text = root.chrome_trace_value().to_string();
+        assert!(text.contains("\"name\":\"a\""));
+        assert!(text.contains("\"name\":\"b\""));
+    }
+
+    #[test]
+    fn export_writes_three_artifacts() {
+        let dir = std::env::temp_dir().join(format!("cosmos-tele-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let t = Telemetry::to_dir(&dir).unwrap();
+        t.spec_issue();
+        {
+            let _p = t.phase("emit");
+        }
+        t.export("fig99").unwrap();
+        for suffix in ["trace.json", "heatmap.json", "metrics.txt"] {
+            let p = dir.join(format!("fig99.{suffix}"));
+            let data = std::fs::read_to_string(&p).unwrap();
+            assert!(!data.is_empty(), "{p:?} empty");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unwritable_dir_fails_with_clear_error() {
+        // A path whose parent is a regular file cannot be created.
+        let file = std::env::temp_dir().join(format!("cosmos-tele-file-{}", std::process::id()));
+        std::fs::write(&file, b"x").unwrap();
+        let err = Telemetry::to_dir(file.join("sub")).unwrap_err();
+        let msg = err.to_string();
+        assert!(!msg.is_empty());
+        std::fs::remove_file(&file).unwrap();
+    }
+}

@@ -1,0 +1,218 @@
+//! The flight recorder: a bounded ring buffer of typed simulation events.
+//!
+//! Components hand events to [`crate::Telemetry`], which applies the
+//! configured sampling rate and timestamps whatever survives; the recorder
+//! itself just stores the newest `capacity` events, counting what it had to
+//! overwrite so exporters can report drop rates honestly.
+
+/// A typed simulation event, as emitted by the instrumented components.
+///
+/// Variants are small and `Copy`: recording must not allocate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Event {
+    /// A demand access to the CTR cache (counter metadata).
+    CtrAccess {
+        /// Cache set index.
+        set: u32,
+        /// Whether it hit.
+        hit: bool,
+        /// Whether it was a write (counter bump) access.
+        write: bool,
+    },
+    /// A CTR-cache eviction.
+    CtrEvict {
+        /// Cache set index the victim left.
+        set: u32,
+        /// Whether the victim was dirty (forced a writeback).
+        dirty: bool,
+    },
+    /// One decision by the CTR-locality RL agent.
+    RlCtrAction {
+        /// Whether the agent chose the "good locality" action.
+        good: bool,
+        /// The reward assigned to the decision.
+        reward: f32,
+    },
+    /// One resolved prediction by the data-location RL agent.
+    RlDataAction {
+        /// Whether the prediction was "off-chip".
+        offchip: bool,
+        /// Whether the prediction matched the actual location.
+        correct: bool,
+    },
+    /// A speculative early DRAM read issued on an off-chip prediction.
+    SpecIssue,
+    /// A speculative read killed because the data was on-chip after all.
+    SpecKill,
+    /// One Merkle-tree authentication walk.
+    MerkleWalk {
+        /// Levels visited before hitting a cached ancestor (or the root).
+        depth: u8,
+        /// Levels that had to be fetched from DRAM.
+        fetched: u8,
+    },
+    /// One DRAM access leaving the bank queue.
+    DramAccess {
+        /// Cycles the request waited behind earlier requests to its bank.
+        queued_cycles: u32,
+        /// Whether it hit the open row buffer.
+        row_hit: bool,
+        /// Whether it was a write.
+        write: bool,
+    },
+}
+
+impl Event {
+    /// A short static name, used for trace-event labels and aggregation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::CtrAccess { .. } => "ctr_access",
+            Event::CtrEvict { .. } => "ctr_evict",
+            Event::RlCtrAction { .. } => "rl_ctr_action",
+            Event::RlDataAction { .. } => "rl_data_action",
+            Event::SpecIssue => "spec_issue",
+            Event::SpecKill => "spec_kill",
+            Event::MerkleWalk { .. } => "merkle_walk",
+            Event::DramAccess { .. } => "dram_access",
+        }
+    }
+}
+
+/// An [`Event`] stamped with when and where it happened.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimedEvent {
+    /// Microseconds of wall clock since the telemetry epoch.
+    pub ts_us: u64,
+    /// The stream (grid-job scope) that emitted it.
+    pub stream: u16,
+    /// The event itself.
+    pub event: Event,
+}
+
+/// A bounded ring buffer that keeps the newest `capacity` events.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    buf: Vec<TimedEvent>,
+    capacity: usize,
+    /// Next slot to overwrite once the buffer is full.
+    head: usize,
+    recorded: u64,
+    overwritten: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` events (`capacity > 0`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be positive");
+        Self {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            recorded: 0,
+            overwritten: 0,
+        }
+    }
+
+    /// Stores `ev`, evicting the oldest retained event when full.
+    pub fn push(&mut self, ev: TimedEvent) {
+        self.recorded += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.overwritten += 1;
+        }
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever pushed (retained + overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events lost to ring wraparound.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter_oldest_first(&self) -> impl Iterator<Item = &TimedEvent> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64) -> TimedEvent {
+        TimedEvent {
+            ts_us: ts,
+            stream: 0,
+            event: Event::SpecIssue,
+        }
+    }
+
+    #[test]
+    fn below_capacity_keeps_everything_in_order() {
+        let mut r = FlightRecorder::new(4);
+        for t in 0..3 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.recorded(), 3);
+        assert_eq!(r.overwritten(), 0);
+        let ts: Vec<u64> = r.iter_oldest_first().map(|e| e.ts_us).collect();
+        assert_eq!(ts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn wraparound_drops_oldest_and_accounts_for_it() {
+        let mut r = FlightRecorder::new(4);
+        for t in 0..10 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.capacity(), 4);
+        assert_eq!(r.recorded(), 10);
+        assert_eq!(r.overwritten(), 6);
+        // The newest 4 events survive, oldest-first iteration order.
+        let ts: Vec<u64> = r.iter_oldest_first().map(|e| e.ts_us).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn wraparound_is_stable_across_many_laps() {
+        let mut r = FlightRecorder::new(3);
+        for t in 0..3000 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.recorded(), 3000);
+        assert_eq!(r.overwritten(), 2997);
+        let ts: Vec<u64> = r.iter_oldest_first().map(|e| e.ts_us).collect();
+        assert_eq!(ts, vec![2997, 2998, 2999]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        FlightRecorder::new(0);
+    }
+}

@@ -10,11 +10,40 @@
 # ~15 min) and it is run separately:
 #   cargo run --release -p cosmos-experiments --bin sampling_validation \
 #     2>&1 | tee results/sampling_validation.txt
+#
+# `--telemetry [DIR]` is handled here rather than forwarded verbatim:
+# every figure gets the same export directory (default
+# results/telemetry/) and writes its own <figure>.trace.json /
+# <figure>.heatmap.json / <figure>.metrics.txt there. See README
+# "Profiling a run".
 set -u
 cd "$(dirname "$0")"
+
+TELEMETRY=""
+FWD=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --telemetry)
+      if [ $# -gt 1 ] && [ "${2#--}" = "$2" ]; then
+        TELEMETRY="$2"
+        shift
+      else
+        TELEMETRY="results/telemetry"
+      fi
+      ;;
+    *) FWD+=("$1") ;;
+  esac
+  shift
+done
+if [ -n "$TELEMETRY" ]; then
+  mkdir -p "$TELEMETRY"
+  FWD+=(--telemetry "$TELEMETRY")
+fi
+
 BINS="table1_params table2_overhead table3_config fig02_traffic fig03_ctr_size fig04_early_access fig05_classic_opts fig08_generalization fig09_cet_sweep fig10_performance fig11_ctr_miss fig12_prediction fig13_locality fig14_smat fig15_scaling fig16_emcc fig17_ml hyperparam_sweep ablation_design"
 for bin in $BINS; do
   echo "=== $bin ==="
-  cargo run --release -q -p cosmos-experiments --bin "$bin" -- "$@" 2>&1 | tee "results/$bin.txt"
+  cargo run --release -q -p cosmos-experiments --bin "$bin" -- \
+    ${FWD[@]+"${FWD[@]}"} 2>&1 | tee "results/$bin.txt"
   echo
 done

@@ -29,10 +29,44 @@ cmp "$plain_json" "$checked_json" || {
     echo "check.sh: --check perturbed the fig02_traffic artifact" >&2
     exit 1
 }
-rm -f "$plain_json" "$checked_json"
+rm -f "$checked_json"
+# Telemetry identity smoke: --telemetry must also observe without
+# perturbing — same grid, same seed, byte-identical result artifact —
+# and the exported trace/heatmap/metrics files must exist and carry the
+# expected structure.
+tele_json="$(mktemp)"
+tele_dir="$(mktemp -d)"
+cargo run --release -q -p cosmos-experiments --bin fig02_traffic -- \
+    --accesses 20000 --jobs 2 --telemetry "$tele_dir" --json "$tele_json" >/dev/null
+cmp "$plain_json" "$tele_json" || {
+    echo "check.sh: --telemetry perturbed the fig02_traffic artifact" >&2
+    exit 1
+}
+for f in fig02.trace.json fig02.heatmap.json fig02.metrics.txt; do
+    [ -s "$tele_dir/$f" ] || {
+        echo "check.sh: telemetry export missing $f" >&2
+        exit 1
+    }
+done
+grep -q '"ph":"M"' "$tele_dir/fig02.trace.json" || {
+    echo "check.sh: fig02.trace.json has no Chrome trace metadata events" >&2
+    exit 1
+}
+grep -q '^counter cache\.ctr\.hits ' "$tele_dir/fig02.metrics.txt" || {
+    echo "check.sh: fig02.metrics.txt has no CTR hit counter" >&2
+    exit 1
+}
+grep -q '"windows"' "$tele_dir/fig02.heatmap.json" || {
+    echo "check.sh: fig02.heatmap.json has no occupancy windows" >&2
+    exit 1
+}
+rm -rf "$plain_json" "$tele_json" "$tele_dir"
 # Differential fuzzing at a fixed seed: a bounded pass over random
 # configurations x synthetic traces through the shadow models and the
 # invariant catalogue (~30 s; failures shrink to results/*.json repros).
 cargo run --release -q -p cosmos-verify --bin verify_fuzz -- \
     --seed 1 --cases 16 --accesses 5000 >/dev/null
+# Throughput trend (warn-only): flags >10% drops of the committed
+# sim_throughput snapshot against its history; never fails the gate.
+scripts/throughput_guard.sh || true
 echo "check.sh: all green"

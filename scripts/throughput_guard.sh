@@ -1,0 +1,61 @@
+#!/bin/bash
+# Warn-only simulator-throughput regression guard.
+#
+# Compares the current BENCH_sim.json snapshot's mean_accesses_per_sec
+# against the most recent *different* entry in BENCH_sim.history.jsonl
+# (the snapshot's own numbers are appended to the history by the bench,
+# so the last line usually repeats the snapshot). A drop of more than
+# 10% prints a warning; the guard never fails the build — wall-clock
+# throughput is machine- and load-dependent, so it flags, humans judge.
+#
+# Usage: scripts/throughput_guard.sh   (run sim_throughput first)
+set -eu
+cd "$(dirname "$0")/.."
+
+snap="BENCH_sim.json"
+hist="BENCH_sim.history.jsonl"
+threshold_pct=10
+
+if [ ! -f "$snap" ]; then
+  echo "throughput_guard: no $snap — run 'cargo run --release -p cosmos-experiments --bin sim_throughput' to create one" >&2
+  exit 0
+fi
+
+current="$(sed -n 's/.*"mean_accesses_per_sec": *\([0-9.eE+-]*\).*/\1/p' "$snap" | head -n1)"
+if [ -z "$current" ]; then
+  echo "throughput_guard: $snap has no mean_accesses_per_sec field" >&2
+  exit 0
+fi
+
+if [ ! -f "$hist" ]; then
+  echo "throughput_guard: no $hist yet — nothing to compare against" >&2
+  exit 0
+fi
+
+# The last history entry whose mean differs from the snapshot's (i.e. the
+# previous benchmark run on this machine).
+baseline="$(awk -v cur="$current" '
+  match($0, /"mean_accesses_per_sec": *[0-9.eE+-]+/) {
+    v = substr($0, RSTART, RLENGTH)
+    sub(/^"mean_accesses_per_sec": */, "", v)
+    if (v + 0 != cur + 0) last = v
+  }
+  END { if (last != "") print last }' "$hist")"
+if [ -z "$baseline" ]; then
+  echo "throughput_guard: no prior differing history entry — nothing to compare against" >&2
+  exit 0
+fi
+
+awk -v cur="$current" -v base="$baseline" -v thr="$threshold_pct" 'BEGIN {
+  drop = (base - cur) / base * 100.0
+  if (drop > thr) {
+    printf "throughput_guard: WARNING: sim throughput dropped %.1f%% (%.0f -> %.0f accesses/sec, threshold %d%%)\n",
+      drop, base, cur, thr
+    printf "throughput_guard: wall-clock benches are noisy; re-run sim_throughput before blaming a change\n"
+  } else if (drop > 0) {
+    printf "throughput_guard: ok: -%.1f%% vs last run (%.0f -> %.0f accesses/sec)\n", drop, base, cur
+  } else {
+    printf "throughput_guard: ok: +%.1f%% vs last run (%.0f -> %.0f accesses/sec)\n", -drop, base, cur
+  }
+}'
+exit 0
