@@ -13,6 +13,8 @@
 //! statistical tests); for the tracked end-to-end figure see the
 //! `sim_throughput` experiment binary, which persists `BENCH_sim.json`.
 
+// cosmos-lint: allow-file(D2): this crate IS the wall-clock bench harness; timings are
+// reported as measurements, never fed back into simulated state.
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 

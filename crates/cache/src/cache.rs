@@ -169,6 +169,7 @@ impl Cache {
     ///
     /// `hint` attaches/refreshes an RL locality annotation (LCR policy); it
     /// is stored on fill and refreshed on hit when provided.
+    // cosmos-lint: hot
     pub fn access(
         &mut self,
         line: LineAddr,
@@ -299,6 +300,7 @@ impl Cache {
         set.iter().position(|e| e.valid && e.tag == tag)
     }
 
+    // cosmos-lint: hot
     fn fill_internal(
         &mut self,
         set: usize,

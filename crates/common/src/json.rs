@@ -87,6 +87,7 @@ impl core::ops::Index<&str> for Map {
 
     fn index(&self, key: &str) -> &Value {
         self.get(key)
+            // cosmos-lint: allow(P2): std Index contract requires a panic on a missing key
             .unwrap_or_else(|| panic!("no key {key:?} in JSON object"))
     }
 }

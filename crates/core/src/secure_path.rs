@@ -145,6 +145,7 @@ impl SecurePath {
 
     /// Reads the CTR covering `data_line` on the critical path, starting at
     /// `start`. Returns when the OTP is ready.
+    // cosmos-lint: hot
     pub fn ctr_read(
         &mut self,
         data_line: LineAddr,
@@ -183,6 +184,7 @@ impl SecurePath {
     /// Handles the secure side of a data writeback (off the critical path):
     /// counter increment (+ re-encryption on overflow), CTR cache
     /// read-modify-write, tree path update, MAC write traffic.
+    // cosmos-lint: hot
     pub fn ctr_write(
         &mut self,
         data_line: LineAddr,
@@ -250,6 +252,7 @@ impl SecurePath {
     /// cache, fetching missed nodes from DRAM in parallel; returns when the
     /// slowest fetched node arrives. Stops at the first cached
     /// (already-verified) ancestor.
+    // cosmos-lint: hot
     fn mt_walk(
         &mut self,
         ctr_line: LineAddr,

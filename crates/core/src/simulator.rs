@@ -113,6 +113,7 @@ impl Simulator {
     }
 
     /// Processes a single access.
+    // cosmos-lint: hot
     pub fn step(&mut self, access: &MemAccess) {
         let core = access.core as usize % self.config.cores;
         let line = access.addr.line();

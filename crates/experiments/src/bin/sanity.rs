@@ -1,3 +1,5 @@
+// cosmos-lint: allow-file(D2): sanity bin prints wall-clock progress timings; its
+// simulated output is still a pure function of config + seed.
 use cosmos_core::{smat::smat, Design, SimConfig, Simulator};
 use cosmos_workloads::{graph::GraphKernel, TraceSpec, Workload};
 use std::time::Instant;

@@ -1,0 +1,44 @@
+//! C1/C2 fixture: stat-integrity rules.
+//! Virtual path: crates/demo/src/stats.rs — C1 only applies in stat
+//! modules (`stats.rs`, `metrics.rs`, `estimate.rs`).
+
+pub struct DemoStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub ipc_sum: f64, //~ C2
+    pub latencies: Vec<f32>, //~ C2
+}
+
+pub struct TimelinePoint {
+    // Not a *Stats struct: floats are fine in derived/emit-side types.
+    pub ipc: f64,
+}
+
+impl DemoStats {
+    pub fn truncating(&self) -> u32 {
+        self.hits as u32 //~ C1
+    }
+
+    pub fn widening_is_fine(&self) -> u128 {
+        self.hits as u128
+    }
+
+    pub fn derive_rate(&self) -> f64 {
+        // Deriving a float at read time is the sanctioned pattern.
+        self.hits as f64 / (self.hits + self.misses).max(1) as f64
+    }
+
+    pub fn exact(&self) -> u32 {
+        // cosmos-lint: allow(C1): set index < 2^16 by construction (max 65536 sets)
+        (self.misses & 0xffff) as u32 // suppressed — no marker
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn casts_in_tests_are_fine() {
+        let x: u64 = 5;
+        assert_eq!(x as u32, 5);
+    }
+}

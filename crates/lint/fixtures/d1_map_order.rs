@@ -1,0 +1,48 @@
+//! D1 fixture: nondeterministic map/set types.
+//! Virtual path: crates/demo/src/lib.rs (library crate).
+//! `//~ RULE` markers declare the findings the lint must produce, and the
+//! harness fails on any finding without a marker — positives and negatives
+//! are both asserted.
+
+use std::collections::BTreeMap; // negative: ordered map is the fix
+use std::collections::HashMap; //~ D1
+use std::collections::HashSet; //~ D1
+
+pub struct EmitState {
+    rows: HashMap<u64, u64>, //~ D1
+    seen: BTreeMap<u64, u64>, // negative
+}
+
+impl EmitState {
+    pub fn new() -> Self {
+        Self {
+            rows: HashMap::new(), //~ D1
+            seen: BTreeMap::new(),
+        }
+    }
+}
+
+// A pragma with a justification suppresses the finding.
+// cosmos-lint: allow(D1): keyed lookups only in this demo; never iterated
+pub fn keyed_only() -> HashMap<u64, u64> {
+    HashMap::new() //~ D1
+}
+
+/// Doc examples are not code: `HashMap::new()` here must not fire.
+pub fn documented() {}
+
+fn in_string() {
+    let _s = "HashMap inside a string literal is not a finding";
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: determinism of artifacts is a production
+    // property.
+    #[test]
+    fn uses_hash_map() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u64, 2u64);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! D2 fixture: wall-clock reads outside cosmos-telemetry.
+//! Virtual path: crates/demo/src/lib.rs.
+
+use std::time::Duration; // negative: durations are data, not clock reads
+use std::time::Instant; //~ D2
+
+pub fn timed() -> Duration {
+    let t0 = Instant::now(); //~ D2
+    t0.elapsed()
+}
+
+pub fn stamped() -> u64 {
+    let t = std::time::SystemTime::now(); //~ D2
+    drop(t);
+    0
+}
+
+// Justified suppression: a measurement that never reaches simulated state.
+pub fn justified() {
+    let _t = Instant::now(); // cosmos-lint: allow(D2): progress logging only; never reaches sim state
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _t = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,33 @@
+//! D3 fixture: ad-hoc threading outside the experiments runner.
+//! Virtual path: crates/demo/src/lib.rs.
+
+pub fn spawns() {
+    std::thread::spawn(|| {}); //~ D3
+}
+
+pub fn scoped() {
+    std::thread::scope(|_s| {}); //~ D3
+}
+
+pub fn channels() {
+    use std::sync::mpsc; //~ D3
+    let (_tx, _rx) = mpsc::channel::<u64>(); //~ D3
+}
+
+pub fn sleeping_is_fine() {
+    // `thread::sleep` is not spawn/scope: no finding.
+    std::thread::sleep(std::time::Duration::from_millis(0));
+}
+
+pub fn justified() {
+    // cosmos-lint: allow(D3): demo of a justified single-consumer side channel
+    std::thread::spawn(|| {}); // suppressed — no marker
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn threads_in_tests_are_fine() {
+        std::thread::spawn(|| {}).join().ok();
+    }
+}

@@ -1,0 +1,38 @@
+//! H1 fixture: allocation inside `// cosmos-lint: hot` functions.
+//! Virtual path: crates/demo/src/lib.rs.
+
+pub struct Demo {
+    ways: Vec<u64>,
+    scratch: Vec<u64>,
+}
+
+impl Demo {
+    // cosmos-lint: hot
+    pub fn access(&mut self, x: u64) -> u64 {
+        let copied = self.ways.to_vec(); //~ H1
+        let label = format!("{x}"); //~ H1
+        let v = vec![x]; //~ H1
+        let b = Box::new(x); //~ H1
+        let s = x.to_string(); //~ H1
+        let c: Vec<u64> = self.ways.iter().copied().collect(); //~ H1
+        let cl = self.ways.clone(); //~ H1
+        drop((copied, label, v, b, s, c, cl));
+        // Reusing a scratch buffer is the sanctioned pattern: no finding.
+        self.scratch.clear();
+        self.scratch.extend(self.ways.iter().copied());
+        self.scratch.len() as u64
+    }
+
+    // Not annotated: the same allocations are fine in cold code.
+    pub fn cold(&mut self, x: u64) -> String {
+        let _v = self.ways.to_vec();
+        format!("{x}")
+    }
+
+    // cosmos-lint: hot
+    pub fn justified_hot(&mut self) -> u64 {
+        // cosmos-lint: allow(H1): warm-up-only branch; one-off snapshot amortized
+        let snapshot = self.ways.clone(); // suppressed — no marker
+        snapshot.len() as u64
+    }
+}

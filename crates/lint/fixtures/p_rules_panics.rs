@@ -1,0 +1,59 @@
+//! P1/P2/P3 fixture: panic discipline in library crates.
+//! Virtual path: crates/demo/src/lib.rs. The same content analyzed under a
+//! `src/bin/` path must produce zero P findings (bins may abort).
+
+pub fn takes(o: Option<u64>) -> u64 {
+    o.unwrap() //~ P1
+}
+
+pub fn chained(r: Result<u64, String>) -> u64 {
+    r.ok().map(|x| x + 1).unwrap() //~ P1
+}
+
+pub fn aborts(x: u64) -> u64 {
+    if x > 10 {
+        panic!("x too big"); //~ P2
+    }
+    if x == 9 {
+        unreachable!(); //~ P2
+    }
+    x
+}
+
+pub fn vague(o: Option<u64>) -> u64 {
+    o.expect("bad") //~ P3
+}
+
+pub fn no_space(o: Option<u64>) -> u64 {
+    o.expect("nonempty-capacity-invariant") //~ P3
+}
+
+pub fn invariant_stated(o: Option<u64>) -> u64 {
+    // An expect() that documents why failure is impossible passes.
+    o.expect("capacity > 0 is asserted in the constructor")
+}
+
+pub fn unwrap_or_is_fine(o: Option<u64>) -> u64 {
+    o.unwrap_or(0) + o.unwrap_or_default()
+}
+
+pub fn justified(o: Option<u64>) -> u64 {
+    // cosmos-lint: allow(P1): prototype-only helper slated for removal
+    o.unwrap() // suppressed — no marker
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_in_tests_are_fine() {
+        assert_eq!(Some(1u64).unwrap(), 1);
+        let v: Result<u64, ()> = Ok(2);
+        v.unwrap();
+    }
+
+    #[test]
+    #[should_panic]
+    fn panics_in_tests_are_fine() {
+        panic!("expected");
+    }
+}

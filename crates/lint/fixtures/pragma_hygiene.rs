@@ -1,0 +1,29 @@
+//! L1/L2 fixture: the pragma mechanism is itself linted.
+//! Virtual path: crates/demo/src/lib.rs.
+//!
+//! `//~v` markers expect findings on the *next* line (used where the line
+//! under test is itself a pragma comment and cannot carry a marker).
+
+//~v L1
+// cosmos-lint: allow(D1)
+use std::collections::HashMap; //~ D1
+
+//~v L1
+// cosmos-lint: allow(D1): short
+pub fn short_justification() -> HashMap<u64, u64> { //~ D1
+    HashMap::new() //~ D1
+}
+
+//~v L1
+// cosmos-lint: alow(D1): typo in the keyword itself
+pub fn typod() {}
+
+// cosmos-lint: allow(D1): nothing on the next line uses a hash map at all
+pub fn stale_allow() {} //~ L2
+
+// cosmos-lint: allow(Z9): unknown rule id with a fine justification
+pub fn unknown_rule() {} //~ L1 L2
+
+//~v L1
+// cosmos-lint: hot
+pub struct NotAFunction;

@@ -1,0 +1,228 @@
+//! # cosmos-lint
+//!
+//! An in-tree static analyzer that machine-checks the invariants every
+//! COSMOS result rests on: bit-deterministic artifacts, an allocation-free
+//! simulation hot path, untruncated `u64` stat counters, and panic-free
+//! library crates. See [`rules::RULES`] for the catalogue and DESIGN.md §12
+//! for the rationale and pragma grammar.
+//!
+//! Zero registry dependencies, zero `syn`: a ~300-line tokenizer
+//! ([`tokenizer`]) plus brace-matching extent analysis ([`scan`]) is enough
+//! lexical fidelity for every rule, in the same in-tree philosophy as
+//! `cosmos_common::json` and the vendored proptest stub. The lint runs over
+//! its own sources like any other crate.
+
+pub mod baseline;
+pub mod pragma;
+pub mod rules;
+pub mod scan;
+pub mod tokenizer;
+
+use baseline::{Baseline, BaselineEntry};
+use cosmos_common::json::{json, Map, Value};
+use rules::{Finding, RULES};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The outcome of a lint run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Findings that neither a pragma nor the baseline suppressed — these
+    /// fail the gate.
+    pub findings: Vec<Finding>,
+    /// Number of findings suppressed by the baseline.
+    pub baselined: usize,
+    /// Baseline entries that matched nothing (fixed or drifted).
+    pub stale_baseline: Vec<BaselineEntry>,
+    /// Number of files analyzed.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the run passes (no live findings; stale baseline entries
+    /// warn but do not fail).
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Per-rule live-finding counts (every catalogue rule, zeros included).
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut c: BTreeMap<&'static str, usize> = RULES.iter().map(|r| (r.id, 0)).collect();
+        for f in &self.findings {
+            if let Some(n) = c.get_mut(f.rule.as_str()) {
+                *n += 1;
+            }
+        }
+        c
+    }
+
+    /// The human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+            if !f.excerpt.is_empty() {
+                out.push_str("    | ");
+                out.push_str(&f.excerpt);
+                out.push('\n');
+            }
+        }
+        for e in &self.stale_baseline {
+            out.push_str(&format!(
+                "warning: stale baseline entry ({} {} {:?}) matches nothing — prune it\n",
+                e.rule, e.path, e.excerpt
+            ));
+        }
+        out.push_str(&format!(
+            "cosmos-lint: {} file(s), {} finding(s), {} baselined{}\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.baselined,
+            if self.clean() { " — clean" } else { "" }
+        ));
+        out
+    }
+
+    /// The machine-readable report (schema `cosmos-lint-report-v1`).
+    pub fn to_json(&self) -> Value {
+        let findings: Vec<Value> = self
+            .findings
+            .iter()
+            .map(|f| {
+                json!({
+                    "rule": f.rule.as_str(),
+                    "path": f.path.as_str(),
+                    "line": f.line,
+                    "message": f.message.as_str(),
+                    "excerpt": f.excerpt.as_str(),
+                })
+            })
+            .collect();
+        let stale: Vec<Value> = self
+            .stale_baseline
+            .iter()
+            .map(|e| {
+                json!({
+                    "rule": e.rule.as_str(),
+                    "path": e.path.as_str(),
+                    "excerpt": e.excerpt.as_str(),
+                })
+            })
+            .collect();
+        let mut counts = Map::new();
+        for (id, n) in self.counts() {
+            counts.insert(id, json!(n));
+        }
+        let rules: Vec<Value> = RULES
+            .iter()
+            .map(|r| json!({"id": r.id, "name": r.name, "summary": r.summary}))
+            .collect();
+        json!({
+            "schema": "cosmos-lint-report-v1",
+            "files_scanned": self.files_scanned,
+            "clean": self.clean(),
+            "counts": counts,
+            "findings": findings,
+            "baselined": self.baselined,
+            "stale_baseline": stale,
+            "rules": rules,
+        })
+    }
+}
+
+/// Collects the workspace source set: `crates/*/src/**/*.rs` plus the root
+/// package's `src/**/*.rs`, sorted for deterministic reports (directory
+/// enumeration order is OS-dependent — the lint holds itself to its own
+/// D-rules).
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        members.sort();
+        for m in members {
+            let src = m.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace-relative forward-slash rendering of `path` used in
+/// findings and the baseline.
+pub fn relative_label(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut s = String::new();
+    for c in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&c.as_os_str().to_string_lossy());
+    }
+    s
+}
+
+/// Lints `files` under `root`, applying `baseline`.
+pub fn run(root: &Path, files: &[PathBuf], mut baseline: Baseline) -> io::Result<Report> {
+    let mut report = Report::default();
+    for path in files {
+        let src = std::fs::read_to_string(path)?;
+        let label = relative_label(root, path);
+        for f in rules::analyze_source(&label, &src) {
+            if baseline.matches(&f) {
+                report.baselined += 1;
+            } else {
+                report.findings.push(f);
+            }
+        }
+        report.files_scanned += 1;
+    }
+    report.stale_baseline = baseline.stale().into_iter().cloned().collect();
+    Ok(report)
+}
+
+/// Ascends from `start` to the first directory whose `Cargo.toml` declares
+/// a `[workspace]` — so the lint can be run from any subdirectory.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,362 @@
+//! Extent analysis over the token stream.
+//!
+//! Rules need context the raw tokens don't carry: is this token inside
+//! `#[cfg(test)]` code (exempt from most rules), inside a function marked
+//! `// cosmos-lint: hot` (subject to the H-rules), or inside a `…Stats`
+//! struct body (subject to C2)? This module computes those extents with a
+//! brace-matching walk — no AST required.
+
+use crate::pragma::{parse_pragmas, Allow, PragmaError};
+use crate::tokenizer::{Lexed, Tok, TokKind};
+
+/// Token-index extents (half-open) of regions with special rule treatment.
+#[derive(Clone, Debug, Default)]
+pub struct Extents {
+    /// Regions under `#[cfg(test)]` / `#[test]` items (token index ranges).
+    pub test_spans: Vec<(usize, usize)>,
+    /// Bodies of functions annotated `// cosmos-lint: hot`, with the
+    /// function name for reporting.
+    pub hot_spans: Vec<(usize, usize, String)>,
+    /// Bodies of structs whose name ends in `Stats`, with the struct name.
+    pub stats_struct_spans: Vec<(usize, usize, String)>,
+    /// Line-scoped allow pragmas, resolved to the line they suppress.
+    pub allows: Vec<Allow>,
+    /// File-scoped allow pragmas.
+    pub file_allows: Vec<Allow>,
+    /// Malformed pragmas (reported as lint findings themselves).
+    pub pragma_errors: Vec<PragmaError>,
+}
+
+impl Extents {
+    /// Whether the token at `idx` is inside test-only code.
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= idx && idx < b)
+    }
+
+    /// The hot function containing `idx`, if any.
+    pub fn hot_fn(&self, idx: usize) -> Option<&str> {
+        self.hot_spans
+            .iter()
+            .find(|&&(a, b, _)| a <= idx && idx < b)
+            .map(|(_, _, name)| name.as_str())
+    }
+
+    /// The stats struct containing `idx`, if any.
+    pub fn stats_struct(&self, idx: usize) -> Option<&str> {
+        self.stats_struct_spans
+            .iter()
+            .find(|&&(a, b, _)| a <= idx && idx < b)
+            .map(|(_, _, name)| name.as_str())
+    }
+}
+
+/// Computes all extents for a lexed file.
+pub fn extents(lexed: &Lexed) -> Extents {
+    let toks = &lexed.toks;
+    let mut ext = Extents::default();
+
+    let parsed = parse_pragmas(lexed, toks);
+    ext.allows = parsed.allows;
+    ext.file_allows = parsed.file_allows;
+    ext.pragma_errors = parsed.errors;
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_punct(toks, i, "#") && is_punct(toks, i + 1, "[") {
+            let (attr_end, is_test_attr) = scan_attribute(toks, i);
+            if is_test_attr {
+                // Skip any further attributes between this one and the item.
+                let mut j = attr_end;
+                while is_punct(toks, j, "#") && is_punct(toks, j + 1, "[") {
+                    let (next_end, _) = scan_attribute(toks, j);
+                    j = next_end;
+                }
+                let end = item_end(toks, j);
+                ext.test_spans.push((i, end));
+                i = end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        if is_ident(toks, i, "struct") {
+            if let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                if name.text.ends_with("Stats") {
+                    if let Some((open, close)) = body_braces(toks, i + 2) {
+                        ext.stats_struct_spans
+                            .push((open, close, name.text.clone()));
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Hot pragmas: each marks the next `fn` body at or after its line. A
+    // mark that binds nothing is a malformed pragma — it would silently
+    // enforce nothing.
+    for p in &parsed.hots {
+        match next_fn_body(toks, p.line) {
+            Some((open, close, name)) => ext.hot_spans.push((open, close, name)),
+            None => ext.pragma_errors.push(PragmaError {
+                line: p.line,
+                message: "`hot` pragma does not precede a function".to_string(),
+            }),
+        }
+    }
+
+    ext
+}
+
+fn is_punct(toks: &[Tok], i: usize, s: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Punct && t.text == s)
+}
+
+fn is_ident(toks: &[Tok], i: usize, s: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text == s)
+}
+
+/// Scans the attribute starting at `i` (`#` `[` … `]`); returns the index
+/// one past the closing `]` and whether the attribute gates test code
+/// (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`, `#[cfg_attr(test, …)]`).
+fn scan_attribute(toks: &[Tok], i: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut j = i + 1; // at `[`
+    let mut has_test = false;
+    let mut head: Option<&str> = None;
+    while j < toks.len() {
+        let t = &toks[j];
+        match t.kind {
+            TokKind::Punct if t.text == "[" || t.text == "(" => depth += 1,
+            TokKind::Punct if t.text == ")" => depth = depth.saturating_sub(1),
+            TokKind::Punct if t.text == "]" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            TokKind::Ident => {
+                if head.is_none() {
+                    head = Some(t.text.as_str());
+                }
+                if t.text == "test" {
+                    has_test = true;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    // Only `test`-rooted attributes count: `#[test]` itself, or a `cfg`/
+    // `cfg_attr` mentioning `test`. Something like `#[doc = "test"]` has its
+    // literal swallowed by the lexer, and `#[tokio::test]`-style attrs also
+    // land here harmlessly (still test code).
+    let gates_test = match head {
+        Some("test") => true,
+        Some("cfg") | Some("cfg_attr") => has_test,
+        _ => false,
+    };
+    (j, gates_test)
+}
+
+/// The end (one past) of the item starting at token `i`: the matching `}`
+/// of its first top-level `{`, or one past the first `;` if that comes
+/// first (e.g. `#[cfg(test)] use …;`).
+fn item_end(toks: &[Tok], i: usize) -> usize {
+    let mut j = i;
+    let mut paren = 0i32;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                ";" if paren == 0 => return j + 1,
+                "{" if paren == 0 => return match_brace(toks, j),
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Given `open` at a `{`, returns one past its matching `}`.
+fn match_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].kind == TokKind::Punct {
+            match toks[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Finds the `{`..`}` body following position `i` (skipping to the first
+/// top-level `{`, e.g. past a struct's generics/where clause). Returns
+/// `(open, one_past_close)` as token indices, or `None` for `;`-terminated
+/// items (tuple/unit structs).
+fn body_braces(toks: &[Tok], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    let mut paren = 0i32;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                ";" if paren == 0 => return None,
+                "{" if paren == 0 => return Some((j, match_brace(toks, j))),
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Finds the first `fn` token at or after `line` and returns its body span
+/// and name.
+fn next_fn_body(toks: &[Tok], line: u32) -> Option<(usize, usize, String)> {
+    let start = toks.iter().position(|t| t.line >= line)?;
+    let mut j = start;
+    while j < toks.len() {
+        if is_ident(toks, j, "fn") {
+            let name = toks
+                .get(j + 1)
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.clone())
+                .unwrap_or_else(|| "<anonymous>".to_string());
+            let (open, close) = body_braces(toks, j + 1)?;
+            return Some((open, close, name));
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::lex;
+
+    fn ext(src: &str) -> Extents {
+        extents(&lex(src))
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_span() {
+        let src = "\
+fn real() { let m = 1; }
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+fn after() {}
+";
+        let l = lex(src);
+        let e = extents(&l);
+        assert_eq!(e.test_spans.len(), 1);
+        let helper = l
+            .toks
+            .iter()
+            .position(|t| t.text == "helper")
+            .expect("helper");
+        let real = l.toks.iter().position(|t| t.text == "real").expect("real");
+        let after = l
+            .toks
+            .iter()
+            .position(|t| t.text == "after")
+            .expect("after");
+        assert!(e.in_test(helper));
+        assert!(!e.in_test(real));
+        assert!(!e.in_test(after));
+    }
+
+    #[test]
+    fn test_attr_fn_is_a_test_span() {
+        let e = ext("#[test]\nfn t() { body(); }\nfn u() {}");
+        assert_eq!(e.test_spans.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_with_more_attrs_between() {
+        let l = lex("#[cfg(test)]\n#[allow(dead_code)]\nmod t { fn inner() {} }");
+        let e = extents(&l);
+        let inner = l
+            .toks
+            .iter()
+            .position(|t| t.text == "inner")
+            .expect("inner");
+        assert!(e.in_test(inner));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_span() {
+        let e = ext("#[cfg(feature = \"x\")]\nfn f() {}");
+        assert!(e.test_spans.is_empty());
+        // NB: the `\"x\"` literal is swallowed by the lexer, so a feature
+        // literally named test would be indistinguishable — acceptable
+        // over-approximation documented in the rule catalogue.
+    }
+
+    #[test]
+    fn hot_pragma_marks_next_fn_body() {
+        let src = "\
+// cosmos-lint: hot
+pub fn access(&mut self, x: u64) -> bool {
+    inner();
+    true
+}
+fn cold() { other(); }
+";
+        let l = lex(src);
+        let e = extents(&l);
+        assert_eq!(e.hot_spans.len(), 1);
+        assert_eq!(e.hot_spans[0].2, "access");
+        let inner = l
+            .toks
+            .iter()
+            .position(|t| t.text == "inner")
+            .expect("inner");
+        let other = l
+            .toks
+            .iter()
+            .position(|t| t.text == "other")
+            .expect("other");
+        assert_eq!(e.hot_fn(inner), Some("access"));
+        assert_eq!(e.hot_fn(other), None);
+    }
+
+    #[test]
+    fn stats_struct_span_found() {
+        let src = "pub struct SimStats { pub hits: u64, pub ipc: f64 }\nstruct Other { x: f64 }";
+        let l = lex(src);
+        let e = extents(&l);
+        assert_eq!(e.stats_struct_spans.len(), 1);
+        let ipc = l.toks.iter().position(|t| t.text == "ipc").expect("ipc");
+        let x = l.toks.iter().rposition(|t| t.text == "x").expect("x");
+        assert_eq!(e.stats_struct(ipc), Some("SimStats"));
+        assert_eq!(e.stats_struct(x), None);
+    }
+
+    #[test]
+    fn tuple_struct_stats_has_no_body_span() {
+        let e = ext("struct WrapStats(u64);");
+        assert!(e.stats_struct_spans.is_empty());
+    }
+}

@@ -12,6 +12,7 @@
 //!   entry's `(state, action)` (`CET.head` in Algorithm 1).
 
 use crate::locality::Locality;
+// cosmos-lint: allow(D1): keyed probes only (contains_key/insert/remove); never iterated, order cannot reach stats
 use std::collections::{BTreeMap, HashMap};
 
 /// An entry evicted from the CET (feeds the eviction rewards
@@ -48,6 +49,7 @@ struct CetEntry {
 pub struct Cet {
     capacity: usize,
     radius: u64,
+    // cosmos-lint: allow(D1): keyed probes only (contains_key/insert/remove); never iterated, order cannot reach stats
     map: HashMap<u64, CetEntry>,
     lru: BTreeMap<u64, u64>, // time -> addr
     clock: u64,
@@ -65,6 +67,7 @@ impl Cet {
         Self {
             capacity,
             radius,
+            // cosmos-lint: allow(D1): keyed probes only (contains_key/insert/remove); never iterated, order cannot reach stats
             map: HashMap::with_capacity(capacity + 1),
             lru: BTreeMap::new(),
             clock: 0,

@@ -27,6 +27,7 @@
 
 use cosmos_common::hash::splitmix64;
 use cosmos_common::MemAccess;
+// cosmos-lint: allow(D1): membership-and-count only (insert/len); never iterated, order cannot reach features
 use std::collections::HashSet;
 
 /// Buckets in the region histogram.
@@ -63,7 +64,9 @@ const CTR_LINE_SHIFT: u32 = 6;
 /// which of its accesses are first touches.
 #[derive(Clone, Debug, Default)]
 pub struct TraceHistory {
+    // cosmos-lint: allow(D1): membership-and-count only (insert/len); never iterated, order cannot reach features
     lines: HashSet<u64>,
+    // cosmos-lint: allow(D1): membership-and-count only (insert/len); never iterated, order cannot reach features
     ctr_lines: HashSet<u64>,
 }
 

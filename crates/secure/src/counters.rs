@@ -17,7 +17,7 @@
 //! morphing makes it rare — about 1 per 67 same-counter updates).
 
 use cosmos_common::LineAddr;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Which counter organization the memory controller uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -185,7 +185,7 @@ pub enum IncrementOutcome {
 #[derive(Clone, Debug)]
 pub struct CounterStore {
     scheme: CounterScheme,
-    blocks: HashMap<u64, CounterBlock>,
+    blocks: BTreeMap<u64, CounterBlock>,
     /// Total overflow (re-encryption) events so far.
     overflows: u64,
     /// Total morph events so far (MorphCtr only).
@@ -199,7 +199,7 @@ impl CounterStore {
     pub fn new(scheme: CounterScheme) -> Self {
         Self {
             scheme,
-            blocks: HashMap::new(),
+            blocks: BTreeMap::new(),
             overflows: 0,
             morphs: 0,
             increments: 0,

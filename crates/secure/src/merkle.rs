@@ -6,7 +6,7 @@
 //! "all-zero-counters" defaults, exactly as fresh memory would.
 
 use cosmos_crypto::Sha256;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A node/leaf hash.
 pub type Hash = [u8; 32];
@@ -29,7 +29,7 @@ pub struct MerkleTree {
     arity: u64,
     levels: u32,
     /// Stored node hashes: `(level, index) -> hash`. Level 0 = leaves.
-    nodes: HashMap<(u32, u64), Hash>,
+    nodes: BTreeMap<(u32, u64), Hash>,
     /// Default hash of an untouched node at each level.
     defaults: Vec<Hash>,
 }
@@ -83,7 +83,7 @@ impl MerkleTree {
         Self {
             arity,
             levels,
-            nodes: HashMap::new(),
+            nodes: BTreeMap::new(),
             defaults,
         }
     }

@@ -256,7 +256,7 @@ impl Telemetry {
         let Some(sh) = &self.shared else {
             return Telemetry::disabled();
         };
-        let mut streams = sh.streams.lock().unwrap();
+        let mut streams = sh.streams.lock().expect("telemetry mutex poisoned");
         assert!(streams.len() <= usize::from(u16::MAX), "too many streams");
         let id = streams.len() as u16;
         streams.push(StreamEntry {
@@ -300,7 +300,10 @@ impl Telemetry {
             stream: self.stream,
             event: make(),
         };
-        sh.recorder.lock().unwrap().push(ev);
+        sh.recorder
+            .lock()
+            .expect("telemetry mutex poisoned")
+            .push(ev);
     }
 
     // ---- component hooks -------------------------------------------------
@@ -314,7 +317,8 @@ impl Telemetry {
             sh.config.heatmap_window,
             sh.config.heatmap_max_windows,
         )));
-        sh.streams.lock().unwrap()[usize::from(self.stream)].heatmap = Some(Arc::clone(&map));
+        sh.streams.lock().expect("telemetry mutex poisoned")[usize::from(self.stream)].heatmap =
+            Some(Arc::clone(&map));
         self.heatmap = Some(map);
     }
 
@@ -326,7 +330,9 @@ impl Telemetry {
             return;
         }
         if let Some(h) = &self.heatmap {
-            h.lock().unwrap().record(set, hit, grew);
+            h.lock()
+                .expect("telemetry mutex poisoned")
+                .record(set, hit, grew);
         }
         self.record_event(|| Event::CtrAccess {
             set: set as u32,
@@ -430,18 +436,18 @@ impl Telemetry {
         let Some(sh) = &self.shared else {
             return Value::Null;
         };
-        let phases = sh.phases.lock().unwrap().clone();
+        let phases = sh.phases.lock().expect("telemetry mutex poisoned").clone();
         let events: Vec<TimedEvent> = sh
             .recorder
             .lock()
-            .unwrap()
+            .expect("telemetry mutex poisoned")
             .iter_oldest_first()
             .copied()
             .collect();
         let labels: Vec<String> = sh
             .streams
             .lock()
-            .unwrap()
+            .expect("telemetry mutex poisoned")
             .iter()
             .map(|s| s.label.clone())
             .collect();
@@ -456,11 +462,11 @@ impl Telemetry {
         let streams: Vec<(String, Option<CtrHeatmap>)> = sh
             .streams
             .lock()
-            .unwrap()
+            .expect("telemetry mutex poisoned")
             .iter()
             .map(|s| {
                 let map = s.heatmap.as_ref().map(|m| {
-                    let mut snap = m.lock().unwrap().clone();
+                    let mut snap = m.lock().expect("telemetry mutex poisoned").clone();
                     snap.finish();
                     snap
                 });
@@ -476,8 +482,8 @@ impl Telemetry {
             return String::new();
         };
         let metrics = sh.registry.snapshot();
-        let phases = sh.phases.lock().unwrap().clone();
-        let rec = sh.recorder.lock().unwrap();
+        let phases = sh.phases.lock().expect("telemetry mutex poisoned").clone();
+        let rec = sh.recorder.lock().expect("telemetry mutex poisoned");
         let stats = RecorderStats {
             recorded: rec.recorded(),
             overwritten: rec.overwritten(),

@@ -202,7 +202,7 @@ impl Registry {
     }
 
     fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
-        let mut metrics = self.metrics.lock().unwrap();
+        let mut metrics = self.metrics.lock().expect("telemetry mutex poisoned");
         if let Some((_, m)) = metrics.iter().find(|(n, _)| n == name) {
             return m.clone();
         }
@@ -219,6 +219,7 @@ impl Registry {
     pub fn counter(&self, name: &str) -> Counter {
         match self.get_or_insert(name, || Metric::Counter(Counter::new())) {
             Metric::Counter(c) => c,
+            // cosmos-lint: allow(P2): documented contract — a name/kind clash is a startup-time programming error
             other => panic!("metric {name:?} already registered as a {}", other.kind()),
         }
     }
@@ -230,6 +231,7 @@ impl Registry {
     pub fn gauge(&self, name: &str) -> Gauge {
         match self.get_or_insert(name, || Metric::Gauge(Gauge::new())) {
             Metric::Gauge(g) => g,
+            // cosmos-lint: allow(P2): documented contract — a name/kind clash is a startup-time programming error
             other => panic!("metric {name:?} already registered as a {}", other.kind()),
         }
     }
@@ -241,13 +243,14 @@ impl Registry {
     pub fn histogram(&self, name: &str) -> Histogram {
         match self.get_or_insert(name, || Metric::Histogram(Histogram::new())) {
             Metric::Histogram(h) => h,
+            // cosmos-lint: allow(P2): documented contract — a name/kind clash is a startup-time programming error
             other => panic!("metric {name:?} already registered as a {}", other.kind()),
         }
     }
 
     /// A name-sorted copy of every registered metric's current value.
     pub fn snapshot(&self) -> Vec<(String, MetricSnapshot)> {
-        let metrics = self.metrics.lock().unwrap();
+        let metrics = self.metrics.lock().expect("telemetry mutex poisoned");
         let mut out: Vec<(String, MetricSnapshot)> = metrics
             .iter()
             .map(|(name, m)| {

@@ -51,7 +51,11 @@ impl Drop for PhaseGuard {
                 start_us: inner.start_us,
                 dur_us: inner.t0.elapsed().as_micros() as u64,
             };
-            inner.sink.lock().unwrap().push(span);
+            inner
+                .sink
+                .lock()
+                .expect("telemetry mutex poisoned")
+                .push(span);
         }
     }
 }
@@ -75,7 +79,7 @@ mod tests {
             };
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
-        let spans = sink.lock().unwrap();
+        let spans = sink.lock().expect("telemetry mutex poisoned");
         assert_eq!(spans.len(), 1);
         assert_eq!(spans[0].name, "sim");
         assert_eq!(spans[0].stream, 3);

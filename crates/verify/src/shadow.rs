@@ -12,7 +12,7 @@ use crate::invariants::Violation;
 use cosmos_cache::Eviction;
 use cosmos_common::LineAddr;
 use cosmos_secure::CounterScheme;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How faithfully the shadow cache can predict the real cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -283,9 +283,9 @@ impl ShadowCache {
 pub struct DenseCounterStore {
     scheme: CounterScheme,
     /// Minor counter per data-line index.
-    minors: HashMap<u64, u64>,
+    minors: BTreeMap<u64, u64>,
     /// Major counter per counter-block index.
-    majors: HashMap<u64, u64>,
+    majors: BTreeMap<u64, u64>,
     /// Every data line ever incremented (diff targets).
     touched: Vec<LineAddr>,
     overflows: u64,
@@ -296,8 +296,8 @@ impl DenseCounterStore {
     pub fn new(scheme: CounterScheme) -> Self {
         Self {
             scheme,
-            minors: HashMap::new(),
-            majors: HashMap::new(),
+            minors: BTreeMap::new(),
+            majors: BTreeMap::new(),
             touched: Vec::new(),
             overflows: 0,
         }

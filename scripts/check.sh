@@ -8,6 +8,11 @@ cargo fmt --all -- --check
 cargo build --release
 cargo test -q --workspace
 cargo clippy --workspace -- -D warnings
+# Static analysis (DESIGN.md §12): determinism, hot-path, stat-integrity,
+# and panic invariants. Deny-by-default — any finding that is neither
+# pragma-justified nor in lint.baseline fails the gate. The JSON report is
+# committed so reviews can diff it.
+cargo run --release -q -p cosmos-lint -- --json results/lint.json
 # Sampled-mode smoke: the validation harness end-to-end at a tiny budget
 # (exercises plan building, warmup/priming, and the weighted merge; the
 # accuracy/reduction targets only apply at its default paper-scale budget).
