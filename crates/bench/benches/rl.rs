@@ -26,6 +26,24 @@ fn bench_rl(c: &mut Criterion) {
         })
     });
 
+    g.bench_function("qtable_pair_argmax", |b| {
+        let mut q = QTable::new(16_384);
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..16_384 {
+            let s = rng.next_index(16_384);
+            q.update_toward(s, rng.next_index(2), 5.0, 0.5);
+        }
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..n {
+                let s = rng.next_index(16_384);
+                let [a, bq] = q.pair(s);
+                acc += usize::from(bq > a);
+            }
+            acc
+        })
+    });
+
     g.bench_function("data_predictor_step", |b| {
         b.iter(|| {
             let mut p = DataLocationPredictor::new(RlParams::data_defaults(), 5);
@@ -39,6 +57,27 @@ fn bench_rl(c: &mut Criterion) {
                     DataLocation::OnChip
                 };
                 p.learn(addr, pred, actual);
+            }
+            p.stats().total()
+        })
+    });
+
+    // The simulator's actual path: the state index is hashed once by
+    // `predict_with_state` and handed back to `learn_at`, instead of
+    // re-hashing the address on the learn side.
+    g.bench_function("data_predictor_step_shared_state", |b| {
+        b.iter(|| {
+            let mut p = DataLocationPredictor::new(RlParams::data_defaults(), 5);
+            let mut rng = SplitMix64::new(2);
+            for _ in 0..n {
+                let addr = PhysAddr::new(rng.next_below(1 << 30));
+                let (pred, s) = p.predict_with_state(addr);
+                let actual = if rng.chance(0.6) {
+                    DataLocation::OffChip
+                } else {
+                    DataLocation::OnChip
+                };
+                p.learn_at(s, pred, actual);
             }
             p.stats().total()
         })

@@ -13,6 +13,8 @@
 //! - memory-access/trace types ([`MemAccess`], [`AccessKind`]) shared between
 //!   workload generators and the simulator,
 //! - lightweight statistics counters ([`stats`]),
+//! - ready-time timing primitives ([`timing`]) shared by the DRAM bank
+//!   model and the event-driven simulator core,
 //! - a dependency-free JSON document model ([`json`]) the experiment
 //!   harnesses use to emit machine-readable results.
 //!
@@ -32,6 +34,7 @@ pub mod hash;
 pub mod json;
 pub mod rng;
 pub mod stats;
+pub mod timing;
 pub mod trace;
 
 pub use addr::{LineAddr, PageAddr, PhysAddr, LINE_SHIFT, LINE_SIZE, PAGE_SHIFT, PAGE_SIZE};

@@ -29,16 +29,6 @@ impl DataHit {
     }
 }
 
-/// Result of a hierarchy access.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct HierarchyAccess {
-    /// The level that served the request.
-    pub hit: DataHit,
-    /// Dirty lines pushed out of the LLC by this access (each needs a DRAM
-    /// writeback and, in secure designs, counter/MAC/tree updates).
-    pub writebacks: Vec<LineAddr>,
-}
-
 /// Per-core L1/L2 caches plus the shared LLC.
 pub struct CacheHierarchy {
     l1: Vec<Cache>,
@@ -70,26 +60,33 @@ impl CacheHierarchy {
     }
 
     /// Performs a demand access from `core`, filling caches on the way and
-    /// cascading dirty evictions.
+    /// cascading dirty evictions. Dirty lines pushed out of the LLC (each
+    /// needing a DRAM writeback and, in secure designs, counter/MAC/tree
+    /// updates) are appended to `writebacks`, which is cleared first — the
+    /// caller owns the buffer so the hot path never allocates.
     ///
     /// # Panics
     ///
     /// Panics if `core` is out of range.
-    pub fn access(&mut self, core: usize, line: LineAddr, write: bool) -> HierarchyAccess {
-        let mut writebacks = Vec::new();
+    // cosmos-lint: hot
+    pub fn access(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        write: bool,
+        writebacks: &mut Vec<LineAddr>,
+    ) -> DataHit {
+        writebacks.clear();
 
         // L1.
         let r1 = self.l1[core].access(line, write, None);
         self.l1_stats.record(r1.hit);
         if r1.hit {
-            return HierarchyAccess {
-                hit: DataHit::L1,
-                writebacks,
-            };
+            return DataHit::L1;
         }
         if let Some(ev) = r1.evicted {
             if ev.dirty {
-                self.spill_to_l2(core, ev.line, &mut writebacks);
+                self.spill_to_l2(core, ev.line, writebacks);
             }
         }
 
@@ -98,14 +95,11 @@ impl CacheHierarchy {
         self.l2_stats.record(r2.hit);
         if let Some(ev) = r2.evicted {
             if ev.dirty {
-                self.spill_to_llc(ev.line, &mut writebacks);
+                self.spill_to_llc(ev.line, writebacks);
             }
         }
         if r2.hit {
-            return HierarchyAccess {
-                hit: DataHit::L2,
-                writebacks,
-            };
+            return DataHit::L2;
         }
 
         // LLC.
@@ -116,8 +110,11 @@ impl CacheHierarchy {
                 writebacks.push(ev.line);
             }
         }
-        let hit = if r3.hit { DataHit::Llc } else { DataHit::Dram };
-        HierarchyAccess { hit, writebacks }
+        if r3.hit {
+            DataHit::Llc
+        } else {
+            DataHit::Dram
+        }
     }
 
     fn spill_to_l2(&mut self, core: usize, line: LineAddr, writebacks: &mut Vec<LineAddr>) {
@@ -166,51 +163,55 @@ mod tests {
         CacheHierarchy::new(&cfg)
     }
 
+    fn probe(h: &mut CacheHierarchy, core: usize, line: u64, write: bool) -> DataHit {
+        let mut wb = Vec::new();
+        h.access(core, LineAddr::new(line), write, &mut wb)
+    }
+
     #[test]
     fn first_access_misses_everywhere() {
         let mut h = tiny_hierarchy();
-        let r = h.access(0, LineAddr::new(1), false);
-        assert_eq!(r.hit, DataHit::Dram);
-        assert!(r.writebacks.is_empty());
+        let mut wb = Vec::new();
+        let hit = h.access(0, LineAddr::new(1), false, &mut wb);
+        assert_eq!(hit, DataHit::Dram);
+        assert!(wb.is_empty());
     }
 
     #[test]
     fn second_access_hits_l1() {
         let mut h = tiny_hierarchy();
-        h.access(0, LineAddr::new(1), false);
-        let r = h.access(0, LineAddr::new(1), false);
-        assert_eq!(r.hit, DataHit::L1);
+        probe(&mut h, 0, 1, false);
+        assert_eq!(probe(&mut h, 0, 1, false), DataHit::L1);
     }
 
     #[test]
     fn l1_eviction_falls_back_to_l2() {
         let mut h = tiny_hierarchy();
         // Fill L1 set 1 (lines 1, 5) then overflow it with line 9.
-        h.access(0, LineAddr::new(1), false);
-        h.access(0, LineAddr::new(5), false);
-        h.access(0, LineAddr::new(9), false);
+        probe(&mut h, 0, 1, false);
+        probe(&mut h, 0, 5, false);
+        probe(&mut h, 0, 9, false);
         // Line 1 was evicted from L1 but should hit in L2.
-        let r = h.access(0, LineAddr::new(1), false);
-        assert_eq!(r.hit, DataHit::L2);
+        assert_eq!(probe(&mut h, 0, 1, false), DataHit::L2);
     }
 
     #[test]
     fn llc_is_shared_between_cores() {
         let mut h = tiny_hierarchy();
-        h.access(0, LineAddr::new(3), false);
+        probe(&mut h, 0, 3, false);
         // Core 1 misses its own L1/L2 but hits the shared LLC.
-        let r = h.access(1, LineAddr::new(3), false);
-        assert_eq!(r.hit, DataHit::Llc);
+        assert_eq!(probe(&mut h, 1, 3, false), DataHit::Llc);
     }
 
     #[test]
     fn dirty_data_eventually_writes_back() {
         let mut h = tiny_hierarchy();
         // Dirty many lines so the dirty data cascades out of the 4 KB LLC.
+        let mut scratch = Vec::new();
         let mut wb = Vec::new();
         for i in 0..512u64 {
-            let r = h.access(0, LineAddr::new(i), true);
-            wb.extend(r.writebacks);
+            h.access(0, LineAddr::new(i), true, &mut scratch);
+            wb.extend_from_slice(&scratch);
         }
         assert!(!wb.is_empty(), "dirty evictions must surface as writebacks");
     }
@@ -218,8 +219,8 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let mut h = tiny_hierarchy();
-        h.access(0, LineAddr::new(1), false);
-        h.access(0, LineAddr::new(1), false);
+        probe(&mut h, 0, 1, false);
+        probe(&mut h, 0, 1, false);
         assert_eq!(h.l1_stats().total(), 2);
         assert_eq!(h.l1_stats().hits(), 1);
         assert_eq!(h.llc_stats().misses(), 1);
@@ -228,11 +229,18 @@ mod tests {
     #[test]
     fn clean_evictions_do_not_write_back() {
         let mut h = tiny_hierarchy();
-        let mut wb = Vec::new();
+        let mut scratch = Vec::new();
         for i in 0..512u64 {
-            let r = h.access(0, LineAddr::new(i), false); // reads only
-            wb.extend(r.writebacks);
+            h.access(0, LineAddr::new(i), false, &mut scratch); // reads only
+            assert!(scratch.is_empty(), "clean lines must not be written back");
         }
-        assert!(wb.is_empty(), "clean lines must not be written back");
+    }
+
+    #[test]
+    fn scratch_buffer_is_cleared_per_access() {
+        let mut h = tiny_hierarchy();
+        let mut scratch = vec![LineAddr::new(999)];
+        h.access(0, LineAddr::new(1), false, &mut scratch);
+        assert!(scratch.is_empty(), "access must clear stale entries");
     }
 }

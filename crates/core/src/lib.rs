@@ -38,6 +38,7 @@ pub mod secure_path;
 pub mod simulator;
 pub mod smat;
 pub mod stats;
+pub mod timing;
 
 pub use check::SecureObserver;
 pub use config::{Design, SimConfig};

@@ -222,7 +222,7 @@ impl SecurePath {
             self.mt_walk(ctr_line, now, dram, traffic);
         }
         // Tree path update: dirty the path nodes in the metadata cache.
-        for node in self.layout.mt_path(ctr_line) {
+        for node in self.layout.mt_path_iter(ctr_line) {
             let r = self.mt_cache.access(node, true, None);
             if let Some(obs) = self.observer.as_mut() {
                 obs.mt_access(node, true, r.hit, r.evicted);
@@ -263,7 +263,7 @@ impl SecurePath {
         let mut done = start;
         let mut depth = 0u32;
         let mut fetched = 0u32;
-        for node in self.layout.mt_path(ctr_line) {
+        for node in self.layout.mt_path_iter(ctr_line) {
             depth += 1;
             let r = self.mt_cache.access(node, false, None);
             if let Some(obs) = self.observer.as_mut() {
@@ -341,7 +341,7 @@ impl SecurePath {
                     }
                 }
                 // Integrity verification for the prefetched counter.
-                for node in self.layout.mt_path(cand) {
+                for node in self.layout.mt_path_iter(cand) {
                     let r = self.mt_cache.access(node, false, None);
                     if let Some(obs) = self.observer.as_mut() {
                         obs.mt_access(node, false, r.hit, r.evicted);

@@ -5,6 +5,7 @@ use crate::config::{Design, SimConfig};
 use crate::hierarchy::{CacheHierarchy, DataHit};
 use crate::secure_path::SecurePath;
 use crate::stats::{SimStats, TimelinePoint};
+use crate::timing::CoreTimeline;
 use cosmos_common::{Cycle, LineAddr, MemAccess, Trace};
 use cosmos_dram::Dram;
 use cosmos_rl::{DataLocation, DataLocationPredictor};
@@ -22,7 +23,10 @@ pub struct Simulator {
     secure: Option<SecurePath>,
     data_pred: Option<DataLocationPredictor>,
     dram: Dram,
-    ready: Vec<Cycle>,
+    timeline: CoreTimeline,
+    // Reusable writeback buffer (capacity persists across accesses so the
+    // hot path never allocates).
+    wb_scratch: Vec<LineAddr>,
     stats: SimStats,
     // Statistics snapshot taken at the end of warmup; `finalize` reports
     // only what accumulated after it (boxed: it is absent on the hot path).
@@ -57,7 +61,8 @@ impl Simulator {
             secure,
             data_pred,
             dram,
-            ready: vec![Cycle::ZERO; config.cores],
+            timeline: CoreTimeline::new(config.cores),
+            wb_scratch: Vec::new(),
             stats: SimStats::default(),
             baseline: None,
             window_ctr_total: 0,
@@ -79,7 +84,7 @@ impl Simulator {
     /// Per-core completion cycles so far (checker access: each core's
     /// timeline must only move forward).
     pub fn core_ready(&self) -> &[Cycle] {
-        &self.ready
+        self.timeline.ready()
     }
 
     /// Attaches a correctness observer to the secure path (see
@@ -112,12 +117,14 @@ impl Simulator {
         self.finalize()
     }
 
-    /// Processes a single access.
+    /// Processes a single access: issue (skipping the instruction gap in
+    /// one step), resolve the completion time through the component chain,
+    /// retire.
     // cosmos-lint: hot
     pub fn step(&mut self, access: &MemAccess) {
         let core = access.core as usize % self.config.cores;
         let line = access.addr.line();
-        let issue = self.ready[core] + access.inst_gap as u64;
+        let issue = self.timeline.issue(core, access.inst_gap as u64);
         self.stats.instructions += access.inst_gap as u64 + 1;
         self.stats.accesses += 1;
 
@@ -129,7 +136,7 @@ impl Simulator {
             let done = self.process_read(core, access, line, issue);
             let latency = (done - issue).value();
             self.stats.total_read_latency += latency;
-            self.ready[core] = done;
+            self.timeline.retire(core, done);
         }
 
         // Timeline sampling is off (interval 0) for every figure run except
@@ -165,7 +172,7 @@ impl Simulator {
     /// included), as of the accesses processed so far.
     pub fn snapshot(&self) -> SimStats {
         let mut stats = self.stats.clone();
-        stats.cycles = self.ready.iter().map(|c| c.value()).max().unwrap_or(0);
+        stats.cycles = self.timeline.horizon();
         stats.l1 = self.hierarchy.l1_stats();
         stats.l2 = self.hierarchy.l2_stats();
         stats.llc = self.hierarchy.llc_stats();
@@ -223,10 +230,13 @@ impl Simulator {
         line: LineAddr,
         issue: Cycle,
     ) -> Cycle {
-        let res = self.hierarchy.access(core, line, false);
-        self.drain_writebacks(&res.writebacks, issue);
+        // Take/restore keeps the buffer's capacity across accesses.
+        let mut writebacks = std::mem::take(&mut self.wb_scratch);
+        let hit = self.hierarchy.access(core, line, false, &mut writebacks);
+        self.drain_writebacks(&writebacks, issue);
+        self.wb_scratch = writebacks;
 
-        if res.hit == DataHit::L1 {
+        if hit == DataHit::L1 {
             return issue + self.config.l1.latency;
         }
         let t_l1_miss = issue + self.config.l1.latency;
@@ -240,16 +250,16 @@ impl Simulator {
             None
         };
 
-        // COSMOS data-location prediction at the L1 miss point.
-        if let Some(mut dp) = self.data_pred.take() {
-            let predicted = dp.predict(access.addr);
-            let actual = if res.hit.on_chip() {
+        // COSMOS data-location prediction at the L1 miss point: one state
+        // hash shared between the prediction and the TD update.
+        if let Some(dp) = self.data_pred.as_mut() {
+            let (predicted, s) = dp.predict_with_state(access.addr);
+            let actual = if hit.on_chip() {
                 DataLocation::OnChip
             } else {
                 DataLocation::OffChip
             };
-            dp.learn(access.addr, predicted, actual);
-            self.data_pred = Some(dp);
+            dp.learn_at(s, predicted, actual);
 
             let done = match (predicted, actual) {
                 (DataLocation::OffChip, DataLocation::OffChip) => {
@@ -273,11 +283,9 @@ impl Simulator {
                     sp.ctr_read(line, t_l1_miss, &mut self.dram, &mut self.stats.traffic);
                     self.stats.traffic.killed_speculative += 1;
                     self.config.telemetry.spec_kill();
-                    issue + self.on_chip_latency(res.hit)
+                    issue + self.on_chip_latency(hit)
                 }
-                (DataLocation::OnChip, DataLocation::OnChip) => {
-                    issue + self.on_chip_latency(res.hit)
-                }
+                (DataLocation::OnChip, DataLocation::OnChip) => issue + self.on_chip_latency(hit),
                 (DataLocation::OnChip, DataLocation::OffChip) => {
                     // Wrong on-chip: fall back to the baseline serialized
                     // path — CTR and DRAM start only after the LLC miss.
@@ -288,8 +296,8 @@ impl Simulator {
         }
 
         // Non-predicting designs.
-        if res.hit.on_chip() {
-            return issue + self.on_chip_latency(res.hit);
+        if hit.on_chip() {
+            return issue + self.on_chip_latency(hit);
         }
         match design {
             Design::Np => {
@@ -327,12 +335,13 @@ impl Simulator {
     }
 
     fn process_write(&mut self, core: usize, line: LineAddr, issue: Cycle) {
-        let res = self.hierarchy.access(core, line, true);
+        let mut writebacks = std::mem::take(&mut self.wb_scratch);
+        let hit = self.hierarchy.access(core, line, true, &mut writebacks);
         // Store-buffer retirement: the core only pays the L1 latency.
-        self.ready[core] = issue + self.config.l1.latency;
+        self.timeline.retire(core, issue + self.config.l1.latency);
         // A store miss that reaches DRAM still fetches (and decrypts) the
         // line — off the critical path, but real traffic.
-        if res.hit == DataHit::Dram {
+        if hit == DataHit::Dram {
             self.stats.traffic.data_reads += 1;
             self.dram.access(line, issue, false);
             if let Some(sp) = self.secure.as_mut() {
@@ -340,7 +349,8 @@ impl Simulator {
                 sp.mac_read(&mut self.stats.traffic);
             }
         }
-        self.drain_writebacks(&res.writebacks, issue);
+        self.drain_writebacks(&writebacks, issue);
+        self.wb_scratch = writebacks;
     }
 
     fn drain_writebacks(&mut self, writebacks: &[LineAddr], now: Cycle) {

@@ -1,6 +1,7 @@
 //! The bank/row-buffer DRAM model.
 
 use crate::config::DramConfig;
+use cosmos_common::timing::ServiceQueue;
 use cosmos_common::{Cycle, LineAddr, LINE_SIZE};
 use cosmos_telemetry::Telemetry;
 
@@ -72,13 +73,75 @@ impl DramStats {
 #[derive(Clone, Copy, Debug)]
 struct Bank {
     open_row: Option<u64>,
-    busy_until: Cycle,
+    queue: ServiceQueue,
+}
+
+/// Precomputed shift/mask form of the line → (bank, row) mapping. All
+/// geometry dimensions are powers of two (validated), so the divisions in
+/// the mapping reduce to shifts computed once at construction.
+#[derive(Clone, Copy, Debug)]
+struct LineMap {
+    /// `channels - 1`.
+    ch_mask: u64,
+    /// `log2(channels)`.
+    ch_shift: u32,
+    /// `log2(row_bytes / LINE_SIZE)`.
+    row_shift: u32,
+    /// `banks_per_channel - 1`.
+    bank_mask: usize,
+    /// `log2(banks_per_channel)`.
+    bank_shift: u32,
+    /// `banks_per_channel` (channel stride in global bank indices).
+    bank_stride: usize,
+    /// Fixed-latency ablation: everything maps to bank 0, row 0.
+    fixed: bool,
+}
+
+impl LineMap {
+    fn new(config: &DramConfig) -> Self {
+        let fixed = config.row_bytes == usize::MAX;
+        let lines_per_row = if fixed {
+            1
+        } else {
+            config.row_bytes / LINE_SIZE
+        };
+        assert!(lines_per_row > 0, "row must hold at least one line");
+        Self {
+            ch_mask: config.channels as u64 - 1,
+            ch_shift: config.channels.trailing_zeros(),
+            row_shift: lines_per_row.trailing_zeros(),
+            bank_mask: config.banks_per_channel - 1,
+            bank_shift: config.banks_per_channel.trailing_zeros(),
+            bank_stride: config.banks_per_channel,
+            fixed,
+        }
+    }
+
+    /// Maps a line to `(global bank index, row id)`.
+    ///
+    /// Interleaving: consecutive lines rotate across channels, then banks,
+    /// so streaming accesses exploit bank-level parallelism; rows are the
+    /// higher-order bits.
+    // cosmos-lint: hot
+    #[inline]
+    fn map(&self, line: LineAddr) -> (usize, u64) {
+        if self.fixed {
+            return (0, 0);
+        }
+        let idx = line.index();
+        let ch = (idx & self.ch_mask) as usize;
+        let row_group = (idx >> self.ch_shift) >> self.row_shift;
+        let bank = row_group as usize & self.bank_mask;
+        let row = row_group >> self.bank_shift;
+        (ch * self.bank_stride + bank, row)
+    }
 }
 
 /// The DRAM device model: per-bank row buffers and busy times.
 #[derive(Debug)]
 pub struct Dram {
     config: DramConfig,
+    map: LineMap,
     banks: Vec<Bank>,
     stats: DramStats,
     telemetry: Telemetry,
@@ -94,10 +157,11 @@ impl Dram {
         config.validate();
         Self {
             config,
+            map: LineMap::new(&config),
             banks: vec![
                 Bank {
                     open_row: None,
-                    busy_until: Cycle::ZERO,
+                    queue: ServiceQueue::new(),
                 };
                 config.total_banks()
             ],
@@ -129,8 +193,9 @@ impl Dram {
     }
 
     /// Serves a line request issued at `now`; returns its completion time.
+    // cosmos-lint: hot
     pub fn access(&mut self, line: LineAddr, now: Cycle, write: bool) -> Cycle {
-        let (bank_idx, row) = self.map(line);
+        let (bank_idx, row) = self.map.map(line);
         let t = self.config.timings;
         let bank = &mut self.banks[bank_idx];
 
@@ -145,13 +210,10 @@ impl Dram {
             RowBufferOutcome::Conflict => t.row_conflict(),
         };
 
-        let start = now.max(bank.busy_until);
-        let queued = start - now;
-        let done = start + service;
-        bank.busy_until = done;
+        let served = bank.queue.serve(now, service);
         bank.open_row = Some(row);
 
-        self.stats.queue_cycles += queued.value();
+        self.stats.queue_cycles += served.queued;
         match outcome {
             RowBufferOutcome::Hit => self.stats.row_hits += 1,
             RowBufferOutcome::Closed => self.stats.row_closed += 1,
@@ -163,31 +225,13 @@ impl Dram {
             self.stats.reads += 1;
         }
         self.telemetry
-            .dram_access(queued.value(), outcome == RowBufferOutcome::Hit, write);
-        done
+            .dram_access(served.queued, outcome == RowBufferOutcome::Hit, write);
+        served.done
     }
 
     /// Latency (not completion time) of a request issued at `now`.
     pub fn access_latency(&mut self, line: LineAddr, now: Cycle, write: bool) -> Cycle {
         self.access(line, now, write) - now
-    }
-
-    /// Maps a line to `(global bank index, row id)`.
-    ///
-    /// Interleaving: consecutive lines rotate across channels, then banks,
-    /// so streaming accesses exploit bank-level parallelism; rows are the
-    /// higher-order bits.
-    fn map(&self, line: LineAddr) -> (usize, u64) {
-        if self.config.row_bytes == usize::MAX {
-            return (0, 0); // fixed-latency ablation: one bank, one row
-        }
-        let idx = line.index();
-        let ch = (idx as usize) & (self.config.channels - 1);
-        let after_ch = idx >> self.config.channels.trailing_zeros();
-        let lines_per_row = (self.config.row_bytes / LINE_SIZE) as u64;
-        let bank = (after_ch / lines_per_row) as usize & (self.config.banks_per_channel - 1);
-        let row = after_ch / lines_per_row / self.config.banks_per_channel as u64;
-        (ch * self.config.banks_per_channel + bank, row)
     }
 }
 
@@ -300,7 +344,7 @@ mod tests {
         let d = dram();
         let mut seen = vec![false; d.config.total_banks()];
         for i in 0..100_000u64 {
-            let (b, _) = d.map(LineAddr::new(i));
+            let (b, _) = d.map.map(LineAddr::new(i));
             seen[b] = true;
         }
         assert!(seen.iter().all(|&s| s), "interleaving misses banks");

@@ -5,7 +5,13 @@
 //! the modeled hardware — it is the number that bounds how large the
 //! experiment grids can scale. Results go to `BENCH_sim.json` at the repo
 //! root (current snapshot) and are appended to `BENCH_sim.history.jsonl`
-//! (one line per run, so the trajectory across changes is preserved).
+//! (one line per run, carrying the full per-design `accesses_per_sec` map
+//! plus the COSMOS-vs-NP gap ratio, so both the trajectory and the
+//! RL-design overhead are preserved across changes).
+//!
+//! With `--json PATH` the snapshot is *redirected* to PATH and the history
+//! file is left untouched — quick CI probes never clobber the tracked
+//! artifacts.
 //!
 //! Run with `--release`; a debug build is an order of magnitude slower
 //! and the output marks it as such.
@@ -61,6 +67,25 @@ fn main() {
     print_table(&["design", "Kacc/s", "run ms", "model cyc/acc"], &rows);
     println!("\nmean: {:.0} Kacc/s", mean_rate / 1e3);
 
+    // The cost of the RL machinery, stated explicitly: how many times
+    // faster the unprotected baseline simulates than full COSMOS.
+    let np_rate = results
+        .iter()
+        .find(|r| r.design.name() == "NP")
+        .map(|r| r.accesses_per_sec)
+        .expect("NP design present");
+    let cosmos_rate = results
+        .iter()
+        .find(|r| r.design.name() == "COSMOS")
+        .map(|r| r.accesses_per_sec)
+        .expect("COSMOS design present");
+    let gap_ratio = np_rate / cosmos_rate;
+    println!(
+        "COSMOS-vs-NP gap: {gap_ratio:.2}x (NP {:.0} Kacc/s / COSMOS {:.0} Kacc/s)",
+        np_rate / 1e3,
+        cosmos_rate / 1e3,
+    );
+
     // Sampled mode (`--sample`): how much faster a grid point progresses
     // when only representative intervals are simulated. Measured on a
     // 10×-larger trace (the figure-budget scale): below ~1 M accesses the
@@ -113,6 +138,7 @@ fn main() {
         "debug_build": cfg!(debug_assertions),
         "designs": per_design,
         "mean_accesses_per_sec": mean_rate,
+        "cosmos_np_gap_ratio": gap_ratio,
         "sampled": {
             "accesses": sampled_trace.len(),
             "simulated_accesses": sampled[0].simulated_accesses,
@@ -120,6 +146,14 @@ fn main() {
             "mean_speedup_vs_full": mean_speedup,
         },
     });
+    // `--json PATH` redirects the snapshot and skips the history append:
+    // quick probes (CI determinism checks, local experiments) must not
+    // rewrite the tracked benchmark artifacts.
+    if let Some(path) = &args.json {
+        std::fs::write(path, format!("{}\n", snapshot.pretty())).expect("write json");
+        println!("wrote {} (history untouched)", path.display());
+        return;
+    }
     let root = repo_root();
     let snap_path = root.join("BENCH_sim.json");
     std::fs::write(&snap_path, format!("{}\n", snapshot.pretty())).expect("write BENCH_sim.json");
@@ -137,10 +171,13 @@ fn main() {
     line.insert("accesses", Value::from(trace.len()));
     line.insert("debug_build", Value::from(cfg!(debug_assertions)));
     line.insert("mean_accesses_per_sec", Value::from(mean_rate));
+    line.insert("cosmos_np_gap_ratio", Value::from(gap_ratio));
     line.insert("sampled_mean_speedup", Value::from(mean_speedup));
+    let mut design_rates = Map::new();
     for (design, r) in DESIGNS.iter().zip(&results) {
-        line.insert(design.name(), Value::from(r.accesses_per_sec));
+        design_rates.insert(design.name(), Value::from(r.accesses_per_sec));
     }
+    line.insert("designs", Value::Object(design_rates));
     let hist_path = root.join("BENCH_sim.history.jsonl");
     let mut history = std::fs::read_to_string(&hist_path).unwrap_or_default();
     history.push_str(&format!("{}\n", Value::Object(line)));

@@ -23,6 +23,14 @@ impl Demo {
         self.scratch.len() as u64
     }
 
+    // An array return type must not break the pragma binding (the `;`
+    // in `[u64; 2]` is part of the type, not a declaration terminator).
+    // cosmos-lint: hot
+    pub fn pair(&self) -> [u64; 2] {
+        let v = self.ways.to_vec(); //~ H1
+        [v.len() as u64, 0]
+    }
+
     // Not annotated: the same allocations are fine in cold code.
     pub fn cold(&mut self, x: u64) -> String {
         let _v = self.ways.to_vec();

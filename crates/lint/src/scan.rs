@@ -213,14 +213,19 @@ fn match_brace(toks: &[Tok], open: usize) -> usize {
 fn body_braces(toks: &[Tok], i: usize) -> Option<(usize, usize)> {
     let mut j = i;
     let mut paren = 0i32;
+    let mut bracket = 0i32;
     while j < toks.len() {
         let t = &toks[j];
         if t.kind == TokKind::Punct {
             match t.text.as_str() {
                 "(" => paren += 1,
                 ")" => paren -= 1,
-                ";" if paren == 0 => return None,
-                "{" if paren == 0 => return Some((j, match_brace(toks, j))),
+                // `[` tracked so the `;` of an array type (`-> [f32; 2]`)
+                // is not mistaken for a bodiless declaration's terminator.
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                ";" if paren == 0 && bracket == 0 => return None,
+                "{" if paren == 0 && bracket == 0 => return Some((j, match_brace(toks, j))),
                 _ => {}
             }
         }
@@ -340,6 +345,29 @@ fn cold() { other(); }
             .expect("other");
         assert_eq!(e.hot_fn(inner), Some("access"));
         assert_eq!(e.hot_fn(other), None);
+    }
+
+    #[test]
+    fn hot_pragma_binds_through_array_return_type() {
+        // The `;` inside `-> [f32; 2]` must not read as a bodiless
+        // declaration terminator.
+        let src = "\
+// cosmos-lint: hot
+pub fn pair(&self, state: usize) -> [f32; 2] {
+    inner();
+    [0.0, 0.0]
+}
+";
+        let l = lex(src);
+        let e = extents(&l);
+        assert_eq!(e.hot_spans.len(), 1);
+        assert_eq!(e.hot_spans[0].2, "pair");
+        let inner = l
+            .toks
+            .iter()
+            .position(|t| t.text == "inner")
+            .expect("inner");
+        assert_eq!(e.hot_fn(inner), Some("pair"));
     }
 
     #[test]

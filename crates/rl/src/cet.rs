@@ -10,10 +10,16 @@
 //!   never re-referenced within the temporal window.
 //! - **Bootstrap source**: the TD update bootstraps on the most recent
 //!   entry's `(state, action)` (`CET.head` in Algorithm 1).
+//!
+//! The table is probed and updated on **every** CTR access of the COSMOS-CP
+//! designs, so its layout is the predictor hot path. Entries live in a flat
+//! arena threaded onto an intrusive doubly-linked recency list (head = MRU,
+//! tail = LRU victim), and lookup goes through an open-addressing index
+//! (linear probing, splitmix64 hash, backward-shift deletion) — no
+//! `HashMap`/`BTreeMap` nodes, no SipHash, no allocation after warm-up.
 
 use crate::locality::Locality;
-// cosmos-lint: allow(D1): keyed probes only (contains_key/insert/remove); never iterated, order cannot reach stats
-use std::collections::{BTreeMap, HashMap};
+use cosmos_common::hash::splitmix64;
 
 /// An entry evicted from the CET (feeds the eviction rewards
 /// `R_C_eg` / `R_C_eb`).
@@ -27,12 +33,20 @@ pub struct CetEvicted {
     pub action: Locality,
 }
 
+/// Arena slot: payload plus intrusive recency-list links.
 #[derive(Clone, Copy, Debug)]
-struct CetEntry {
+struct Slot {
+    addr: u64,
     state: usize,
     action: Locality,
-    time: u64,
+    /// Next-more-recent slot (`NONE` at the MRU head).
+    newer: u32,
+    /// Next-less-recent slot (`NONE` at the LRU tail).
+    older: u32,
 }
+
+/// Null link / empty-bucket marker.
+const NONE: u32 = u32::MAX;
 
 /// LRU table of recent CTR accesses with neighbourhood lookup.
 ///
@@ -49,10 +63,18 @@ struct CetEntry {
 pub struct Cet {
     capacity: usize,
     radius: u64,
-    // cosmos-lint: allow(D1): keyed probes only (contains_key/insert/remove); never iterated, order cannot reach stats
-    map: HashMap<u64, CetEntry>,
-    lru: BTreeMap<u64, u64>, // time -> addr
-    clock: u64,
+    /// Entry arena; slots are allocated once and recycled via `free`.
+    slots: Vec<Slot>,
+    /// Open-addressing index: bucket -> arena slot (`NONE` = empty).
+    /// Power-of-two sized at ≥ 2× capacity, linear probing.
+    index: Vec<u32>,
+    mask: usize,
+    /// Recency list ends (`NONE` when empty).
+    mru: u32,
+    lru: u32,
+    /// Recycled slot from the last eviction (`NONE` if the arena grows).
+    free: u32,
+    len: usize,
     head: Option<(usize, Locality)>,
 }
 
@@ -64,25 +86,31 @@ impl Cet {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize, radius: u64) -> Self {
         assert!(capacity > 0, "CET must have capacity");
+        // One transient extra entry: insert links the newcomer before the
+        // LRU victim is evicted, so occupancy peaks at capacity + 1.
+        let buckets = (2 * (capacity + 1)).next_power_of_two();
         Self {
             capacity,
             radius,
-            // cosmos-lint: allow(D1): keyed probes only (contains_key/insert/remove); never iterated, order cannot reach stats
-            map: HashMap::with_capacity(capacity + 1),
-            lru: BTreeMap::new(),
-            clock: 0,
+            slots: Vec::with_capacity(capacity + 1),
+            index: vec![NONE; buckets],
+            mask: buckets - 1,
+            mru: NONE,
+            lru: NONE,
+            free: NONE,
+            len: 0,
             head: None,
         }
     }
 
     /// Number of live entries.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len == 0
     }
 
     /// The configured capacity.
@@ -95,14 +123,32 @@ impl Cet {
         self.head
     }
 
+    /// The arena slot holding `addr`, if present.
+    // cosmos-lint: hot
+    #[inline]
+    fn find(&self, addr: u64) -> Option<u32> {
+        let mut b = splitmix64(addr) as usize & self.mask;
+        loop {
+            let s = self.index[b];
+            if s == NONE {
+                return None;
+            }
+            if self.slots[s as usize].addr == addr {
+                return Some(s);
+            }
+            b = (b + 1) & self.mask;
+        }
+    }
+
     /// Whether `addr` or any line within ±radius is present.
+    // cosmos-lint: hot
     pub fn check_nearby(&self, addr: u64) -> bool {
-        if self.map.contains_key(&addr) {
+        if self.find(addr).is_some() {
             return true;
         }
         for d in 1..=self.radius {
-            if self.map.contains_key(&addr.wrapping_add(d))
-                || self.map.contains_key(&addr.wrapping_sub(d))
+            if self.find(addr.wrapping_add(d)).is_some()
+                || self.find(addr.wrapping_sub(d)).is_some()
             {
                 return true;
             }
@@ -110,31 +156,140 @@ impl Cet {
         false
     }
 
+    /// Unlinks `slot` from the recency list.
+    #[inline]
+    fn unlink(&mut self, slot: u32) {
+        let Slot { newer, older, .. } = self.slots[slot as usize];
+        if newer == NONE {
+            self.mru = older;
+        } else {
+            self.slots[newer as usize].older = older;
+        }
+        if older == NONE {
+            self.lru = newer;
+        } else {
+            self.slots[older as usize].newer = newer;
+        }
+    }
+
+    /// Links `slot` in as the most recent entry.
+    #[inline]
+    fn push_mru(&mut self, slot: u32) {
+        let old_mru = self.mru;
+        {
+            let s = &mut self.slots[slot as usize];
+            s.newer = NONE;
+            s.older = old_mru;
+        }
+        if old_mru != NONE {
+            self.slots[old_mru as usize].newer = slot;
+        }
+        self.mru = slot;
+        if self.lru == NONE {
+            self.lru = slot;
+        }
+    }
+
+    /// Registers `slot` (already holding `addr`) in the index.
+    #[inline]
+    fn index_insert(&mut self, addr: u64, slot: u32) {
+        let mut b = splitmix64(addr) as usize & self.mask;
+        while self.index[b] != NONE {
+            b = (b + 1) & self.mask;
+        }
+        self.index[b] = slot;
+    }
+
+    /// Removes `addr` from the index with backward-shift deletion, keeping
+    /// every remaining probe chain unbroken without tombstones.
+    fn index_remove(&mut self, addr: u64) {
+        let mut b = splitmix64(addr) as usize & self.mask;
+        loop {
+            let s = self.index[b];
+            debug_assert!(s != NONE, "index_remove of absent address");
+            if s != NONE && self.slots[s as usize].addr == addr {
+                break;
+            }
+            b = (b + 1) & self.mask;
+        }
+        let mut hole = b;
+        let mut j = b;
+        loop {
+            j = (j + 1) & self.mask;
+            let s = self.index[j];
+            if s == NONE {
+                break;
+            }
+            let ideal = splitmix64(self.slots[s as usize].addr) as usize & self.mask;
+            // The entry at j may move into the hole iff the hole still lies
+            // on its probe path, i.e. its displacement from `ideal` reaches
+            // at least as far as the hole.
+            let dist_to_j = j.wrapping_sub(ideal) & self.mask;
+            let dist_to_hole = j.wrapping_sub(hole) & self.mask;
+            if dist_to_j >= dist_to_hole {
+                self.index[hole] = s;
+                hole = j;
+            }
+        }
+        self.index[hole] = NONE;
+    }
+
     /// Inserts (or refreshes) an entry; returns the LRU entry evicted when
     /// the table overflows.
+    // cosmos-lint: hot
     pub fn insert(&mut self, addr: u64, state: usize, action: Locality) -> Option<CetEvicted> {
-        self.clock += 1;
-        let time = self.clock;
-        if let Some(old) = self.map.insert(
-            addr,
-            CetEntry {
+        self.head = Some((state, action));
+        if let Some(slot) = self.find(addr) {
+            // Refresh: update payload, move to MRU. No eviction possible.
+            let s = &mut self.slots[slot as usize];
+            s.state = state;
+            s.action = action;
+            self.unlink(slot);
+            self.push_mru(slot);
+            return None;
+        }
+        let slot = if self.free != NONE {
+            let slot = self.free;
+            self.free = NONE;
+            let s = &mut self.slots[slot as usize];
+            s.addr = addr;
+            s.state = state;
+            s.action = action;
+            slot
+        } else {
+            let slot = self.slots.len() as u32;
+            self.slots.push(Slot {
+                addr,
                 state,
                 action,
-                time,
-            },
-        ) {
-            self.lru.remove(&old.time);
-        }
-        self.lru.insert(time, addr);
-        self.head = Some((state, action));
-        if self.map.len() > self.capacity {
-            let (&t, &victim) = self.lru.iter().next().expect("non-empty LRU");
-            self.lru.remove(&t);
-            let e = self.map.remove(&victim).expect("victim present");
+                newer: NONE,
+                older: NONE,
+            });
+            slot
+        };
+        self.index_insert(addr, slot);
+        self.push_mru(slot);
+        self.len += 1;
+        if self.len > self.capacity {
+            let victim = self.lru;
+            debug_assert!(
+                victim != NONE && victim != slot,
+                "LRU victim is the newcomer"
+            );
+            let Slot {
+                addr: v_addr,
+                state: v_state,
+                action: v_action,
+                ..
+            } = self.slots[victim as usize];
+            self.unlink(victim);
+            self.index_remove(v_addr);
+            self.free = victim;
+            self.len -= 1;
             return Some(CetEvicted {
-                addr: victim,
-                state: e.state,
-                action: e.action,
+                addr: v_addr,
+                state: v_state,
+                action: v_action,
             });
         }
         None
@@ -187,6 +342,18 @@ mod tests {
     }
 
     #[test]
+    fn refresh_updates_payload() {
+        let mut cet = Cet::new(2, 0);
+        cet.insert(1, 10, Locality::Good);
+        cet.insert(1, 77, Locality::Bad);
+        cet.insert(2, 0, Locality::Good);
+        let ev = cet.insert(3, 0, Locality::Good).unwrap();
+        assert_eq!(ev.addr, 1);
+        assert_eq!(ev.state, 77, "refresh must overwrite the stored state");
+        assert_eq!(ev.action, Locality::Bad);
+    }
+
+    #[test]
     fn head_tracks_most_recent() {
         let mut cet = Cet::new(4, 0);
         assert_eq!(cet.head(), None);
@@ -201,6 +368,35 @@ mod tests {
         for i in 0..100u64 {
             cet.insert(i * 1000, i as usize, Locality::Good);
             assert!(cet.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn eviction_stream_stays_consistent() {
+        // Hammer the index's backward-shift deletion: a capacity-small CET
+        // with clustered addresses (maximal probe-chain overlap) must keep
+        // exact membership across thousands of insert/evict cycles.
+        let mut cet = Cet::new(32, 0);
+        let mut model = std::collections::VecDeque::new(); // recency: front = LRU
+        let mut rng = cosmos_common::SplitMix64::new(0xCE7);
+        for _ in 0..50_000 {
+            let addr = rng.next_index(96) as u64; // dense: constant collisions
+            let evicted = cet.insert(addr, 0, Locality::Good);
+            if let Some(pos) = model.iter().position(|&a| a == addr) {
+                model.remove(pos);
+            }
+            model.push_back(addr);
+            if model.len() > 32 {
+                let lru = model.pop_front().unwrap();
+                assert_eq!(evicted.map(|e| e.addr), Some(lru));
+            } else {
+                assert!(evicted.is_none());
+            }
+            assert_eq!(cet.len(), model.len());
+            for &a in &model {
+                assert!(cet.check_nearby(a), "live entry {a} lost");
+            }
+            assert!(!cet.check_nearby(1_000_000));
         }
     }
 }

@@ -162,11 +162,24 @@ impl DataLocationPredictor {
 
     /// ε-greedy prediction for an L1-missed address.
     pub fn predict(&mut self, addr: PhysAddr) -> DataLocation {
-        if self.rng.chance(self.params.epsilon as f64) {
+        self.predict_with_state(addr).0
+    }
+
+    /// ε-greedy prediction plus the hashed state it was made in, so the
+    /// later [`DataLocationPredictor::learn_at`] call on the resolved
+    /// outcome reuses the index instead of re-hashing the address.
+    ///
+    /// RNG discipline matches [`DataLocationPredictor::predict`] exactly:
+    /// the ε-coin is always drawn, the uniform action only when exploring.
+    // cosmos-lint: hot
+    pub fn predict_with_state(&mut self, addr: PhysAddr) -> (DataLocation, usize) {
+        let s = self.state_of(addr);
+        let loc = if self.rng.chance(self.params.epsilon as f64) {
             DataLocation::from_action(self.rng.next_index(2))
         } else {
-            self.greedy(addr)
-        }
+            DataLocation::from_action(self.qtable.best_action(s))
+        };
+        (loc, s)
     }
 
     /// The greedy (no-exploration) prediction.
@@ -179,6 +192,13 @@ impl DataLocationPredictor {
     /// the reward for (`predicted`, `actual`) and applies the TD update
     /// bootstrapped on the same state's max-Q.
     pub fn learn(&mut self, addr: PhysAddr, predicted: DataLocation, actual: DataLocation) {
+        self.learn_at(self.state_of(addr), predicted, actual);
+    }
+
+    /// [`DataLocationPredictor::learn`] with the state already hashed
+    /// (from [`DataLocationPredictor::predict_with_state`]).
+    // cosmos-lint: hot
+    pub fn learn_at(&mut self, s: usize, predicted: DataLocation, actual: DataLocation) {
         let r = match (actual, predicted) {
             (DataLocation::OnChip, DataLocation::OnChip) => {
                 self.stats.correct_onchip += 1;
@@ -199,7 +219,6 @@ impl DataLocationPredictor {
         };
         self.telemetry
             .rl_data_action(predicted == DataLocation::OffChip, predicted == actual);
-        let s = self.state_of(addr);
         let target = r + self.params.gamma * self.qtable.max_q(s);
         self.qtable
             .update_toward(s, predicted.action(), target, self.params.alpha);

@@ -195,6 +195,11 @@ impl CtrLocalityPredictor {
     /// CET hit therefore means "this counter block was re-referenced
     /// within the last `cet_entries` CTR accesses" — exactly the
     /// cacheability signal the LCR-CTR cache needs.
+    ///
+    /// The state index is hashed once and shared by the decision, both TD
+    /// updates, and the score; the post-update Q-value flows out of
+    /// [`QTable::update_toward`] so the table is never re-indexed.
+    // cosmos-lint: hot
     pub fn classify(&mut self, ctr_line: LineAddr) -> LocalityDecision {
         self.stats.predictions += 1;
         let s = self.state_of(ctr_line);
@@ -236,7 +241,8 @@ impl CtrLocalityPredictor {
             None => 0.0,
         };
         let target = r + self.params.gamma * boot;
-        self.qtable
+        let mut q_sel = self
+            .qtable
             .update_toward(s, action.action(), target, self.params.alpha);
 
         // Insert and handle eviction rewards (lines 18-23).
@@ -251,12 +257,17 @@ impl CtrLocalityPredictor {
                 None => 0.0,
             };
             let target2 = r_evict + self.params.gamma * boot2;
-            self.qtable.update_toward(
+            let q_evict = self.qtable.update_toward(
                 evicted.state,
                 evicted.action.action(),
                 target2,
                 self.params.alpha,
             );
+            // The evicted entry can alias the entry just trained (same
+            // state and action); the score must see the *final* value.
+            if evicted.state == s && evicted.action == action {
+                q_sel = q_evict;
+            }
         }
 
         LocalityDecision {
@@ -266,7 +277,7 @@ impl CtrLocalityPredictor {
             // and the LCR cache ranks *within* the good class by this
             // score, so spending the 8-bit range on the occupied band
             // sharpens the ranking at zero hardware cost.
-            score: (self.qtable.q(s, action.action()).abs() * 4.0).clamp(0.0, 255.0) as u8,
+            score: (q_sel.abs() * 4.0).clamp(0.0, 255.0) as u8,
         }
     }
 

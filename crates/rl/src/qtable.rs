@@ -6,6 +6,11 @@
 /// hardware-style 8-bit score (the paper stores two 8-bit Q-values per
 /// entry, 16 bits/entry — Table 2).
 ///
+/// Storage is one flat `Vec<f32>` with the two actions of a state adjacent
+/// (`q[2s]`, `q[2s+1]`): each access touches exactly one 8-byte entry pair,
+/// and [`QTable::pair`] hands both action values to callers in a single
+/// load so predict/score/update paths index the table once per access.
+///
 /// # Examples
 ///
 /// ```
@@ -16,7 +21,7 @@
 /// ```
 #[derive(Clone, Debug)]
 pub struct QTable {
-    q: Vec<[f32; 2]>,
+    q: Vec<f32>,
 }
 
 impl QTable {
@@ -28,13 +33,24 @@ impl QTable {
     pub fn new(num_states: usize) -> Self {
         assert!(num_states > 0, "Q-table must have states");
         Self {
-            q: vec![[0.0; 2]; num_states],
+            q: vec![0.0; num_states * 2],
         }
     }
 
     /// Number of states.
     pub fn num_states(&self) -> usize {
-        self.q.len()
+        self.q.len() / 2
+    }
+
+    /// Both action values of `state` in one load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    // cosmos-lint: hot
+    #[inline]
+    pub fn pair(&self, state: usize) -> [f32; 2] {
+        [self.q[2 * state], self.q[2 * state + 1]]
     }
 
     /// The Q-value of `(state, action)`.
@@ -44,40 +60,45 @@ impl QTable {
     /// Panics if `state` or `action` is out of range.
     #[inline]
     pub fn q(&self, state: usize, action: usize) -> f32 {
-        self.q[state][action]
+        assert!(action < 2, "action {action} out of range");
+        self.q[2 * state + action]
     }
 
     /// The greedy action for `state` (ties resolve to action 0).
     #[inline]
     pub fn best_action(&self, state: usize) -> usize {
-        let [a, b] = self.q[state];
+        let [a, b] = self.pair(state);
         usize::from(b > a)
     }
 
     /// `max_a Q(state, a)`.
     #[inline]
     pub fn max_q(&self, state: usize) -> f32 {
-        let [a, b] = self.q[state];
+        let [a, b] = self.pair(state);
         a.max(b)
     }
 
-    /// TD update: `Q ← Q + α (target − Q)`.
+    /// TD update: `Q ← Q + α (target − Q)`. Returns the updated value, so
+    /// hot callers that need the post-update Q (e.g. for the locality
+    /// score) don't re-index the table.
+    // cosmos-lint: hot
     #[inline]
-    pub fn update_toward(&mut self, state: usize, action: usize, target: f32, alpha: f32) {
-        let q = &mut self.q[state][action];
+    pub fn update_toward(&mut self, state: usize, action: usize, target: f32, alpha: f32) -> f32 {
+        let q = &mut self.q[2 * state + action];
         *q += alpha * (target - *q);
+        *q
     }
 
     /// The 8-bit quantized magnitude of `(state, action)`'s Q-value, as the
     /// hardware would store next to the cache line: |Q| clamped to [0, 255].
     #[inline]
     pub fn quantized(&self, state: usize, action: usize) -> u8 {
-        self.q[state][action].abs().clamp(0.0, 255.0) as u8
+        self.q(state, action).abs().clamp(0.0, 255.0) as u8
     }
 
     /// Resets all values to zero.
     pub fn reset(&mut self) {
-        self.q.iter_mut().for_each(|e| *e = [0.0; 2]);
+        self.q.iter_mut().for_each(|e| *e = 0.0);
     }
 }
 
@@ -97,8 +118,9 @@ mod tests {
         let mut q = QTable::new(4);
         q.update_toward(0, 0, 10.0, 0.5);
         assert_eq!(q.q(0, 0), 5.0);
-        q.update_toward(0, 0, 10.0, 0.5);
+        let after = q.update_toward(0, 0, 10.0, 0.5);
         assert_eq!(q.q(0, 0), 7.5);
+        assert_eq!(after, 7.5, "update must return the post-update value");
     }
 
     #[test]
@@ -108,6 +130,15 @@ mod tests {
         assert_eq!(q.best_action(1), 1);
         q.update_toward(1, 0, 9.0, 1.0);
         assert_eq!(q.best_action(1), 0);
+    }
+
+    #[test]
+    fn pair_matches_scalar_reads() {
+        let mut q = QTable::new(4);
+        q.update_toward(2, 0, -3.0, 1.0);
+        q.update_toward(2, 1, 8.0, 0.5);
+        assert_eq!(q.pair(2), [q.q(2, 0), q.q(2, 1)]);
+        assert_eq!(q.pair(0), [0.0, 0.0]);
     }
 
     #[test]

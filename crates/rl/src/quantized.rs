@@ -20,7 +20,10 @@
 /// ```
 #[derive(Clone, Debug)]
 pub struct QuantizedQTable {
-    q: Vec<[i8; 2]>,
+    /// Flat `2 × num_states` array, both actions of a state adjacent —
+    /// the whole entry is one 16-bit load, exactly the SRAM word the
+    /// paper's hardware budget describes.
+    q: Vec<i8>,
     alpha_shift: u32,
 }
 
@@ -40,26 +43,34 @@ impl QuantizedQTable {
             "alpha below 1/64 cannot move 8-bit values"
         );
         Self {
-            q: vec![[0; 2]; num_states],
+            q: vec![0; num_states * 2],
             alpha_shift,
         }
     }
 
     /// Number of states.
     pub fn num_states(&self) -> usize {
-        self.q.len()
+        self.q.len() / 2
+    }
+
+    /// Both raw fixed-point action values of `state` in one load.
+    // cosmos-lint: hot
+    #[inline]
+    pub fn pair(&self, state: usize) -> [i8; 2] {
+        [self.q[2 * state], self.q[2 * state + 1]]
     }
 
     /// The Q-value of `(state, action)`, dequantized.
     #[inline]
     pub fn q(&self, state: usize, action: usize) -> f32 {
-        self.q[state][action] as f32 / (1 << FRAC_BITS) as f32
+        assert!(action < 2, "action {action} out of range");
+        self.q[2 * state + action] as f32 / (1 << FRAC_BITS) as f32
     }
 
     /// The greedy action (ties resolve to action 0).
     #[inline]
     pub fn best_action(&self, state: usize) -> usize {
-        let [a, b] = self.q[state];
+        let [a, b] = self.pair(state);
         usize::from(b > a)
     }
 
@@ -70,11 +81,13 @@ impl QuantizedQTable {
     }
 
     /// Shift-based TD update toward `target` (saturating fixed-point).
+    // cosmos-lint: hot
     #[inline]
     pub fn update(&mut self, state: usize, action: usize, target: f32) {
+        assert!(action < 2, "action {action} out of range");
         let t_fixed =
             (target * (1 << FRAC_BITS) as f32).clamp(i16::MIN as f32, i16::MAX as f32) as i16;
-        let cur = self.q[state][action] as i16;
+        let cur = self.q[2 * state + action] as i16;
         let delta = (t_fixed - cur) >> self.alpha_shift;
         // Guarantee progress: a non-zero error always moves at least one ULP.
         let delta = if delta == 0 && t_fixed != cur {
@@ -82,13 +95,14 @@ impl QuantizedQTable {
         } else {
             delta
         };
-        self.q[state][action] = (cur + delta).clamp(i8::MIN as i16, i8::MAX as i16) as i8;
+        self.q[2 * state + action] = (cur + delta).clamp(i8::MIN as i16, i8::MAX as i16) as i8;
     }
 
     /// The magnitude score as the LCR cache would store it.
     #[inline]
     pub fn score(&self, state: usize, action: usize) -> u8 {
-        self.q[state][action].unsigned_abs()
+        assert!(action < 2, "action {action} out of range");
+        self.q[2 * state + action].unsigned_abs()
     }
 }
 

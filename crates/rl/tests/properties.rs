@@ -2,8 +2,70 @@
 
 use cosmos_common::{LineAddr, PhysAddr};
 use cosmos_rl::params::RlParams;
+use cosmos_rl::quantized::QuantizedQTable;
 use cosmos_rl::{Cet, CtrLocalityPredictor, DataLocation, DataLocationPredictor, Locality, QTable};
 use proptest::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+
+/// Reference CET semantics: the pre-flattening map/tree implementation
+/// (`HashMap` for membership + `BTreeMap<time, addr>` for recency). The
+/// arena/open-addressing [`Cet`] must be observationally identical to it.
+struct RefCet {
+    capacity: usize,
+    radius: u64,
+    map: HashMap<u64, (usize, Locality, u64)>,
+    lru: BTreeMap<u64, u64>,
+    clock: u64,
+    head: Option<(usize, Locality)>,
+}
+
+impl RefCet {
+    fn new(capacity: usize, radius: u64) -> Self {
+        Self {
+            capacity,
+            radius,
+            map: HashMap::new(),
+            lru: BTreeMap::new(),
+            clock: 0,
+            head: None,
+        }
+    }
+
+    fn check_nearby(&self, addr: u64) -> bool {
+        if self.map.contains_key(&addr) {
+            return true;
+        }
+        for d in 1..=self.radius {
+            if self.map.contains_key(&addr.wrapping_add(d))
+                || self.map.contains_key(&addr.wrapping_sub(d))
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn insert(
+        &mut self,
+        addr: u64,
+        state: usize,
+        action: Locality,
+    ) -> Option<(u64, usize, Locality)> {
+        self.clock += 1;
+        if let Some((_, _, old_time)) = self.map.insert(addr, (state, action, self.clock)) {
+            self.lru.remove(&old_time);
+        }
+        self.lru.insert(self.clock, addr);
+        self.head = Some((state, action));
+        if self.map.len() > self.capacity {
+            let (&t, &victim) = self.lru.iter().next().unwrap();
+            self.lru.remove(&t);
+            let (s, a, _) = self.map.remove(&victim).unwrap();
+            return Some((victim, s, a));
+        }
+        None
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -95,5 +157,91 @@ proptest! {
         prop_assert!(s.cet_hits <= s.predictions);
         prop_assert!(s.agreements <= s.predictions);
         prop_assert!(s.good_fraction() >= 0.0 && s.good_fraction() <= 1.0);
+    }
+
+    /// The flattened `Vec<f32>` Q-table performs bit-identical float ops to
+    /// the nested `q[state][action]` layout it replaced.
+    #[test]
+    fn flat_qtable_matches_nested_reference(
+        ops in prop::collection::vec((0usize..32, 0usize..2, -40f32..40f32, 0usize..32), 1..400)
+    ) {
+        let mut flat = QTable::new(32);
+        let mut nested = vec![[0.0f32; 2]; 32];
+        let (alpha, gamma) = (0.1f32, 0.9f32);
+        for &(s, a, r, boot_s) in &ops {
+            let ref_max = nested[boot_s][0].max(nested[boot_s][1]);
+            prop_assert_eq!(flat.max_q(boot_s), ref_max);
+            let target = r + gamma * ref_max;
+            let returned = flat.update_toward(s, a, target, alpha);
+            let q = &mut nested[s][a];
+            *q += alpha * (target - *q);
+            prop_assert_eq!(returned, *q);
+        }
+        for (s, row) in nested.iter().enumerate() {
+            prop_assert_eq!(flat.pair(s), *row);
+            let ref_best = usize::from(row[1] > row[0]);
+            prop_assert_eq!(flat.best_action(s), ref_best);
+            for (a, &rq) in row.iter().enumerate() {
+                prop_assert_eq!(flat.q(s, a), rq);
+                prop_assert_eq!(flat.quantized(s, a), rq.abs().clamp(0.0, 255.0) as u8);
+            }
+        }
+    }
+
+    /// The flattened `Vec<i8>` quantized table reproduces the nested
+    /// shift-update (including the minimum-step and saturation rules).
+    #[test]
+    fn flat_quantized_qtable_matches_nested_reference(
+        ops in prop::collection::vec((0usize..16, 0usize..2, -80f32..80f32), 1..400),
+        shift in 0u32..7,
+    ) {
+        let mut flat = QuantizedQTable::new(16, shift);
+        let mut nested = [[0i8; 2]; 16];
+        for &(s, a, target) in &ops {
+            flat.update(s, a, target);
+            let t_fixed = (target * 4.0).clamp(i16::MIN as f32, i16::MAX as f32) as i16;
+            let cur = nested[s][a] as i16;
+            let mut delta = (t_fixed - cur) >> shift;
+            if delta == 0 && t_fixed != cur {
+                delta = (t_fixed - cur).signum();
+            }
+            nested[s][a] = (cur + delta).clamp(i8::MIN as i16, i8::MAX as i16) as i8;
+        }
+        for (s, row) in nested.iter().enumerate() {
+            prop_assert_eq!(flat.pair(s), *row);
+            let ref_best = usize::from(row[1] > row[0]);
+            prop_assert_eq!(flat.best_action(s), ref_best);
+            for (a, &rq) in row.iter().enumerate() {
+                prop_assert_eq!(flat.q(s, a), rq as f32 / 4.0);
+                prop_assert_eq!(flat.score(s, a), rq.unsigned_abs());
+            }
+        }
+    }
+
+    /// The arena/open-addressing CET is observationally identical to the
+    /// map/tree reference over arbitrary insert + neighbourhood-check
+    /// streams: same membership, same head, same eviction victims in the
+    /// same order.
+    #[test]
+    fn cet_matches_map_tree_reference(
+        ops in prop::collection::vec((0u64..200, 0usize..64, any::<bool>()), 1..600),
+        cap in 1usize..48,
+        radius in 0u64..8,
+    ) {
+        let mut cet = Cet::new(cap, radius);
+        let mut reference = RefCet::new(cap, radius);
+        for &(addr, state, good) in &ops {
+            let action = if good { Locality::Good } else { Locality::Bad };
+            prop_assert_eq!(cet.check_nearby(addr), reference.check_nearby(addr));
+            let ev = cet.insert(addr, state, action);
+            let ref_ev = reference.insert(addr, state, action);
+            prop_assert_eq!(ev.map(|e| (e.addr, e.state, e.action)), ref_ev);
+            prop_assert_eq!(cet.len(), reference.map.len());
+            prop_assert_eq!(cet.head(), reference.head);
+        }
+        // Post-stream membership sweep over the full address range.
+        for probe in 0..208u64 {
+            prop_assert_eq!(cet.check_nearby(probe), reference.check_nearby(probe));
+        }
     }
 }

@@ -118,11 +118,21 @@ impl MorphFormat {
 
     /// Whether `minors` fit this format.
     pub fn fits(self, minors: &[u32]) -> bool {
+        let nonzero = minors.iter().filter(|&&m| m != 0).count() as u32;
+        let max_minor = minors.iter().copied().max().unwrap_or(0);
+        self.fits_summary(nonzero, max_minor)
+    }
+
+    /// Whether a block with `nonzero` non-zero minors whose largest minor is
+    /// `max_minor` fits this format. Fit is a pure function of this summary:
+    /// Uniform needs `max <= 7`; a ZCC format needs the non-zero count under
+    /// its budget and every minor under `2^width`.
+    #[inline]
+    pub const fn fits_summary(self, nonzero: u32, max_minor: u32) -> bool {
         match self {
-            MorphFormat::Uniform => minors.iter().all(|&m| m as u64 <= 7),
+            MorphFormat::Uniform => max_minor <= 7,
             MorphFormat::Zcc { max_nonzero, width } => {
-                let nz = minors.iter().filter(|&&m| m != 0).count();
-                nz <= max_nonzero as usize && minors.iter().all(|&m| (m as u64) < (1u64 << width))
+                nonzero <= max_nonzero as u32 && (max_minor as u64) < (1u64 << width)
             }
         }
     }
@@ -130,10 +140,23 @@ impl MorphFormat {
     /// Chooses the best format for `minors`, or `None` if nothing fits
     /// (block overflow -> re-encryption).
     pub fn choose(minors: &[u32]) -> Option<MorphFormat> {
-        if MorphFormat::Uniform.fits(minors) {
+        let nonzero = minors.iter().filter(|&&m| m != 0).count() as u32;
+        let max_minor = minors.iter().copied().max().unwrap_or(0);
+        Self::choose_summary(nonzero, max_minor)
+    }
+
+    /// [`MorphFormat::choose`] from the `(nonzero, max_minor)` summary alone
+    /// — O(formats) instead of O(coverage × formats), so the counter store
+    /// can pick formats incrementally on the write path.
+    #[inline]
+    pub fn choose_summary(nonzero: u32, max_minor: u32) -> Option<MorphFormat> {
+        if MorphFormat::Uniform.fits_summary(nonzero, max_minor) {
             return Some(MorphFormat::Uniform);
         }
-        ZCC_FORMATS.iter().copied().find(|f| f.fits(minors))
+        ZCC_FORMATS
+            .iter()
+            .copied()
+            .find(|f| f.fits_summary(nonzero, max_minor))
     }
 }
 
@@ -147,6 +170,11 @@ pub struct CounterBlock {
     /// Current MorphCtr format (always `Uniform` for non-Morph schemes'
     /// reporting; unused by them).
     pub format: MorphFormat,
+    /// Count of non-zero minors, maintained incrementally so the write path
+    /// never rescans `minors` (minors only grow between overflow resets).
+    nonzero: u32,
+    /// Largest minor in the block, maintained incrementally likewise.
+    max_minor: u32,
 }
 
 impl CounterBlock {
@@ -155,6 +183,8 @@ impl CounterBlock {
             major: 0,
             minors: vec![0; coverage as usize],
             format: MorphFormat::Uniform,
+            nonzero: 0,
+            max_minor: 0,
         }
     }
 }
@@ -269,11 +299,14 @@ impl CounterStore {
             .max_minor(),
         };
 
-        let next = block.minors[slot] as u64 + 1;
+        let old = block.minors[slot];
+        let next = old as u64 + 1;
         if next <= minor_cap {
             block.minors[slot] = next as u32;
+            block.nonzero += u32::from(old == 0);
+            block.max_minor = block.max_minor.max(next as u32);
             if scheme == CounterScheme::MorphCtr {
-                match MorphFormat::choose(&block.minors) {
+                match MorphFormat::choose_summary(block.nonzero, block.max_minor) {
                     Some(f) if f == block.format => IncrementOutcome::Ok,
                     Some(f) => {
                         block.format = f;
@@ -297,6 +330,8 @@ impl CounterStore {
         block.major += 1;
         block.minors.iter_mut().for_each(|m| *m = 0);
         block.format = MorphFormat::Uniform;
+        block.nonzero = 0;
+        block.max_minor = 0;
         let first = block_idx * coverage;
         IncrementOutcome::Overflow {
             reencrypt: (first..first + coverage).map(LineAddr::new).collect(),
@@ -437,6 +472,24 @@ mod tests {
         assert_eq!(s.value(LineAddr::new(0)) & 0xFFFFF, 2);
         assert_eq!(s.value(LineAddr::new(1)) & 0xFFFFF, 1);
         assert_eq!(s.value(LineAddr::new(2)), 0);
+    }
+
+    #[test]
+    fn incremental_summary_matches_rescan() {
+        // The (nonzero, max_minor) summary maintained on the increment path
+        // must agree with a from-scratch scan — and therefore the format
+        // chosen from it must equal MorphFormat::choose on the full minors.
+        let mut s = CounterStore::new(CounterScheme::MorphCtr);
+        let mut rng = cosmos_common::SplitMix64::new(0xC05);
+        for _ in 0..20_000 {
+            let line = LineAddr::new(rng.next_index(256) as u64);
+            s.increment(line);
+            let b = s.block(line);
+            let nz = b.minors.iter().filter(|&&m| m != 0).count() as u32;
+            let max = b.minors.iter().copied().max().unwrap_or(0);
+            assert_eq!((b.nonzero, b.max_minor), (nz, max));
+            assert_eq!(Some(b.format), MorphFormat::choose(&b.minors));
+        }
     }
 
     #[test]

@@ -131,9 +131,32 @@ impl MetadataLayout {
     /// The full leaf-to-root path of DRAM-resident MT nodes for a counter
     /// line (excludes the on-chip root).
     pub fn mt_path(&self, ctr_line: LineAddr) -> Vec<LineAddr> {
-        (1..self.mt_levels)
-            .filter_map(|l| self.mt_node_line(ctr_line, l))
-            .collect()
+        self.mt_path_iter(ctr_line).collect()
+    }
+
+    /// Allocation-free leaf-to-root walk of the DRAM-resident MT nodes for
+    /// a counter line (excludes the on-chip root). Yields exactly the lines
+    /// of [`MetadataLayout::mt_path`], dividing the node index by the arity
+    /// one level at a time instead of recomputing `arity^level`.
+    #[inline]
+    pub fn mt_path_iter(&self, ctr_line: LineAddr) -> MtPathIter {
+        let leaf_index = ctr_line.index().wrapping_sub(CTR_BASE);
+        MtPathIter {
+            // A non-counter line (index below CTR_BASE) has no tree path;
+            // mt_node_line returns None for it, so the iterator is empty.
+            node_index: if ctr_line.index() >= CTR_BASE {
+                leaf_index
+            } else {
+                0
+            },
+            levels: if ctr_line.index() >= CTR_BASE {
+                self.mt_levels
+            } else {
+                0
+            },
+            arity: self.mt_arity,
+            level: 0,
+        }
     }
 
     /// Number of DRAM-resident tree nodes on a verification path.
@@ -161,6 +184,46 @@ impl MetadataLayout {
         line.index() >= MT_BASE
     }
 }
+
+/// Iterator over the DRAM-resident Merkle path of one counter line, from
+/// the level-1 node up to (excluding) the on-chip root. Created by
+/// [`MetadataLayout::mt_path_iter`]; performs no allocation, so it is safe
+/// on the per-writeback hot path.
+#[derive(Clone, Debug)]
+pub struct MtPathIter {
+    node_index: u64,
+    levels: u32,
+    arity: u64,
+    level: u32,
+}
+
+impl Iterator for MtPathIter {
+    type Item = LineAddr;
+
+    #[inline]
+    fn next(&mut self) -> Option<LineAddr> {
+        // cosmos-lint: hot
+        let next_level = self.level + 1;
+        if next_level >= self.levels {
+            return None;
+        }
+        self.level = next_level;
+        // node(level) = leaf / arity^level; integer division composes, so
+        // dividing the running index once per level is exact.
+        self.node_index /= self.arity;
+        Some(LineAddr::new(
+            MT_BASE + self.level as u64 * MT_LEVEL_STRIDE + self.node_index,
+        ))
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.levels.saturating_sub(self.level + 1) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for MtPathIter {}
 
 #[cfg(test)]
 mod tests {
@@ -239,6 +302,31 @@ mod tests {
         let pc = l.mt_path(c);
         assert_eq!(pa.last(), pc.last());
         assert_ne!(pa.first(), pc.first());
+    }
+
+    #[test]
+    fn path_iter_matches_node_line_formula() {
+        // The incremental-divide iterator must reproduce mt_node_line's
+        // arity^level formula exactly, across layouts and leaf positions.
+        for (bytes, scheme) in [
+            (32u64 << 30, CounterScheme::MorphCtr),
+            (1 << 30, CounterScheme::Split),
+            (1 << 20, CounterScheme::MorphCtr),
+            (1 << 12, CounterScheme::Monolithic),
+        ] {
+            let l = MetadataLayout::new(bytes, scheme);
+            for data in [0, 1, 127, 128, 4095, bytes / 64 - 1] {
+                let ctr = l.ctr_line_of(LineAddr::new(data));
+                let by_formula: Vec<_> = (1..l.mt_levels())
+                    .filter_map(|lv| l.mt_node_line(ctr, lv))
+                    .collect();
+                let by_iter: Vec<_> = l.mt_path_iter(ctr).collect();
+                assert_eq!(by_iter, by_formula, "bytes={bytes} data={data}");
+                assert_eq!(l.mt_path_iter(ctr).len(), by_formula.len());
+            }
+            // Non-counter lines have no path.
+            assert_eq!(l.mt_path_iter(LineAddr::new(7)).count(), 0);
+        }
     }
 
     #[test]

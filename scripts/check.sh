@@ -35,6 +35,20 @@ cmp "$plain_json" "$checked_json" || {
     exit 1
 }
 rm -f "$checked_json"
+# Same identity on the full design grid (fig10): the event-driven stepping
+# core must produce byte-identical artifacts whether or not the shadow
+# models are watching every access.
+f10_plain="$(mktemp)"
+f10_checked="$(mktemp)"
+cargo run --release -q -p cosmos-experiments --bin fig10_performance -- \
+    --accesses 20000 --jobs 2 --json "$f10_plain" >/dev/null
+cargo run --release -q -p cosmos-experiments --bin fig10_performance -- \
+    --accesses 20000 --jobs 2 --check --json "$f10_checked" >/dev/null
+cmp "$f10_plain" "$f10_checked" || {
+    echo "check.sh: --check perturbed the fig10_performance artifact" >&2
+    exit 1
+}
+rm -f "$f10_plain" "$f10_checked"
 # Telemetry identity smoke: --telemetry must also observe without
 # perturbing — same grid, same seed, byte-identical result artifact —
 # and the exported trace/heatmap/metrics files must exist and carry the
@@ -71,7 +85,36 @@ rm -rf "$plain_json" "$tele_json" "$tele_dir"
 # invariant catalogue (~30 s; failures shrink to results/*.json repros).
 cargo run --release -q -p cosmos-verify --bin verify_fuzz -- \
     --seed 1 --cases 16 --accesses 5000 >/dev/null
-# Throughput trend (warn-only): flags >10% drops of the committed
-# sim_throughput snapshot against its history; never fails the gate.
-scripts/throughput_guard.sh || true
+# Throughput determinism smoke: two quick sim_throughput runs (snapshot
+# redirected via --json so the committed BENCH artifacts stay untouched)
+# must agree on every model-pure field — the simulated-cycle counts and
+# the field order itself. Wall-clock rates differ between runs, so the
+# comparison projects the snapshots onto their deterministic skeleton:
+# everything except the timing-derived *_per_sec / *_secs / speedup
+# numbers. grep -n keeps line numbers, so field ORDER mismatches fail
+# the cmp too (BENCH_sim.json is serialized via the insertion-ordered
+# cosmos_common::json map — this pins that order).
+thr_a="$(mktemp)"
+thr_b="$(mktemp)"
+cargo run --release -q -p cosmos-experiments --bin sim_throughput -- \
+    --accesses 20000 --json "$thr_a" >/dev/null
+cargo run --release -q -p cosmos-experiments --bin sim_throughput -- \
+    --accesses 20000 --json "$thr_b" >/dev/null
+project_deterministic() {
+    grep -vEn '_per_sec|_secs|speedup|gap_ratio' "$1"
+}
+cmp <(project_deterministic "$thr_a") <(project_deterministic "$thr_b") || {
+    echo "check.sh: sim_throughput model fields are not deterministic" >&2
+    exit 1
+}
+grep -q '"sim_cycles_per_access"' "$thr_a" || {
+    echo "check.sh: sim_throughput snapshot lost sim_cycles_per_access" >&2
+    exit 1
+}
+rm -f "$thr_a" "$thr_b"
+# Throughput trend: flags >10% drops of the committed sim_throughput
+# snapshot against its history. Warn-only by default (wall-clock rates
+# are machine-dependent); export THROUGHPUT_GUARD=deny to make a
+# flagged drop fail this gate.
+scripts/throughput_guard.sh
 echo "check.sh: all green"

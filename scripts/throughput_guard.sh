@@ -1,20 +1,32 @@
 #!/bin/bash
-# Warn-only simulator-throughput regression guard.
+# Simulator-throughput regression guard.
 #
 # Compares the current BENCH_sim.json snapshot's mean_accesses_per_sec
 # against the most recent *different* entry in BENCH_sim.history.jsonl
 # (the snapshot's own numbers are appended to the history by the bench,
 # so the last line usually repeats the snapshot). A drop of more than
-# 10% prints a warning; the guard never fails the build — wall-clock
-# throughput is machine- and load-dependent, so it flags, humans judge.
+# 10% prints a warning.
 #
-# Usage: scripts/throughput_guard.sh   (run sim_throughput first)
+# By default the guard never fails the build — wall-clock throughput is
+# machine- and load-dependent, so it flags, humans judge. Deny mode
+# (`--deny` flag or THROUGHPUT_GUARD=deny in the environment) turns a
+# flagged drop into a hard failure, for release gating on a quiet box.
+#
+# Usage: scripts/throughput_guard.sh [--deny]   (run sim_throughput first)
 set -eu
 cd "$(dirname "$0")/.."
 
 snap="BENCH_sim.json"
 hist="BENCH_sim.history.jsonl"
 threshold_pct=10
+
+mode="${THROUGHPUT_GUARD:-warn}"
+for arg in "$@"; do
+  case "$arg" in
+    --deny) mode=deny ;;
+    *) echo "throughput_guard: unknown argument '$arg' (expected --deny)" >&2; exit 2 ;;
+  esac
+done
 
 if [ ! -f "$snap" ]; then
   echo "throughput_guard: no $snap — run 'cargo run --release -p cosmos-experiments --bin sim_throughput' to create one" >&2
@@ -46,16 +58,23 @@ if [ -z "$baseline" ]; then
   exit 0
 fi
 
+flagged=0
 awk -v cur="$current" -v base="$baseline" -v thr="$threshold_pct" 'BEGIN {
   drop = (base - cur) / base * 100.0
   if (drop > thr) {
     printf "throughput_guard: WARNING: sim throughput dropped %.1f%% (%.0f -> %.0f accesses/sec, threshold %d%%)\n",
       drop, base, cur, thr
     printf "throughput_guard: wall-clock benches are noisy; re-run sim_throughput before blaming a change\n"
+    exit 1
   } else if (drop > 0) {
     printf "throughput_guard: ok: -%.1f%% vs last run (%.0f -> %.0f accesses/sec)\n", drop, base, cur
   } else {
     printf "throughput_guard: ok: +%.1f%% vs last run (%.0f -> %.0f accesses/sec)\n", -drop, base, cur
   }
-}'
+}' || flagged=1
+
+if [ "$flagged" = "1" ] && [ "$mode" = "deny" ]; then
+  echo "throughput_guard: DENY mode — failing the build" >&2
+  exit 1
+fi
 exit 0
