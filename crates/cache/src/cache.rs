@@ -362,6 +362,124 @@ impl Cache {
             .map(|&t| LineAddr::new(t))
     }
 
+    /// Resident lines with their dirty bits, ordered least- to
+    /// most-recently touched — the priming order for shadow models
+    /// attached to a restored simulator. Recency stamps only exist for the
+    /// inline LRU/LCR policies; boxed policies are rejected like in
+    /// [`Cache::save_state`].
+    pub fn resident_entries_lru_to_mru(&self) -> Result<Vec<(LineAddr, bool)>, String> {
+        let recency = match &self.policy {
+            PolicyImpl::Lru(r) | PolicyImpl::Lcr(r) => r,
+            PolicyImpl::Boxed(p) => {
+                return Err(format!(
+                    "recency ordering unavailable for boxed replacement policy `{}`",
+                    p.name()
+                ))
+            }
+        };
+        let mut entries: Vec<(u64, LineAddr, bool)> = self
+            .tags
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t != INVALID_TAG)
+            .map(|(idx, &t)| {
+                (
+                    recency.last_touch[idx],
+                    LineAddr::new(t),
+                    self.flags[idx] & F_DIRTY != 0,
+                )
+            })
+            .collect();
+        entries.sort_unstable_by_key(|&(touch, _, _)| touch);
+        Ok(entries
+            .into_iter()
+            .map(|(_, line, dirty)| (line, dirty))
+            .collect())
+    }
+
+    /// Serializes the cache's full replacement-visible state — tags, flag
+    /// bits, hint scores, recency stamps, and statistics — for snapshots.
+    ///
+    /// Only the inline LRU/LCR policies are supported: boxed policy objects
+    /// carry private state behind the trait object and are rejected with an
+    /// error rather than silently half-saved. (Snapshotting allocates; it is
+    /// never called from hot paths.)
+    pub fn save_state(&self) -> Result<cosmos_common::json::Value, String> {
+        use cosmos_common::json::codec;
+        let recency = match &self.policy {
+            PolicyImpl::Lru(r) | PolicyImpl::Lcr(r) => r,
+            PolicyImpl::Boxed(p) => {
+                return Err(format!(
+                    "snapshot unsupported for boxed replacement policy `{}`",
+                    p.name()
+                ))
+            }
+        };
+        Ok(cosmos_common::json!({
+            "policy": (self.policy.name()),
+            "tags": (codec::from_u64s(self.tags.iter().copied())),
+            "flags": (codec::from_u64s(self.flags.iter().map(|&f| u64::from(f)))),
+            "scores": (codec::from_u64s(self.scores.iter().map(|&s| u64::from(s)))),
+            "occupied": (self.occupied as u64),
+            "clock": (recency.clock),
+            "last_touch": (codec::from_u64s(recency.last_touch.iter().copied())),
+            "stats": (self.stats.to_json()),
+        }))
+    }
+
+    /// Restores state produced by [`Cache::save_state`] into a cache built
+    /// with the *same* geometry and policy. Subsequent behavior is
+    /// indistinguishable from the original instance.
+    ///
+    /// Rejects (leaving `self` unspecified but memory-safe): policy-name
+    /// mismatches, array lengths that disagree with the constructed
+    /// geometry, and occupancy counts inconsistent with the tag array.
+    pub fn load_state(&mut self, v: &cosmos_common::json::Value) -> Result<(), String> {
+        use cosmos_common::json::codec;
+        let saved_policy = codec::str_field(v, "policy")?;
+        if saved_policy != self.policy.name() {
+            return Err(format!(
+                "snapshot policy `{saved_policy}` does not match constructed policy `{}`",
+                self.policy.name()
+            ));
+        }
+        let lines = self.config.num_lines();
+        let tags = codec::u64_array(v, "tags")?;
+        codec::check_len("tags", tags.len(), lines)?;
+        let flags = codec::u8_array(v, "flags")?;
+        codec::check_len("flags", flags.len(), lines)?;
+        let scores = codec::u8_array(v, "scores")?;
+        codec::check_len("scores", scores.len(), lines)?;
+        let last_touch = codec::u64_array(v, "last_touch")?;
+        codec::check_len("last_touch", last_touch.len(), lines)?;
+        let occupied = codec::usize_field(v, "occupied")?;
+        let valid = tags.iter().filter(|&&t| t != INVALID_TAG).count();
+        if occupied != valid {
+            return Err(format!(
+                "snapshot occupancy {occupied} disagrees with {valid} valid tags"
+            ));
+        }
+        let clock = codec::u64_field(v, "clock")?;
+        let stats = CacheStats::from_json(codec::field(v, "stats")?)?;
+        let recency = match &mut self.policy {
+            PolicyImpl::Lru(r) | PolicyImpl::Lcr(r) => r,
+            PolicyImpl::Boxed(p) => {
+                return Err(format!(
+                    "snapshot unsupported for boxed replacement policy `{}`",
+                    p.name()
+                ))
+            }
+        };
+        recency.clock = clock;
+        recency.last_touch = last_touch;
+        self.tags = tags;
+        self.flags = flags;
+        self.scores = scores;
+        self.occupied = occupied;
+        self.stats = stats;
+        Ok(())
+    }
+
     fn find_way(&self, line: LineAddr) -> Option<usize> {
         let set = self.config.set_of(line.index());
         let tag = self.config.tag_of(line.index());
@@ -766,6 +884,80 @@ mod tests {
         }
         assert_eq!(fast.stats(), refc.stats());
         assert_eq!(fast.occupancy(), refc.occupancy());
+    }
+
+    /// A restored cache must be behaviorally indistinguishable from one that
+    /// never stopped: drive two caches through an identical prefix, snapshot
+    /// one into a fresh instance, then verify every subsequent access (and
+    /// the stats) stay in lockstep.
+    fn assert_snapshot_transparent(kind: PolicyKind, seed: u64) {
+        let cfg = CacheConfig::new(2048, 4);
+        let mut live = Cache::new(cfg, kind);
+        let mut rng = cosmos_common::SplitMix64::new(seed);
+        let mut drive = |c: &mut Cache, rng: &mut cosmos_common::SplitMix64| {
+            let line = LineAddr::new(rng.next_index(96) as u64);
+            let write = rng.chance(0.3);
+            let hint = rng.chance(0.5).then(|| LocalityHint {
+                good: rng.chance(0.5),
+                score: rng.next_index(256) as u8,
+            });
+            (c.access(line, write, hint), *c.stats())
+        };
+        for _ in 0..5_000 {
+            drive(&mut live, &mut rng);
+        }
+        let saved = live.save_state().unwrap();
+        let mut restored = Cache::new(cfg, kind);
+        restored.load_state(&saved).unwrap();
+        assert_eq!(restored.occupancy(), live.occupancy());
+        let mut rng2 = rng; // identical tail stream for both caches
+        for i in 0..5_000 {
+            let a = drive(&mut live, &mut rng);
+            let b = drive(&mut restored, &mut rng2);
+            assert_eq!(a, b, "post-restore access {i} diverged for {kind:?}");
+        }
+    }
+
+    #[test]
+    fn snapshot_restores_lru_exactly() {
+        assert_snapshot_transparent(PolicyKind::Lru, 0x5EED);
+    }
+
+    #[test]
+    fn snapshot_restores_lcr_exactly() {
+        assert_snapshot_transparent(PolicyKind::Lcr, 0x5EEE);
+    }
+
+    #[test]
+    fn snapshot_rejects_mismatch_and_corruption() {
+        let cfg = CacheConfig::new(512, 2);
+        let mut c = Cache::new(cfg, PolicyKind::Lru);
+        c.access(LineAddr::new(1), true, None);
+        let saved = c.save_state().unwrap();
+
+        // Policy mismatch.
+        let mut lcr = Cache::new(cfg, PolicyKind::Lcr);
+        let err = lcr.load_state(&saved).unwrap_err();
+        assert!(err.contains("LRU") && err.contains("LCR"), "{err}");
+
+        // Geometry mismatch (different line count).
+        let mut small = Cache::new(CacheConfig::new(256, 2), PolicyKind::Lru);
+        let err = small.load_state(&saved).unwrap_err();
+        assert!(err.contains("length"), "{err}");
+
+        // Corrupted occupancy.
+        let mut bad = saved.clone();
+        if let cosmos_common::json::Value::Object(m) = &mut bad {
+            m.insert("occupied", cosmos_common::json::Value::UInt(7));
+        }
+        let err = Cache::new(cfg, PolicyKind::Lru)
+            .load_state(&bad)
+            .unwrap_err();
+        assert!(err.contains("occupancy"), "{err}");
+
+        // Boxed policies refuse to snapshot.
+        let boxed = Cache::with_policy(cfg, reference_policy(PolicyKind::Lru, 4, 2));
+        assert!(boxed.save_state().unwrap_err().contains("boxed"));
     }
 
     #[test]

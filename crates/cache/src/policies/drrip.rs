@@ -49,7 +49,7 @@ impl Drrip {
             rrpv: vec![MAX_RRPV; sets * ways],
             roles,
             psel: 0,
-            rng: SplitMix64::new(0xD_EE1),
+            rng: cosmos_common::rng::streams::DRRIP.derive(0),
         }
     }
 

@@ -14,7 +14,7 @@ impl RandomRepl {
     /// Creates the policy with an RNG seed.
     pub fn new(seed: u64) -> Self {
         Self {
-            rng: SplitMix64::new(seed),
+            rng: cosmos_common::rng::streams::REPLACEMENT_RANDOM.derive(seed),
         }
     }
 }

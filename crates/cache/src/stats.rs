@@ -61,6 +61,33 @@ impl CacheStats {
         }
     }
 
+    /// Encodes the counters for snapshots.
+    pub fn to_json(&self) -> cosmos_common::json::Value {
+        cosmos_common::json!({
+            "demand": (self.demand.to_json()),
+            "evictions": (self.evictions),
+            "writebacks": (self.writebacks),
+            "prefetch_issued": (self.prefetch_issued),
+            "prefetch_useful": (self.prefetch_useful),
+            "prefetch_unused": (self.prefetch_unused),
+            "prefetch_redundant": (self.prefetch_redundant),
+        })
+    }
+
+    /// Decodes counters produced by [`CacheStats::to_json`].
+    pub fn from_json(v: &cosmos_common::json::Value) -> Result<Self, String> {
+        use cosmos_common::json::codec;
+        Ok(Self {
+            demand: HitMiss::from_json(codec::field(v, "demand")?)?,
+            evictions: codec::u64_field(v, "evictions")?,
+            writebacks: codec::u64_field(v, "writebacks")?,
+            prefetch_issued: codec::u64_field(v, "prefetch_issued")?,
+            prefetch_useful: codec::u64_field(v, "prefetch_useful")?,
+            prefetch_unused: codec::u64_field(v, "prefetch_unused")?,
+            prefetch_redundant: codec::u64_field(v, "prefetch_redundant")?,
+        })
+    }
+
     /// Merges another stats block into this one.
     pub fn merge(&mut self, other: &CacheStats) {
         self.demand.merge(&other.demand);

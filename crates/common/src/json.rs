@@ -12,7 +12,9 @@
 //! - [`json!`](crate::json!): a literal macro accepting arbitrary Rust
 //!   expressions in value position,
 //! - [`Value::to_string`](core::fmt::Display) (compact) and
-//!   [`Value::pretty`] (2-space indent, `serde_json`-style).
+//!   [`Value::pretty`] (2-space indent, `serde_json`-style),
+//! - [`parse`]: the inverse — a strict parser whose output round-trips
+//!   the serializer exactly (snapshot restore depends on this).
 //!
 //! # Examples
 //!
@@ -61,6 +63,14 @@ impl Map {
         self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
+    /// Looks up a key for mutation.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
     /// Whether `key` is present.
     pub fn contains_key(&self, key: &str) -> bool {
         self.get(key).is_some()
@@ -103,7 +113,11 @@ impl FromIterator<(String, Value)> for Map {
 }
 
 /// A JSON document node.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Equality is *numeric* across the integer variants: `Int(5)` equals
+/// `UInt(5)` (JSON itself has a single number type; the split exists only
+/// so `u64` counters serialize without loss). Floats never equal integers.
+#[derive(Clone, Debug)]
 pub enum Value {
     /// `null`.
     Null,
@@ -246,6 +260,25 @@ impl Value {
                 newline_indent(out, indent);
                 out.push('}');
             }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::UInt(a), Value::UInt(b)) => a == b,
+            (Value::Int(a), Value::UInt(b)) | (Value::UInt(b), Value::Int(a)) => {
+                u64::try_from(*a) == Ok(*b)
+            }
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => a == b,
+            (Value::Object(a), Value::Object(b)) => a == b,
+            _ => false,
         }
     }
 }
@@ -446,6 +479,432 @@ macro_rules! json_entry_value {
     };
 }
 
+/// A parse failure: what went wrong and the byte offset it happened at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the input where the failure was detected.
+    pub offset: usize,
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a JSON document into a [`Value`].
+///
+/// Strict: exactly one top-level value, no trailing garbage, no comments,
+/// no trailing commas. Numbers parse back into the same variants the
+/// serializer emits — an unsigned integer literal becomes [`Value::UInt`],
+/// a negative one [`Value::Int`], and anything with a fraction or exponent
+/// [`Value::Float`] (Rust's shortest-representation float formatting
+/// guarantees `parse(v.to_string()) == v` for finite floats).
+///
+/// # Examples
+///
+/// ```
+/// use cosmos_common::json::{json, parse};
+/// let v = json!({"a": 1, "b": [2.5, "x"], "c": null});
+/// assert_eq!(parse(&v.to_string()).unwrap(), v);
+/// assert_eq!(parse(&v.pretty()).unwrap(), v);
+/// assert!(parse("{\"a\": }").is_err());
+/// ```
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after top-level value"));
+    }
+    Ok(value)
+}
+
+/// Recursion guard: deeper nesting than any document this workspace emits.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes `lit` (used after its first byte has been peeked).
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.pos += 1; // consume `[`
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.pos += 1; // consume `{`
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected string key in object"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected `:` after object key"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.pos += 1; // consume opening `"`
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let c = self.unicode_escape()?;
+                            out.push(c);
+                            continue; // unicode_escape consumed its digits
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("unescaped control character in string"));
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so slicing at
+                    // the next char boundary is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = core::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s
+                        .chars()
+                        .next()
+                        .expect("rest is non-empty: pos < bytes.len() in this branch");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parses the 4 hex digits after `\u` (surrogate pairs supported).
+    fn unicode_escape(&mut self) -> Result<char, ParseError> {
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: require a following `\uXXXX` low surrogate.
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if (0xDC00..0xE000).contains(&lo) {
+                    let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    return char::from_u32(c).ok_or_else(|| self.err("invalid surrogate pair"));
+                }
+            }
+            return Err(self.err("unpaired surrogate in \\u escape"));
+        }
+        char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
+                Some(c @ b'a'..=b'f') => (c - b'a' + 10) as u32,
+                Some(c @ b'A'..=b'F') => (c - b'A' + 10) as u32,
+                _ => return Err(self.err("expected 4 hex digits after \\u")),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            return Err(self.err("expected digit"));
+        }
+        // Leading zero may not be followed by more digits (strict JSON).
+        if self.peek() == Some(b'0')
+            && matches!(self.bytes.get(self.pos + 1), Some(c) if c.is_ascii_digit())
+        {
+            return Err(self.err("leading zeros are not allowed"));
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("expected digit after decimal point"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("expected digit in exponent"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = core::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        if !is_float {
+            if negative {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Value::Int(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            // Integer literal outside 64-bit range: fall through to float.
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err(format!("invalid number `{text}`")))
+    }
+}
+
+/// Field-extraction helpers for hand-written deserializers.
+///
+/// Snapshot restore across the workspace decodes JSON back into typed
+/// state; these helpers centralize the error phrasing so every missing or
+/// mistyped field reports its key ("snapshot field `tags`: expected an
+/// array of u64") instead of a bare `None`.
+pub mod codec {
+    use super::{Map, Value};
+
+    /// The value as an object.
+    pub fn obj<'a>(v: &'a Value, what: &str) -> Result<&'a Map, String> {
+        v.as_object()
+            .ok_or_else(|| format!("{what}: expected a JSON object"))
+    }
+
+    /// The named field of an object.
+    pub fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+        v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+    }
+
+    /// A `u64` field.
+    pub fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+        field(v, key)?
+            .as_u64()
+            .ok_or_else(|| format!("field `{key}`: expected a u64"))
+    }
+
+    /// A `usize` field.
+    pub fn usize_field(v: &Value, key: &str) -> Result<usize, String> {
+        u64_field(v, key).and_then(|x| {
+            usize::try_from(x).map_err(|_| format!("field `{key}`: value {x} overflows usize"))
+        })
+    }
+
+    /// A string field.
+    pub fn str_field<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+        field(v, key)?
+            .as_str()
+            .ok_or_else(|| format!("field `{key}`: expected a string"))
+    }
+
+    /// A bool field.
+    pub fn bool_field(v: &Value, key: &str) -> Result<bool, String> {
+        field(v, key)?
+            .as_bool()
+            .ok_or_else(|| format!("field `{key}`: expected a bool"))
+    }
+
+    /// An `f64` field (integers accepted — JSON does not distinguish).
+    pub fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
+        field(v, key)?
+            .as_f64()
+            .ok_or_else(|| format!("field `{key}`: expected a number"))
+    }
+
+    /// An array field decoded element-wise as `u64`.
+    pub fn u64_array(v: &Value, key: &str) -> Result<Vec<u64>, String> {
+        let arr = field(v, key)?
+            .as_array()
+            .ok_or_else(|| format!("field `{key}`: expected an array"))?;
+        arr.iter()
+            .map(|x| {
+                x.as_u64()
+                    .ok_or_else(|| format!("field `{key}`: expected an array of u64"))
+            })
+            .collect()
+    }
+
+    /// An array field decoded element-wise as `u8`.
+    pub fn u8_array(v: &Value, key: &str) -> Result<Vec<u8>, String> {
+        u64_array(v, key)?
+            .into_iter()
+            .map(|x| u8::try_from(x).map_err(|_| format!("field `{key}`: value {x} overflows u8")))
+            .collect()
+    }
+
+    /// An array field decoded element-wise as `u32`.
+    pub fn u32_array(v: &Value, key: &str) -> Result<Vec<u32>, String> {
+        u64_array(v, key)?
+            .into_iter()
+            .map(|x| {
+                u32::try_from(x).map_err(|_| format!("field `{key}`: value {x} overflows u32"))
+            })
+            .collect()
+    }
+
+    /// An array field decoded element-wise as `i64`.
+    pub fn i64_array(v: &Value, key: &str) -> Result<Vec<i64>, String> {
+        let arr = field(v, key)?
+            .as_array()
+            .ok_or_else(|| format!("field `{key}`: expected an array"))?;
+        arr.iter()
+            .map(|x| {
+                x.as_i64()
+                    .ok_or_else(|| format!("field `{key}`: expected an array of i64"))
+            })
+            .collect()
+    }
+
+    /// Encodes an iterator of `u64`-convertible integers as a JSON array.
+    pub fn from_u64s(xs: impl IntoIterator<Item = u64>) -> Value {
+        Value::Array(xs.into_iter().map(Value::UInt).collect())
+    }
+
+    /// Encodes an iterator of signed integers as a JSON array.
+    pub fn from_i64s(xs: impl IntoIterator<Item = i64>) -> Value {
+        Value::Array(xs.into_iter().map(Value::Int).collect())
+    }
+
+    /// Checks a restored array's length against the constructed geometry.
+    pub fn check_len(key: &str, got: usize, expected: usize) -> Result<(), String> {
+        if got == expected {
+            Ok(())
+        } else {
+            Err(format!(
+                "field `{key}`: length {got} does not match expected {expected}"
+            ))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -530,5 +989,88 @@ mod tests {
         let v = json!({"rows": [{"k": "bfs"}]});
         assert_eq!(v["rows"][0]["k"].as_str(), Some("bfs"));
         assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_round_trips_compact_and_pretty() {
+        let v = json!({
+            "name": "fig02",
+            "count": 18_446_744_073_709_551_615u64,
+            "neg": -42,
+            "pi": 3.141592653589793,
+            "tiny": 1e-300,
+            "flags": [true, false, null],
+            "nested": {"s": "a\"b\\c\nd\u{1}", "empty": [], "obj": {}},
+        });
+        assert_eq!(parse(&v.to_string()).unwrap(), v);
+        assert_eq!(parse(&v.pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_number_variants_match_serializer() {
+        assert_eq!(parse("7").unwrap(), Value::UInt(7));
+        assert_eq!(parse("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse("7.0").unwrap(), Value::Float(7.0));
+        assert_eq!(parse("1.5e3").unwrap(), Value::Float(1500.0));
+        // u64::MAX stays exact; beyond it degrades to float.
+        assert_eq!(
+            parse("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
+        assert!(matches!(
+            parse("18446744073709551616").unwrap(),
+            Value::Float(_)
+        ));
+    }
+
+    #[test]
+    fn parse_float_bit_exact_round_trip() {
+        for f in [0.1, 1.0 / 3.0, f64::MIN_POSITIVE, f64::MAX, -2.5e-10] {
+            let s = Value::Float(f).to_string();
+            assert_eq!(parse(&s).unwrap(), Value::Float(f), "{s}");
+        }
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        assert_eq!(parse(r#""Aé""#).unwrap(), json!("Aé"));
+        // Surrogate pair for U+1F600.
+        assert_eq!(parse(r#""😀""#).unwrap(), json!("😀"));
+        assert!(parse(r#""\ud83d""#).is_err(), "unpaired surrogate");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a: 1}",
+            "01",
+            "1.",
+            "1e",
+            "tru",
+            "\"unterminated",
+            "[1] trailing",
+            "nan",
+            "+1",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        let err = parse("{\"key\": !}").unwrap_err();
+        assert_eq!(err.offset, 8);
+        assert!(err.to_string().contains("byte 8"), "{err}");
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_everywhere() {
+        let v = parse(" \t\n{ \"a\" : [ 1 , 2 ] , \"b\" : { } } \r\n").unwrap();
+        assert_eq!(v, json!({"a": [1, 2], "b": {}}));
     }
 }

@@ -104,6 +104,20 @@ impl HitMiss {
     pub fn reset(&mut self) {
         *self = Self::new();
     }
+
+    /// Encodes the counter for snapshots.
+    pub fn to_json(&self) -> crate::json::Value {
+        crate::json!({"hits": (self.hits), "misses": (self.misses)})
+    }
+
+    /// Decodes a counter produced by [`HitMiss::to_json`].
+    pub fn from_json(v: &crate::json::Value) -> Result<Self, String> {
+        use crate::json::codec;
+        Ok(Self::from_counts(
+            codec::u64_field(v, "hits")?,
+            codec::u64_field(v, "misses")?,
+        ))
+    }
 }
 
 impl fmt::Display for HitMiss {
@@ -357,6 +371,14 @@ mod tests {
         h.push(1 << 20);
         assert_eq!(h.quantile_bucket(0.5), 0);
         assert_eq!(h.quantile_bucket(1.0), 20);
+    }
+
+    #[test]
+    fn hitmiss_json_round_trip() {
+        let hm = HitMiss::from_counts(5, 2);
+        assert_eq!(HitMiss::from_json(&hm.to_json()).unwrap(), hm);
+        let err = HitMiss::from_json(&crate::json!({"hits": 1})).unwrap_err();
+        assert!(err.contains("misses"), "error names the field: {err}");
     }
 
     #[test]

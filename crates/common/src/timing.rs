@@ -56,6 +56,11 @@ impl ServiceQueue {
         self.busy_until
     }
 
+    /// Rebuilds a queue from a saved busy-until time (snapshot restore).
+    pub const fn resume(busy_until: Cycle) -> Self {
+        Self { busy_until }
+    }
+
     /// Serves a request issued at `now` taking `service` cycles; the queue
     /// becomes busy until the returned completion time.
     // cosmos-lint: hot

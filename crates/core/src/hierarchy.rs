@@ -147,6 +147,50 @@ impl CacheHierarchy {
     pub fn llc_stats(&self) -> HitMiss {
         self.llc_stats
     }
+
+    /// Serializes every cache level plus the aggregated level counters for
+    /// snapshots.
+    pub fn save_state(&self) -> Result<cosmos_common::json::Value, String> {
+        let levels = |caches: &[Cache]| -> Result<cosmos_common::json::Value, String> {
+            Ok(cosmos_common::json::Value::Array(
+                caches
+                    .iter()
+                    .map(Cache::save_state)
+                    .collect::<Result<_, _>>()?,
+            ))
+        };
+        Ok(cosmos_common::json!({
+            "l1": (levels(&self.l1)?),
+            "l2": (levels(&self.l2)?),
+            "llc": (self.llc.save_state()?),
+            "l1_stats": (self.l1_stats.to_json()),
+            "l2_stats": (self.l2_stats.to_json()),
+            "llc_stats": (self.llc_stats.to_json()),
+        }))
+    }
+
+    /// Restores state produced by [`CacheHierarchy::save_state`] into a
+    /// hierarchy built from the same config.
+    pub fn load_state(&mut self, v: &cosmos_common::json::Value) -> Result<(), String> {
+        use cosmos_common::json::codec;
+        let level = |caches: &mut [Cache], key: &str| -> Result<(), String> {
+            let arr = codec::field(v, key)?
+                .as_array()
+                .ok_or_else(|| format!("field `{key}`: expected an array"))?;
+            codec::check_len(key, arr.len(), caches.len())?;
+            for (cache, saved) in caches.iter_mut().zip(arr) {
+                cache.load_state(saved)?;
+            }
+            Ok(())
+        };
+        level(&mut self.l1, "l1")?;
+        level(&mut self.l2, "l2")?;
+        self.llc.load_state(codec::field(v, "llc")?)?;
+        self.l1_stats = HitMiss::from_json(codec::field(v, "l1_stats")?)?;
+        self.l2_stats = HitMiss::from_json(codec::field(v, "l2_stats")?)?;
+        self.llc_stats = HitMiss::from_json(codec::field(v, "llc_stats")?)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -49,7 +49,7 @@ impl Simulator {
             let mut dp = DataLocationPredictor::with_rewards(
                 config.data_rl,
                 config.rewards.data,
-                config.seed ^ 0xDA7A,
+                cosmos_common::rng::streams::DATA_PREDICTOR.derive_seed(config.seed),
             );
             dp.set_telemetry(config.telemetry.clone());
             dp
@@ -189,6 +189,94 @@ impl Simulator {
         }
         stats.dram = *self.dram.stats();
         stats
+    }
+
+    /// Serializes the complete microarchitectural and statistical state of
+    /// the simulator: caches, counters, predictors (tables, CET, RNG
+    /// positions), DRAM banks, core timelines, cumulative statistics, and
+    /// any frozen measurement baseline. A simulator built from the *same*
+    /// config and fed this state via [`Simulator::load_state`] continues
+    /// byte-identically to one that never stopped.
+    ///
+    /// The writeback scratch buffer is not stored — it is empty between
+    /// accesses (capacity-only). Configuration is not stored either; the
+    /// caller pairs the state with its config (the serve layer adds a
+    /// config fingerprint to its snapshot envelope).
+    ///
+    /// Fails for state that cannot round-trip: boxed replacement policies
+    /// and attached CTR prefetchers.
+    pub fn save_state(&self) -> Result<cosmos_common::json::Value, String> {
+        use cosmos_common::json::Value;
+        let secure = match &self.secure {
+            Some(sp) => sp.save_state()?,
+            None => Value::Null,
+        };
+        let data_pred = match &self.data_pred {
+            Some(dp) => dp.save_state(),
+            None => Value::Null,
+        };
+        let baseline = match &self.baseline {
+            Some(b) => b.to_json(),
+            None => Value::Null,
+        };
+        Ok(cosmos_common::json!({
+            "hierarchy": (self.hierarchy.save_state()?),
+            "secure": (secure),
+            "data_pred": (data_pred),
+            "dram": (self.dram.save_state()),
+            "timeline": (self.timeline.save_state()),
+            "stats": (self.stats.to_json()),
+            "baseline": (baseline),
+            "window_ctr_total": (self.window_ctr_total),
+            "window_ctr_miss": (self.window_ctr_miss),
+        }))
+    }
+
+    /// Restores state produced by [`Simulator::save_state`] into a
+    /// simulator built from the same configuration. Every mismatch —
+    /// missing field, wrong geometry, design with/without a predictor the
+    /// snapshot lacks/carries — is rejected with an error naming the
+    /// offending field.
+    pub fn load_state(&mut self, v: &cosmos_common::json::Value) -> Result<(), String> {
+        use cosmos_common::json::{codec, Value};
+        self.hierarchy.load_state(codec::field(v, "hierarchy")?)?;
+        let secure = codec::field(v, "secure")?;
+        match (self.secure.as_mut(), matches!(secure, Value::Null)) {
+            (Some(sp), false) => sp.load_state(secure)?,
+            (None, true) => {}
+            (Some(_), true) => {
+                return Err("snapshot has no secure path but this design expects one".into())
+            }
+            (None, false) => {
+                return Err("snapshot carries a secure path but this design has none".into())
+            }
+        }
+        let data_pred = codec::field(v, "data_pred")?;
+        match (self.data_pred.as_mut(), matches!(data_pred, Value::Null)) {
+            (Some(dp), false) => dp.load_state(data_pred)?,
+            (None, true) => {}
+            (Some(_), true) => {
+                return Err(
+                    "snapshot has no data-location predictor but this design expects one".into(),
+                )
+            }
+            (None, false) => {
+                return Err(
+                    "snapshot carries a data-location predictor but this design has none".into(),
+                )
+            }
+        }
+        self.dram.load_state(codec::field(v, "dram")?)?;
+        self.timeline.load_state(codec::field(v, "timeline")?)?;
+        self.stats = SimStats::from_json(codec::field(v, "stats")?)?;
+        let baseline = codec::field(v, "baseline")?;
+        self.baseline = match baseline {
+            Value::Null => None,
+            other => Some(Box::new(SimStats::from_json(other)?)),
+        };
+        self.window_ctr_total = codec::u64_field(v, "window_ctr_total")?;
+        self.window_ctr_miss = codec::u64_field(v, "window_ctr_miss")?;
+        Ok(())
     }
 
     /// The baseline frozen by the last [`Simulator::warmup`] /
@@ -665,6 +753,109 @@ mod tests {
             observed.traffic.killed_speculative,
             "speculative kills mirror killed_speculative"
         );
+    }
+
+    #[test]
+    fn snapshot_resume_matches_uninterrupted_run() {
+        // The tentpole identity: save at N/2, serialize to text, parse,
+        // restore into a *fresh* simulator, run the tail — final statistics
+        // equal the uninterrupted run exactly, for every design.
+        for d in [Design::Np, Design::MorphCtr, Design::Emcc, Design::Cosmos] {
+            let t = random_trace(8_000, 80_000, 0.25, 21);
+            let half = t.len() / 2;
+
+            let full = Simulator::new(tiny_config(d)).run(&t);
+
+            let mut first = Simulator::new(tiny_config(d));
+            for a in &t.as_slice()[..half] {
+                first.step(a);
+            }
+            let text = first.save_state().expect("save").to_string();
+            drop(first);
+
+            let parsed = cosmos_common::json::parse(&text).expect("parse");
+            let mut resumed = Simulator::new(tiny_config(d));
+            resumed.load_state(&parsed).expect("load");
+            for a in &t.as_slice()[half..] {
+                resumed.step(a);
+            }
+            assert_eq!(resumed.finalize(), full, "{d}: resumed run diverged");
+        }
+    }
+
+    #[test]
+    fn snapshot_resume_preserves_warmup_baseline() {
+        let t = random_trace(4_000, 30_000, 0.2, 22);
+        let half = t.len() / 2;
+
+        let mut direct = Simulator::new(tiny_config(Design::Cosmos));
+        direct.warmup(t.as_slice()[..half].iter());
+        let mut saved = Simulator::new(tiny_config(Design::Cosmos));
+        saved.warmup(t.as_slice()[..half].iter());
+        let state = saved.save_state().expect("save");
+
+        let mut resumed = Simulator::new(tiny_config(Design::Cosmos));
+        resumed.load_state(&state).expect("load");
+        for a in &t.as_slice()[half..] {
+            direct.step(a);
+            resumed.step(a);
+        }
+        assert_eq!(
+            resumed.finalize(),
+            direct.finalize(),
+            "frozen baseline lost across snapshot"
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_design_mismatch() {
+        let t = random_trace(500, 10_000, 0.2, 23);
+        let mut sim = Simulator::new(tiny_config(Design::Cosmos));
+        for a in t.iter() {
+            sim.step(a);
+        }
+        let state = sim.save_state().expect("save");
+
+        // NP has no secure path or predictor: both directions must fail
+        // loudly rather than silently dropping learned state.
+        let err = Simulator::new(tiny_config(Design::Np))
+            .load_state(&state)
+            .expect_err("NP must reject a Cosmos snapshot");
+        assert!(err.contains("secure path"), "unhelpful error: {err}");
+
+        let np_state = {
+            let mut np = Simulator::new(tiny_config(Design::Np));
+            for a in t.iter() {
+                np.step(a);
+            }
+            np.save_state().expect("save")
+        };
+        let err = Simulator::new(tiny_config(Design::Cosmos))
+            .load_state(&np_state)
+            .expect_err("Cosmos must reject an NP snapshot");
+        assert!(err.contains("secure path"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn snapshot_serialization_is_stable() {
+        // Equal logical states serialize to equal bytes — the property the
+        // serve layer's byte-identity smoke rests on.
+        let t = random_trace(2_000, 20_000, 0.25, 24);
+        let mk = || {
+            let mut sim = Simulator::new(tiny_config(Design::Cosmos));
+            for a in t.iter() {
+                sim.step(a);
+            }
+            sim.save_state().expect("save").to_string()
+        };
+        assert_eq!(mk(), mk());
+
+        // And a restored simulator re-saves to the same bytes.
+        let text = mk();
+        let parsed = cosmos_common::json::parse(&text).expect("parse");
+        let mut resumed = Simulator::new(tiny_config(Design::Cosmos));
+        resumed.load_state(&parsed).expect("load");
+        assert_eq!(resumed.save_state().expect("save").to_string(), text);
     }
 
     #[test]

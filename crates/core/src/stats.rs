@@ -62,6 +62,39 @@ impl TrafficBreakdown {
         self.killed_speculative
     }
 
+    /// Serializes the breakdown for snapshots.
+    pub fn to_json(&self) -> cosmos_common::json::Value {
+        cosmos_common::json!({
+            "data_reads": (self.data_reads),
+            "data_writes": (self.data_writes),
+            "ctr_reads": (self.ctr_reads),
+            "ctr_writes": (self.ctr_writes),
+            "mt_reads": (self.mt_reads),
+            "mt_writes": (self.mt_writes),
+            "mac_reads": (self.mac_reads),
+            "mac_writes": (self.mac_writes),
+            "reencrypt_writes": (self.reencrypt_writes),
+            "killed_speculative": (self.killed_speculative),
+        })
+    }
+
+    /// Rebuilds a breakdown serialized by [`TrafficBreakdown::to_json`].
+    pub fn from_json(v: &cosmos_common::json::Value) -> Result<Self, String> {
+        use cosmos_common::json::codec;
+        Ok(Self {
+            data_reads: codec::u64_field(v, "data_reads")?,
+            data_writes: codec::u64_field(v, "data_writes")?,
+            ctr_reads: codec::u64_field(v, "ctr_reads")?,
+            ctr_writes: codec::u64_field(v, "ctr_writes")?,
+            mt_reads: codec::u64_field(v, "mt_reads")?,
+            mt_writes: codec::u64_field(v, "mt_writes")?,
+            mac_reads: codec::u64_field(v, "mac_reads")?,
+            mac_writes: codec::u64_field(v, "mac_writes")?,
+            reencrypt_writes: codec::u64_field(v, "reencrypt_writes")?,
+            killed_speculative: codec::u64_field(v, "killed_speculative")?,
+        })
+    }
+
     /// Traffic accumulated since `baseline` (saturating per field), for
     /// warmup-excluding measurement windows. Debug builds assert that no
     /// field went backwards — a subtraction that actually saturates means
@@ -116,6 +149,32 @@ pub struct TimelinePoint {
     pub dp_total: u64,
     /// CTR cache miss rate over the window since the previous sample.
     pub ctr_miss_rate_window: f64,
+}
+
+impl TimelinePoint {
+    /// Serializes the sample for snapshots. The two rates are stored as
+    /// IEEE-754 bit patterns so restore is bit-exact.
+    pub fn to_json(&self) -> cosmos_common::json::Value {
+        cosmos_common::json!({
+            "accesses": (self.accesses),
+            "dp_accuracy_bits": (self.dp_accuracy.to_bits()),
+            "dp_correct": (self.dp_correct),
+            "dp_total": (self.dp_total),
+            "ctr_miss_rate_window_bits": (self.ctr_miss_rate_window.to_bits()),
+        })
+    }
+
+    /// Rebuilds a sample serialized by [`TimelinePoint::to_json`].
+    pub fn from_json(v: &cosmos_common::json::Value) -> Result<Self, String> {
+        use cosmos_common::json::codec;
+        Ok(Self {
+            accesses: codec::u64_field(v, "accesses")?,
+            dp_accuracy: f64::from_bits(codec::u64_field(v, "dp_accuracy_bits")?),
+            dp_correct: codec::u64_field(v, "dp_correct")?,
+            dp_total: codec::u64_field(v, "dp_total")?,
+            ctr_miss_rate_window: f64::from_bits(codec::u64_field(v, "ctr_miss_rate_window_bits")?),
+        })
+    }
 }
 
 /// Everything a simulation run measures.
@@ -186,6 +245,63 @@ impl SimStats {
     /// Total DRAM traffic in bytes.
     pub fn traffic_bytes(&self) -> u64 {
         self.traffic.total() * 64
+    }
+
+    /// Serializes every field for snapshots.
+    pub fn to_json(&self) -> cosmos_common::json::Value {
+        cosmos_common::json!({
+            "instructions": (self.instructions),
+            "cycles": (self.cycles),
+            "accesses": (self.accesses),
+            "reads": (self.reads),
+            "writes": (self.writes),
+            "l1": (self.l1.to_json()),
+            "l2": (self.l2.to_json()),
+            "llc": (self.llc.to_json()),
+            "ctr_cache": (self.ctr_cache.to_json()),
+            "mt_cache": (self.mt_cache.to_json()),
+            "dram": (self.dram.to_json()),
+            "traffic": (self.traffic.to_json()),
+            "data_pred": (self.data_pred.to_json()),
+            "ctr_pred": (self.ctr_pred.to_json()),
+            "ctr_overflows": (self.ctr_overflows),
+            "total_read_latency": (self.total_read_latency),
+            "early_offchip_reads": (self.early_offchip_reads),
+            "timeline": (cosmos_common::json::Value::Array(
+                self.timeline.iter().map(TimelinePoint::to_json).collect(),
+            )),
+        })
+    }
+
+    /// Rebuilds statistics serialized by [`SimStats::to_json`].
+    pub fn from_json(v: &cosmos_common::json::Value) -> Result<Self, String> {
+        use cosmos_common::json::codec;
+        let timeline = codec::field(v, "timeline")?
+            .as_array()
+            .ok_or_else(|| "field `timeline`: expected an array".to_string())?
+            .iter()
+            .map(TimelinePoint::from_json)
+            .collect::<Result<_, _>>()?;
+        Ok(Self {
+            instructions: codec::u64_field(v, "instructions")?,
+            cycles: codec::u64_field(v, "cycles")?,
+            accesses: codec::u64_field(v, "accesses")?,
+            reads: codec::u64_field(v, "reads")?,
+            writes: codec::u64_field(v, "writes")?,
+            l1: HitMiss::from_json(codec::field(v, "l1")?)?,
+            l2: HitMiss::from_json(codec::field(v, "l2")?)?,
+            llc: HitMiss::from_json(codec::field(v, "llc")?)?,
+            ctr_cache: CacheStats::from_json(codec::field(v, "ctr_cache")?)?,
+            mt_cache: CacheStats::from_json(codec::field(v, "mt_cache")?)?,
+            dram: DramStats::from_json(codec::field(v, "dram")?)?,
+            traffic: TrafficBreakdown::from_json(codec::field(v, "traffic")?)?,
+            data_pred: DataLocationStats::from_json(codec::field(v, "data_pred")?)?,
+            ctr_pred: CtrLocalityStats::from_json(codec::field(v, "ctr_pred")?)?,
+            ctr_overflows: codec::u64_field(v, "ctr_overflows")?,
+            total_read_latency: codec::u64_field(v, "total_read_latency")?,
+            early_offchip_reads: codec::u64_field(v, "early_offchip_reads")?,
+            timeline,
+        })
     }
 
     /// Statistics accumulated since `baseline` — the measurement window of

@@ -49,6 +49,31 @@ impl DramStats {
         self.requests() * LINE_SIZE as u64
     }
 
+    /// Encodes the counters for snapshots.
+    pub fn to_json(&self) -> cosmos_common::json::Value {
+        cosmos_common::json!({
+            "reads": (self.reads),
+            "writes": (self.writes),
+            "row_hits": (self.row_hits),
+            "row_closed": (self.row_closed),
+            "row_conflicts": (self.row_conflicts),
+            "queue_cycles": (self.queue_cycles),
+        })
+    }
+
+    /// Decodes counters produced by [`DramStats::to_json`].
+    pub fn from_json(v: &cosmos_common::json::Value) -> Result<Self, String> {
+        use cosmos_common::json::codec;
+        Ok(Self {
+            reads: codec::u64_field(v, "reads")?,
+            writes: codec::u64_field(v, "writes")?,
+            row_hits: codec::u64_field(v, "row_hits")?,
+            row_closed: codec::u64_field(v, "row_closed")?,
+            row_conflicts: codec::u64_field(v, "row_conflicts")?,
+            queue_cycles: codec::u64_field(v, "queue_cycles")?,
+        })
+    }
+
     /// Counts accumulated since `baseline` (saturating per field), for
     /// warmup-excluding measurement windows. Debug builds assert that no
     /// field went backwards — actual saturation means a counter reset.
@@ -190,6 +215,38 @@ impl Dram {
     /// Resets statistics (bank state is preserved).
     pub fn reset_stats(&mut self) {
         self.stats = DramStats::default();
+    }
+
+    /// Serializes bank state (open rows, busy times) and statistics for
+    /// snapshots. The line map is derived from the config and not stored.
+    pub fn save_state(&self) -> cosmos_common::json::Value {
+        use cosmos_common::json::codec;
+        // `Option<row>` encoded as row+1 (0 = closed) to keep banks a flat
+        // integer array rather than a vector of objects.
+        let open_rows = self.banks.iter().map(|b| b.open_row.map_or(0, |r| r + 1));
+        let busy = self.banks.iter().map(|b| b.queue.busy_until().value());
+        cosmos_common::json!({
+            "open_rows": (codec::from_u64s(open_rows)),
+            "busy_until": (codec::from_u64s(busy)),
+            "stats": (self.stats.to_json()),
+        })
+    }
+
+    /// Restores state produced by [`Dram::save_state`] into a model built
+    /// with the *same* config. Rejects bank-count mismatches.
+    pub fn load_state(&mut self, v: &cosmos_common::json::Value) -> Result<(), String> {
+        use cosmos_common::json::codec;
+        let open_rows = codec::u64_array(v, "open_rows")?;
+        codec::check_len("open_rows", open_rows.len(), self.banks.len())?;
+        let busy = codec::u64_array(v, "busy_until")?;
+        codec::check_len("busy_until", busy.len(), self.banks.len())?;
+        let stats = DramStats::from_json(codec::field(v, "stats")?)?;
+        for (bank, (row, busy)) in self.banks.iter_mut().zip(open_rows.into_iter().zip(busy)) {
+            bank.open_row = row.checked_sub(1);
+            bank.queue = ServiceQueue::resume(Cycle::new(busy));
+        }
+        self.stats = stats;
+        Ok(())
     }
 
     /// Serves a line request issued at `now`; returns its completion time.
@@ -337,6 +394,42 @@ mod tests {
             );
             now = done;
         }
+    }
+
+    /// Restored DRAM must serve the exact same completion times as a model
+    /// that never stopped — open rows, busy times, and stats all carry over.
+    #[test]
+    fn snapshot_restores_bank_state_exactly() {
+        let mut live = dram();
+        let mut now = Cycle::ZERO;
+        let mut rng = cosmos_common::SplitMix64::new(0xD2A);
+        for _ in 0..10_000 {
+            let line = LineAddr::new(rng.next_index(1 << 16) as u64);
+            now = now.max(live.access(line, now, rng.chance(0.3)));
+        }
+        let saved = live.save_state();
+        let mut restored = dram();
+        restored.load_state(&saved).unwrap();
+        assert_eq!(restored.stats(), live.stats());
+        let mut rng2 = rng;
+        let mut now2 = now;
+        for i in 0..10_000 {
+            let a = live.access(LineAddr::new(rng.next_index(1 << 16) as u64), now, false);
+            let b = restored.access(LineAddr::new(rng2.next_index(1 << 16) as u64), now2, false);
+            assert_eq!(a, b, "completion time diverged at access {i}");
+            now = a;
+            now2 = b;
+        }
+
+        // Bank-count mismatch is rejected.
+        let small = Dram::new(DramConfig {
+            channels: 1,
+            banks_per_channel: 1,
+            row_bytes: 8192,
+            ..DramConfig::ddr4_2400()
+        });
+        let mut small = small;
+        assert!(small.load_state(&saved).unwrap_err().contains("length"));
     }
 
     #[test]

@@ -1,80 +1,9 @@
 //! Figure 2: memory traffic (normalized to NP) and CTR cache miss rate,
 //! non-protected vs. secure memory (MorphCtr), across the graph kernels.
-
-use cosmos_common::json::json;
-use cosmos_core::Design;
-use cosmos_experiments::runner::Job;
-use cosmos_experiments::{emit_json, f3, pct, print_table, run_grid, Args};
-use cosmos_workloads::graph::GraphKernel;
+//!
+//! The pipeline lives in [`cosmos_experiments::figures`] so serve-mode
+//! jobs execute the identical code path.
 
 fn main() {
-    let args = Args::parse(2_000_000);
-    let set = args.graph_set();
-    let traces: Vec<_> = GraphKernel::all()
-        .into_iter()
-        .map(|k| (k, set.trace(k)))
-        .collect();
-
-    let mut jobs = Vec::new();
-    for (kernel, trace) in &traces {
-        for design in [Design::Np, Design::MorphCtr] {
-            jobs.push(Job::new(
-                format!("{}/{design}", kernel.name()),
-                design,
-                trace,
-                args.seed,
-            ));
-        }
-    }
-    let mut outcomes = run_grid(jobs, &args).into_iter();
-
-    let mut rows = Vec::new();
-    let mut results = Vec::new();
-    for (kernel, _) in &traces {
-        let np = outcomes.next().expect("np result").stats;
-        let mc = outcomes.next().expect("morphctr result").stats;
-        let t = &mc.traffic;
-        let np_total = np.traffic.total() as f64;
-        let norm = |x: u64| x as f64 / np_total;
-        rows.push(vec![
-            kernel.name().to_string(),
-            f3(norm(t.data_reads)),
-            f3(norm(t.data_writes)),
-            f3(norm(t.ctr_reads + t.ctr_writes)),
-            f3(norm(t.mt_reads + t.mt_writes)),
-            f3(norm(t.mac_reads + t.mac_writes)),
-            f3(norm(t.reencrypt_writes)),
-            f3(norm(t.wasted_total())),
-            f3(norm(t.total())),
-            pct(mc.ctr_miss_rate()),
-        ]);
-        results.push(json!({
-            "kernel": kernel.name(),
-            "np_traffic_lines": np.traffic.total(),
-            "morphctr": {
-                "data_reads": t.data_reads,
-                "data_writes": t.data_writes,
-                "ctr": t.ctr_reads + t.ctr_writes,
-                "mt": t.mt_reads + t.mt_writes,
-                "mac": t.mac_reads + t.mac_writes,
-                "reencrypt": t.reencrypt_writes,
-                "wasted": t.wasted_total(),
-                "total_norm_to_np": norm(t.total()),
-                "ctr_miss_rate": mc.ctr_miss_rate(),
-            },
-        }));
-    }
-    println!("## Figure 2: traffic breakdown (normalized to NP total) + CTR miss rate\n");
-    print_table(
-        &[
-            "kernel", "data_rd", "data_wr", "ctr", "mt", "mac", "reenc", "wasted", "total/NP",
-            "CTR miss",
-        ],
-        &rows,
-    );
-    emit_json(
-        &args,
-        "fig02",
-        &json!({ "accesses": args.accesses, "rows": results }),
-    );
+    cosmos_experiments::figures::run_main("fig02");
 }

@@ -3,83 +3,10 @@
 //! irregular suite (8 graph kernels + mcf, canneal, omnetpp).
 //!
 //! This is the paper's headline result: COSMOS ≈ +25% over MorphCtr on
-//! irregular workloads, with COSMOS-DP contributing most of it.
-
-use cosmos_common::json::{json, Map};
-use cosmos_core::Design;
-use cosmos_experiments::runner::Job;
-use cosmos_experiments::{emit_json, f3, print_table, run_grid, trace_of, Args};
-use cosmos_workloads::Workload;
+//! irregular workloads, with COSMOS-DP contributing most of it. The
+//! pipeline lives in [`cosmos_experiments::figures`] so serve-mode jobs
+//! execute the identical code path.
 
 fn main() {
-    let args = Args::parse(2_000_000);
-    let set = args.graph_set();
-    let designs = Design::figure10();
-
-    let workloads = Workload::irregular_suite();
-    let traces: Vec<_> = workloads
-        .iter()
-        .map(|w| match w {
-            Workload::Graph(k) => set.trace(*k),
-            _ => trace_of(*w, set.spec()),
-        })
-        .collect();
-
-    let mut jobs = Vec::new();
-    for (w, trace) in workloads.iter().zip(&traces) {
-        jobs.push(Job::new(
-            format!("{}/NP", w.name()),
-            Design::Np,
-            trace,
-            args.seed,
-        ));
-        for d in designs {
-            jobs.push(Job::new(format!("{}/{d}", w.name()), d, trace, args.seed));
-        }
-    }
-    let mut outcomes = run_grid(jobs, &args).into_iter();
-
-    let mut rows = Vec::new();
-    let mut results = Vec::new();
-    let mut geo: Vec<f64> = vec![0.0; designs.len()];
-    for w in &workloads {
-        let np = outcomes.next().expect("np result").stats;
-        let mut cells = vec![w.name().to_string()];
-        let mut per_design = Map::new();
-        for (i, d) in designs.iter().enumerate() {
-            let stats = outcomes.next().expect("design result").stats;
-            let norm = stats.ipc() / np.ipc();
-            geo[i] += norm.ln();
-            cells.push(f3(norm));
-            per_design.insert(d.name(), json!(norm));
-        }
-        rows.push(cells);
-        results.push(json!({"workload": w.name(), "normalized_ipc": per_design}));
-    }
-    let n = workloads.len() as f64;
-    let mut mean_cells = vec!["**geomean**".to_string()];
-    let mut means = Map::new();
-    for (i, d) in designs.iter().enumerate() {
-        let g = (geo[i] / n).exp();
-        mean_cells.push(f3(g));
-        means.insert(d.name(), json!(g));
-    }
-    rows.push(mean_cells);
-
-    println!("## Figure 10: performance normalized to NP\n");
-    print_table(
-        &["workload", "MorphCtr", "COSMOS-CP", "COSMOS-DP", "COSMOS"],
-        &rows,
-    );
-    let mc = means["MorphCtr"].as_f64().unwrap();
-    let cosmos = means["COSMOS"].as_f64().unwrap();
-    println!(
-        "\nCOSMOS over MorphCtr: {:+.1}% (paper: +25%)",
-        (cosmos / mc - 1.0) * 100.0
-    );
-    emit_json(
-        &args,
-        "fig10",
-        &json!({"accesses": args.accesses, "geomean": means, "rows": results}),
-    );
+    cosmos_experiments::figures::run_main("fig10");
 }

@@ -1,65 +1,9 @@
 //! Figure 11: CTR cache miss rate of MorphCtr, COSMOS-CP, COSMOS-DP, and
 //! full COSMOS across the graph kernels.
-
-use cosmos_common::json::{json, Map};
-use cosmos_core::Design;
-use cosmos_experiments::runner::Job;
-use cosmos_experiments::{emit_json, pct, print_table, run_grid, Args};
-use cosmos_workloads::graph::GraphKernel;
+//!
+//! The pipeline lives in [`cosmos_experiments::figures`] so serve-mode
+//! jobs execute the identical code path.
 
 fn main() {
-    let args = Args::parse(2_000_000);
-    let set = args.graph_set();
-    let designs = Design::figure10();
-
-    let traces: Vec<_> = GraphKernel::all()
-        .into_iter()
-        .map(|k| (k, set.trace(k)))
-        .collect();
-    let mut jobs = Vec::new();
-    for (kernel, trace) in &traces {
-        for d in designs {
-            jobs.push(Job::new(
-                format!("{}/{d}", kernel.name()),
-                d,
-                trace,
-                args.seed,
-            ));
-        }
-    }
-    let mut outcomes = run_grid(jobs, &args).into_iter();
-
-    let mut rows = Vec::new();
-    let mut results = Vec::new();
-    let mut avg = vec![0.0; designs.len()];
-    for (kernel, _) in &traces {
-        let mut cells = vec![kernel.name().to_string()];
-        let mut per_design = Map::new();
-        for (i, d) in designs.iter().enumerate() {
-            let stats = outcomes.next().expect("design result").stats;
-            let miss = stats.ctr_miss_rate();
-            avg[i] += miss;
-            cells.push(pct(miss));
-            per_design.insert(d.name(), json!(miss));
-        }
-        rows.push(cells);
-        results.push(json!({"kernel": kernel.name(), "ctr_miss": per_design}));
-    }
-    let n = GraphKernel::all().len() as f64;
-    rows.push(
-        std::iter::once("**mean**".to_string())
-            .chain(avg.iter().map(|a| pct(a / n)))
-            .collect(),
-    );
-
-    println!("## Figure 11: CTR cache miss rate by design\n");
-    print_table(
-        &["kernel", "MorphCtr", "COSMOS-CP", "COSMOS-DP", "COSMOS"],
-        &rows,
-    );
-    emit_json(
-        &args,
-        "fig11",
-        &json!({"accesses": args.accesses, "rows": results}),
-    );
+    cosmos_experiments::figures::run_main("fig11");
 }

@@ -1,0 +1,351 @@
+//! Named figure runners shared by the per-figure binaries and the
+//! `cosmos-serve` job executor.
+//!
+//! A registry entry packages one figure's whole pipeline — trace
+//! generation, the job grid, post-processing — as a pure function from
+//! [`Args`] to a [`FigureOutput`]. The standalone binary and a serve-mode
+//! job therefore execute *the same code* on the same inputs, which is what
+//! makes their artifacts byte-identical (the serve smoke in
+//! `scripts/check.sh` `cmp`s them). Figures whose post-processing still
+//! lives in its binary can be migrated here incrementally; the registry
+//! lists the ones the serve layer accepts.
+
+use crate::runner::Job;
+use crate::{emit_json, f3, pct, run_grid, table_string, trace_of, Args};
+use cosmos_common::json::{json, Map, Value};
+use cosmos_core::Design;
+use cosmos_workloads::graph::GraphKernel;
+use cosmos_workloads::Workload;
+
+/// Everything a figure run produces: the human-readable report that used
+/// to go to stdout, and the JSON result document that goes to `--json` /
+/// `results/<name>.json`.
+pub struct FigureOutput {
+    /// Markdown report (tables plus any summary lines).
+    pub report: String,
+    /// The machine-readable result document.
+    pub json: Value,
+}
+
+/// One registered figure.
+pub struct Figure {
+    /// Registry key and artifact stem (`fig02` → `results/fig02.json`).
+    pub name: &'static str,
+    /// Default access budget (the binary's `Args::parse` default).
+    pub default_accesses: usize,
+    /// The whole pipeline, trace generation included.
+    pub run: fn(&Args) -> FigureOutput,
+}
+
+/// Every figure the registry (and therefore serve mode) knows.
+pub const FIGURES: &[Figure] = &[
+    Figure {
+        name: "fig02",
+        default_accesses: 2_000_000,
+        run: fig02,
+    },
+    Figure {
+        name: "fig10",
+        default_accesses: 2_000_000,
+        run: fig10,
+    },
+    Figure {
+        name: "fig11",
+        default_accesses: 2_000_000,
+        run: fig11,
+    },
+];
+
+/// Looks a figure up by registry name.
+pub fn by_name(name: &str) -> Option<&'static Figure> {
+    FIGURES.iter().find(|f| f.name == name)
+}
+
+/// The names of every registered figure, comma-separated (error messages).
+pub fn known_names() -> String {
+    FIGURES
+        .iter()
+        .map(|f| f.name)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// The shared `main` of a registered figure's binary: parse args with the
+/// figure's default budget, run, print the report, emit the artifact.
+pub fn run_main(name: &str) {
+    let fig = by_name(name).expect("binary registered its own figure");
+    let args = Args::parse(fig.default_accesses);
+    let out = (fig.run)(&args);
+    print!("{}", out.report);
+    emit_json(&args, fig.name, &out.json);
+}
+
+/// Figure 2: memory traffic (normalized to NP) and CTR cache miss rate,
+/// non-protected vs. secure memory (MorphCtr), across the graph kernels.
+fn fig02(args: &Args) -> FigureOutput {
+    let set = args.graph_set();
+    let traces: Vec<_> = GraphKernel::all()
+        .into_iter()
+        .map(|k| (k, set.trace(k)))
+        .collect();
+
+    let mut jobs = Vec::new();
+    for (kernel, trace) in &traces {
+        for design in [Design::Np, Design::MorphCtr] {
+            jobs.push(Job::new(
+                format!("{}/{design}", kernel.name()),
+                design,
+                trace,
+                args.seed,
+            ));
+        }
+    }
+    let mut outcomes = run_grid(jobs, args).into_iter();
+
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for (kernel, _) in &traces {
+        let np = outcomes
+            .next()
+            .expect("grid yields one outcome per job")
+            .stats;
+        let mc = outcomes
+            .next()
+            .expect("grid yields one outcome per job")
+            .stats;
+        let t = &mc.traffic;
+        let np_total = np.traffic.total() as f64;
+        let norm = |x: u64| x as f64 / np_total;
+        rows.push(vec![
+            kernel.name().to_string(),
+            f3(norm(t.data_reads)),
+            f3(norm(t.data_writes)),
+            f3(norm(t.ctr_reads + t.ctr_writes)),
+            f3(norm(t.mt_reads + t.mt_writes)),
+            f3(norm(t.mac_reads + t.mac_writes)),
+            f3(norm(t.reencrypt_writes)),
+            f3(norm(t.wasted_total())),
+            f3(norm(t.total())),
+            pct(mc.ctr_miss_rate()),
+        ]);
+        results.push(json!({
+            "kernel": kernel.name(),
+            "np_traffic_lines": np.traffic.total(),
+            "morphctr": {
+                "data_reads": t.data_reads,
+                "data_writes": t.data_writes,
+                "ctr": t.ctr_reads + t.ctr_writes,
+                "mt": t.mt_reads + t.mt_writes,
+                "mac": t.mac_reads + t.mac_writes,
+                "reencrypt": t.reencrypt_writes,
+                "wasted": t.wasted_total(),
+                "total_norm_to_np": norm(t.total()),
+                "ctr_miss_rate": mc.ctr_miss_rate(),
+            },
+        }));
+    }
+    let report = format!(
+        "## Figure 2: traffic breakdown (normalized to NP total) + CTR miss rate\n\n{}",
+        table_string(
+            &[
+                "kernel", "data_rd", "data_wr", "ctr", "mt", "mac", "reenc", "wasted", "total/NP",
+                "CTR miss",
+            ],
+            &rows,
+        )
+    );
+    FigureOutput {
+        report,
+        json: json!({ "accesses": args.accesses, "rows": results }),
+    }
+}
+
+/// Figure 10: performance of MorphCtr, COSMOS-DP, COSMOS-CP, and full
+/// COSMOS, normalized to the non-protected (NP) system, across the
+/// irregular suite (8 graph kernels + mcf, canneal, omnetpp).
+fn fig10(args: &Args) -> FigureOutput {
+    let set = args.graph_set();
+    let designs = Design::figure10();
+
+    let workloads = Workload::irregular_suite();
+    let traces: Vec<_> = workloads
+        .iter()
+        .map(|w| match w {
+            Workload::Graph(k) => set.trace(*k),
+            _ => trace_of(*w, set.spec()),
+        })
+        .collect();
+
+    let mut jobs = Vec::new();
+    for (w, trace) in workloads.iter().zip(&traces) {
+        jobs.push(Job::new(
+            format!("{}/NP", w.name()),
+            Design::Np,
+            trace,
+            args.seed,
+        ));
+        for d in designs {
+            jobs.push(Job::new(format!("{}/{d}", w.name()), d, trace, args.seed));
+        }
+    }
+    let mut outcomes = run_grid(jobs, args).into_iter();
+
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    let mut geo: Vec<f64> = vec![0.0; designs.len()];
+    for w in &workloads {
+        let np = outcomes
+            .next()
+            .expect("grid yields one outcome per job")
+            .stats;
+        let mut cells = vec![w.name().to_string()];
+        let mut per_design = Map::new();
+        for (i, d) in designs.iter().enumerate() {
+            let stats = outcomes.next().expect("design result").stats;
+            let norm = stats.ipc() / np.ipc();
+            geo[i] += norm.ln();
+            cells.push(f3(norm));
+            per_design.insert(d.name(), json!(norm));
+        }
+        rows.push(cells);
+        results.push(json!({"workload": w.name(), "normalized_ipc": per_design}));
+    }
+    let n = workloads.len() as f64;
+    let mut mean_cells = vec!["**geomean**".to_string()];
+    let mut means = Map::new();
+    for (i, d) in designs.iter().enumerate() {
+        let g = (geo[i] / n).exp();
+        mean_cells.push(f3(g));
+        means.insert(d.name(), json!(g));
+    }
+    rows.push(mean_cells);
+
+    let mc = means["MorphCtr"]
+        .as_f64()
+        .expect("means holds an f64 geomean per design");
+    let cosmos = means["COSMOS"]
+        .as_f64()
+        .expect("means holds an f64 geomean per design");
+    let report = format!(
+        "## Figure 10: performance normalized to NP\n\n{}\nCOSMOS over MorphCtr: {:+.1}% (paper: +25%)\n",
+        table_string(
+            &["workload", "MorphCtr", "COSMOS-CP", "COSMOS-DP", "COSMOS"],
+            &rows,
+        ),
+        (cosmos / mc - 1.0) * 100.0
+    );
+    FigureOutput {
+        report,
+        json: json!({"accesses": args.accesses, "geomean": means, "rows": results}),
+    }
+}
+
+/// Figure 11: CTR cache miss rate of MorphCtr, COSMOS-CP, COSMOS-DP, and
+/// full COSMOS across the graph kernels.
+fn fig11(args: &Args) -> FigureOutput {
+    let set = args.graph_set();
+    let designs = Design::figure10();
+
+    let traces: Vec<_> = GraphKernel::all()
+        .into_iter()
+        .map(|k| (k, set.trace(k)))
+        .collect();
+    let mut jobs = Vec::new();
+    for (kernel, trace) in &traces {
+        for d in designs {
+            jobs.push(Job::new(
+                format!("{}/{d}", kernel.name()),
+                d,
+                trace,
+                args.seed,
+            ));
+        }
+    }
+    let mut outcomes = run_grid(jobs, args).into_iter();
+
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    let mut avg = vec![0.0; designs.len()];
+    for (kernel, _) in &traces {
+        let mut cells = vec![kernel.name().to_string()];
+        let mut per_design = Map::new();
+        for (i, d) in designs.iter().enumerate() {
+            let stats = outcomes.next().expect("design result").stats;
+            let miss = stats.ctr_miss_rate();
+            avg[i] += miss;
+            cells.push(pct(miss));
+            per_design.insert(d.name(), json!(miss));
+        }
+        rows.push(cells);
+        results.push(json!({"kernel": kernel.name(), "ctr_miss": per_design}));
+    }
+    let n = GraphKernel::all().len() as f64;
+    rows.push(
+        std::iter::once("**mean**".to_string())
+            .chain(avg.iter().map(|a| pct(a / n)))
+            .collect(),
+    );
+
+    let report = format!(
+        "## Figure 11: CTR cache miss rate by design\n\n{}",
+        table_string(
+            &["kernel", "MorphCtr", "COSMOS-CP", "COSMOS-DP", "COSMOS"],
+            &rows,
+        )
+    );
+    FigureOutput {
+        report,
+        json: json!({"accesses": args.accesses, "rows": results}),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmos_telemetry::Telemetry;
+
+    fn tiny_args(accesses: usize) -> Args {
+        Args {
+            accesses,
+            seed: 42,
+            large: false,
+            sample: false,
+            check: false,
+            json: None,
+            jobs: 2,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    #[test]
+    fn registry_resolves_names() {
+        assert!(by_name("fig02").is_some());
+        assert!(by_name("fig10").is_some());
+        assert!(by_name("fig11").is_some());
+        assert!(by_name("fig99").is_none());
+        assert!(known_names().contains("fig10"));
+    }
+
+    #[test]
+    fn fig02_runs_and_is_deterministic() {
+        let args = tiny_args(6_000);
+        let a = (by_name("fig02").unwrap().run)(&args);
+        let b = (by_name("fig02").unwrap().run)(&args);
+        assert_eq!(a.json.to_string(), b.json.to_string());
+        assert_eq!(a.report, b.report);
+        assert!(a.report.contains("Figure 2"), "{}", a.report);
+        assert!(a.json.to_string().contains("ctr_miss_rate"));
+    }
+
+    #[test]
+    fn fig10_report_carries_geomean_line() {
+        let args = tiny_args(4_000);
+        let out = (by_name("fig10").unwrap().run)(&args);
+        assert!(
+            out.report.contains("COSMOS over MorphCtr"),
+            "{}",
+            out.report
+        );
+        assert!(out.json.to_string().contains("geomean"));
+    }
+}

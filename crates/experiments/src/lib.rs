@@ -13,6 +13,7 @@
 //! - table formatting and JSON result emission (results land in
 //!   `results/` for EXPERIMENTS.md).
 
+pub mod figures;
 pub mod runner;
 pub mod throughput;
 
@@ -299,16 +300,24 @@ pub fn row(cells: &[String]) -> String {
     format!("| {} |", cells.join(" | "))
 }
 
+/// Formats a markdown table as a string (one trailing newline).
+pub fn table_string(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("| {} |\n", headers.join(" | ")));
+    out.push_str(&format!(
+        "|{}|\n",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    ));
+    for r in rows {
+        out.push_str(&row(r));
+        out.push('\n');
+    }
+    out
+}
+
 /// Prints a markdown table.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
-    println!("| {} |", headers.join(" | "));
-    println!(
-        "|{}|",
-        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
-    );
-    for r in rows {
-        println!("{}", row(r));
-    }
+    print!("{}", table_string(headers, rows));
 }
 
 /// Writes the JSON result document to `--json` when passed, otherwise to

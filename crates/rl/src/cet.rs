@@ -294,6 +294,81 @@ impl Cet {
         }
         None
     }
+
+    /// Serializes the table's *logical* state — entries in LRU→MRU order
+    /// plus the bootstrap head — for snapshots. Arena slot numbers, the
+    /// free list, and hash-index layout are deliberately not stored: they
+    /// are unobservable, and the LRU→MRU list is the canonical form (equal
+    /// logical states always serialize to equal bytes).
+    pub fn save_state(&self) -> cosmos_common::json::Value {
+        let mut entries = Vec::with_capacity(self.len);
+        let mut slot = self.lru;
+        while slot != NONE {
+            let s = &self.slots[slot as usize];
+            entries.push(cosmos_common::json!({
+                "addr": (s.addr),
+                "state": (s.state as u64),
+                "action": (s.action.name()),
+            }));
+            slot = s.newer;
+        }
+        let head = match self.head {
+            Some((state, action)) => cosmos_common::json!({
+                "state": (state as u64),
+                "action": (action.name()),
+            }),
+            None => cosmos_common::json::Value::Null,
+        };
+        cosmos_common::json!({
+            "capacity": (self.capacity as u64),
+            "radius": (self.radius),
+            "entries": (cosmos_common::json::Value::Array(entries)),
+            "head": (head),
+        })
+    }
+
+    /// Restores state produced by [`Cet::save_state`] into a CET built with
+    /// the same capacity and radius, by re-inserting the entries in LRU→MRU
+    /// order (rebuilding the index and recency list from scratch).
+    pub fn load_state(&mut self, v: &cosmos_common::json::Value) -> Result<(), String> {
+        use cosmos_common::json::codec;
+        let capacity = codec::usize_field(v, "capacity")?;
+        let radius = codec::u64_field(v, "radius")?;
+        if capacity != self.capacity || radius != self.radius {
+            return Err(format!(
+                "snapshot CET geometry {capacity}x±{radius} does not match constructed {}x±{}",
+                self.capacity, self.radius
+            ));
+        }
+        let entries = codec::field(v, "entries")?
+            .as_array()
+            .ok_or_else(|| "field `entries`: expected an array".to_string())?;
+        if entries.len() > capacity {
+            return Err(format!(
+                "snapshot holds {} CET entries, over capacity {capacity}",
+                entries.len()
+            ));
+        }
+        *self = Cet::new(capacity, radius);
+        for e in entries {
+            let addr = codec::u64_field(e, "addr")?;
+            let state = codec::usize_field(e, "state")?;
+            let action = Locality::from_name(codec::str_field(e, "action")?)?;
+            if self.insert(addr, state, action).is_some() {
+                return Err("snapshot CET entries evicted during rebuild (duplicates?)".into());
+            }
+        }
+        let head = codec::field(v, "head")?;
+        self.head = if matches!(head, cosmos_common::json::Value::Null) {
+            None
+        } else {
+            Some((
+                codec::usize_field(head, "state")?,
+                Locality::from_name(codec::str_field(head, "action")?)?,
+            ))
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -71,6 +71,27 @@ impl DataLocationStats {
         cosmos_common::stats::ratio(self.correct_offchip + self.wrong_offchip, self.total())
     }
 
+    /// Encodes the counters for snapshots.
+    pub fn to_json(&self) -> cosmos_common::json::Value {
+        cosmos_common::json!({
+            "correct_onchip": (self.correct_onchip),
+            "correct_offchip": (self.correct_offchip),
+            "wrong_offchip": (self.wrong_offchip),
+            "wrong_onchip": (self.wrong_onchip),
+        })
+    }
+
+    /// Decodes counters produced by [`DataLocationStats::to_json`].
+    pub fn from_json(v: &cosmos_common::json::Value) -> Result<Self, String> {
+        use cosmos_common::json::codec;
+        Ok(Self {
+            correct_onchip: codec::u64_field(v, "correct_onchip")?,
+            correct_offchip: codec::u64_field(v, "correct_offchip")?,
+            wrong_offchip: codec::u64_field(v, "wrong_offchip")?,
+            wrong_onchip: codec::u64_field(v, "wrong_onchip")?,
+        })
+    }
+
     /// Counts accumulated since `baseline` (saturating per field), for
     /// warmup-excluding measurement windows. Debug builds assert that no
     /// field went backwards — actual saturation means a counter reset.
@@ -229,6 +250,27 @@ impl DataLocationPredictor {
     pub fn state_of(&self, addr: PhysAddr) -> usize {
         hash_address(addr, self.params.num_states)
     }
+
+    /// Serializes the agent's learned state — Q-table, RNG position, and
+    /// statistics — for snapshots. Parameters and rewards are not stored;
+    /// they are reconstructed from the config at restore time.
+    pub fn save_state(&self) -> cosmos_common::json::Value {
+        cosmos_common::json!({
+            "qtable": (self.qtable.save_state()),
+            "rng": (self.rng.state()),
+            "stats": (self.stats.to_json()),
+        })
+    }
+
+    /// Restores state produced by [`DataLocationPredictor::save_state`]
+    /// into a predictor constructed with the same parameters.
+    pub fn load_state(&mut self, v: &cosmos_common::json::Value) -> Result<(), String> {
+        use cosmos_common::json::codec;
+        self.qtable.load_state(codec::field(v, "qtable")?)?;
+        self.rng = SplitMix64::new(codec::u64_field(v, "rng")?);
+        self.stats = DataLocationStats::from_json(codec::field(v, "stats")?)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -316,6 +358,40 @@ mod tests {
         assert_eq!(s.correct_offchip, 1);
         assert_eq!(s.accuracy(), 0.5);
         assert_eq!(s.offchip_fraction(), 0.5);
+    }
+
+    /// A restored predictor must continue exactly where the original left
+    /// off — identical exploration stream and bit-identical Q-values.
+    #[test]
+    fn snapshot_restores_predictor_exactly() {
+        let mut live = predictor(0.3);
+        let mut rng = cosmos_common::SplitMix64::new(0xDA7A);
+        let mut drive = |p: &mut DataLocationPredictor, rng: &mut cosmos_common::SplitMix64| {
+            let a = PhysAddr::new(rng.next_index(4096) as u64 * 64);
+            let pred = p.predict(a);
+            let actual = if rng.chance(0.5) {
+                DataLocation::OnChip
+            } else {
+                DataLocation::OffChip
+            };
+            p.learn(a, pred, actual);
+            pred
+        };
+        for _ in 0..2000 {
+            drive(&mut live, &mut rng);
+        }
+        let saved = live.save_state();
+        let mut restored = predictor(0.3);
+        restored.load_state(&saved).unwrap();
+        let mut rng2 = rng;
+        for i in 0..2000 {
+            assert_eq!(
+                drive(&mut live, &mut rng),
+                drive(&mut restored, &mut rng2),
+                "access {i}"
+            );
+        }
+        assert_eq!(live.stats(), restored.stats());
     }
 
     #[test]

@@ -46,6 +46,23 @@ impl Locality {
     pub const fn is_good(self) -> bool {
         matches!(self, Locality::Good)
     }
+
+    /// Short display name ("Good" / "Bad"), used by snapshots.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Locality::Good => "Good",
+            Locality::Bad => "Bad",
+        }
+    }
+
+    /// Parses a name produced by [`Locality::name`].
+    pub fn from_name(s: &str) -> Result<Self, String> {
+        match s {
+            "Good" => Ok(Locality::Good),
+            "Bad" => Ok(Locality::Bad),
+            other => Err(format!("unknown locality `{other}`")),
+        }
+    }
 }
 
 /// The outcome of one prediction: classification plus the 8-bit score the
@@ -82,6 +99,29 @@ impl CtrLocalityStats {
     /// Agreement rate between predictions and CET ground truth.
     pub fn agreement_rate(&self) -> f64 {
         cosmos_common::stats::ratio(self.agreements, self.predictions)
+    }
+
+    /// Encodes the counters for snapshots.
+    pub fn to_json(&self) -> cosmos_common::json::Value {
+        cosmos_common::json!({
+            "predictions": (self.predictions),
+            "predicted_good": (self.predicted_good),
+            "cet_hits": (self.cet_hits),
+            "cet_evictions": (self.cet_evictions),
+            "agreements": (self.agreements),
+        })
+    }
+
+    /// Decodes counters produced by [`CtrLocalityStats::to_json`].
+    pub fn from_json(v: &cosmos_common::json::Value) -> Result<Self, String> {
+        use cosmos_common::json::codec;
+        Ok(Self {
+            predictions: codec::u64_field(v, "predictions")?,
+            predicted_good: codec::u64_field(v, "predicted_good")?,
+            cet_hits: codec::u64_field(v, "cet_hits")?,
+            cet_evictions: codec::u64_field(v, "cet_evictions")?,
+            agreements: codec::u64_field(v, "agreements")?,
+        })
     }
 
     /// Counts accumulated since `baseline` (saturating per field), for
@@ -286,6 +326,29 @@ impl CtrLocalityPredictor {
     pub fn state_of(&self, ctr_line: LineAddr) -> usize {
         hash_address(ctr_line.base(), self.params.num_states)
     }
+
+    /// Serializes the agent's learned state — Q-table, CET, RNG position,
+    /// and statistics — for snapshots. Parameters and rewards are not
+    /// stored; they are reconstructed from the config at restore time.
+    pub fn save_state(&self) -> cosmos_common::json::Value {
+        cosmos_common::json!({
+            "qtable": (self.qtable.save_state()),
+            "cet": (self.cet.save_state()),
+            "rng": (self.rng.state()),
+            "stats": (self.stats.to_json()),
+        })
+    }
+
+    /// Restores state produced by [`CtrLocalityPredictor::save_state`] into
+    /// a predictor constructed with the same parameters.
+    pub fn load_state(&mut self, v: &cosmos_common::json::Value) -> Result<(), String> {
+        use cosmos_common::json::codec;
+        self.qtable.load_state(codec::field(v, "qtable")?)?;
+        self.cet.load_state(codec::field(v, "cet")?)?;
+        self.rng = SplitMix64::new(codec::u64_field(v, "rng")?);
+        self.stats = CtrLocalityStats::from_json(codec::field(v, "stats")?)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -398,6 +461,35 @@ mod tests {
         }
         let d = p.classify(ctr(0));
         assert!(d.score > 0, "confident prediction must carry a score");
+    }
+
+    /// A restored predictor must continue exactly where the original left
+    /// off — same ε-greedy coin flips, same Q-values, same CET contents.
+    #[test]
+    fn snapshot_restores_predictor_exactly() {
+        let mut live = CtrLocalityPredictor::new(RlParams::ctr_defaults(), 64, 0, 9);
+        for i in 0..2000u64 {
+            live.classify(ctr(i % 37));
+        }
+        let saved = live.save_state();
+        let mut restored = CtrLocalityPredictor::new(RlParams::ctr_defaults(), 64, 0, 9);
+        restored.load_state(&saved).unwrap();
+        for i in 0..2000u64 {
+            let line = ctr(i % 23);
+            assert_eq!(live.classify(line), restored.classify(line), "access {i}");
+        }
+        assert_eq!(live.stats(), restored.stats());
+        assert_eq!(live.cet().len(), restored.cet().len());
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_geometry() {
+        let mut live = CtrLocalityPredictor::new(RlParams::ctr_defaults(), 64, 0, 9);
+        live.classify(ctr(1));
+        let saved = live.save_state();
+        // Different CET capacity.
+        let mut wrong = CtrLocalityPredictor::new(RlParams::ctr_defaults(), 128, 0, 9);
+        assert!(wrong.load_state(&saved).unwrap_err().contains("geometry"));
     }
 
     #[test]

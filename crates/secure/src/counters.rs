@@ -267,6 +267,13 @@ impl CounterStore {
         }
     }
 
+    /// Iterates over every materialized block in ascending index order
+    /// (untouched blocks are implicit zeros and not yielded). Used to prime
+    /// shadow models from a restored store.
+    pub fn materialized_blocks(&self) -> impl Iterator<Item = (u64, &CounterBlock)> + '_ {
+        self.blocks.iter().map(|(&idx, b)| (idx, b))
+    }
+
     /// Reads the whole block covering `line` (zeros if untouched).
     pub fn block(&self, line: LineAddr) -> CounterBlock {
         let block_idx = self.scheme.block_of(line);
@@ -321,6 +328,90 @@ impl CounterStore {
         } else {
             self.overflow(block_idx)
         }
+    }
+
+    /// Serializes every materialized counter block plus the event counters
+    /// for snapshots. Blocks are emitted in ascending index order (the
+    /// `BTreeMap` iteration order), so equal stores produce equal bytes.
+    /// The per-block `format`/`nonzero`/`max_minor` caches are *not* stored:
+    /// they are pure functions of the minors and are recomputed on restore.
+    pub fn save_state(&self) -> cosmos_common::json::Value {
+        use cosmos_common::json::codec;
+        let blocks: Vec<_> = self
+            .blocks
+            .iter()
+            .map(|(&idx, b)| {
+                cosmos_common::json!({
+                    "idx": (idx),
+                    "major": (b.major),
+                    "minors": (codec::from_u64s(b.minors.iter().map(|&m| u64::from(m)))),
+                })
+            })
+            .collect();
+        cosmos_common::json!({
+            "scheme": (self.scheme.name()),
+            "overflows": (self.overflows),
+            "morphs": (self.morphs),
+            "increments": (self.increments),
+            "blocks": (cosmos_common::json::Value::Array(blocks)),
+        })
+    }
+
+    /// Restores state produced by [`CounterStore::save_state`] into a store
+    /// built for the *same* scheme, rebuilding the derived format/summary
+    /// fields from the minors. Rejects scheme mismatches, wrong minor-array
+    /// lengths, and minors no format can represent.
+    pub fn load_state(&mut self, v: &cosmos_common::json::Value) -> Result<(), String> {
+        use cosmos_common::json::codec;
+        let saved_scheme = codec::str_field(v, "scheme")?;
+        if saved_scheme != self.scheme.name() {
+            return Err(format!(
+                "snapshot scheme `{saved_scheme}` does not match constructed scheme `{}`",
+                self.scheme.name()
+            ));
+        }
+        let coverage = self.scheme.coverage() as usize;
+        let blocks_json = codec::field(v, "blocks")?
+            .as_array()
+            .ok_or_else(|| "field `blocks`: expected an array".to_string())?;
+        let mut blocks = BTreeMap::new();
+        for entry in blocks_json {
+            let idx = codec::u64_field(entry, "idx")?;
+            let major = codec::u64_field(entry, "major")?;
+            let minors = codec::u32_array(entry, "minors")?;
+            codec::check_len("minors", minors.len(), coverage)?;
+            let nonzero = minors.iter().filter(|&&m| m != 0).count() as u32;
+            let max_minor = minors.iter().copied().max().unwrap_or(0);
+            // Only MorphCtr maintains `format`; other schemes leave it at
+            // `Uniform` no matter the minors, and restore must match.
+            let format = if self.scheme == CounterScheme::MorphCtr {
+                MorphFormat::choose_summary(nonzero, max_minor).ok_or_else(|| {
+                    format!("block {idx}: minors fit no MorphCtr format (corrupt snapshot)")
+                })?
+            } else {
+                MorphFormat::Uniform
+            };
+            if blocks
+                .insert(
+                    idx,
+                    CounterBlock {
+                        major,
+                        minors,
+                        format,
+                        nonzero,
+                        max_minor,
+                    },
+                )
+                .is_some()
+            {
+                return Err(format!("block {idx}: duplicated in snapshot"));
+            }
+        }
+        self.blocks = blocks;
+        self.overflows = codec::u64_field(v, "overflows")?;
+        self.morphs = codec::u64_field(v, "morphs")?;
+        self.increments = codec::u64_field(v, "increments")?;
+        Ok(())
     }
 
     fn overflow(&mut self, block_idx: u64) -> IncrementOutcome {
@@ -490,6 +581,68 @@ mod tests {
             assert_eq!((b.nonzero, b.max_minor), (nz, max));
             assert_eq!(Some(b.format), MorphFormat::choose(&b.minors));
         }
+    }
+
+    /// Snapshot restore must reproduce the store exactly — including the
+    /// derived per-block summary caches — so post-restore increments behave
+    /// identically (same morphs, same overflow points).
+    #[test]
+    fn snapshot_round_trips_every_scheme() {
+        for scheme in [
+            CounterScheme::Monolithic,
+            CounterScheme::Split,
+            CounterScheme::MorphCtr,
+        ] {
+            let mut live = CounterStore::new(scheme);
+            let mut rng = cosmos_common::SplitMix64::new(0x5EED ^ scheme.coverage());
+            for _ in 0..30_000 {
+                live.increment(LineAddr::new(rng.next_index(512) as u64));
+            }
+            let saved = live.save_state();
+            let mut restored = CounterStore::new(scheme);
+            restored.load_state(&saved).unwrap();
+            assert_eq!(restored.blocks, live.blocks, "{scheme}");
+            assert_eq!(restored.overflows(), live.overflows());
+            assert_eq!(restored.morphs(), live.morphs());
+            assert_eq!(restored.increments(), live.increments());
+            // Identical tails.
+            let mut rng2 = rng;
+            for _ in 0..5_000 {
+                let a = live.increment(LineAddr::new(rng.next_index(512) as u64));
+                let b = restored.increment(LineAddr::new(rng2.next_index(512) as u64));
+                assert_eq!(a, b, "{scheme} diverged after restore");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_scheme_mismatch_and_corruption() {
+        let mut live = CounterStore::new(CounterScheme::Split);
+        live.increment(LineAddr::new(1));
+        let saved = live.save_state();
+
+        let mut wrong = CounterStore::new(CounterScheme::MorphCtr);
+        let err = wrong.load_state(&saved).unwrap_err();
+        assert!(err.contains("Split") && err.contains("MorphCtr"), "{err}");
+
+        // Truncate a block's minors array.
+        let mut bad = saved.clone();
+        if let cosmos_common::json::Value::Object(m) = &mut bad {
+            if let Some(cosmos_common::json::Value::Array(blocks)) = m.get_mut("blocks") {
+                if let cosmos_common::json::Value::Object(b) = &mut blocks[0] {
+                    b.insert(
+                        "minors",
+                        cosmos_common::json::Value::Array(vec![cosmos_common::json::Value::UInt(
+                            1,
+                        )]),
+                    );
+                }
+            }
+        }
+        let err = CounterStore::new(CounterScheme::Split)
+            .load_state(&bad)
+            .unwrap_err();
+        assert!(err.contains("length"), "{err}");
     }
 
     #[test]

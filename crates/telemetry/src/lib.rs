@@ -476,6 +476,17 @@ impl Telemetry {
         export::heatmap_json(&streams)
     }
 
+    /// Aggregated phase timers so far: `(name, calls, total_us)`,
+    /// name-sorted. Empty when disabled. Serve-mode progress events are
+    /// built from this — it reads live, without ending any open phase.
+    pub fn phase_summary(&self) -> Vec<(&'static str, u64, u64)> {
+        let Some(sh) = &self.shared else {
+            return Vec::new();
+        };
+        let phases = sh.phases.lock().expect("telemetry mutex poisoned").clone();
+        export::aggregate_phases(&phases)
+    }
+
     /// The plain-text metrics dump (empty when disabled).
     pub fn metrics_text(&self) -> String {
         let Some(sh) = &self.shared else {

@@ -91,13 +91,13 @@ impl FuzzCase {
         c.scheme = self.scheme;
         c.ctr_prefetcher = self.prefetcher;
         c.protected_bytes = 1 << 30;
-        c.seed = self.seed ^ 0xF0_22;
+        c.seed = cosmos_common::rng::streams::FUZZ_CONFIG.derive_seed(self.seed);
         c
     }
 
     /// The synthetic trace for this case.
     pub fn trace(&self) -> Trace {
-        let mut rng = SplitMix64::new(self.seed ^ 0x7_2ACE);
+        let mut rng = cosmos_common::rng::streams::FUZZ_TRACE.derive(self.seed);
         (0..self.accesses)
             .map(|_| {
                 let addr = PhysAddr::new(rng.next_below(self.lines) * 64);

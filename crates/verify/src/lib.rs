@@ -30,5 +30,5 @@ pub mod shadow;
 pub use fuzz::{run_case, FuzzCase, FuzzFailure};
 pub use invariants::{check_monotonic, check_stats, Violation};
 pub use observer::{ShadowHook, ShadowState};
-pub use runner::{run_checked, run_checked_sampled, CheckReport};
+pub use runner::{run_checked, run_checked_resumed, run_checked_sampled, CheckReport};
 pub use shadow::{DenseCounterStore, ShadowCache, ShadowMode};

@@ -87,6 +87,37 @@ impl ShadowState {
         })
     }
 
+    /// Builds shadow models *primed* from a restored simulator's secure
+    /// path — `--check` on the resumed half of a checkpointed run. The
+    /// shadow caches adopt the real residency in recency order, the dense
+    /// store adopts every materialized counter block, and the Merkle tree
+    /// is rebuilt over the adopted leaves, so the oracles judge only what
+    /// happens *after* the resume point.
+    ///
+    /// Fails when the real structures cannot expose priming state (boxed
+    /// replacement policies — same set as snapshot support).
+    pub fn primed(config: &SimConfig, real: &SecurePath) -> Result<Self, String> {
+        let mut s = Self::new(config)
+            .ok_or_else(|| "cannot prime shadows for a non-secure design".to_string())?;
+        s.ctr_shadow
+            .prime(&real.ctr_cache().resident_entries_lru_to_mru()?);
+        s.mt_shadow
+            .prime(&real.mt_cache().resident_entries_lru_to_mru()?);
+        s.counters.prime_from(real.counters());
+        let blocks: Vec<u64> = real
+            .counters()
+            .materialized_blocks()
+            .map(|(idx, _)| idx)
+            .filter(|&idx| idx < s.ctr_blocks)
+            .collect();
+        for block in blocks {
+            s.touched_blocks.push(block);
+            let leaf = s.block_leaf_hash(block);
+            s.merkle.update_leaf(block, leaf);
+        }
+        Ok(s)
+    }
+
     /// Leaf hash of a counter block: SHA-256 over the major followed by
     /// every minor slot, little-endian.
     fn block_leaf_hash(&self, block: u64) -> Hash {

@@ -134,6 +134,49 @@ impl Checker {
     }
 }
 
+impl Checker {
+    /// Builds the checker with shadows primed from `sim`'s restored secure
+    /// path (see [`ShadowState::primed`]) and attaches the observer.
+    fn attach_primed(config: &SimConfig, sim: &mut Simulator) -> Result<Self, String> {
+        let shadow = match sim.secure() {
+            Some(sp) => Some(Rc::new(RefCell::new(ShadowState::primed(config, sp)?))),
+            None => None,
+        };
+        if let Some(state) = &shadow {
+            let attached = sim.set_secure_observer(Box::new(ShadowHook::new(Rc::clone(state))));
+            debug_assert!(attached, "secure design must accept an observer");
+        }
+        Ok(Self {
+            config: config.clone(),
+            shadow,
+            prev: None,
+            prev_ready: sim.core_ready().iter().map(|c| c.value()).collect(),
+            report: CheckReport::default(),
+        })
+    }
+}
+
+/// Continues a simulator restored from a snapshot over the remaining
+/// `tail` accesses, with every oracle attached and the shadow models
+/// primed from the restored state — so `--check` covers the resumed half
+/// of a checkpointed run. The returned statistics are byte-identical to an
+/// uninterrupted unchecked run over the full trace.
+pub fn run_checked_resumed(
+    config: &SimConfig,
+    mut sim: Simulator,
+    tail: &[cosmos_common::MemAccess],
+) -> Result<(SimStats, CheckReport), String> {
+    let mut checker = Checker::attach_primed(config, &mut sim)?;
+    for (i, access) in tail.iter().enumerate() {
+        sim.step(access);
+        if (i + 1) % CHECK_INTERVAL == 0 {
+            checker.boundary(&sim);
+        }
+    }
+    let report = checker.finish(&sim);
+    Ok((sim.finalize(), report))
+}
+
 /// Runs `trace` exactly as [`Simulator::run`] would, with every oracle
 /// attached. The returned statistics are byte-identical to the unchecked
 /// run's.
@@ -314,6 +357,73 @@ mod tests {
             );
             assert_eq!(checked, plain, "{d}: checked sampled run diverged");
         }
+    }
+
+    #[test]
+    fn resumed_checked_run_is_clean_and_matches_uninterrupted() {
+        // Snapshot at N/2, restore into a fresh simulator, and run the
+        // tail with primed oracles: the shadows must stay green and the
+        // final stats must equal the uninterrupted run exactly. MorphCtr
+        // exercises the Exact CTR shadow (LRU), Cosmos the Mirror shadow
+        // (LCR) plus both predictors.
+        let t = random_trace(16_000, 40_000, 0.3, 21);
+        let half = t.len() / 2;
+        for d in [Design::MorphCtr, Design::Cosmos] {
+            let config = small_config(d);
+            let full = Simulator::new(config.clone()).run(&t);
+
+            let mut first = Simulator::new(config.clone());
+            for a in &t.as_slice()[..half] {
+                first.step(a);
+            }
+            let state = first.save_state().expect("save");
+            let mut resumed = Simulator::new(config.clone());
+            resumed.load_state(&state).expect("load");
+            let (stats, report) =
+                run_checked_resumed(&config, resumed, &t.as_slice()[half..]).expect("resume");
+            assert!(
+                report.is_clean(),
+                "{d}: {}\n{:#?}",
+                report.summary(),
+                report.violations
+            );
+            assert!(report.observer_events > 0, "{d}: observer saw nothing");
+            assert_eq!(stats, full, "{d}: resumed checked run diverged");
+        }
+    }
+
+    #[test]
+    fn resumed_checked_run_survives_primed_overflow_state() {
+        // Overflow counters *before* the snapshot so the primed dense
+        // store and Merkle leaves start from non-trivial state, then keep
+        // overflowing after the resume.
+        let mut config = small_config(Design::MorphCtr);
+        config.llc.size_bytes = 16 * 1024;
+        let t = random_trace(60_000, 1024, 0.9, 22);
+        let half = t.len() / 2;
+        let full = Simulator::new(config.clone()).run(&t);
+        assert!(full.ctr_overflows > 0, "trace failed to overflow a counter");
+
+        let mut first = Simulator::new(config.clone());
+        for a in &t.as_slice()[..half] {
+            first.step(a);
+        }
+        assert!(
+            first.snapshot().ctr_overflows > 0,
+            "first half must already overflow for the priming to matter"
+        );
+        let state = first.save_state().expect("save");
+        let mut resumed = Simulator::new(config.clone());
+        resumed.load_state(&state).expect("load");
+        let (stats, report) =
+            run_checked_resumed(&config, resumed, &t.as_slice()[half..]).expect("resume");
+        assert!(
+            report.is_clean(),
+            "{}\n{:#?}",
+            report.summary(),
+            report.violations
+        );
+        assert_eq!(stats, full);
     }
 
     #[test]

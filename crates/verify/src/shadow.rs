@@ -69,6 +69,23 @@ impl ShadowCache {
         (line.index() & self.set_mask) as usize
     }
 
+    /// Adopts a live cache's residency — priming for checked runs resumed
+    /// from a snapshot. `lines_lru_to_mru` must be ordered least- to
+    /// most-recently touched (see
+    /// `cosmos_cache::Cache::resident_entries_lru_to_mru`): each entry is
+    /// installed at its set's MRU position, so the final per-set order
+    /// matches the real cache's recency exactly — which
+    /// [`ShadowMode::Exact`] victim prediction depends on.
+    pub fn prime(&mut self, lines_lru_to_mru: &[(LineAddr, bool)]) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        for &(line, dirty) in lines_lru_to_mru {
+            let set = self.set_of(line);
+            self.sets[set].insert(0, ShadowLine { line, dirty });
+        }
+    }
+
     /// Mirrors a demand access the real cache reported as (`hit`,
     /// `evicted`), diffing predictions in [`ShadowMode::Exact`]. Appends
     /// any divergence to `out`.
@@ -301,6 +318,31 @@ impl DenseCounterStore {
             touched: Vec::new(),
             overflows: 0,
         }
+    }
+
+    /// Adopts the state of a live store — priming for checked runs resumed
+    /// from a snapshot. Every line of every materialized block becomes a
+    /// diff target (zero minors included: after an overflow they must stay
+    /// zero in both stores).
+    pub fn prime_from(&mut self, real: &cosmos_secure::CounterStore) {
+        self.minors.clear();
+        self.majors.clear();
+        self.touched.clear();
+        let coverage = self.scheme.coverage();
+        for (idx, block) in real.materialized_blocks() {
+            if block.major != 0 {
+                self.majors.insert(idx, block.major);
+            }
+            let first = idx * coverage;
+            for (slot, &minor) in block.minors.iter().enumerate() {
+                let line_idx = first + slot as u64;
+                self.touched.push(LineAddr::new(line_idx));
+                if minor != 0 {
+                    self.minors.insert(line_idx, minor as u64);
+                }
+            }
+        }
+        self.overflows = real.overflows();
     }
 
     /// Overflow events mirrored so far.

@@ -79,7 +79,9 @@ impl GraphKernel {
         let per_core = budget / cores;
         let streams: Vec<Trace> = (0..cores)
             .map(|c| {
-                let mut em = Emitter::new(layout, c as u8, per_core, seed ^ (c as u64) << 32);
+                let seed =
+                    cosmos_common::rng::streams::WORKLOAD_GRAPH.derive_lane_seed(seed, c as u64);
+                let mut em = Emitter::new(layout, c as u8, per_core, seed);
                 match self {
                     GraphKernel::Bfs => run_traversal(graph, &mut em, false),
                     GraphKernel::Dfs => run_traversal(graph, &mut em, true),

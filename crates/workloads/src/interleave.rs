@@ -1,6 +1,6 @@
 //! Interleaving of per-core access streams into one global trace.
 
-use cosmos_common::{SplitMix64, Trace};
+use cosmos_common::Trace;
 
 /// Merges per-core traces into one global order by round-robin chunks of
 /// 1–8 accesses — approximating the fine-grained interleaving of threads
@@ -8,7 +8,7 @@ use cosmos_common::{SplitMix64, Trace};
 pub fn interleave(streams: Vec<Trace>, seed: u64) -> Trace {
     let total: usize = streams.iter().map(Trace::len).sum();
     let mut out = Trace::with_capacity(total);
-    let mut rng = SplitMix64::new(seed ^ 0x1A7E_1EAF);
+    let mut rng = cosmos_common::rng::streams::WORKLOAD_INTERLEAVE.derive(seed);
     let mut iters: Vec<_> = streams.into_iter().map(Trace::into_iter).collect();
     let mut live: Vec<usize> = (0..iters.len()).collect();
     let mut idx = 0;

@@ -182,7 +182,7 @@ impl MlModel {
         let per_core = budget / cores;
         let streams: Vec<Trace> = (0..cores)
             .map(|c| {
-                let mut rng = SplitMix64::new(seed ^ ((c as u64) << 36) ^ 0x3117);
+                let mut rng = cosmos_common::rng::streams::WORKLOAD_ML.derive_lane(seed, c as u64);
                 model_stream(&layers, c as u8, cores, per_core, &mut rng)
             })
             .collect();

@@ -51,7 +51,8 @@ impl SpecKind {
         let per_core = budget / cores;
         let streams: Vec<Trace> = (0..cores)
             .map(|c| {
-                let mut rng = SplitMix64::new(seed ^ ((c as u64) << 40) ^ 0x57EC);
+                let mut rng =
+                    cosmos_common::rng::streams::WORKLOAD_SPEC.derive_lane(seed, c as u64);
                 match self {
                     SpecKind::Mcf => mcf_stream(c as u8, per_core, footprint_bytes, &mut rng),
                     SpecKind::Canneal => {

@@ -42,7 +42,9 @@ impl StreamingSpec {
             remaining: total,
             buffered: std::collections::VecDeque::new(),
             rngs: (0..cores)
-                .map(|c| SplitMix64::new(seed ^ ((c as u64) << 40) ^ 0x57EA))
+                .map(|c| {
+                    cosmos_common::rng::streams::WORKLOAD_STREAMING.derive_lane(seed, c as u64)
+                })
                 .collect(),
             next_core: 0,
         }

@@ -16,8 +16,19 @@
 # results/telemetry/) and writes its own <figure>.trace.json /
 # <figure>.heatmap.json / <figure>.metrics.txt there. See README
 # "Profiling a run".
+#
+# Interrupt/resume: on SIGINT the grid stops at the current binary's
+# boundary and writes results/resume.json — a manifest of the binaries
+# that already completed. Re-running the script skips those and picks up
+# where it left off; the manifest is removed once the grid finishes.
+# (Mid-binary checkpointing for a single long simulation is `cosmos_serve
+# ckpt`'s job; see README "Checkpointing and serving".)
 set -u
 cd "$(dirname "$0")"
+
+RESUME_MANIFEST="results/resume.json"
+INTERRUPTED=0
+trap 'INTERRUPTED=1' INT
 
 TELEMETRY=""
 FWD=()
@@ -39,11 +50,59 @@ if [ -n "$TELEMETRY" ]; then
   mkdir -p "$TELEMETRY"
   FWD+=(--telemetry "$TELEMETRY")
 fi
+mkdir -p results
+
+# Binaries recorded as completed by an interrupted earlier invocation.
+DONE=""
+if [ -f "$RESUME_MANIFEST" ]; then
+  DONE="$(tr -d '",[]{}' < "$RESUME_MANIFEST" | sed -n 's/^ *done: *//p')"
+  if [ -n "$DONE" ]; then
+    echo "resuming: skipping already-completed [$DONE ]"
+  fi
+fi
+
+write_manifest() {
+  # A tiny JSON manifest: which binaries finished, so a re-run skips them.
+  items=""
+  for b in $1; do
+    if [ -z "$items" ]; then items="\"$b\""; else items="$items, \"$b\""; fi
+  done
+  printf '{\n  "format": "cosmos-grid-resume",\n  "done": [%s]\n}\n' "$items" \
+    > "$RESUME_MANIFEST.tmp"
+  mv "$RESUME_MANIFEST.tmp" "$RESUME_MANIFEST"
+}
 
 BINS="table1_params table2_overhead table3_config fig02_traffic fig03_ctr_size fig04_early_access fig05_classic_opts fig08_generalization fig09_cet_sweep fig10_performance fig11_ctr_miss fig12_prediction fig13_locality fig14_smat fig15_scaling fig16_emcc fig17_ml hyperparam_sweep ablation_design"
 for bin in $BINS; do
+  case " $DONE " in
+    *" $bin "*)
+      echo "=== $bin (already done, skipped) ==="
+      continue
+      ;;
+  esac
+  if [ "$INTERRUPTED" -ne 0 ]; then
+    break
+  fi
   echo "=== $bin ==="
   cargo run --release -q -p cosmos-experiments --bin "$bin" -- \
     ${FWD[@]+"${FWD[@]}"} 2>&1 | tee "results/$bin.txt"
+  status=${PIPESTATUS[0]}
   echo
+  if [ "$INTERRUPTED" -ne 0 ] || [ "$status" -gt 128 ]; then
+    # Interrupted mid-binary: its artifact may be partial, so it is NOT
+    # recorded as done — the resume re-runs it from scratch.
+    INTERRUPTED=1
+    break
+  fi
+  if [ "$status" -eq 0 ]; then
+    DONE="$DONE $bin"
+    write_manifest "$DONE"
+  fi
 done
+
+if [ "$INTERRUPTED" -ne 0 ]; then
+  write_manifest "$DONE"
+  echo "interrupted: wrote $RESUME_MANIFEST — re-run ./run_experiments.sh to resume"
+  exit 130
+fi
+rm -f "$RESUME_MANIFEST"

@@ -112,6 +112,91 @@ grep -q '"sim_cycles_per_access"' "$thr_a" || {
     exit 1
 }
 rm -f "$thr_a" "$thr_b"
+# Snapshot/restore identity smoke (DESIGN.md §14): an uninterrupted
+# 200k-access run and a stop-at-100k-then-resume run of the same
+# design x workload must emit byte-identical result artifacts, with the
+# resumed half green under the cosmos-verify oracles (--check errors out
+# if any shadow model diverges). Covers a fig02-style scheme config
+# (MorphCtr) and the fig10 full design (COSMOS).
+ckpt_dir="$(mktemp -d)"
+for design in MorphCtr COSMOS; do
+    cargo run --release -q -p cosmos-serve --bin cosmos_serve -- ckpt \
+        --design "$design" --workload bfs --accesses 200000 \
+        --snapshot "$ckpt_dir/$design.full.snap.json" \
+        --json "$ckpt_dir/$design.full.json"
+    cargo run --release -q -p cosmos-serve --bin cosmos_serve -- ckpt \
+        --design "$design" --workload bfs --accesses 200000 \
+        --stop-after 100000 --snapshot "$ckpt_dir/$design.snap.json"
+    cargo run --release -q -p cosmos-serve --bin cosmos_serve -- ckpt \
+        --design "$design" --workload bfs --accesses 200000 --check \
+        --snapshot "$ckpt_dir/$design.snap.json" \
+        --json "$ckpt_dir/$design.resumed.json"
+    cmp "$ckpt_dir/$design.full.json" "$ckpt_dir/$design.resumed.json" || {
+        echo "check.sh: snapshot restore diverged from uninterrupted run ($design)" >&2
+        exit 1
+    }
+done
+rm -rf "$ckpt_dir"
+# Serve-mode smoke: three figure jobs through the NDJSON protocol must
+# produce artifacts byte-identical to the corresponding grid binaries
+# run directly (the serve path and the binaries share the figure
+# registry, so any drift here means the registry wiring broke).
+serve_dir="$(mktemp -d)"
+printf '%s\n' \
+    '{"op":"submit","job":{"type":"figure","figure":"fig02","accesses":20000}}' \
+    '{"op":"submit","job":{"type":"figure","figure":"fig10","accesses":20000}}' \
+    '{"op":"submit","job":{"type":"figure","figure":"fig11","accesses":20000}}' \
+    | cargo run --release -q -p cosmos-serve --bin cosmos_serve -- serve \
+        --state "$serve_dir" --jobs 2 >/dev/null
+while read -r id bin; do
+    ref="$(mktemp)"
+    cargo run --release -q -p cosmos-experiments --bin "$bin" -- \
+        --accesses 20000 --jobs 1 --json "$ref" >/dev/null
+    cmp "$serve_dir/job-$id.json" "$ref" || {
+        echo "check.sh: serve artifact job-$id.json diverges from $bin" >&2
+        exit 1
+    }
+    rm -f "$ref"
+done <<'JOBS'
+1 fig02_traffic
+2 fig10_performance
+3 fig11_ctr_miss
+JOBS
+rm -rf "$serve_dir"
+# Kill-and-resume smoke: shut the server down with sim jobs still in
+# flight (single worker, immediate shutdown), then --resume must finish
+# everything — done jobs are not re-run (covered deterministically by
+# the cosmos-serve unit tests), preempted ones continue from their
+# snapshot — and the artifacts must match a fresh uninterrupted run.
+resume_dir="$(mktemp -d)"
+printf '%s\n' \
+    '{"op":"submit","job":{"type":"sim","design":"NP","workload":"bfs","accesses":40000,"snapshot_every":5000}}' \
+    '{"op":"submit","job":{"type":"sim","design":"COSMOS","workload":"pr","accesses":40000,"snapshot_every":5000}}' \
+    '{"op":"shutdown"}' \
+    | cargo run --release -q -p cosmos-serve --bin cosmos_serve -- serve \
+        --state "$resume_dir" --jobs 1 >/dev/null
+cargo run --release -q -p cosmos-serve --bin cosmos_serve -- serve \
+    --resume "$resume_dir" --jobs 1 >/dev/null </dev/null
+[ "$(grep -c '"state": "done"' "$resume_dir/manifest.json")" -eq 2 ] || {
+    echo "check.sh: resumed server did not finish both sim jobs" >&2
+    cat "$resume_dir/manifest.json" >&2
+    exit 1
+}
+while read -r id design workload; do
+    ref_dir="$(mktemp -d)"
+    cargo run --release -q -p cosmos-serve --bin cosmos_serve -- ckpt \
+        --design "$design" --workload "$workload" --accesses 40000 \
+        --snapshot "$ref_dir/ref.snap.json" --json "$ref_dir/ref.json"
+    cmp "$resume_dir/job-$id.json" "$ref_dir/ref.json" || {
+        echo "check.sh: resumed job-$id.json diverges from a fresh $workload/$design run" >&2
+        exit 1
+    }
+    rm -rf "$ref_dir"
+done <<'JOBS'
+1 NP bfs
+2 COSMOS pr
+JOBS
+rm -rf "$resume_dir"
 # Throughput trend: flags >10% drops of the committed sim_throughput
 # snapshot against its history. Warn-only by default (wall-clock rates
 # are machine-dependent); export THROUGHPUT_GUARD=deny to make a
