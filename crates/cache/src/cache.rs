@@ -38,12 +38,26 @@ pub struct LocalityHint {
 }
 
 /// What happened to an evicted line.
+///
+/// Besides the line and its dirtiness, an eviction carries the victim's
+/// recency provenance off the cache's access clock — when it was filled,
+/// when it was last touched, and whether the chosen victim deviates from
+/// what strict LRU would have picked. These stamps are identical whichever
+/// dispatch path (inline or boxed) selected the victim: they come from
+/// cache-owned state, not from the policy object.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Eviction {
     /// The line that was evicted.
     pub line: LineAddr,
     /// Whether it was dirty (needs a writeback).
     pub dirty: bool,
+    /// Access-clock value when the victim was (last) filled.
+    pub fill_at: u64,
+    /// Access-clock value when the victim was last touched.
+    pub last_touch_at: u64,
+    /// Whether the victim differs from the least-recently-touched way of
+    /// its set — `true` marks a policy-steered (non-LRU) choice.
+    pub lru_deviated: bool,
 }
 
 /// Result of a cache access.
@@ -70,37 +84,16 @@ const F_DEMAND_USED: u8 = 1 << 2;
 const F_HINT_PRESENT: u8 = 1 << 3;
 const F_HINT_GOOD: u8 = 1 << 4;
 
-/// Shared recency state for the inline LRU/LCR policies: a global logical
-/// clock plus one last-touch stamp per way.
-#[derive(Debug)]
-struct Recency {
-    clock: u64,
-    last_touch: Vec<u64>,
-}
-
-impl Recency {
-    fn new(lines: usize) -> Self {
-        Self {
-            clock: 0,
-            last_touch: vec![0; lines],
-        }
-    }
-
-    #[inline]
-    fn touch(&mut self, idx: usize) {
-        self.clock += 1;
-        self.last_touch[idx] = self.clock;
-    }
-}
-
 /// Replacement-policy dispatch: the two hot policies are inlined (no
 /// virtual calls, no `WayView` materialization); everything else keeps the
-/// boxed trait object.
+/// boxed trait object. Recency state (clock and per-way stamps) is owned
+/// by the [`Cache`] itself and maintained for *every* policy, so eviction
+/// provenance and LRU-deviation flags are policy-independent.
 enum PolicyImpl {
     /// True LRU, equivalent to [`Lru`].
-    Lru(Recency),
+    Lru,
     /// Locality-Centric Replacement, equivalent to [`Lcr`].
-    Lcr(Recency),
+    Lcr,
     /// Any other policy, behind the trait object.
     Boxed(Box<dyn ReplacementPolicy>),
 }
@@ -108,8 +101,8 @@ enum PolicyImpl {
 impl PolicyImpl {
     fn name(&self) -> &'static str {
         match self {
-            PolicyImpl::Lru(_) => "LRU",
-            PolicyImpl::Lcr(_) => "LCR",
+            PolicyImpl::Lru => "LRU",
+            PolicyImpl::Lcr => "LCR",
             PolicyImpl::Boxed(p) => p.name(),
         }
     }
@@ -139,6 +132,13 @@ pub struct Cache {
     scores: Vec<u8>,
     policy: PolicyImpl,
     stats: CacheStats,
+    /// Logical access clock: +1 per touch (hit or fill). Drives the
+    /// cache-owned recency stamps below for every policy, inline or boxed.
+    clock: u64,
+    /// Per-way last-touch stamps off `clock` (0 = never touched).
+    last_touch: Vec<u64>,
+    /// Per-way fill stamps off `clock` (the touch that installed the line).
+    fill_at: Vec<u64>,
     /// Valid-line count, maintained on fill/invalidate so `occupancy` is
     /// O(1) instead of a scan over every line.
     occupied: usize,
@@ -163,8 +163,8 @@ impl Cache {
     /// Creates a cache with the given geometry and replacement policy.
     pub fn new(config: CacheConfig, policy: PolicyKind) -> Self {
         let policy = match policy {
-            PolicyKind::Lru => PolicyImpl::Lru(Recency::new(config.num_lines())),
-            PolicyKind::Lcr => PolicyImpl::Lcr(Recency::new(config.num_lines())),
+            PolicyKind::Lru => PolicyImpl::Lru,
+            PolicyKind::Lcr => PolicyImpl::Lcr,
             other => PolicyImpl::Boxed(other.build(config.num_sets(), config.ways())),
         };
         Self::with_impl(config, policy)
@@ -183,10 +183,20 @@ impl Cache {
             scores: vec![0; config.num_lines()],
             policy,
             stats: CacheStats::default(),
+            clock: 0,
+            last_touch: vec![0; config.num_lines()],
+            fill_at: vec![0; config.num_lines()],
             occupied: 0,
             scratch: Vec::with_capacity(config.ways()),
             tele: None,
         }
+    }
+
+    /// Advances the access clock and stamps way `idx` as just touched.
+    #[inline]
+    fn touch(&mut self, idx: usize) {
+        self.clock += 1;
+        self.last_touch[idx] = self.clock;
     }
 
     /// Registers this cache's hit/miss/eviction/writeback counters as
@@ -263,9 +273,9 @@ impl Cache {
             if first_use {
                 self.stats.prefetch_useful += 1;
             }
-            match &mut self.policy {
-                PolicyImpl::Lru(r) | PolicyImpl::Lcr(r) => r.touch(idx),
-                PolicyImpl::Boxed(p) => p.on_hit(set, way, line),
+            self.touch(idx);
+            if let PolicyImpl::Boxed(p) = &mut self.policy {
+                p.on_hit(set, way, line);
             }
             return AccessResult {
                 hit: true,
@@ -300,9 +310,9 @@ impl Cache {
             if dirty {
                 self.flags[idx] |= F_DIRTY;
             }
-            match &mut self.policy {
-                PolicyImpl::Lru(r) | PolicyImpl::Lcr(r) => r.touch(idx),
-                PolicyImpl::Boxed(p) => p.on_hit(set, way, line),
+            self.touch(idx);
+            if let PolicyImpl::Boxed(p) = &mut self.policy {
+                p.on_hit(set, way, line);
             }
             return None;
         }
@@ -362,21 +372,26 @@ impl Cache {
             .map(|&t| LineAddr::new(t))
     }
 
+    /// The cache's logical access clock: one tick per touch (hit or
+    /// fill). Eviction stamps ([`Eviction::fill_at`] /
+    /// [`Eviction::last_touch_at`]) are values of this clock, so callers
+    /// can relate accesses and evictions on one deterministic timeline.
+    pub fn access_clock(&self) -> u64 {
+        self.clock
+    }
+
     /// Resident lines with their dirty bits, ordered least- to
     /// most-recently touched — the priming order for shadow models
-    /// attached to a restored simulator. Recency stamps only exist for the
-    /// inline LRU/LCR policies; boxed policies are rejected like in
-    /// [`Cache::save_state`].
+    /// attached to a restored simulator. Boxed policies are rejected like
+    /// in [`Cache::save_state`] (their victim choice may not follow the
+    /// cache-owned stamps).
     pub fn resident_entries_lru_to_mru(&self) -> Result<Vec<(LineAddr, bool)>, String> {
-        let recency = match &self.policy {
-            PolicyImpl::Lru(r) | PolicyImpl::Lcr(r) => r,
-            PolicyImpl::Boxed(p) => {
-                return Err(format!(
-                    "recency ordering unavailable for boxed replacement policy `{}`",
-                    p.name()
-                ))
-            }
-        };
+        if let PolicyImpl::Boxed(p) = &self.policy {
+            return Err(format!(
+                "recency ordering unavailable for boxed replacement policy `{}`",
+                p.name()
+            ));
+        }
         let mut entries: Vec<(u64, LineAddr, bool)> = self
             .tags
             .iter()
@@ -384,7 +399,7 @@ impl Cache {
             .filter(|(_, &t)| t != INVALID_TAG)
             .map(|(idx, &t)| {
                 (
-                    recency.last_touch[idx],
+                    self.last_touch[idx],
                     LineAddr::new(t),
                     self.flags[idx] & F_DIRTY != 0,
                 )
@@ -406,23 +421,21 @@ impl Cache {
     /// never called from hot paths.)
     pub fn save_state(&self) -> Result<cosmos_common::json::Value, String> {
         use cosmos_common::json::codec;
-        let recency = match &self.policy {
-            PolicyImpl::Lru(r) | PolicyImpl::Lcr(r) => r,
-            PolicyImpl::Boxed(p) => {
-                return Err(format!(
-                    "snapshot unsupported for boxed replacement policy `{}`",
-                    p.name()
-                ))
-            }
-        };
+        if let PolicyImpl::Boxed(p) = &self.policy {
+            return Err(format!(
+                "snapshot unsupported for boxed replacement policy `{}`",
+                p.name()
+            ));
+        }
         Ok(cosmos_common::json!({
             "policy": (self.policy.name()),
             "tags": (codec::from_u64s(self.tags.iter().copied())),
             "flags": (codec::from_u64s(self.flags.iter().map(|&f| u64::from(f)))),
             "scores": (codec::from_u64s(self.scores.iter().map(|&s| u64::from(s)))),
             "occupied": (self.occupied as u64),
-            "clock": (recency.clock),
-            "last_touch": (codec::from_u64s(recency.last_touch.iter().copied())),
+            "clock": (self.clock),
+            "last_touch": (codec::from_u64s(self.last_touch.iter().copied())),
+            "fill_at": (codec::from_u64s(self.fill_at.iter().copied())),
             "stats": (self.stats.to_json()),
         }))
     }
@@ -452,6 +465,8 @@ impl Cache {
         codec::check_len("scores", scores.len(), lines)?;
         let last_touch = codec::u64_array(v, "last_touch")?;
         codec::check_len("last_touch", last_touch.len(), lines)?;
+        let fill_at = codec::u64_array(v, "fill_at")?;
+        codec::check_len("fill_at", fill_at.len(), lines)?;
         let occupied = codec::usize_field(v, "occupied")?;
         let valid = tags.iter().filter(|&&t| t != INVALID_TAG).count();
         if occupied != valid {
@@ -461,17 +476,15 @@ impl Cache {
         }
         let clock = codec::u64_field(v, "clock")?;
         let stats = CacheStats::from_json(codec::field(v, "stats")?)?;
-        let recency = match &mut self.policy {
-            PolicyImpl::Lru(r) | PolicyImpl::Lcr(r) => r,
-            PolicyImpl::Boxed(p) => {
-                return Err(format!(
-                    "snapshot unsupported for boxed replacement policy `{}`",
-                    p.name()
-                ))
-            }
-        };
-        recency.clock = clock;
-        recency.last_touch = last_touch;
+        if let PolicyImpl::Boxed(p) = &self.policy {
+            return Err(format!(
+                "snapshot unsupported for boxed replacement policy `{}`",
+                p.name()
+            ));
+        }
+        self.clock = clock;
+        self.last_touch = last_touch;
+        self.fill_at = fill_at;
         self.tags = tags;
         self.flags = flags;
         self.scores = scores;
@@ -530,10 +543,22 @@ impl Cache {
             None => {
                 let victim = self.choose_victim(set, base, ways);
                 debug_assert!(victim < ways, "victim way {victim} >= {ways}");
+                // First-minimum over the cache-owned stamps: the way strict
+                // LRU would evict. A victim elsewhere is a policy deviation.
+                let touches = &self.last_touch[base..base + ways];
+                let mut lru_way = 0;
+                for (w, &t) in touches.iter().enumerate().skip(1) {
+                    if t < touches[lru_way] {
+                        lru_way = w;
+                    }
+                }
                 let idx = base + victim;
                 let ev = Eviction {
                     line: LineAddr::new(self.tags[idx]),
                     dirty: self.flags[idx] & F_DIRTY != 0,
+                    fill_at: self.fill_at[idx],
+                    last_touch_at: self.last_touch[idx],
+                    lru_deviated: victim != lru_way,
                 };
                 let reused = self.flags[idx] & F_DEMAND_USED != 0;
                 if self.flags[idx] & F_PREFETCHED != 0 && !reused {
@@ -573,9 +598,10 @@ impl Cache {
             self.scores[idx] = 0;
         }
         self.flags[idx] = f;
-        match &mut self.policy {
-            PolicyImpl::Lru(r) | PolicyImpl::Lcr(r) => r.touch(idx),
-            PolicyImpl::Boxed(p) => p.on_fill(set, way, line, hint),
+        self.touch(idx);
+        self.fill_at[idx] = self.clock;
+        if let PolicyImpl::Boxed(p) = &mut self.policy {
+            p.on_fill(set, way, line, hint);
         }
         eviction
     }
@@ -587,9 +613,9 @@ impl Cache {
     // cosmos-lint: hot
     fn choose_victim(&mut self, set: usize, base: usize, ways: usize) -> usize {
         match &mut self.policy {
-            PolicyImpl::Lru(r) => {
+            PolicyImpl::Lru => {
                 // First minimum wins, matching Iterator::min_by_key.
-                let touches = &r.last_touch[base..base + ways];
+                let touches = &self.last_touch[base..base + ways];
                 let mut best = 0;
                 for (w, &t) in touches.iter().enumerate().skip(1) {
                     if t < touches[best] {
@@ -598,7 +624,7 @@ impl Cache {
                 }
                 best
             }
-            PolicyImpl::Lcr(r) => {
+            PolicyImpl::Lcr => {
                 // Paper Algorithm 2 with LRU tie-breaks: highest-score bad
                 // line first; if all good, lowest-score good line.
                 // Unannotated ways count as bad with score 0.
@@ -612,7 +638,7 @@ impl Cache {
                     } else {
                         (false, 0)
                     };
-                    let touch = r.last_touch[idx];
+                    let touch = self.last_touch[idx];
                     let cand = (w, score, touch);
                     if good {
                         // Lowest good score; tie -> older (smaller touch).
@@ -894,7 +920,7 @@ mod tests {
         let cfg = CacheConfig::new(2048, 4);
         let mut live = Cache::new(cfg, kind);
         let mut rng = cosmos_common::SplitMix64::new(seed);
-        let mut drive = |c: &mut Cache, rng: &mut cosmos_common::SplitMix64| {
+        let drive = |c: &mut Cache, rng: &mut cosmos_common::SplitMix64| {
             let line = LineAddr::new(rng.next_index(96) as u64);
             let write = rng.chance(0.3);
             let hint = rng.chance(0.5).then(|| LocalityHint {

@@ -32,32 +32,20 @@ impl CacheStats {
         self.demand.miss_rate()
     }
 
-    /// Counts accumulated since `baseline` (saturating per field), for
-    /// warmup-excluding measurement windows. Debug builds assert that no
-    /// field went backwards — actual saturation means a counter reset.
-    pub const fn since(&self, baseline: &CacheStats) -> CacheStats {
-        debug_assert!(self.evictions >= baseline.evictions);
-        debug_assert!(self.writebacks >= baseline.writebacks);
-        debug_assert!(self.prefetch_issued >= baseline.prefetch_issued);
-        debug_assert!(self.prefetch_useful >= baseline.prefetch_useful);
-        debug_assert!(self.prefetch_unused >= baseline.prefetch_unused);
-        debug_assert!(self.prefetch_redundant >= baseline.prefetch_redundant);
+    /// Counts accumulated since `baseline`, for warmup-excluding
+    /// measurement windows. Each subtraction is checked in every build
+    /// profile (`cosmos_common::stats::window_sub`): a field that went
+    /// backwards means a counter reset, and the window would be garbage.
+    pub fn since(&self, baseline: &CacheStats) -> CacheStats {
+        use cosmos_common::stats::window_sub;
         CacheStats {
             demand: self.demand.since(&baseline.demand),
-            evictions: self.evictions.saturating_sub(baseline.evictions),
-            writebacks: self.writebacks.saturating_sub(baseline.writebacks),
-            prefetch_issued: self
-                .prefetch_issued
-                .saturating_sub(baseline.prefetch_issued),
-            prefetch_useful: self
-                .prefetch_useful
-                .saturating_sub(baseline.prefetch_useful),
-            prefetch_unused: self
-                .prefetch_unused
-                .saturating_sub(baseline.prefetch_unused),
-            prefetch_redundant: self
-                .prefetch_redundant
-                .saturating_sub(baseline.prefetch_redundant),
+            evictions: window_sub(self.evictions, baseline.evictions),
+            writebacks: window_sub(self.writebacks, baseline.writebacks),
+            prefetch_issued: window_sub(self.prefetch_issued, baseline.prefetch_issued),
+            prefetch_useful: window_sub(self.prefetch_useful, baseline.prefetch_useful),
+            prefetch_unused: window_sub(self.prefetch_unused, baseline.prefetch_unused),
+            prefetch_redundant: window_sub(self.prefetch_redundant, baseline.prefetch_redundant),
         }
     }
 

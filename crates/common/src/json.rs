@@ -997,7 +997,7 @@ mod tests {
             "name": "fig02",
             "count": 18_446_744_073_709_551_615u64,
             "neg": -42,
-            "pi": 3.141592653589793,
+            "pi": (std::f64::consts::PI),
             "tiny": 1e-300,
             "flags": [true, false, null],
             "nested": {"s": "a\"b\\c\nd\u{1}", "empty": [], "obj": {}},

@@ -87,16 +87,15 @@ impl HitMiss {
         self.misses += other.misses;
     }
 
-    /// Counts accumulated since `baseline` (saturating, so a stale baseline
-    /// cannot underflow in release builds). Debug builds assert the counter
-    /// never went backwards — actual saturation means it was reset
-    /// mid-window and the window is garbage.
-    pub const fn since(&self, baseline: &HitMiss) -> HitMiss {
-        debug_assert!(self.hits >= baseline.hits);
-        debug_assert!(self.misses >= baseline.misses);
+    /// Counts accumulated since `baseline`. The subtraction is checked in
+    /// every build profile (see [`window_sub`]): a baseline ahead of the
+    /// counter means the counter was reset mid-window and any window built
+    /// from it would be garbage, so this panics instead of silently
+    /// wrapping (debug) or saturating (release).
+    pub fn since(&self, baseline: &HitMiss) -> HitMiss {
         HitMiss {
-            hits: self.hits.saturating_sub(baseline.hits),
-            misses: self.misses.saturating_sub(baseline.misses),
+            hits: window_sub(self.hits, baseline.hits),
+            misses: window_sub(self.misses, baseline.misses),
         }
     }
 
@@ -130,6 +129,34 @@ impl fmt::Display for HitMiss {
             self.miss_rate() * 100.0
         )
     }
+}
+
+/// Checked stat-window subtraction: `current - baseline` for a monotone
+/// counter pair taken from the *same* run.
+///
+/// The whole `since()` family is built on this. It panics — in release
+/// builds too, not just under `debug_assert!` — when `baseline > current`,
+/// because that can only mean the counter was reset (or the caller swapped
+/// the operands) and the resulting window would be wrapped or silently
+/// saturated garbage.
+///
+/// # Panics
+///
+/// Panics if `baseline > current`.
+///
+/// # Examples
+///
+/// ```
+/// use cosmos_common::stats::window_sub;
+/// assert_eq!(window_sub(10, 4), 6);
+/// ```
+#[inline]
+#[track_caller]
+pub fn window_sub(current: u64, baseline: u64) -> u64 {
+    current.checked_sub(baseline).expect(
+        "stat-window baseline exceeds the current counter; a window baseline must be an \
+         earlier snapshot of the same monotone counter",
+    )
 }
 
 /// Safe ratio helper: `num / den`, or `0.0` when `den == 0`.
@@ -314,15 +341,28 @@ mod tests {
         assert_eq!(late.since(&early), HitMiss::from_counts(7, 3));
     }
 
-    /// A baseline ahead of the counter means the counter was reset — debug
-    /// builds flag it instead of silently saturating to zero.
+    /// A baseline ahead of the counter means the counter was reset. The
+    /// subtraction is checked (not a `debug_assert!`), so this panics in
+    /// release builds too — the test runs under both profiles on purpose.
     #[test]
-    #[cfg(debug_assertions)]
-    #[should_panic]
+    #[should_panic(expected = "stat-window baseline exceeds the current counter")]
     fn hitmiss_since_rejects_backwards_counter() {
         let early = HitMiss::from_counts(3, 1);
         let late = HitMiss::from_counts(10, 4);
         let _ = early.since(&late);
+    }
+
+    #[test]
+    fn window_sub_subtracts() {
+        assert_eq!(window_sub(10, 10), 0);
+        assert_eq!(window_sub(u64::MAX, 1), u64::MAX - 1);
+        assert_eq!(window_sub(7, 0), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "stat-window baseline exceeds the current counter")]
+    fn window_sub_rejects_backwards_counter_in_all_profiles() {
+        let _ = window_sub(3, 4);
     }
 
     #[test]

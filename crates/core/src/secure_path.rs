@@ -23,6 +23,7 @@ use cosmos_common::{Cycle, LineAddr};
 use cosmos_dram::Dram;
 use cosmos_rl::{CtrLocalityPredictor, Locality};
 use cosmos_secure::{CounterScheme, CounterStore, IncrementOutcome, MetadataLayout};
+use cosmos_telemetry::recorder::{AccessInfo, EvictInfo, RlDecisionInfo};
 use cosmos_telemetry::Telemetry;
 
 /// Result of a CTR read on the critical path.
@@ -54,6 +55,12 @@ pub struct SecurePath {
     // Observability: per-set CTR heatmap + sampled events (see
     // cosmos-telemetry). Like the observer, strictly pure-output.
     telemetry: Telemetry,
+    // The RL decision made for the most recent CTR-cache access (None for
+    // designs without a predictor). classify() runs immediately before
+    // each demand access, so when that access evicts a line this is the
+    // decision that chose the victim — it rides along on the CtrEvict
+    // event so cosmos-explain can attribute the eviction. Pure-output.
+    last_decision: Option<RlDecisionInfo>,
 }
 
 impl SecurePath {
@@ -99,6 +106,7 @@ impl SecurePath {
             overflows: 0,
             observer: None,
             telemetry,
+            last_decision: None,
         }
     }
 
@@ -211,13 +219,39 @@ impl SecurePath {
         dram: &mut Dram,
         traffic: &mut TrafficBreakdown,
     ) -> CtrReadOutcome {
+        self.ctr_read_inner(data_line, start, dram, traffic, false)
+    }
+
+    /// [`SecurePath::ctr_read`] for the re-issue after a killed speculative
+    /// decryption: identical timing and cache behaviour, but the sampled
+    /// CTR-access event carries the spec-kill flag so cosmos-explain can
+    /// attribute the miss to misspeculation rather than the cache.
+    pub fn ctr_read_after_kill(
+        &mut self,
+        data_line: LineAddr,
+        start: Cycle,
+        dram: &mut Dram,
+        traffic: &mut TrafficBreakdown,
+    ) -> CtrReadOutcome {
+        self.ctr_read_inner(data_line, start, dram, traffic, true)
+    }
+
+    // cosmos-lint: hot
+    fn ctr_read_inner(
+        &mut self,
+        data_line: LineAddr,
+        start: Cycle,
+        dram: &mut Dram,
+        traffic: &mut TrafficBreakdown,
+        spec_kill: bool,
+    ) -> CtrReadOutcome {
         let ctr_line = self.layout.ctr_line_of(data_line);
         let hint = self.classify(ctr_line);
         let res = self.ctr_cache.access(ctr_line, false, hint);
         if let Some(obs) = self.observer.as_mut() {
             obs.ctr_access(ctr_line, false, res.hit, res.evicted);
         }
-        self.telemetry_ctr_access(ctr_line, false, &res);
+        self.telemetry_ctr_access(ctr_line, false, spec_kill, &res);
         if let Some(ev) = res.evicted {
             if ev.dirty {
                 traffic.ctr_writes += 1;
@@ -266,7 +300,7 @@ impl SecurePath {
         if let Some(obs) = self.observer.as_mut() {
             obs.ctr_access(ctr_line, true, res.hit, res.evicted);
         }
-        self.telemetry_ctr_access(ctr_line, true, &res);
+        self.telemetry_ctr_access(ctr_line, true, false, &res);
         if let Some(ev) = res.evicted {
             if ev.dirty {
                 traffic.ctr_writes += 1;
@@ -347,30 +381,62 @@ impl SecurePath {
     /// sampled flight-recorder events. A miss that evicted nothing filled
     /// a previously invalid way, growing the set's occupancy (the CTR
     /// cache is never invalidated, so this tracks exactly).
+    ///
+    /// Both events are stamped with the cache's access clock *after* the
+    /// access, so a CtrEvict shares its `at` with the CtrAccess that caused
+    /// it — the join key cosmos-explain uses to pair them — and the evict
+    /// carries the RL decision that ranked the victim (see
+    /// [`SecurePath::last_decision`]).
     fn telemetry_ctr_access(
         &self,
         ctr_line: LineAddr,
         write: bool,
+        spec_kill: bool,
         res: &cosmos_cache::AccessResult,
     ) {
         if !self.telemetry.is_enabled() {
             return;
         }
-        let set = self.ctr_cache.config().set_of(ctr_line.index());
-        self.telemetry
-            .ctr_access(set, res.hit, write, !res.hit && res.evicted.is_none());
+        let set = self.ctr_cache.config().set_of(ctr_line.index()) as u32;
+        let at = self.ctr_cache.access_clock();
+        self.telemetry.ctr_access(
+            AccessInfo {
+                set,
+                line: ctr_line.index(),
+                at,
+                hit: res.hit,
+                write,
+                spec_kill,
+            },
+            !res.hit && res.evicted.is_none(),
+        );
         if let Some(ev) = res.evicted {
-            self.telemetry.ctr_evict(set, ev.dirty);
+            self.telemetry.ctr_evict(EvictInfo {
+                set,
+                victim_line: ev.line.index(),
+                dirty: ev.dirty,
+                fill_at: ev.fill_at,
+                last_touch_at: ev.last_touch_at,
+                at,
+                lru_deviated: ev.lru_deviated,
+                rl: self.last_decision,
+            });
         }
     }
 
     fn classify(&mut self, ctr_line: LineAddr) -> Option<LocalityHint> {
-        self.locality.as_mut().map(|p| {
-            let d = p.classify(ctr_line);
-            LocalityHint {
-                good: d.locality == Locality::Good,
-                score: d.score,
-            }
+        self.last_decision = None;
+        let p = self.locality.as_mut()?;
+        let d = p.classify(ctr_line);
+        self.last_decision = Some(RlDecisionInfo {
+            id: d.id,
+            q_good: d.q_good,
+            q_bad: d.q_bad,
+            reward: d.reward,
+        });
+        Some(LocalityHint {
+            good: d.locality == Locality::Good,
+            score: d.score,
         })
     }
 
@@ -396,6 +462,22 @@ impl SecurePath {
                 if let Some(ev) = ev {
                     if ev.dirty {
                         traffic.ctr_writes += 1;
+                    }
+                    // Prefetch-induced evictions victimize lines too;
+                    // report them so miss attribution sees every eviction.
+                    // No demand access pairs with this `at`, and no RL
+                    // decision ranked the victim (rl: None).
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.ctr_evict(EvictInfo {
+                            set: self.ctr_cache.config().set_of(cand.index()) as u32,
+                            victim_line: ev.line.index(),
+                            dirty: ev.dirty,
+                            fill_at: ev.fill_at,
+                            last_touch_at: ev.last_touch_at,
+                            at: self.ctr_cache.access_clock(),
+                            lru_deviated: ev.lru_deviated,
+                            rl: None,
+                        });
                     }
                 }
                 // Integrity verification for the prefetched counter.

@@ -366,9 +366,16 @@ impl Simulator {
                 (DataLocation::OffChip, DataLocation::OnChip) => {
                     // Wrong off-chip: the speculative DRAM fetch is killed,
                     // but the CTR access proceeds (beneficial side effect,
-                    // paper §6.1.2).
+                    // paper §6.1.2). The kill-flavoured read flags the
+                    // sampled event so explain can attribute any miss here
+                    // to misspeculation.
                     let sp = self.secure.as_mut().expect("COSMOS is secure");
-                    sp.ctr_read(line, t_l1_miss, &mut self.dram, &mut self.stats.traffic);
+                    sp.ctr_read_after_kill(
+                        line,
+                        t_l1_miss,
+                        &mut self.dram,
+                        &mut self.stats.traffic,
+                    );
                     self.stats.traffic.killed_speculative += 1;
                     self.config.telemetry.spec_kill();
                     issue + self.on_chip_latency(hit)

@@ -95,36 +95,23 @@ impl TrafficBreakdown {
         })
     }
 
-    /// Traffic accumulated since `baseline` (saturating per field), for
-    /// warmup-excluding measurement windows. Debug builds assert that no
-    /// field went backwards — a subtraction that actually saturates means
-    /// a counter was reset mid-window and the window is garbage.
-    pub const fn since(&self, baseline: &TrafficBreakdown) -> TrafficBreakdown {
-        debug_assert!(self.data_reads >= baseline.data_reads);
-        debug_assert!(self.data_writes >= baseline.data_writes);
-        debug_assert!(self.ctr_reads >= baseline.ctr_reads);
-        debug_assert!(self.ctr_writes >= baseline.ctr_writes);
-        debug_assert!(self.mt_reads >= baseline.mt_reads);
-        debug_assert!(self.mt_writes >= baseline.mt_writes);
-        debug_assert!(self.mac_reads >= baseline.mac_reads);
-        debug_assert!(self.mac_writes >= baseline.mac_writes);
-        debug_assert!(self.reencrypt_writes >= baseline.reencrypt_writes);
-        debug_assert!(self.killed_speculative >= baseline.killed_speculative);
+    /// Traffic accumulated since `baseline`, for warmup-excluding
+    /// measurement windows. Each subtraction is checked in every build
+    /// profile (`cosmos_common::stats::window_sub`): a field that went
+    /// backwards means a counter reset, and the window would be garbage.
+    pub fn since(&self, baseline: &TrafficBreakdown) -> TrafficBreakdown {
+        use cosmos_common::stats::window_sub;
         TrafficBreakdown {
-            data_reads: self.data_reads.saturating_sub(baseline.data_reads),
-            data_writes: self.data_writes.saturating_sub(baseline.data_writes),
-            ctr_reads: self.ctr_reads.saturating_sub(baseline.ctr_reads),
-            ctr_writes: self.ctr_writes.saturating_sub(baseline.ctr_writes),
-            mt_reads: self.mt_reads.saturating_sub(baseline.mt_reads),
-            mt_writes: self.mt_writes.saturating_sub(baseline.mt_writes),
-            mac_reads: self.mac_reads.saturating_sub(baseline.mac_reads),
-            mac_writes: self.mac_writes.saturating_sub(baseline.mac_writes),
-            reencrypt_writes: self
-                .reencrypt_writes
-                .saturating_sub(baseline.reencrypt_writes),
-            killed_speculative: self
-                .killed_speculative
-                .saturating_sub(baseline.killed_speculative),
+            data_reads: window_sub(self.data_reads, baseline.data_reads),
+            data_writes: window_sub(self.data_writes, baseline.data_writes),
+            ctr_reads: window_sub(self.ctr_reads, baseline.ctr_reads),
+            ctr_writes: window_sub(self.ctr_writes, baseline.ctr_writes),
+            mt_reads: window_sub(self.mt_reads, baseline.mt_reads),
+            mt_writes: window_sub(self.mt_writes, baseline.mt_writes),
+            mac_reads: window_sub(self.mac_reads, baseline.mac_reads),
+            mac_writes: window_sub(self.mac_writes, baseline.mac_writes),
+            reencrypt_writes: window_sub(self.reencrypt_writes, baseline.reencrypt_writes),
+            killed_speculative: window_sub(self.killed_speculative, baseline.killed_speculative),
         }
     }
 }
@@ -305,30 +292,23 @@ impl SimStats {
     }
 
     /// Statistics accumulated since `baseline` — the measurement window of
-    /// a warmed-up run. Every counter subtracts saturating; the timeline
-    /// keeps only points sampled after the baseline, with each point's
-    /// `dp_accuracy` rebased onto the window (predictions resolved before
-    /// the baseline no longer dilute it). Debug builds assert that no
-    /// scalar went backwards — a subtraction that actually saturates means
-    /// a counter was reset mid-window and the window is garbage.
+    /// a warmed-up run. The timeline keeps only points sampled after the
+    /// baseline, with each point's `dp_accuracy` rebased onto the window
+    /// (predictions resolved before the baseline no longer dilute it).
+    /// Every scalar subtraction is checked in every build profile
+    /// (`cosmos_common::stats::window_sub`): a counter that went backwards
+    /// means a mid-window reset, and the window would be garbage.
     pub fn since(&self, baseline: &SimStats) -> SimStats {
-        debug_assert!(self.instructions >= baseline.instructions);
-        debug_assert!(self.cycles >= baseline.cycles);
-        debug_assert!(self.accesses >= baseline.accesses);
-        debug_assert!(self.reads >= baseline.reads);
-        debug_assert!(self.writes >= baseline.writes);
-        debug_assert!(self.ctr_overflows >= baseline.ctr_overflows);
-        debug_assert!(self.total_read_latency >= baseline.total_read_latency);
-        debug_assert!(self.early_offchip_reads >= baseline.early_offchip_reads);
+        use cosmos_common::stats::window_sub;
         let base_correct = baseline.data_pred.correct_onchip + baseline.data_pred.correct_offchip;
         let base_total =
             base_correct + baseline.data_pred.wrong_onchip + baseline.data_pred.wrong_offchip;
         SimStats {
-            instructions: self.instructions.saturating_sub(baseline.instructions),
-            cycles: self.cycles.saturating_sub(baseline.cycles),
-            accesses: self.accesses.saturating_sub(baseline.accesses),
-            reads: self.reads.saturating_sub(baseline.reads),
-            writes: self.writes.saturating_sub(baseline.writes),
+            instructions: window_sub(self.instructions, baseline.instructions),
+            cycles: window_sub(self.cycles, baseline.cycles),
+            accesses: window_sub(self.accesses, baseline.accesses),
+            reads: window_sub(self.reads, baseline.reads),
+            writes: window_sub(self.writes, baseline.writes),
             l1: self.l1.since(&baseline.l1),
             l2: self.l2.since(&baseline.l2),
             llc: self.llc.since(&baseline.llc),
@@ -338,22 +318,21 @@ impl SimStats {
             traffic: self.traffic.since(&baseline.traffic),
             data_pred: self.data_pred.since(&baseline.data_pred),
             ctr_pred: self.ctr_pred.since(&baseline.ctr_pred),
-            ctr_overflows: self.ctr_overflows.saturating_sub(baseline.ctr_overflows),
-            total_read_latency: self
-                .total_read_latency
-                .saturating_sub(baseline.total_read_latency),
-            early_offchip_reads: self
-                .early_offchip_reads
-                .saturating_sub(baseline.early_offchip_reads),
+            ctr_overflows: window_sub(self.ctr_overflows, baseline.ctr_overflows),
+            total_read_latency: window_sub(self.total_read_latency, baseline.total_read_latency),
+            early_offchip_reads: window_sub(self.early_offchip_reads, baseline.early_offchip_reads),
             timeline: self
                 .timeline
                 .iter()
                 .filter(|p| p.accesses > baseline.accesses)
                 .map(|p| {
-                    let correct = p.dp_correct.saturating_sub(base_correct);
-                    let total = p.dp_total.saturating_sub(base_total);
+                    // Timeline points are cumulative snapshots from the same
+                    // monotone counters, and the filter keeps only points
+                    // past the baseline, so these windows are checked too.
+                    let correct = window_sub(p.dp_correct, base_correct);
+                    let total = window_sub(p.dp_total, base_total);
                     TimelinePoint {
-                        accesses: p.accesses - baseline.accesses,
+                        accesses: window_sub(p.accesses, baseline.accesses),
                         dp_accuracy: if total == 0 {
                             0.0
                         } else {

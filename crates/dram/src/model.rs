@@ -74,23 +74,19 @@ impl DramStats {
         })
     }
 
-    /// Counts accumulated since `baseline` (saturating per field), for
-    /// warmup-excluding measurement windows. Debug builds assert that no
-    /// field went backwards — actual saturation means a counter reset.
-    pub const fn since(&self, baseline: &DramStats) -> DramStats {
-        debug_assert!(self.reads >= baseline.reads);
-        debug_assert!(self.writes >= baseline.writes);
-        debug_assert!(self.row_hits >= baseline.row_hits);
-        debug_assert!(self.row_closed >= baseline.row_closed);
-        debug_assert!(self.row_conflicts >= baseline.row_conflicts);
-        debug_assert!(self.queue_cycles >= baseline.queue_cycles);
+    /// Counts accumulated since `baseline`, for warmup-excluding
+    /// measurement windows. Each subtraction is checked in every build
+    /// profile (`cosmos_common::stats::window_sub`): a field that went
+    /// backwards means a counter reset, and the window would be garbage.
+    pub fn since(&self, baseline: &DramStats) -> DramStats {
+        use cosmos_common::stats::window_sub;
         DramStats {
-            reads: self.reads.saturating_sub(baseline.reads),
-            writes: self.writes.saturating_sub(baseline.writes),
-            row_hits: self.row_hits.saturating_sub(baseline.row_hits),
-            row_closed: self.row_closed.saturating_sub(baseline.row_closed),
-            row_conflicts: self.row_conflicts.saturating_sub(baseline.row_conflicts),
-            queue_cycles: self.queue_cycles.saturating_sub(baseline.queue_cycles),
+            reads: window_sub(self.reads, baseline.reads),
+            writes: window_sub(self.writes, baseline.writes),
+            row_hits: window_sub(self.row_hits, baseline.row_hits),
+            row_closed: window_sub(self.row_closed, baseline.row_closed),
+            row_conflicts: window_sub(self.row_conflicts, baseline.row_conflicts),
+            queue_cycles: window_sub(self.queue_cycles, baseline.queue_cycles),
         }
     }
 }

@@ -1,0 +1,13 @@
+//! Causal CTR-miss attribution: explain the fig11 MorphCtr-vs-COSMOS-CP
+//! miss-rate delta from flight-recorder evidence.
+//!
+//! The pipeline lives in [`cosmos_experiments::explain`]; this binary
+//! parses the standard experiment arguments, prints the report, and emits
+//! `results/explain_ctr.json`.
+
+fn main() {
+    let args = cosmos_experiments::Args::parse(cosmos_experiments::explain::DEFAULT_ACCESSES);
+    let out = cosmos_experiments::explain::run(&args);
+    print!("{}", out.report);
+    cosmos_experiments::emit_json(&args, "explain_ctr", &out.json);
+}

@@ -13,6 +13,7 @@
 //! - table formatting and JSON result emission (results land in
 //!   `results/` for EXPERIMENTS.md).
 
+pub mod explain;
 pub mod figures;
 pub mod runner;
 pub mod throughput;

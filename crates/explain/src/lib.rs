@@ -1,0 +1,550 @@
+//! Causal CTR-miss attribution over the telemetry flight recorder.
+//!
+//! The flight recorder (see `cosmos-telemetry`) captures a sampled stream
+//! of CTR-cache accesses plus *every* eviction (the rare stratum defaults
+//! to keep-all). This crate replays one stream's events in deterministic
+//! `seq` order and links each sampled miss back to its cause: the earlier
+//! eviction that removed the line, and — when the LCR policy was steering —
+//! the RL decision (with its Q-values and reward) that ranked the victim.
+//!
+//! Every attributed miss lands in exactly one [`MissClass`]:
+//!
+//! - **spec-kill** — the miss belongs to a killed speculative read's CTR
+//!   re-issue (the access event carries the flag);
+//! - **cold** — no eviction of the line is visible: a compulsory miss (or
+//!   the eviction aged out of the ring, which the report surfaces via the
+//!   `overwritten` counter);
+//! - **policy-induced** — the causal eviction deviated from strict LRU,
+//!   i.e. the replacement policy (LCR / RL hint) chose a different victim
+//!   than LRU would have, and that choice cost this miss;
+//! - **conflict** — the causal eviction was LRU-faithful and the line was
+//!   re-referenced within one cache-worth of accesses (it would have
+//!   survived in a fully associative cache of the same size);
+//! - **capacity** — the causal eviction was LRU-faithful and the reuse
+//!   distance exceeded the cache size: no same-size cache would have held
+//!   the line.
+//!
+//! The conservation law — the five class counts sum *exactly* to the
+//! number of sampled misses — holds by construction and is re-checked by
+//! [`StreamAttribution::conservation_holds`]; reports embed the check so
+//! downstream tooling can grep for it.
+
+use cosmos_common::json::{json, Map, Value};
+use cosmos_telemetry::export::RecorderStats;
+use cosmos_telemetry::recorder::{Event, EvictInfo, TimedEvent};
+use std::collections::BTreeMap;
+
+/// The causal class of one sampled CTR miss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MissClass {
+    /// No prior eviction of the line is visible (compulsory, or aged out).
+    Cold,
+    /// LRU-faithful eviction, reuse distance beyond the cache size.
+    Capacity,
+    /// LRU-faithful eviction, reuse distance within the cache size.
+    Conflict,
+    /// The causal eviction deviated from LRU — the policy chose this cost.
+    PolicyInduced,
+    /// The miss belongs to a killed speculative read's CTR re-issue.
+    SpecKill,
+}
+
+impl MissClass {
+    /// Stable snake_case name, used as the JSON key.
+    pub const fn name(self) -> &'static str {
+        match self {
+            MissClass::Cold => "cold",
+            MissClass::Capacity => "capacity",
+            MissClass::Conflict => "conflict",
+            MissClass::PolicyInduced => "policy_induced",
+            MissClass::SpecKill => "spec_kill",
+        }
+    }
+
+    /// Every class, in report order.
+    pub const ALL: [MissClass; 5] = [
+        MissClass::Cold,
+        MissClass::Capacity,
+        MissClass::Conflict,
+        MissClass::PolicyInduced,
+        MissClass::SpecKill,
+    ];
+}
+
+/// The eviction a miss was traced back to.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CauseLink {
+    /// `seq` of the CtrEvict event (join back into the raw stream).
+    pub evict_seq: u64,
+    /// Access-clock distance from the victim's last touch to the miss —
+    /// the reuse gap the cache failed to cover.
+    pub reuse_gap: u64,
+    /// Whether the eviction forced a writeback.
+    pub dirty: bool,
+    /// Whether the eviction deviated from strict LRU.
+    pub lru_deviated: bool,
+    /// The RL decision that steered the eviction, when one did.
+    pub rl: Option<cosmos_telemetry::recorder::RlDecisionInfo>,
+}
+
+/// One sampled CTR miss with its causal classification.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AttributedMiss {
+    /// `seq` of the CtrAccess event.
+    pub seq: u64,
+    /// Cache set of the access.
+    pub set: u32,
+    /// The missing counter line.
+    pub line: u64,
+    /// Access-clock stamp of the miss.
+    pub at: u64,
+    /// Whether it was a write (counter bump) access.
+    pub write: bool,
+    /// The causal class.
+    pub class: MissClass,
+    /// The eviction evidence (`None` exactly for cold misses; spec-kill
+    /// misses keep their link when one exists, for completeness).
+    pub cause: Option<CauseLink>,
+}
+
+/// Per-class miss counts. The conservation law says these sum to the
+/// stream's sampled miss count, exactly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// Misses with no visible prior eviction.
+    pub cold: u64,
+    /// LRU-faithful evictions with out-of-cache reuse distance.
+    pub capacity: u64,
+    /// LRU-faithful evictions with in-cache reuse distance.
+    pub conflict: u64,
+    /// Evictions where the policy deviated from LRU.
+    pub policy_induced: u64,
+    /// Misses on the killed-speculation re-issue path.
+    pub spec_kill: u64,
+}
+
+impl ClassCounts {
+    /// The count for one class.
+    pub const fn get(&self, class: MissClass) -> u64 {
+        match class {
+            MissClass::Cold => self.cold,
+            MissClass::Capacity => self.capacity,
+            MissClass::Conflict => self.conflict,
+            MissClass::PolicyInduced => self.policy_induced,
+            MissClass::SpecKill => self.spec_kill,
+        }
+    }
+
+    fn bump(&mut self, class: MissClass) {
+        match class {
+            MissClass::Cold => self.cold += 1,
+            MissClass::Capacity => self.capacity += 1,
+            MissClass::Conflict => self.conflict += 1,
+            MissClass::PolicyInduced => self.policy_induced += 1,
+            MissClass::SpecKill => self.spec_kill += 1,
+        }
+    }
+
+    /// Sum over every class.
+    pub const fn total(&self) -> u64 {
+        self.cold + self.capacity + self.conflict + self.policy_induced + self.spec_kill
+    }
+
+    /// JSON object keyed by [`MissClass::name`].
+    pub fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        for c in MissClass::ALL {
+            m.insert(c.name(), json!(self.get(c)));
+        }
+        Value::Object(m)
+    }
+}
+
+/// The attribution result for one recorder stream.
+#[derive(Clone, Debug)]
+pub struct StreamAttribution {
+    /// Stream label (grid-job label, e.g. `bfs/COSMOS-CP`).
+    pub label: String,
+    /// Recorder bookkeeping for the stream (candidates, losses, rate).
+    pub recorder: RecorderStats,
+    /// Sampled CTR accesses seen in the ring.
+    pub sampled_accesses: u64,
+    /// Sampled CTR hits.
+    pub sampled_hits: u64,
+    /// Sampled CTR misses (== `counts.total()`, the conservation law).
+    pub sampled_misses: u64,
+    /// Eviction events seen in the ring.
+    pub evictions: u64,
+    /// Per-class attribution counts.
+    pub counts: ClassCounts,
+    /// Every attributed miss, in `seq` order.
+    pub misses: Vec<AttributedMiss>,
+}
+
+impl StreamAttribution {
+    /// The conservation law: every sampled miss landed in exactly one
+    /// class. Holds by construction; exposed so reports can assert it.
+    pub fn conservation_holds(&self) -> bool {
+        self.counts.total() == self.sampled_misses
+            && self.misses.len() as u64 == self.sampled_misses
+    }
+
+    /// Miss rate over the *sampled* accesses (an unbiased estimate of the
+    /// true CTR miss rate when dense sampling is uniform).
+    pub fn sampled_miss_rate(&self) -> f64 {
+        cosmos_common::stats::ratio(self.sampled_misses, self.sampled_accesses)
+    }
+
+    /// The structured report for this stream. Keeps at most
+    /// `exemplars_per_class` fully-linked example misses per class (in
+    /// `seq` order) so reports stay bounded; counts always cover every
+    /// miss. Wall-clock timestamps are deliberately excluded — everything
+    /// here is deterministic across runs and `--jobs`.
+    pub fn to_json(&self, exemplars_per_class: usize) -> Value {
+        let mut exemplars = Map::new();
+        for c in MissClass::ALL {
+            let picked: Vec<Value> = self
+                .misses
+                .iter()
+                .filter(|m| m.class == c)
+                .take(exemplars_per_class)
+                .map(miss_json)
+                .collect();
+            exemplars.insert(c.name(), Value::Array(picked));
+        }
+        json!({
+            "stream": (self.label.clone()),
+            "recorder": (json!({
+                "candidates": (self.recorder.candidates),
+                "recorded": (self.recorder.recorded),
+                "overwritten": (self.recorder.overwritten),
+                "sample_every": (self.recorder.sample_every),
+            })),
+            "sampled": (json!({
+                "accesses": (self.sampled_accesses),
+                "hits": (self.sampled_hits),
+                "misses": (self.sampled_misses),
+                "evictions": (self.evictions),
+            })),
+            "classes": (self.counts.to_json()),
+            "conservation": (self.conservation_holds()),
+            "exemplars": (Value::Object(exemplars)),
+        })
+    }
+}
+
+fn miss_json(m: &AttributedMiss) -> Value {
+    let cause = match &m.cause {
+        Some(c) => {
+            let rl = match &c.rl {
+                Some(d) => json!({
+                    "id": (d.id),
+                    "q_good": (f64::from(d.q_good)),
+                    "q_bad": (f64::from(d.q_bad)),
+                    "reward": (f64::from(d.reward)),
+                }),
+                None => Value::Null,
+            };
+            json!({
+                "evict_seq": (c.evict_seq),
+                "reuse_gap": (c.reuse_gap),
+                "dirty": (c.dirty),
+                "lru_deviated": (c.lru_deviated),
+                "rl": (rl),
+            })
+        }
+        None => Value::Null,
+    };
+    json!({
+        "seq": (m.seq),
+        "set": (m.set),
+        "line": (m.line),
+        "at": (m.at),
+        "write": (m.write),
+        "class": (m.class.name()),
+        "cause": (cause),
+    })
+}
+
+struct EvictRecord {
+    seq: u64,
+    info: EvictInfo,
+}
+
+/// Attributes one stream's events. `total_cache_lines` is the CTR cache's
+/// capacity in lines — the conflict/capacity boundary: an LRU-faithful
+/// eviction whose reuse gap fits within one cache-worth of accesses is a
+/// conflict miss (a fully associative cache would have kept the line),
+/// anything longer is capacity.
+///
+/// Events must be in `seq` order, which is how
+/// `Telemetry::recorder_streams` hands them out.
+pub fn attribute_stream(
+    label: &str,
+    events: &[TimedEvent],
+    recorder: RecorderStats,
+    total_cache_lines: u64,
+) -> StreamAttribution {
+    let mut out = StreamAttribution {
+        label: label.to_string(),
+        recorder,
+        sampled_accesses: 0,
+        sampled_hits: 0,
+        sampled_misses: 0,
+        evictions: 0,
+        counts: ClassCounts::default(),
+        misses: Vec::new(),
+    };
+    // line -> its most recent eviction still standing (not yet refilled).
+    let mut evicted: BTreeMap<u64, EvictRecord> = BTreeMap::new();
+    for te in events {
+        match &te.event {
+            Event::CtrEvict(info) => {
+                out.evictions += 1;
+                evicted.insert(
+                    info.victim_line,
+                    EvictRecord {
+                        seq: te.seq,
+                        info: *info,
+                    },
+                );
+            }
+            Event::CtrAccess(info) => {
+                out.sampled_accesses += 1;
+                if info.hit {
+                    out.sampled_hits += 1;
+                    // A hit means the line is resident: any standing
+                    // eviction record was consumed by a refill whose miss
+                    // fell out of the dense sample. Drop it so a later
+                    // miss doesn't link to a stale cause.
+                    evicted.remove(&info.line);
+                    continue;
+                }
+                out.sampled_misses += 1;
+                let cause_rec = evicted.remove(&info.line);
+                let cause = cause_rec.as_ref().map(|r| CauseLink {
+                    evict_seq: r.seq,
+                    // The clock is monotone, but the eviction may have
+                    // been re-recorded around a ring wrap; saturate
+                    // rather than trust unbounded history.
+                    reuse_gap: info.at.saturating_sub(r.info.last_touch_at),
+                    dirty: r.info.dirty,
+                    lru_deviated: r.info.lru_deviated,
+                    rl: r.info.rl,
+                });
+                let class = if info.spec_kill {
+                    MissClass::SpecKill
+                } else {
+                    match &cause {
+                        None => MissClass::Cold,
+                        Some(c) if c.lru_deviated => MissClass::PolicyInduced,
+                        Some(c) if c.reuse_gap <= total_cache_lines => MissClass::Conflict,
+                        Some(_) => MissClass::Capacity,
+                    }
+                };
+                out.counts.bump(class);
+                out.misses.push(AttributedMiss {
+                    seq: te.seq,
+                    set: info.set,
+                    line: info.line,
+                    at: info.at,
+                    write: info.write,
+                    class,
+                    cause,
+                });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Attributes every non-empty stream from
+/// `Telemetry::recorder_streams()` output. Streams with zero candidate
+/// events (e.g. the root stream of a scoped run) are skipped.
+pub fn attribute_streams(
+    streams: &[(String, Vec<TimedEvent>, RecorderStats)],
+    total_cache_lines: u64,
+) -> Vec<StreamAttribution> {
+    streams
+        .iter()
+        .filter(|(_, _, stats)| stats.candidates > 0)
+        .map(|(label, events, stats)| attribute_stream(label, events, *stats, total_cache_lines))
+        .collect()
+}
+
+/// One line asserting the conservation law for a report, grep-friendly:
+/// `conservation <label>: cold+capacity+conflict+policy_induced+spec_kill
+/// = N sampled misses (ok)`.
+pub fn conservation_line(a: &StreamAttribution) -> String {
+    format!(
+        "conservation {}: {}+{}+{}+{}+{} = {} sampled misses ({})",
+        a.label,
+        a.counts.cold,
+        a.counts.capacity,
+        a.counts.conflict,
+        a.counts.policy_induced,
+        a.counts.spec_kill,
+        a.sampled_misses,
+        if a.conservation_holds() {
+            "ok"
+        } else {
+            "VIOLATED"
+        }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmos_telemetry::recorder::{AccessInfo, RlDecisionInfo};
+
+    fn stats(candidates: u64) -> RecorderStats {
+        RecorderStats {
+            recorded: candidates,
+            overwritten: 0,
+            candidates,
+            sample_every: 1,
+        }
+    }
+
+    fn access(seq: u64, line: u64, at: u64, hit: bool, spec_kill: bool) -> TimedEvent {
+        TimedEvent {
+            seq,
+            ts_us: 0,
+            stream: 0,
+            event: Event::CtrAccess(AccessInfo {
+                set: (line % 4) as u32,
+                line,
+                at,
+                hit,
+                write: false,
+                spec_kill,
+            }),
+        }
+    }
+
+    fn evict(seq: u64, victim: u64, last_touch_at: u64, at: u64, deviated: bool) -> TimedEvent {
+        TimedEvent {
+            seq,
+            ts_us: 0,
+            stream: 0,
+            event: Event::CtrEvict(EvictInfo {
+                set: (victim % 4) as u32,
+                victim_line: victim,
+                dirty: false,
+                fill_at: last_touch_at.saturating_sub(1),
+                last_touch_at,
+                at,
+                lru_deviated: deviated,
+                rl: None,
+            }),
+        }
+    }
+
+    #[test]
+    fn classifies_all_five_ways_and_conserves() {
+        let events = vec![
+            access(0, 1, 1, false, false),   // cold: never evicted
+            evict(1, 2, 1, 10, false),       // LRU-faithful, short gap
+            access(2, 2, 12, false, false),  // conflict: gap 11 <= 64
+            evict(3, 3, 5, 20, false),       // LRU-faithful, long gap
+            access(4, 3, 500, false, false), // capacity: gap 495 > 64
+            evict(5, 4, 30, 40, true),       // policy deviated from LRU
+            access(6, 4, 50, false, false),  // policy-induced
+            access(7, 5, 60, false, true),   // spec-kill flagged
+        ];
+        let a = attribute_stream("t", &events, stats(8), 64);
+        assert_eq!(a.counts.cold, 1);
+        assert_eq!(a.counts.conflict, 1);
+        assert_eq!(a.counts.capacity, 1);
+        assert_eq!(a.counts.policy_induced, 1);
+        assert_eq!(a.counts.spec_kill, 1);
+        assert_eq!(a.sampled_misses, 5);
+        assert!(a.conservation_holds());
+        assert!(conservation_line(&a).contains("= 5 sampled misses (ok)"));
+    }
+
+    #[test]
+    fn miss_consumes_the_eviction_record() {
+        // One eviction must explain at most one miss: after the refill,
+        // a second miss on the same line (evicted again, unrecorded ring
+        // loss aside) without a fresh evict event is cold.
+        let events = vec![
+            evict(0, 7, 1, 2, false),
+            access(1, 7, 10, false, false),
+            access(2, 7, 20, false, false),
+        ];
+        let a = attribute_stream("t", &events, stats(3), 64);
+        assert_eq!(a.counts.conflict, 1);
+        assert_eq!(a.counts.cold, 1);
+        assert!(a.conservation_holds());
+    }
+
+    #[test]
+    fn hit_invalidates_stale_eviction_record() {
+        // The refilling miss fell out of the dense sample, but a later
+        // hit proves residency — the old eviction must not be blamed for
+        // the miss after the *next* (unrecorded) eviction.
+        let events = vec![
+            evict(0, 9, 1, 2, true),
+            access(1, 9, 10, true, false),  // resident again
+            access(2, 9, 30, false, false), // must be cold, not policy
+        ];
+        let a = attribute_stream("t", &events, stats(3), 64);
+        assert_eq!(a.counts.policy_induced, 0);
+        assert_eq!(a.counts.cold, 1);
+    }
+
+    #[test]
+    fn rl_decision_rides_the_cause_link() {
+        let mut ev = evict(0, 5, 1, 2, true);
+        if let Event::CtrEvict(info) = &mut ev.event {
+            info.rl = Some(RlDecisionInfo {
+                id: 42,
+                q_good: 1.5,
+                q_bad: -0.5,
+                reward: 2.0,
+            });
+        }
+        let events = vec![ev, access(1, 5, 10, false, false)];
+        let a = attribute_stream("t", &events, stats(2), 64);
+        let cause = a.misses[0]
+            .cause
+            .expect("attributed miss keeps its causal eviction");
+        let rl = cause.rl.expect("RL decision must survive the walk");
+        assert_eq!(rl.id, 42);
+        assert_eq!(a.counts.policy_induced, 1);
+        let v = a.to_json(4);
+        let text = v.pretty();
+        assert!(text.contains("\"policy_induced\""), "{text}");
+        assert!(text.contains("\"id\": 42"), "{text}");
+    }
+
+    #[test]
+    fn empty_streams_are_skipped() {
+        let streams = vec![
+            ("main".to_string(), Vec::new(), stats(0)),
+            (
+                "job".to_string(),
+                vec![access(0, 1, 1, false, false)],
+                stats(1),
+            ),
+        ];
+        let out = attribute_streams(&streams, 64);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].label, "job");
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let events = vec![
+            evict(0, 2, 1, 2, false),
+            access(1, 2, 10, false, false),
+            access(2, 3, 11, false, true),
+        ];
+        let a = attribute_stream("t", &events, stats(3), 64);
+        let b = attribute_stream("t", &events, stats(3), 64);
+        assert_eq!(a.to_json(8).pretty(), b.to_json(8).pretty());
+    }
+}

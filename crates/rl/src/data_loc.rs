@@ -92,21 +92,17 @@ impl DataLocationStats {
         })
     }
 
-    /// Counts accumulated since `baseline` (saturating per field), for
-    /// warmup-excluding measurement windows. Debug builds assert that no
-    /// field went backwards — actual saturation means a counter reset.
-    pub const fn since(&self, baseline: &DataLocationStats) -> DataLocationStats {
-        debug_assert!(self.correct_onchip >= baseline.correct_onchip);
-        debug_assert!(self.correct_offchip >= baseline.correct_offchip);
-        debug_assert!(self.wrong_offchip >= baseline.wrong_offchip);
-        debug_assert!(self.wrong_onchip >= baseline.wrong_onchip);
+    /// Counts accumulated since `baseline`, for warmup-excluding
+    /// measurement windows. Each subtraction is checked in every build
+    /// profile (`cosmos_common::stats::window_sub`): a field that went
+    /// backwards means a counter reset, and the window would be garbage.
+    pub fn since(&self, baseline: &DataLocationStats) -> DataLocationStats {
+        use cosmos_common::stats::window_sub;
         DataLocationStats {
-            correct_onchip: self.correct_onchip.saturating_sub(baseline.correct_onchip),
-            correct_offchip: self
-                .correct_offchip
-                .saturating_sub(baseline.correct_offchip),
-            wrong_offchip: self.wrong_offchip.saturating_sub(baseline.wrong_offchip),
-            wrong_onchip: self.wrong_onchip.saturating_sub(baseline.wrong_onchip),
+            correct_onchip: window_sub(self.correct_onchip, baseline.correct_onchip),
+            correct_offchip: window_sub(self.correct_offchip, baseline.correct_offchip),
+            wrong_offchip: window_sub(self.wrong_offchip, baseline.wrong_offchip),
+            wrong_onchip: window_sub(self.wrong_onchip, baseline.wrong_onchip),
         }
     }
 }
@@ -366,7 +362,7 @@ mod tests {
     fn snapshot_restores_predictor_exactly() {
         let mut live = predictor(0.3);
         let mut rng = cosmos_common::SplitMix64::new(0xDA7A);
-        let mut drive = |p: &mut DataLocationPredictor, rng: &mut cosmos_common::SplitMix64| {
+        let drive = |p: &mut DataLocationPredictor, rng: &mut cosmos_common::SplitMix64| {
             let a = PhysAddr::new(rng.next_index(4096) as u64 * 64);
             let pred = p.predict(a);
             let actual = if rng.chance(0.5) {

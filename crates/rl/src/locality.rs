@@ -66,13 +66,24 @@ impl Locality {
 }
 
 /// The outcome of one prediction: classification plus the 8-bit score the
-/// LCR-CTR cache stores next to the line.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// LCR-CTR cache stores next to the line, and the evidence behind the
+/// decision (Q-pair at decision time, the reward applied) so eviction
+/// events can be traced back to the RL state that produced them.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LocalityDecision {
     /// Predicted locality.
     pub locality: Locality,
     /// Quantized confidence score (|Q| of the chosen action).
     pub score: u8,
+    /// Decision ordinal: the predictor's 0-based prediction count when
+    /// this classification was made. Unique per predictor instance.
+    pub id: u64,
+    /// Q-value of the Good action at decision time (before TD updates).
+    pub q_good: f32,
+    /// Q-value of the Bad action at decision time (before TD updates).
+    pub q_bad: f32,
+    /// Reward applied by Algorithm 1 for this decision.
+    pub reward: f32,
 }
 
 /// Counters for the locality predictor (feeds paper Figures 9 and 13).
@@ -124,21 +135,18 @@ impl CtrLocalityStats {
         })
     }
 
-    /// Counts accumulated since `baseline` (saturating per field), for
-    /// warmup-excluding measurement windows. Debug builds assert that no
-    /// field went backwards — actual saturation means a counter reset.
-    pub const fn since(&self, baseline: &CtrLocalityStats) -> CtrLocalityStats {
-        debug_assert!(self.predictions >= baseline.predictions);
-        debug_assert!(self.predicted_good >= baseline.predicted_good);
-        debug_assert!(self.cet_hits >= baseline.cet_hits);
-        debug_assert!(self.cet_evictions >= baseline.cet_evictions);
-        debug_assert!(self.agreements >= baseline.agreements);
+    /// Counts accumulated since `baseline`, for warmup-excluding
+    /// measurement windows. Each subtraction is checked in every build
+    /// profile (`cosmos_common::stats::window_sub`): a field that went
+    /// backwards means a counter reset, and the window would be garbage.
+    pub fn since(&self, baseline: &CtrLocalityStats) -> CtrLocalityStats {
+        use cosmos_common::stats::window_sub;
         CtrLocalityStats {
-            predictions: self.predictions.saturating_sub(baseline.predictions),
-            predicted_good: self.predicted_good.saturating_sub(baseline.predicted_good),
-            cet_hits: self.cet_hits.saturating_sub(baseline.cet_hits),
-            cet_evictions: self.cet_evictions.saturating_sub(baseline.cet_evictions),
-            agreements: self.agreements.saturating_sub(baseline.agreements),
+            predictions: window_sub(self.predictions, baseline.predictions),
+            predicted_good: window_sub(self.predicted_good, baseline.predicted_good),
+            cet_hits: window_sub(self.cet_hits, baseline.cet_hits),
+            cet_evictions: window_sub(self.cet_evictions, baseline.cet_evictions),
+            agreements: window_sub(self.agreements, baseline.agreements),
         }
     }
 }
@@ -241,10 +249,14 @@ impl CtrLocalityPredictor {
     /// [`QTable::update_toward`] so the table is never re-indexed.
     // cosmos-lint: hot
     pub fn classify(&mut self, ctr_line: LineAddr) -> LocalityDecision {
+        let id = self.stats.predictions;
         self.stats.predictions += 1;
         let s = self.state_of(ctr_line);
 
-        // Decision (lines 3-8).
+        // Decision (lines 3-8). The Q-pair is captured *before* the TD
+        // updates below: it is the evidence the decision was made on, not
+        // the post-training values.
+        let [q_bad, q_good] = self.qtable.pair(s);
         let action = if self.rng.chance(self.params.epsilon as f64) {
             Locality::from_action(self.rng.next_index(2))
         } else {
@@ -273,7 +285,8 @@ impl CtrLocalityPredictor {
             }
         };
 
-        self.telemetry.rl_ctr_action(action.is_good(), r);
+        self.telemetry
+            .rl_ctr_action(id, action.is_good(), r, q_good, q_bad);
 
         // Bootstrap on CET.head (lines 16-17).
         let boot = match self.cet.head() {
@@ -318,6 +331,10 @@ impl CtrLocalityPredictor {
             // score, so spending the 8-bit range on the occupied band
             // sharpens the ranking at zero hardware cost.
             score: (q_sel.abs() * 4.0).clamp(0.0, 255.0) as u8,
+            id,
+            q_good,
+            q_bad,
+            reward: r,
         }
     }
 
@@ -390,6 +407,10 @@ mod tests {
         let mut last = LocalityDecision {
             locality: Locality::Good,
             score: 0,
+            id: 0,
+            q_good: 0.0,
+            q_bad: 0.0,
+            reward: 0.0,
         };
         for i in 0..2000u64 {
             last = p.classify(ctr(1000 + i));

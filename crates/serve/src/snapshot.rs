@@ -295,7 +295,7 @@ mod tests {
             let mut broken = Map::new();
             for (k, v) in o.iter() {
                 if k != field {
-                    broken.insert(k.clone(), v.clone());
+                    broken.insert(k, v.clone());
                 }
             }
             let err = SimSnapshot::from_json(&Value::Object(broken)).unwrap_err();

@@ -31,11 +31,36 @@ fn uints(values: &[u32]) -> Value {
 
 fn event_args(ev: &Event) -> Value {
     match *ev {
-        Event::CtrAccess { set, hit, write } => json!({
-            "set": set, "hit": hit, "write": write,
+        Event::CtrAccess(info) => json!({
+            "set": (info.set), "line": (info.line), "at": (info.at),
+            "hit": (info.hit), "write": (info.write),
+            "spec_kill": (info.spec_kill),
         }),
-        Event::CtrEvict { set, dirty } => json!({ "set": set, "dirty": dirty }),
-        Event::RlCtrAction { good, reward } => json!({ "good": good, "reward": reward }),
+        Event::CtrEvict(info) => {
+            let rl = match info.rl {
+                Some(d) => json!({
+                    "id": (d.id), "q_good": (d.q_good), "q_bad": (d.q_bad),
+                    "reward": (d.reward),
+                }),
+                None => Value::Null,
+            };
+            json!({
+                "set": (info.set), "victim_line": (info.victim_line),
+                "dirty": (info.dirty), "fill_at": (info.fill_at),
+                "last_touch_at": (info.last_touch_at), "at": (info.at),
+                "lru_deviated": (info.lru_deviated), "rl": rl,
+            })
+        }
+        Event::RlCtrAction {
+            id,
+            good,
+            reward,
+            q_good,
+            q_bad,
+        } => json!({
+            "id": id, "good": good, "reward": reward,
+            "q_good": q_good, "q_bad": q_bad,
+        }),
         Event::RlDataAction { offchip, correct } => json!({
             "offchip": offchip, "correct": correct,
         }),
@@ -231,33 +256,66 @@ mod tests {
         let phases = vec![span("trace_gen", 0, 0, 50), span("sim", 1, 60, 1000)];
         let events = vec![
             TimedEvent {
+                seq: 0,
                 ts_us: 70,
                 stream: 1,
-                event: Event::CtrAccess {
+                event: Event::CtrAccess(crate::recorder::AccessInfo {
                     set: 3,
+                    line: 42,
+                    at: 9,
                     hit: false,
                     write: true,
-                },
+                    spec_kill: false,
+                }),
             },
             TimedEvent {
+                seq: 1,
                 ts_us: 80,
                 stream: 1,
                 event: Event::RlCtrAction {
+                    id: 17,
                     good: true,
                     reward: 1.5,
+                    q_good: 0.5,
+                    q_bad: -0.25,
                 },
+            },
+            TimedEvent {
+                seq: 2,
+                ts_us: 90,
+                stream: 1,
+                event: Event::CtrEvict(crate::recorder::EvictInfo {
+                    set: 3,
+                    victim_line: 40,
+                    dirty: true,
+                    fill_at: 2,
+                    last_touch_at: 5,
+                    at: 9,
+                    lru_deviated: true,
+                    rl: Some(crate::recorder::RlDecisionInfo {
+                        id: 17,
+                        q_good: 0.5,
+                        q_bad: -0.25,
+                        reward: 1.5,
+                    }),
+                }),
             },
         ];
         let labels = vec!["main".to_string(), "fig02/np/graph500".to_string()];
         let doc = chrome_trace(&phases, &events, &labels);
         assert!(is_valid_chrome_trace(&doc));
-        // 1 process_name + 2 thread_name + 2 phases + 2 events.
-        assert_eq!(doc.as_array().unwrap().len(), 7);
+        // 1 process_name + 2 thread_name + 2 phases + 3 events.
+        assert_eq!(doc.as_array().unwrap().len(), 8);
         let text = doc.to_string();
         assert!(text.starts_with('[') && text.ends_with(']'));
         assert!(text.contains("\"ph\":\"X\""));
         assert!(text.contains("\"ph\":\"i\""));
         assert!(text.contains("\"dur\":1000"));
+        // The richer payloads survive into args.
+        assert!(text.contains("\"victim_line\":40"));
+        assert!(text.contains("\"lru_deviated\":true"));
+        assert!(text.contains("\"spec_kill\":false"));
+        assert!(text.contains("\"id\":17"));
     }
 
     #[test]

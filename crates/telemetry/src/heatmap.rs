@@ -172,6 +172,33 @@ mod tests {
     }
 
     #[test]
+    fn odd_window_count_merges_without_losing_the_tail() {
+        // max_windows 2: the third close triggers a merge over an odd
+        // window count — the unpaired trailing window must survive
+        // verbatim, not be dropped or double-counted.
+        let mut h = CtrHeatmap::new(2, 2, 2);
+        h.record(0, false, false);
+        h.record(0, true, false); // window 1: set0 = 2 accesses, 1 miss
+        h.record(1, false, false);
+        h.record(1, false, false); // window 2: set1 = 2 accesses, 2 misses
+        h.record(0, false, true);
+        h.record(1, true, false); // window 3 closes → 3 > 2 → merge
+        assert_eq!(h.windows().len(), 2);
+        assert_eq!(h.window_len(), 4);
+        // Pair (w1, w2) merged; w3 is the odd tail, kept as-is.
+        assert_eq!(h.windows()[0].end_access, 4);
+        assert_eq!(h.windows()[0].accesses, vec![2, 2]);
+        assert_eq!(h.windows()[0].misses, vec![1, 2]);
+        assert_eq!(h.windows()[1].end_access, 6);
+        assert_eq!(h.windows()[1].accesses, vec![1, 1]);
+        assert_eq!(h.windows()[1].misses, vec![1, 0]);
+        assert_eq!(h.windows()[1].occupancy, vec![1, 0]);
+        // Conservation across the merge.
+        let total: u32 = h.windows().iter().flat_map(|w| &w.accesses).sum();
+        assert_eq!(total as u64, h.total_accesses());
+    }
+
+    #[test]
     fn merging_bounds_memory_and_doubles_window_len() {
         let mut h = CtrHeatmap::new(2, 1, 4);
         for i in 0..64 {

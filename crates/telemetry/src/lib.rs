@@ -28,7 +28,6 @@ pub mod recorder;
 use std::fmt;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -38,14 +37,21 @@ use export::RecorderStats;
 use heatmap::CtrHeatmap;
 use metrics::{Counter, Histogram, Registry};
 use phase::{PhaseGuard, PhaseGuardInner, PhaseSpan};
-use recorder::{Event, FlightRecorder, TimedEvent};
+use recorder::{AccessInfo, Event, EvictInfo, StreamRecorder, TimedEvent};
 
 /// Tuning knobs for an enabled telemetry pipeline.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TelemetryConfig {
-    /// Record every Nth candidate event into the flight recorder.
+    /// Record every Nth *dense* candidate event (accesses, DRAM, Merkle
+    /// walks, RL actions) into the flight recorder.
     pub sample_every: u64,
-    /// Flight-recorder capacity in events.
+    /// Record every Nth *rare* candidate event (CTR evictions,
+    /// speculation issue/kill). Rare events are orders of magnitude less
+    /// frequent than dense ones; sampling them at the dense rate would
+    /// all but erase them, so they get their own stratum (default: keep
+    /// every one).
+    pub rare_sample_every: u64,
+    /// Per-stream flight-recorder capacity in events.
     pub recorder_capacity: usize,
     /// CTR accesses per heatmap window.
     pub heatmap_window: u64,
@@ -57,6 +63,7 @@ impl Default for TelemetryConfig {
     fn default() -> Self {
         Self {
             sample_every: 64,
+            rare_sample_every: 1,
             recorder_capacity: 1 << 16,
             heatmap_window: 8192,
             heatmap_max_windows: 256,
@@ -67,6 +74,7 @@ impl Default for TelemetryConfig {
 struct StreamEntry {
     label: String,
     heatmap: Option<Arc<Mutex<CtrHeatmap>>>,
+    recorder: Arc<Mutex<StreamRecorder>>,
 }
 
 /// Metric handles used by the built-in hooks, resolved once at
@@ -88,6 +96,7 @@ struct HotMetrics {
     dram_accesses: Counter,
     dram_row_hits: Counter,
     dram_queue_delay: Histogram,
+    dram_queue_clamped: Counter,
 }
 
 impl HotMetrics {
@@ -115,6 +124,7 @@ impl HotMetrics {
             dram_accesses: reg.counter("dram.accesses"),
             dram_row_hits: reg.counter("dram.row_hits"),
             dram_queue_delay: reg.histogram("dram.queue_delay_cycles"),
+            dram_queue_clamped: reg.counter("sim.dram.queue_clamped"),
         }
     }
 }
@@ -124,8 +134,6 @@ struct Shared {
     dir: Option<PathBuf>,
     epoch: Instant,
     registry: Registry,
-    recorder: Mutex<FlightRecorder>,
-    event_seq: AtomicU64,
     phases: Arc<Mutex<Vec<PhaseSpan>>>,
     streams: Mutex<Vec<StreamEntry>>,
     hot: HotMetrics,
@@ -143,6 +151,7 @@ pub struct Telemetry {
     shared: Option<Arc<Shared>>,
     stream: u16,
     heatmap: Option<Arc<Mutex<CtrHeatmap>>>,
+    recorder: Option<Arc<Mutex<StreamRecorder>>>,
 }
 
 impl fmt::Debug for Telemetry {
@@ -210,24 +219,24 @@ impl Telemetry {
         }
         let registry = Registry::new();
         let hot = HotMetrics::resolve(&registry);
-        let recorder = Mutex::new(FlightRecorder::new(config.recorder_capacity));
+        let recorder = Arc::new(Mutex::new(StreamRecorder::new(config.recorder_capacity)));
         Ok(Self {
             shared: Some(Arc::new(Shared {
                 config,
                 dir,
                 epoch: Instant::now(),
                 registry,
-                recorder,
-                event_seq: AtomicU64::new(0),
                 phases: Arc::new(Mutex::new(Vec::new())),
                 streams: Mutex::new(vec![StreamEntry {
                     label: "main".to_string(),
                     heatmap: None,
+                    recorder: Arc::clone(&recorder),
                 }]),
                 hot,
             })),
             stream: 0,
             heatmap: None,
+            recorder: Some(recorder),
         })
     }
 
@@ -259,14 +268,17 @@ impl Telemetry {
         let mut streams = sh.streams.lock().expect("telemetry mutex poisoned");
         assert!(streams.len() <= usize::from(u16::MAX), "too many streams");
         let id = streams.len() as u16;
+        let recorder = Arc::new(Mutex::new(StreamRecorder::new(sh.config.recorder_capacity)));
         streams.push(StreamEntry {
             label: label.to_string(),
             heatmap: None,
+            recorder: Arc::clone(&recorder),
         });
         Telemetry {
             shared: Some(Arc::clone(sh)),
             stream: id,
             heatmap: None,
+            recorder: Some(recorder),
         }
     }
 
@@ -286,32 +298,44 @@ impl Telemetry {
         }
     }
 
-    /// Applies the sampling rate and, for survivors, timestamps and
-    /// records the event. `make` runs only for sampled-in events.
+    /// Applies the per-stratum sampling rate and, for survivors, stamps
+    /// and records the event in this stream's ring. `make` runs only for
+    /// sampled-in events. `rare` picks the stratum — callers pass it
+    /// statically per hook so sampled-out dense events stay one branch, a
+    /// lock of an uncontended per-stream mutex, and two counter bumps.
     #[inline]
-    fn record_event(&self, make: impl FnOnce() -> Event) {
+    fn record_event(&self, rare: bool, make: impl FnOnce() -> Event) {
         let Some(sh) = &self.shared else { return };
-        let seq = sh.event_seq.fetch_add(1, Ordering::Relaxed);
-        if seq % sh.config.sample_every != 0 {
-            return;
-        }
-        let ev = TimedEvent {
-            ts_us: sh.epoch.elapsed().as_micros() as u64,
-            stream: self.stream,
-            event: make(),
+        let Some(rec) = &self.recorder else { return };
+        let every = if rare {
+            sh.config.rare_sample_every
+        } else {
+            sh.config.sample_every
         };
-        sh.recorder
-            .lock()
-            .expect("telemetry mutex poisoned")
-            .push(ev);
+        let mut rec = rec.lock().expect("telemetry mutex poisoned");
+        if let Some(seq) = rec.admit(rare, every) {
+            let ev = TimedEvent {
+                seq,
+                ts_us: sh.epoch.elapsed().as_micros() as u64,
+                stream: self.stream,
+                event: make(),
+            };
+            rec.push(ev);
+        }
     }
 
     // ---- component hooks -------------------------------------------------
 
     /// Sizes this stream's per-set CTR heatmap. Called by the secure path
-    /// once it knows its CTR-cache geometry; no-op when disabled.
+    /// once it knows its CTR-cache geometry; no-op when disabled or when
+    /// the geometry is degenerate (`sets == 0` — e.g. a design with no
+    /// CTR cache), so callers never trip the heatmap's positive-set
+    /// invariant.
     pub fn ctr_heatmap_init(&mut self, sets: usize) {
         let Some(sh) = &self.shared else { return };
+        if sets == 0 {
+            return;
+        }
         let map = Arc::new(Mutex::new(CtrHeatmap::new(
             sets,
             sh.config.heatmap_window,
@@ -323,46 +347,49 @@ impl Telemetry {
     }
 
     /// One demand CTR-cache access. `grew` flags a miss that filled a
-    /// previously invalid way (per-set occupancy +1).
+    /// previously invalid way (per-set occupancy +1); it feeds the
+    /// heatmap only, the rest of `info` feeds the flight recorder.
     #[inline]
-    pub fn ctr_access(&self, set: usize, hit: bool, write: bool, grew: bool) {
+    pub fn ctr_access(&self, info: AccessInfo, grew: bool) {
         if self.shared.is_none() {
             return;
         }
         if let Some(h) = &self.heatmap {
             h.lock()
                 .expect("telemetry mutex poisoned")
-                .record(set, hit, grew);
+                .record(info.set as usize, info.hit, grew);
         }
-        self.record_event(|| Event::CtrAccess {
-            set: set as u32,
-            hit,
-            write,
-        });
+        self.record_event(false, || Event::CtrAccess(info));
     }
 
-    /// One CTR-cache eviction (counters live in `cache.ctr.*`).
+    /// One CTR-cache eviction (counters live in `cache.ctr.*`; the full
+    /// victim provenance — tag, fill/touch stamps, policy deviation, RL
+    /// decision — rides in the rare-stratum event for the explain pass).
     #[inline]
-    pub fn ctr_evict(&self, set: usize, dirty: bool) {
+    pub fn ctr_evict(&self, info: EvictInfo) {
         if self.shared.is_none() {
             return;
         }
-        self.record_event(|| Event::CtrEvict {
-            set: set as u32,
-            dirty,
-        });
+        self.record_event(true, || Event::CtrEvict(info));
     }
 
-    /// One CTR-locality RL decision and its reward.
+    /// One CTR-locality RL decision: its id, chosen action, reward, and
+    /// the Q-pair the choice was made from.
     #[inline]
-    pub fn rl_ctr_action(&self, good: bool, reward: f32) {
+    pub fn rl_ctr_action(&self, id: u64, good: bool, reward: f32, q_good: f32, q_bad: f32) {
         let Some(sh) = &self.shared else { return };
         if good {
             sh.hot.rl_ctr_good.inc();
         } else {
             sh.hot.rl_ctr_bad.inc();
         }
-        self.record_event(|| Event::RlCtrAction { good, reward });
+        self.record_event(false, || Event::RlCtrAction {
+            id,
+            good,
+            reward,
+            q_good,
+            q_bad,
+        });
     }
 
     /// One resolved data-location RL prediction.
@@ -379,7 +406,7 @@ impl Telemetry {
         } else {
             sh.hot.rl_data_wrong.inc();
         }
-        self.record_event(|| Event::RlDataAction { offchip, correct });
+        self.record_event(false, || Event::RlDataAction { offchip, correct });
     }
 
     /// A speculative early DRAM read was issued.
@@ -387,7 +414,7 @@ impl Telemetry {
     pub fn spec_issue(&self) {
         let Some(sh) = &self.shared else { return };
         sh.hot.spec_issued.inc();
-        self.record_event(|| Event::SpecIssue);
+        self.record_event(true, || Event::SpecIssue);
     }
 
     /// A speculative read was killed (data turned out on-chip).
@@ -395,7 +422,7 @@ impl Telemetry {
     pub fn spec_kill(&self) {
         let Some(sh) = &self.shared else { return };
         sh.hot.spec_killed.inc();
-        self.record_event(|| Event::SpecKill);
+        self.record_event(true, || Event::SpecKill);
     }
 
     /// One Merkle-tree authentication walk: `depth` levels visited,
@@ -406,13 +433,17 @@ impl Telemetry {
         sh.hot.merkle_walks.inc();
         sh.hot.merkle_depth.record(u64::from(depth));
         sh.hot.merkle_fetched.record(u64::from(fetched));
-        self.record_event(|| Event::MerkleWalk {
+        self.record_event(false, || Event::MerkleWalk {
             depth: depth.min(255) as u8,
             fetched: fetched.min(255) as u8,
         });
     }
 
     /// One DRAM access: how long it queued and how the row buffer fared.
+    /// A queue delay beyond `u32::MAX` cycles still clamps in the recorded
+    /// event (the wire format is 32-bit) but is never silent: each clamp
+    /// bumps the `sim.dram.queue_clamped` counter, which the metrics dump
+    /// always lists, and the histogram keeps the unclamped value.
     #[inline]
     pub fn dram_access(&self, queued_cycles: u64, row_hit: bool, write: bool) {
         let Some(sh) = &self.shared else { return };
@@ -421,7 +452,10 @@ impl Telemetry {
             sh.hot.dram_row_hits.inc();
         }
         sh.hot.dram_queue_delay.record(queued_cycles);
-        self.record_event(|| Event::DramAccess {
+        if queued_cycles > u64::from(u32::MAX) {
+            sh.hot.dram_queue_clamped.inc();
+        }
+        self.record_event(false, || Event::DramAccess {
             queued_cycles: queued_cycles.min(u64::from(u32::MAX)) as u32,
             row_hit,
             write,
@@ -437,21 +471,51 @@ impl Telemetry {
             return Value::Null;
         };
         let phases = sh.phases.lock().expect("telemetry mutex poisoned").clone();
-        let events: Vec<TimedEvent> = sh
-            .recorder
-            .lock()
-            .expect("telemetry mutex poisoned")
-            .iter_oldest_first()
-            .copied()
-            .collect();
-        let labels: Vec<String> = sh
-            .streams
-            .lock()
-            .expect("telemetry mutex poisoned")
-            .iter()
-            .map(|s| s.label.clone())
-            .collect();
+        let streams = sh.streams.lock().expect("telemetry mutex poisoned");
+        let mut events: Vec<TimedEvent> = Vec::new();
+        let mut labels: Vec<String> = Vec::new();
+        for s in streams.iter() {
+            labels.push(s.label.clone());
+            events.extend(
+                s.recorder
+                    .lock()
+                    .expect("telemetry mutex poisoned")
+                    .iter_oldest_first()
+                    .copied(),
+            );
+        }
+        drop(streams);
         export::chrome_trace(&phases, &events, &labels)
+    }
+
+    /// Every stream's retained flight-recorder contents: `(label, events
+    /// oldest-first, drop accounting)`, in stream-creation order. This is
+    /// the input to analysis passes (e.g. `cosmos-explain`): within one
+    /// stream, events are ordered by their deterministic `seq` stamp, so
+    /// the result is identical run-to-run regardless of worker threading.
+    /// Empty when disabled.
+    pub fn recorder_streams(&self) -> Vec<(String, Vec<TimedEvent>, RecorderStats)> {
+        let Some(sh) = &self.shared else {
+            return Vec::new();
+        };
+        let streams = sh.streams.lock().expect("telemetry mutex poisoned");
+        streams
+            .iter()
+            .map(|s| {
+                let rec = s.recorder.lock().expect("telemetry mutex poisoned");
+                let stats = RecorderStats {
+                    recorded: rec.recorded(),
+                    overwritten: rec.overwritten(),
+                    candidates: rec.candidates(),
+                    sample_every: sh.config.sample_every,
+                };
+                (
+                    s.label.clone(),
+                    rec.iter_oldest_first().copied().collect(),
+                    stats,
+                )
+            })
+            .collect()
     }
 
     /// The per-set CTR heatmap document. `Value::Null` when disabled.
@@ -487,21 +551,24 @@ impl Telemetry {
         export::aggregate_phases(&phases)
     }
 
-    /// The plain-text metrics dump (empty when disabled).
+    /// The plain-text metrics dump (empty when disabled). Recorder drop
+    /// accounting is aggregated over every stream's ring.
     pub fn metrics_text(&self) -> String {
         let Some(sh) = &self.shared else {
             return String::new();
         };
         let metrics = sh.registry.snapshot();
         let phases = sh.phases.lock().expect("telemetry mutex poisoned").clone();
-        let rec = sh.recorder.lock().expect("telemetry mutex poisoned");
-        let stats = RecorderStats {
-            recorded: rec.recorded(),
-            overwritten: rec.overwritten(),
-            candidates: sh.event_seq.load(Ordering::Relaxed),
+        let mut stats = RecorderStats {
             sample_every: sh.config.sample_every,
+            ..RecorderStats::default()
         };
-        drop(rec);
+        for s in sh.streams.lock().expect("telemetry mutex poisoned").iter() {
+            let rec = s.recorder.lock().expect("telemetry mutex poisoned");
+            stats.recorded += rec.recorded();
+            stats.overwritten += rec.overwritten();
+            stats.candidates += rec.candidates();
+        }
         export::metrics_text(&metrics, &phases, stats)
     }
 
@@ -528,13 +595,37 @@ mod tests {
     use super::*;
     use export::is_valid_chrome_trace;
 
+    fn acc(set: u32, hit: bool, write: bool) -> AccessInfo {
+        AccessInfo {
+            set,
+            line: u64::from(set) * 100,
+            at: 1,
+            hit,
+            write,
+            spec_kill: false,
+        }
+    }
+
+    fn evi(set: u32, dirty: bool) -> EvictInfo {
+        EvictInfo {
+            set,
+            victim_line: 7,
+            dirty,
+            fill_at: 1,
+            last_touch_at: 2,
+            at: 3,
+            lru_deviated: false,
+            rl: None,
+        }
+    }
+
     #[test]
     fn disabled_handle_is_inert_and_cheap() {
         let mut t = Telemetry::disabled();
         assert!(!t.is_enabled());
         t.ctr_heatmap_init(64);
-        t.ctr_access(1, true, false, false);
-        t.rl_ctr_action(true, 1.0);
+        t.ctr_access(acc(1, true, false), false);
+        t.rl_ctr_action(0, true, 1.0, 0.5, -0.5);
         t.rl_data_action(false, true);
         t.spec_issue();
         t.spec_kill();
@@ -545,6 +636,7 @@ mod tests {
         assert_eq!(t.chrome_trace_value(), Value::Null);
         assert_eq!(t.heatmap_value(), Value::Null);
         assert_eq!(t.metrics_text(), "");
+        assert!(t.recorder_streams().is_empty());
         t.export("x").unwrap();
         assert_eq!(t.scope("job"), Telemetry::disabled());
     }
@@ -556,14 +648,15 @@ mod tests {
             recorder_capacity: 128,
             heatmap_window: 2,
             heatmap_max_windows: 8,
+            ..TelemetryConfig::default()
         });
         let mut job = root.scope("fig/np/bfs");
         job.ctr_heatmap_init(4);
-        job.ctr_access(0, false, false, true);
-        job.ctr_access(0, true, true, false);
-        job.ctr_evict(0, true);
-        job.rl_ctr_action(true, 2.0);
-        job.rl_ctr_action(false, -1.0);
+        job.ctr_access(acc(0, false, false), true);
+        job.ctr_access(acc(0, true, true), false);
+        job.ctr_evict(evi(0, true));
+        job.rl_ctr_action(0, true, 2.0, 1.0, -1.0);
+        job.rl_ctr_action(1, false, -1.0, 0.25, 0.75);
         job.rl_data_action(true, true);
         job.spec_issue();
         job.spec_kill();
@@ -608,11 +701,120 @@ mod tests {
             ..TelemetryConfig::default()
         });
         for _ in 0..100 {
-            t.spec_issue();
+            t.dram_access(5, true, false);
         }
-        assert_eq!(t.registry().unwrap().counter("sim.spec.issued").get(), 100);
+        assert_eq!(t.registry().unwrap().counter("dram.accesses").get(), 100);
         let text = t.metrics_text();
-        assert!(text.contains("recorder candidates 100 sampled 10 overwritten 0 sample_every 10"));
+        assert!(
+            text.contains("recorder candidates 100 sampled 10 overwritten 0 sample_every 10"),
+            "unexpected recorder line in:\n{text}"
+        );
+    }
+
+    #[test]
+    fn rare_events_survive_aggressive_dense_sampling() {
+        let t = Telemetry::in_memory_with(TelemetryConfig {
+            sample_every: 64,
+            rare_sample_every: 1,
+            recorder_capacity: 1024,
+            ..TelemetryConfig::default()
+        });
+        // 64 dense candidates → 1 sampled; 10 rare candidates → all 10.
+        for _ in 0..64 {
+            t.dram_access(5, true, false);
+        }
+        for i in 0..10 {
+            t.ctr_evict(evi(i, false));
+        }
+        let streams = t.recorder_streams();
+        assert_eq!(streams.len(), 1);
+        let (label, events, stats) = &streams[0];
+        assert_eq!(label, "main");
+        assert_eq!(stats.candidates, 74);
+        assert_eq!(stats.recorded, 11);
+        let evicts = events
+            .iter()
+            .filter(|e| matches!(e.event, Event::CtrEvict { .. }))
+            .count();
+        assert_eq!(evicts, 10, "every rare event survives");
+        // seq stamps are strictly increasing within the stream.
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn streams_record_independently_and_deterministically() {
+        let root = Telemetry::in_memory_with(TelemetryConfig {
+            sample_every: 1,
+            recorder_capacity: 64,
+            ..TelemetryConfig::default()
+        });
+        let a = root.scope("a");
+        let b = root.scope("b");
+        a.dram_access(1, false, false);
+        b.dram_access(2, false, false);
+        a.dram_access(3, false, false);
+        let streams = root.recorder_streams();
+        assert_eq!(streams.len(), 3);
+        assert_eq!(streams[1].0, "a");
+        assert_eq!(streams[1].1.len(), 2);
+        // Per-stream seq is independent of interleaving with other streams.
+        assert_eq!(streams[1].1[0].seq, 0);
+        assert_eq!(streams[1].1[1].seq, 1);
+        assert_eq!(streams[2].0, "b");
+        assert_eq!(streams[2].1[0].seq, 0);
+    }
+
+    #[test]
+    fn zero_set_heatmap_init_is_skipped() {
+        let mut t = Telemetry::in_memory();
+        t.ctr_heatmap_init(0);
+        // No heatmap was created: the access records nothing and the
+        // heatmap document lists no streams.
+        t.ctr_access(acc(0, false, false), true);
+        let heat = t.heatmap_value();
+        let streams = heat.get("streams").and_then(Value::as_array).unwrap();
+        assert!(streams.is_empty());
+    }
+
+    #[test]
+    fn dram_queue_clamp_is_counted_not_silent() {
+        let t = Telemetry::in_memory_with(TelemetryConfig {
+            sample_every: 1,
+            ..TelemetryConfig::default()
+        });
+        t.dram_access(7, true, false);
+        t.dram_access(u64::from(u32::MAX) + 5, false, true);
+        let reg = t.registry().unwrap();
+        assert_eq!(reg.counter("sim.dram.queue_clamped").get(), 1);
+        // The histogram keeps the unclamped value; the event clamps to the
+        // 32-bit wire format.
+        assert_eq!(
+            reg.histogram("dram.queue_delay_cycles").sum(),
+            7 + u64::from(u32::MAX) + 5
+        );
+        let streams = t.recorder_streams();
+        let ev = streams[0]
+            .1
+            .iter()
+            .find_map(|e| match e.event {
+                Event::DramAccess { queued_cycles, .. } if queued_cycles > 7 => Some(queued_cycles),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(ev, u32::MAX);
+        let text = t.metrics_text();
+        assert!(text.contains("counter sim.dram.queue_clamped 1"));
+    }
+
+    #[test]
+    fn unclamped_dram_access_leaves_counter_zero() {
+        let t = Telemetry::in_memory();
+        t.dram_access(u64::from(u32::MAX), true, false);
+        let reg = t.registry().unwrap();
+        assert_eq!(reg.counter("sim.dram.queue_clamped").get(), 0);
+        assert!(t
+            .metrics_text()
+            .contains("counter sim.dram.queue_clamped 0"));
     }
 
     #[test]

@@ -1,9 +1,69 @@
-//! The flight recorder: a bounded ring buffer of typed simulation events.
+//! The flight recorder: per-stream bounded ring buffers of typed
+//! simulation events.
 //!
 //! Components hand events to [`crate::Telemetry`], which applies the
-//! configured sampling rate and timestamps whatever survives; the recorder
-//! itself just stores the newest `capacity` events, counting what it had to
-//! overwrite so exporters can report drop rates honestly.
+//! configured per-stratum sampling rate and stamps whatever survives with
+//! a deterministic per-stream sequence number; the recorder itself just
+//! stores the newest `capacity` events, counting what it had to overwrite
+//! so exporters can report drop rates honestly.
+
+/// The RL decision active when a CTR-cache line was chosen for eviction:
+/// the CTR-locality agent's classification of the line being *filled*,
+/// which steered the LCR victim choice. Carried by [`Event::CtrEvict`] so
+/// the explain pass can tie a policy-induced miss back to the Q-values
+/// and reward of the decision that caused it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RlDecisionInfo {
+    /// Decision id: the agent's prediction index (0-based, per predictor).
+    pub id: u64,
+    /// Q-value of the "good locality" action at decision time.
+    pub q_good: f32,
+    /// Q-value of the "bad locality" action at decision time.
+    pub q_bad: f32,
+    /// The reward assigned to the decision.
+    pub reward: f32,
+}
+
+/// Payload of one demand CTR-cache access ([`Event::CtrAccess`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AccessInfo {
+    /// Cache set index.
+    pub set: u32,
+    /// The counter line's index (tag), for linking misses to evictions.
+    pub line: u64,
+    /// The CTR cache's access clock after this access — a deterministic
+    /// logical time shared with eviction stamps.
+    pub at: u64,
+    /// Whether it hit.
+    pub hit: bool,
+    /// Whether it was a write (counter bump) access.
+    pub write: bool,
+    /// Whether this access belongs to a killed speculative read (the
+    /// wrong-off-chip resolution path).
+    pub spec_kill: bool,
+}
+
+/// Payload of one CTR-cache eviction ([`Event::CtrEvict`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EvictInfo {
+    /// Cache set index the victim left.
+    pub set: u32,
+    /// The victim counter line's index (tag).
+    pub victim_line: u64,
+    /// Whether the victim was dirty (forced a writeback).
+    pub dirty: bool,
+    /// Access-clock value when the victim was filled.
+    pub fill_at: u64,
+    /// Access-clock value when the victim was last touched.
+    pub last_touch_at: u64,
+    /// Access-clock value of the access that evicted it.
+    pub at: u64,
+    /// Whether the victim differs from the one strict LRU would have
+    /// chosen — the signature of a policy-steered (LCR) decision.
+    pub lru_deviated: bool,
+    /// The RL decision active at this eviction, when one steered it.
+    pub rl: Option<RlDecisionInfo>,
+}
 
 /// A typed simulation event, as emitted by the instrumented components.
 ///
@@ -11,27 +71,21 @@
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Event {
     /// A demand access to the CTR cache (counter metadata).
-    CtrAccess {
-        /// Cache set index.
-        set: u32,
-        /// Whether it hit.
-        hit: bool,
-        /// Whether it was a write (counter bump) access.
-        write: bool,
-    },
+    CtrAccess(AccessInfo),
     /// A CTR-cache eviction.
-    CtrEvict {
-        /// Cache set index the victim left.
-        set: u32,
-        /// Whether the victim was dirty (forced a writeback).
-        dirty: bool,
-    },
+    CtrEvict(EvictInfo),
     /// One decision by the CTR-locality RL agent.
     RlCtrAction {
+        /// Decision id: the agent's prediction index (0-based).
+        id: u64,
         /// Whether the agent chose the "good locality" action.
         good: bool,
         /// The reward assigned to the decision.
         reward: f32,
+        /// Q-value of the "good locality" action at decision time.
+        q_good: f32,
+        /// Q-value of the "bad locality" action at decision time.
+        q_bad: f32,
     },
     /// One resolved prediction by the data-location RL agent.
     RlDataAction {
@@ -76,11 +130,29 @@ impl Event {
             Event::DramAccess { .. } => "dram_access",
         }
     }
+
+    /// Whether the event belongs to the *rare* sampling stratum.
+    ///
+    /// Evictions and speculation outcomes happen orders of magnitude less
+    /// often than accesses; under one global 1-in-N rate they all but
+    /// vanish from the ring. Rare events sample under their own
+    /// (typically 1-in-1) rate so an explain pass sees every eviction.
+    pub fn is_rare(&self) -> bool {
+        matches!(
+            self,
+            Event::CtrEvict { .. } | Event::SpecIssue | Event::SpecKill
+        )
+    }
 }
 
 /// An [`Event`] stamped with when and where it happened.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TimedEvent {
+    /// Deterministic per-stream candidate index (counts every candidate
+    /// event offered to the stream, sampled in or not). Unlike `ts_us`
+    /// this is identical run-to-run and across `--jobs`, so analysis
+    /// passes order by it; the wall clock exists only for Chrome traces.
+    pub seq: u64,
     /// Microseconds of wall clock since the telemetry epoch.
     pub ts_us: u64,
     /// The stream (grid-job scope) that emitted it.
@@ -158,12 +230,86 @@ impl FlightRecorder {
     }
 }
 
+/// One telemetry stream's flight recorder: a [`FlightRecorder`] ring plus
+/// the deterministic candidate counters that drive two-stratum sampling.
+///
+/// Dense events (accesses, DRAM, walks, RL actions) thin at the
+/// configured `sample_every`; rare events (evictions, speculation) thin
+/// at their own `rare_sample_every` so they survive aggressive dense
+/// sampling. Both strata share one per-stream candidate sequence, so the
+/// `seq` stamps of recorded events totally order them causally — with no
+/// dependence on wall clock or on which worker thread ran the stream.
+#[derive(Debug)]
+pub struct StreamRecorder {
+    ring: FlightRecorder,
+    seq: u64,
+    dense_seen: u64,
+    rare_seen: u64,
+}
+
+impl StreamRecorder {
+    /// A stream recorder whose ring keeps at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: FlightRecorder::new(capacity),
+            seq: 0,
+            dense_seen: 0,
+            rare_seen: 0,
+        }
+    }
+
+    /// Counts one candidate event in the given stratum and decides whether
+    /// it samples in. Returns the candidate's `seq` stamp when it does.
+    /// The first candidate of each stratum always samples in.
+    pub fn admit(&mut self, rare: bool, every: u64) -> Option<u64> {
+        let seq = self.seq;
+        self.seq += 1;
+        let seen = if rare {
+            &mut self.rare_seen
+        } else {
+            &mut self.dense_seen
+        };
+        let nth = *seen;
+        *seen += 1;
+        if nth % every.max(1) != 0 {
+            return None;
+        }
+        Some(seq)
+    }
+
+    /// Stores an admitted event in the ring.
+    pub fn push(&mut self, ev: TimedEvent) {
+        self.ring.push(ev);
+    }
+
+    /// Total candidate events offered to this stream (all strata).
+    pub fn candidates(&self) -> u64 {
+        self.seq
+    }
+
+    /// Events pushed into the ring (post-sampling).
+    pub fn recorded(&self) -> u64 {
+        self.ring.recorded()
+    }
+
+    /// Events lost to ring wraparound.
+    pub fn overwritten(&self) -> u64 {
+        self.ring.overwritten()
+    }
+
+    /// Retained events, oldest first (ascending `seq`).
+    pub fn iter_oldest_first(&self) -> impl Iterator<Item = &TimedEvent> {
+        self.ring.iter_oldest_first()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn ev(ts: u64) -> TimedEvent {
         TimedEvent {
+            seq: ts,
             ts_us: ts,
             stream: 0,
             event: Event::SpecIssue,
@@ -214,5 +360,48 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_is_rejected() {
         FlightRecorder::new(0);
+    }
+
+    #[test]
+    fn strata_sample_independently_but_share_one_seq() {
+        let mut r = StreamRecorder::new(64);
+        let mut admitted = Vec::new();
+        // Alternate dense (1-in-4) and rare (1-in-1) candidates.
+        for i in 0..8u64 {
+            let rare = i % 2 == 1;
+            if let Some(seq) = r.admit(rare, if rare { 1 } else { 4 }) {
+                admitted.push((seq, rare));
+            }
+        }
+        // Dense candidates sit at seqs 0,2,4,6 → only the 1st and 5th
+        // (seq 0 and 8... none here past 6) sample in; every rare
+        // candidate (seqs 1,3,5,7) samples in.
+        assert_eq!(
+            admitted,
+            vec![(0, false), (1, true), (3, true), (5, true), (7, true)]
+        );
+        assert_eq!(r.candidates(), 8);
+    }
+
+    #[test]
+    fn rare_events_are_classified() {
+        assert!(Event::SpecIssue.is_rare());
+        assert!(Event::SpecKill.is_rare());
+        assert!(Event::CtrEvict(EvictInfo {
+            set: 0,
+            victim_line: 0,
+            dirty: false,
+            fill_at: 0,
+            last_touch_at: 0,
+            at: 0,
+            lru_deviated: false,
+            rl: None,
+        })
+        .is_rare());
+        assert!(!Event::RlDataAction {
+            offchip: false,
+            correct: true
+        }
+        .is_rare());
     }
 }

@@ -527,6 +527,9 @@ mod tests {
             Some(Eviction {
                 line: LineAddr::new(4),
                 dirty: false,
+                fill_at: 0,
+                last_touch_at: 0,
+                lru_deviated: false,
             }),
             &mut out,
         );
@@ -562,6 +565,9 @@ mod tests {
             Some(Eviction {
                 line: LineAddr::new(0),
                 dirty: true,
+                fill_at: 0,
+                last_touch_at: 0,
+                lru_deviated: false,
             }),
             &mut out,
         );
@@ -579,6 +585,9 @@ mod tests {
             Some(Eviction {
                 line: LineAddr::new(12),
                 dirty: false,
+                fill_at: 0,
+                last_touch_at: 0,
+                lru_deviated: false,
             }),
             &mut out,
         );

@@ -197,6 +197,44 @@ done <<'JOBS'
 2 COSMOS pr
 JOBS
 rm -rf "$resume_dir"
+# Attribution smoke (DESIGN.md §15): the explain_ctr report and artifact
+# must be deterministic — byte-identical across repeat runs and across
+# --jobs — and every stream's class counts must sum exactly to its
+# sampled miss count (the conservation law; the report prints one
+# grep-able "conservation ... (ok)" line per stream and says VIOLATED on
+# any mismatch).
+exp_a="$(mktemp)"
+exp_b="$(mktemp)"
+exp_c="$(mktemp)"
+exp_rep_a="$(mktemp)"
+exp_rep_b="$(mktemp)"
+cargo run --release -q -p cosmos-experiments --bin explain_ctr -- \
+    --accesses 20000 --jobs 1 --json "$exp_a" >"$exp_rep_a"
+cargo run --release -q -p cosmos-experiments --bin explain_ctr -- \
+    --accesses 20000 --jobs 1 --json "$exp_b" >/dev/null
+cargo run --release -q -p cosmos-experiments --bin explain_ctr -- \
+    --accesses 20000 --jobs 4 --json "$exp_c" >"$exp_rep_b"
+cmp "$exp_a" "$exp_b" || {
+    echo "check.sh: explain_ctr artifact differs between identical runs" >&2
+    exit 1
+}
+cmp "$exp_a" "$exp_c" || {
+    echo "check.sh: explain_ctr artifact depends on --jobs" >&2
+    exit 1
+}
+cmp "$exp_rep_a" "$exp_rep_b" || {
+    echo "check.sh: explain_ctr report depends on --jobs" >&2
+    exit 1
+}
+grep -q 'sampled misses (ok)' "$exp_rep_a" || {
+    echo "check.sh: explain_ctr report has no conservation lines" >&2
+    exit 1
+}
+if grep -q 'VIOLATED' "$exp_rep_a"; then
+    echo "check.sh: explain_ctr conservation law violated" >&2
+    exit 1
+fi
+rm -f "$exp_a" "$exp_b" "$exp_c" "$exp_rep_a" "$exp_rep_b"
 # Throughput trend: flags >10% drops of the committed sim_throughput
 # snapshot against its history. Warn-only by default (wall-clock rates
 # are machine-dependent); export THROUGHPUT_GUARD=deny to make a
