@@ -1,6 +1,59 @@
 //! Cache geometry configuration.
 
+use cosmos_common::hash::splitmix64;
 use cosmos_common::LINE_SIZE;
+
+/// How a line index maps to a set.
+///
+/// The occupancy-channel defenses (DESIGN.md §16) replace the
+/// low-order-bits modulo index with keyed hashes so an attacker cannot
+/// construct an eviction set for a victim line without the key:
+///
+/// - [`IndexKind::Modulo`] — the classical `line & (sets-1)` index. All
+///   ways of a set share one slot row; this is the historical behavior and
+///   the default, so existing artifacts are unchanged.
+/// - [`IndexKind::Random`] — one keyed permutation over the whole index
+///   space: `splitmix64(line ^ key) & (sets-1)`. Still set-associative
+///   (all ways agree on the set), but the attacker's address→set mapping
+///   is unpredictable without the key.
+/// - [`IndexKind::Skewed`] — skewed associativity: way `w` uses its own
+///   keyed hash `splitmix64(line ^ key ^ way-salt) & (sets-1)`, so a line's
+///   candidate slots lie in a *different* set per way and conflict groups
+///   no longer align across ways.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Low-order-bits modulo indexing (the default).
+    Modulo,
+    /// Keyed-randomized indexing: one seeded permutation for all ways.
+    Random {
+        /// The index key (derived from the seed by the design plumbing).
+        key: u64,
+    },
+    /// Skewed-associative indexing: one independent keyed hash per way.
+    Skewed {
+        /// The index key (derived from the seed by the design plumbing).
+        key: u64,
+    },
+}
+
+impl IndexKind {
+    /// Whether all ways of a line agree on one set (`Modulo`/`Random`).
+    /// Skewed caches give every way its own candidate set, so the
+    /// contiguous-set storage model does not apply to them.
+    #[inline]
+    pub const fn is_uniform(&self) -> bool {
+        !matches!(self, IndexKind::Skewed { .. })
+    }
+
+    /// A short stable name for reports and config fingerprints.
+    pub const fn name(&self) -> &'static str {
+        match self {
+            IndexKind::Modulo => "modulo",
+            IndexKind::Random { .. } => "random",
+            IndexKind::Skewed { .. } => "skewed",
+        }
+    }
+}
 
 /// Geometry of a set-associative cache.
 ///
@@ -22,6 +75,7 @@ pub struct CacheConfig {
     num_sets: usize,
     num_lines: usize,
     set_mask: usize,
+    index: IndexKind,
 }
 
 impl CacheConfig {
@@ -59,7 +113,20 @@ impl CacheConfig {
             num_sets: sets,
             num_lines: size_bytes / line_size,
             set_mask: sets - 1,
+            index: IndexKind::Modulo,
         }
+    }
+
+    /// Returns a copy using `index` for the line→set mapping.
+    #[must_use]
+    pub const fn with_index(mut self, index: IndexKind) -> Self {
+        self.index = index;
+        self
+    }
+
+    /// The line→set mapping in use.
+    pub const fn index(&self) -> IndexKind {
+        self.index
     }
 
     /// Total capacity in bytes.
@@ -88,9 +155,39 @@ impl CacheConfig {
     }
 
     /// Set index for a line index.
+    ///
+    /// For [`IndexKind::Skewed`] configurations this returns way 0's
+    /// candidate set (each way has its own — use
+    /// [`CacheConfig::set_of_way`] on the lookup path); callers that only
+    /// need a stable in-range set attribution (telemetry heatmaps) can
+    /// still use this.
     #[inline]
     pub fn set_of(&self, line_index: u64) -> usize {
-        (line_index as usize) & self.set_mask
+        match self.index {
+            IndexKind::Modulo => (line_index as usize) & self.set_mask,
+            IndexKind::Random { key } => (splitmix64(line_index ^ key) as usize) & self.set_mask,
+            IndexKind::Skewed { key } => self.skewed_set(line_index, key, 0),
+        }
+    }
+
+    /// Set index of way `way`'s candidate slot for a line index. Equal to
+    /// [`CacheConfig::set_of`] for uniform index kinds; skewed caches hash
+    /// each way independently.
+    #[inline]
+    pub fn set_of_way(&self, line_index: u64, way: usize) -> usize {
+        match self.index {
+            IndexKind::Skewed { key } => self.skewed_set(line_index, key, way),
+            _ => self.set_of(line_index),
+        }
+    }
+
+    #[inline]
+    fn skewed_set(&self, line_index: u64, key: u64, way: usize) -> usize {
+        // Salt the key per way so the per-way hash functions are
+        // independent; way 0 keeps the unsalted key so a 1-way skewed
+        // cache degenerates to the randomized index.
+        let salt = (way as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (splitmix64(line_index ^ key ^ salt) as usize) & self.set_mask
     }
 
     /// Tag (the line index itself; sets store full line indices for
@@ -128,6 +225,49 @@ mod tests {
         assert_eq!(c.set_of(0), 0);
         assert_eq!(c.set_of(1), 1);
         assert_eq!(c.set_of(c.num_sets() as u64), 0);
+    }
+
+    #[test]
+    fn random_index_is_in_range_keyed_and_deterministic() {
+        let base = CacheConfig::new(128 * 1024, 8);
+        let a = base.with_index(IndexKind::Random { key: 1 });
+        let b = base.with_index(IndexKind::Random { key: 2 });
+        let mut differs = false;
+        for line in 0u64..512 {
+            let sa = a.set_of(line);
+            assert!(sa < a.num_sets());
+            assert_eq!(sa, a.set_of(line), "deterministic");
+            assert_eq!(sa, a.set_of_way(line, 3), "uniform across ways");
+            differs |= sa != b.set_of(line);
+            differs |= sa != base.set_of(line);
+        }
+        assert!(differs, "keyed index never diverged from modulo/other key");
+    }
+
+    #[test]
+    fn skewed_index_hashes_ways_independently() {
+        let c = CacheConfig::new(128 * 1024, 8).with_index(IndexKind::Skewed { key: 7 });
+        assert!(!c.index().is_uniform());
+        let mut way_differs = false;
+        for line in 0u64..512 {
+            for way in 0..c.ways() {
+                let s = c.set_of_way(line, way);
+                assert!(s < c.num_sets());
+                way_differs |= s != c.set_of_way(line, 0);
+            }
+            // set_of is way 0's candidate set.
+            assert_eq!(c.set_of(line), c.set_of_way(line, 0));
+        }
+        assert!(way_differs, "skewed ways always agreed on a set");
+    }
+
+    #[test]
+    fn index_names_are_stable() {
+        assert_eq!(IndexKind::Modulo.name(), "modulo");
+        assert_eq!(IndexKind::Random { key: 0 }.name(), "random");
+        assert_eq!(IndexKind::Skewed { key: 0 }.name(), "skewed");
+        assert!(IndexKind::Modulo.is_uniform());
+        assert!(IndexKind::Random { key: 0 }.is_uniform());
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod prefetchers;
 pub mod stats;
 
 pub use cache::{AccessResult, Cache, Eviction, LocalityHint};
-pub use config::CacheConfig;
+pub use config::{CacheConfig, IndexKind};
 pub use policies::{PolicyKind, ReplacementPolicy};
 pub use prefetchers::{Prefetcher, PrefetcherKind};
 pub use stats::CacheStats;

@@ -1,0 +1,328 @@
+//! Reducing per-epoch observations to a leakage report.
+//!
+//! The driver hands this module one observation vector per victim
+//! occupancy level. The reduction is three estimators over the
+//! per-epoch probe-miss counts:
+//!
+//! - a **histogram** per level (shared integer binning across levels, so
+//!   the same miss count always lands in the same bin no matter which
+//!   level produced it);
+//! - **distinguishability**: the mean pairwise total-variation distance
+//!   between level histograms — 0 when every occupancy level looks the
+//!   same to the attacker, 1 when every pair is perfectly separable;
+//! - **channel capacity**: the mutual information `I(L; O)` in bits per
+//!   epoch between the victim's occupancy level `L` (uniform prior) and
+//!   the binned observation `O` — an upper bound on what one epoch of
+//!   probing reveals, `log2(levels)` at most.
+//!
+//! Everything here is deterministic: binning is pure integer arithmetic
+//! and the floating-point accumulations run in a fixed order, so reports
+//! are byte-identical across runs and across `--jobs` fan-outs.
+
+use cosmos_common::json::{json, Value};
+
+/// Default number of histogram bins.
+pub const DEFAULT_BINS: usize = 16;
+
+/// What the attacker sees in one measured epoch's probe phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochObservation {
+    /// Probe-window CTR-cache hits attributed to the attacker.
+    pub probe_hits: u64,
+    /// Probe-window CTR-cache misses attributed to the attacker — the
+    /// primary channel observable.
+    pub probe_misses: u64,
+    /// Summed critical-path cycles of the probe's read misses — the
+    /// timing form of the same observable.
+    pub probe_miss_latency: u64,
+}
+
+/// An integer-binned histogram over probe-miss counts.
+///
+/// All histograms of one report share `lo` and `width`, fixed from the
+/// global observation range, so bins are comparable across levels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Smallest value of bin 0.
+    pub lo: u64,
+    /// Values per bin (`>= 1`).
+    pub width: u64,
+    /// Occupancy count per bin.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// The bin index of `value` under this histogram's binning.
+    pub fn bin_of(&self, value: u64) -> usize {
+        (value.saturating_sub(self.lo) / self.width).min(self.counts.len() as u64 - 1) as usize
+    }
+
+    /// Total observations binned.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The histogram as a probability distribution.
+    pub fn probs(&self) -> Vec<f64> {
+        let n = self.total().max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / n).collect()
+    }
+
+    fn to_json(&self) -> Value {
+        json!({
+            "lo": (self.lo),
+            "width": (self.width),
+            "counts": (self.counts.clone()),
+        })
+    }
+}
+
+/// Bins one value series per level under a shared binning derived from
+/// the global min/max of all series. Returns one histogram per series,
+/// in order.
+pub fn bin_levels(series: &[Vec<u64>], bins: usize) -> Vec<Histogram> {
+    assert!(bins > 0, "need at least one bin");
+    let lo = series.iter().flatten().copied().min().unwrap_or(0);
+    let hi = series.iter().flatten().copied().max().unwrap_or(0);
+    let width = (hi - lo + 1).div_ceil(bins as u64).max(1);
+    series
+        .iter()
+        .map(|vals| {
+            let mut h = Histogram {
+                lo,
+                width,
+                counts: vec![0; bins],
+            };
+            for &v in vals {
+                let b = h.bin_of(v);
+                h.counts[b] += 1;
+            }
+            h
+        })
+        .collect()
+}
+
+/// Total-variation distance `0.5 * Σ|p_i - q_i|` between two histograms
+/// sharing a binning. 0 = identical distributions, 1 = disjoint support.
+pub fn total_variation(a: &Histogram, b: &Histogram) -> f64 {
+    debug_assert_eq!(a.lo, b.lo);
+    debug_assert_eq!(a.width, b.width);
+    let (pa, pb) = (a.probs(), b.probs());
+    0.5 * pa.iter().zip(&pb).map(|(x, y)| (x - y).abs()).sum::<f64>()
+}
+
+/// Mean pairwise total-variation distance over all level pairs — the
+/// report's distinguishability score. 0 for fewer than two levels.
+pub fn distinguishability(histograms: &[Histogram]) -> f64 {
+    let n = histograms.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            sum += total_variation(&histograms[i], &histograms[j]);
+        }
+    }
+    sum / (n * (n - 1) / 2) as f64
+}
+
+/// Mutual information `I(L; O)` in bits between the (uniform-prior)
+/// level variable and the binned observation:
+/// `I = (1/L) Σ_l Σ_b p(b|l) log2(p(b|l) / p̄(b))`.
+///
+/// This is the channel capacity of one epoch under a uniform input
+/// distribution; it is bounded by `log2(levels)`.
+pub fn capacity_bits(histograms: &[Histogram]) -> f64 {
+    let levels = histograms.len();
+    if levels < 2 {
+        return 0.0;
+    }
+    let per_level: Vec<Vec<f64>> = histograms.iter().map(Histogram::probs).collect();
+    let bins = per_level[0].len();
+    let marginal: Vec<f64> = (0..bins)
+        .map(|b| per_level.iter().map(|p| p[b]).sum::<f64>() / levels as f64)
+        .collect();
+    let mut info = 0.0;
+    for p in &per_level {
+        for (b, &pb) in p.iter().enumerate() {
+            if pb > 0.0 && marginal[b] > 0.0 {
+                info += pb * (pb / marginal[b]).log2();
+            }
+        }
+    }
+    (info / levels as f64).max(0.0)
+}
+
+/// One occupancy level's reduced view.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LevelSummary {
+    /// Victim occupancy (counter blocks touched per epoch).
+    pub level: usize,
+    /// Mean probe misses per measured epoch.
+    pub mean_misses: f64,
+    /// Mean summed probe miss latency per measured epoch.
+    pub mean_miss_latency: f64,
+    /// The level's probe-miss histogram (shared binning).
+    pub histogram: Histogram,
+}
+
+/// The leakage report of one design/index cell: per-level histograms plus
+/// the two scalar channel metrics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LeakageReport {
+    /// One summary per swept occupancy level, in sweep order.
+    pub levels: Vec<LevelSummary>,
+    /// Mean pairwise total-variation distance between level histograms.
+    pub distinguishability: f64,
+    /// Uniform-prior mutual information in bits per epoch.
+    pub capacity_bits: f64,
+}
+
+impl LeakageReport {
+    /// The report as a JSON object (deterministic field order).
+    pub fn to_json(&self) -> Value {
+        json!({
+            "levels": (self
+                .levels
+                .iter()
+                .map(|l| {
+                    json!({
+                        "level": (l.level),
+                        "mean_misses": (l.mean_misses),
+                        "mean_miss_latency": (l.mean_miss_latency),
+                        "histogram": (l.histogram.to_json()),
+                    })
+                })
+                .collect::<Vec<_>>()),
+            "distinguishability": (self.distinguishability),
+            "capacity_bits": (self.capacity_bits),
+        })
+    }
+}
+
+/// Reduces per-level observation vectors to a [`LeakageReport`].
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or any level has no observations.
+pub fn reduce(levels: &[(usize, Vec<EpochObservation>)], bins: usize) -> LeakageReport {
+    for (level, obs) in levels {
+        assert!(!obs.is_empty(), "level {level} has no observations");
+    }
+    let series: Vec<Vec<u64>> = levels
+        .iter()
+        .map(|(_, obs)| obs.iter().map(|o| o.probe_misses).collect())
+        .collect();
+    let histograms = bin_levels(&series, bins);
+    let dist = distinguishability(&histograms);
+    let cap = capacity_bits(&histograms);
+    let summaries = levels
+        .iter()
+        .zip(histograms)
+        .map(|((level, obs), histogram)| {
+            let n = obs.len() as f64;
+            LevelSummary {
+                level: *level,
+                mean_misses: obs.iter().map(|o| o.probe_misses).sum::<u64>() as f64 / n,
+                mean_miss_latency: obs.iter().map(|o| o.probe_miss_latency).sum::<u64>() as f64 / n,
+                histogram,
+            }
+        })
+        .collect();
+    LeakageReport {
+        levels: summaries,
+        distinguishability: dist,
+        capacity_bits: cap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(misses: u64) -> EpochObservation {
+        EpochObservation {
+            probe_hits: 0,
+            probe_misses: misses,
+            probe_miss_latency: misses * 100,
+        }
+    }
+
+    #[test]
+    fn shared_binning_spans_global_range() {
+        let h = bin_levels(&[vec![0, 1, 2], vec![60, 63]], 16);
+        assert_eq!(h[0].lo, 0);
+        assert_eq!(h[0].width, 4); // ceil(64 / 16)
+        assert_eq!(h[0].counts.iter().sum::<u64>(), 3);
+        assert_eq!(h[1].counts[15], 2, "60 and 63 share the top bin");
+    }
+
+    #[test]
+    fn degenerate_range_uses_one_bin() {
+        let h = bin_levels(&[vec![5, 5, 5]], 16);
+        assert_eq!(h[0].width, 1);
+        assert_eq!(h[0].counts[0], 3);
+    }
+
+    #[test]
+    fn total_variation_bounds() {
+        let h = bin_levels(&[vec![0, 0, 0], vec![0, 0, 0], vec![63, 63]], 16);
+        assert_eq!(total_variation(&h[0], &h[1]), 0.0);
+        assert_eq!(total_variation(&h[0], &h[2]), 1.0);
+    }
+
+    #[test]
+    fn capacity_of_separable_levels_is_log2() {
+        // Two perfectly separable levels → exactly 1 bit per epoch.
+        let h = bin_levels(&[vec![0; 8], vec![63; 8]], 16);
+        assert!((capacity_bits(&h) - 1.0).abs() < 1e-12);
+        // Identical levels → 0 bits.
+        let h = bin_levels(&[vec![7; 8], vec![7; 8]], 16);
+        assert_eq!(capacity_bits(&h), 0.0);
+    }
+
+    #[test]
+    fn capacity_is_bounded_by_log2_levels() {
+        let h = bin_levels(
+            &[vec![0, 1, 2, 3], vec![1, 2, 3, 4], vec![30, 31, 32, 33]],
+            16,
+        );
+        let cap = capacity_bits(&h);
+        assert!(cap > 0.0 && cap <= (3f64).log2() + 1e-12, "cap = {cap}");
+    }
+
+    #[test]
+    fn reduce_summarizes_levels_in_order() {
+        let report = reduce(
+            &[
+                (0, vec![obs(1), obs(3)]),
+                (32, vec![obs(40), obs(42)]),
+                (64, vec![obs(60), obs(62)]),
+            ],
+            DEFAULT_BINS,
+        );
+        assert_eq!(report.levels.len(), 3);
+        assert_eq!(report.levels[0].level, 0);
+        assert_eq!(report.levels[1].mean_misses, 41.0);
+        assert_eq!(report.levels[1].mean_miss_latency, 4100.0);
+        assert!(report.distinguishability > 0.6);
+        assert!(report.capacity_bits > 1.0);
+        // Deterministic: same inputs, byte-identical JSON.
+        let again = reduce(
+            &[
+                (0, vec![obs(1), obs(3)]),
+                (32, vec![obs(40), obs(42)]),
+                (64, vec![obs(60), obs(62)]),
+            ],
+            DEFAULT_BINS,
+        );
+        assert_eq!(report.to_json().to_string(), again.to_json().to_string());
+    }
+
+    #[test]
+    #[should_panic(expected = "no observations")]
+    fn reduce_rejects_empty_level() {
+        reduce(&[(0, vec![])], DEFAULT_BINS);
+    }
+}

@@ -1,0 +1,155 @@
+//! Multi-tenant CTR-cache occupancy-channel measurement harness.
+//!
+//! The shared counter cache of a secure-memory controller is a classic
+//! occupancy side channel: a co-resident attacker primes the cache,
+//! waits, probes, and reads the victim's metadata working-set size out
+//! of its own miss count. This crate turns that attack into a
+//! *measurement instrument* for the COSMOS reproduction:
+//!
+//! - [`epoch`] builds deterministic prime → victim-burst → probe traces
+//!   ([`build_epoch_trace`]) and runs them through the simulator,
+//!   reading the attacker's per-tenant CTR stat bucket around every
+//!   probe window ([`run_cell`]);
+//! - [`leakage`] reduces per-epoch observations to a [`LeakageReport`]:
+//!   per-level histograms, a pairwise total-variation
+//!   distinguishability score, and a mutual-information channel
+//!   capacity in bits per epoch;
+//! - [`run_sweep`] drives one design/index cell across a whole victim
+//!   occupancy sweep.
+//!
+//! The interesting comparisons (`channel_occupancy` figure, DESIGN.md
+//! §16) hold the design fixed and vary the CTR index function: modulo
+//! indexing under LRU leaks the most, keyed-randomized and
+//! skewed-associative indexing attenuate the channel, and COSMOS's LCR
+//! replacement changes its shape.
+
+pub mod epoch;
+pub mod leakage;
+
+pub use epoch::{build_epoch_trace, run_cell, CellResult, ChannelSpec, EpochTrace, Victim};
+pub use leakage::{
+    bin_levels, capacity_bits, distinguishability, reduce, total_variation, EpochObservation,
+    Histogram, LeakageReport, LevelSummary, DEFAULT_BINS,
+};
+
+use cosmos_core::SimConfig;
+
+/// One occupancy level's raw output within a sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepCell {
+    /// Victim occupancy: counter blocks touched per epoch.
+    pub level: usize,
+    /// Per-epoch attacker observations (warmup excluded).
+    pub observations: Vec<EpochObservation>,
+    /// Oracle violations found when checking was requested.
+    pub check_violations: u64,
+}
+
+/// Runs one design/index cell over `levels` victim occupancy levels and
+/// reduces the observations to a leakage report. Each level is a fresh
+/// simulation of the same [`ChannelSpec`] schedule with a synthetic
+/// [`Victim::Occupancy`] of that size.
+pub fn run_sweep(
+    config: &SimConfig,
+    spec: &ChannelSpec,
+    levels: &[usize],
+    check: bool,
+) -> (Vec<SweepCell>, LeakageReport) {
+    let coverage = config.scheme.coverage();
+    let cells: Vec<SweepCell> = levels
+        .iter()
+        .map(|&level| {
+            let et = build_epoch_trace(spec, Victim::Occupancy { lines: level }, coverage);
+            let r = run_cell(config, &et, check);
+            SweepCell {
+                level,
+                observations: r.observations,
+                check_violations: r.check_violations,
+            }
+        })
+        .collect();
+    let per_level: Vec<(usize, Vec<EpochObservation>)> = cells
+        .iter()
+        .map(|c| (c.level, c.observations.clone()))
+        .collect();
+    let report = reduce(&per_level, DEFAULT_BINS);
+    (cells, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmos_core::config::CtrIndex;
+    use cosmos_core::Design;
+
+    /// The small instrument used by tests: an 8 KB CTR cache (128 lines,
+    /// 16 sets × 8 ways) so full-occupancy probes stay cheap.
+    fn instrument(design: Design, index: CtrIndex) -> SimConfig {
+        let mut c = SimConfig::paper_default(design);
+        c.ctr_cache.size_bytes = 8 * 1024;
+        c.mt_cache.size_bytes = 8 * 1024;
+        c.ctr_index = index;
+        c
+    }
+
+    /// Fixed-seed leakage regression: under modulo indexing + LRU the
+    /// occupancy levels must be clearly distinguishable, and keyed
+    /// randomization must measurably reduce that distinguishability.
+    /// Guards both the instrument (a broken probe shows no signal
+    /// anywhere) and the defense (a broken keyed index leaks like
+    /// modulo).
+    ///
+    /// Levels stay below the instrument's 16 sets: under modulo every
+    /// victim line cascades one whole set (8 probe misses), so the
+    /// staircase saturates once all sets are hit and levels above that
+    /// become indistinguishable *under modulo too*. Sub-saturation is
+    /// where the defenses have to prove themselves.
+    #[test]
+    fn randomized_index_reduces_distinguishability() {
+        let spec = ChannelSpec::new(128, 10);
+        let levels = [0usize, 4, 12];
+        let (_, lru) = run_sweep(
+            &instrument(Design::MorphCtr, CtrIndex::Modulo),
+            &spec,
+            &levels,
+            false,
+        );
+        let (_, random) = run_sweep(
+            &instrument(Design::MorphCtr, CtrIndex::Random),
+            &spec,
+            &levels,
+            false,
+        );
+        assert!(
+            lru.distinguishability > 0.9,
+            "modulo+LRU channel should be clearly visible, got {}",
+            lru.distinguishability
+        );
+        assert!(
+            lru.distinguishability > random.distinguishability + 0.05,
+            "randomized indexing must reduce distinguishability: lru {} vs random {}",
+            lru.distinguishability,
+            random.distinguishability
+        );
+        assert!(
+            lru.capacity_bits > 0.0,
+            "a visible channel carries information"
+        );
+    }
+
+    #[test]
+    fn sweep_reports_levels_in_order_and_checks_cleanly() {
+        let spec = ChannelSpec::new(32, 4);
+        let levels = [0usize, 16];
+        let config = instrument(Design::MorphCtr, CtrIndex::Skewed);
+        let (cells, report) = run_sweep(&config, &spec, &levels, true);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].level, 0);
+        assert_eq!(cells[1].level, 16);
+        assert_eq!(cells.iter().map(|c| c.check_violations).sum::<u64>(), 0);
+        assert_eq!(report.levels.len(), 2);
+        for c in &cells {
+            assert_eq!(c.observations.len(), spec.epochs);
+        }
+    }
+}

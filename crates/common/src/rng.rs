@@ -205,6 +205,12 @@ pub mod streams {
     pub const WORKLOAD_GRAPH: StreamTag = lane_tag("workload.graph", 0, 32);
     /// Multi-workload trace interleaver (input side).
     pub const WORKLOAD_INTERLEAVE: StreamTag = tag("workload.interleave", 0x1A7E_1EAF);
+    /// Multi-tenant trace composition (`cosmos_workloads::tenant`,
+    /// input side).
+    pub const WORKLOAD_TENANT_MIX: StreamTag = tag("workload.tenant_mix", 0x7E4A_0717);
+    /// Keyed CTR-cache index permutation (config side: the derived seed
+    /// *is* the key; no live generator state).
+    pub const CTR_INDEX_KEY: StreamTag = tag("cache.ctr_index_key", 0x1D_E35E);
     /// Fuzzer config mutation stream (harness side).
     pub const FUZZ_CONFIG: StreamTag = tag("fuzz.config", 0xF0_22);
     /// Fuzzer trace synthesis stream (harness side).

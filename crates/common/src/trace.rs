@@ -31,6 +31,12 @@ impl AccessKind {
 pub struct MemAccess {
     /// Issuing core (0-based).
     pub core: u8,
+    /// Issuing tenant (0-based). Single-tenant traces leave this at 0;
+    /// multi-tenant compositions (`cosmos_workloads::tenant`) tag each
+    /// stream so the simulator can attribute metadata-cache activity
+    /// attacker-vs-victim. Tenant 0 is the default/victim tenant, so a
+    /// tenant-oblivious trace behaves exactly as before.
+    pub tenant: u8,
     /// Load or store.
     pub kind: AccessKind,
     /// Byte address accessed.
@@ -40,24 +46,33 @@ pub struct MemAccess {
 }
 
 impl MemAccess {
-    /// Convenience constructor for a read.
+    /// Convenience constructor for a read (tenant 0).
     pub fn read(core: u8, addr: PhysAddr, inst_gap: u32) -> Self {
         Self {
             core,
+            tenant: 0,
             kind: AccessKind::Read,
             addr,
             inst_gap,
         }
     }
 
-    /// Convenience constructor for a write.
+    /// Convenience constructor for a write (tenant 0).
     pub fn write(core: u8, addr: PhysAddr, inst_gap: u32) -> Self {
         Self {
             core,
+            tenant: 0,
             kind: AccessKind::Write,
             addr,
             inst_gap,
         }
+    }
+
+    /// Returns the access re-tagged with `tenant`.
+    #[must_use]
+    pub const fn with_tenant(mut self, tenant: u8) -> Self {
+        self.tenant = tenant;
+        self
     }
 }
 
@@ -242,6 +257,19 @@ mod tests {
     fn core_count() {
         assert_eq!(sample().core_count(), 2);
         assert_eq!(Trace::new().core_count(), 0);
+    }
+
+    #[test]
+    fn tenant_defaults_to_zero_and_retags() {
+        let a = MemAccess::read(0, PhysAddr::new(0x100), 1);
+        assert_eq!(a.tenant, 0);
+        let b = a.with_tenant(3);
+        assert_eq!(b.tenant, 3);
+        // Everything else is untouched by the retag.
+        assert_eq!(
+            (b.core, b.kind, b.addr, b.inst_gap),
+            (a.core, a.kind, a.addr, a.inst_gap)
+        );
     }
 
     #[test]

@@ -86,6 +86,44 @@ impl core::fmt::Display for Design {
     }
 }
 
+/// The CTR-cache line→set mapping family (DESIGN.md §16). The keyed
+/// variants are the occupancy-channel defenses: they derive their
+/// concrete key from the simulation seed at build time
+/// ([`CtrIndex::to_cache`]), so two runs with the same seed place lines
+/// identically while an attacker without the key cannot predict the
+/// mapping.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CtrIndex {
+    /// Low-order-bits modulo indexing (the historical default).
+    #[default]
+    Modulo,
+    /// Keyed-randomized indexing: one seeded permutation for all ways.
+    Random,
+    /// Skewed-associative indexing: an independent keyed hash per way.
+    Skewed,
+}
+
+impl CtrIndex {
+    /// Display/report name, matching `cosmos_cache::IndexKind::name`.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CtrIndex::Modulo => "modulo",
+            CtrIndex::Random => "random",
+            CtrIndex::Skewed => "skewed",
+        }
+    }
+
+    /// The concrete cache-layer index function for a simulation seed.
+    pub fn to_cache(self, seed: u64) -> cosmos_cache::IndexKind {
+        let key = cosmos_common::rng::streams::CTR_INDEX_KEY.derive_seed(seed);
+        match self {
+            CtrIndex::Modulo => cosmos_cache::IndexKind::Modulo,
+            CtrIndex::Random => cosmos_cache::IndexKind::Random { key },
+            CtrIndex::Skewed => cosmos_cache::IndexKind::Skewed { key },
+        }
+    }
+}
+
 /// One cache level's geometry and access latency.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheLevelConfig {
@@ -126,6 +164,9 @@ pub struct SimConfig {
     pub ctr_cache: CacheLevelConfig,
     /// CTR cache replacement policy (LRU baseline, LCR for COSMOS-CP/full).
     pub ctr_policy: PolicyKind,
+    /// CTR cache line→set mapping (modulo baseline; keyed randomized or
+    /// skewed-associative as occupancy-channel defenses, DESIGN.md §16).
+    pub ctr_index: CtrIndex,
     /// Optional prefetcher on the CTR cache (Figure-5 study only).
     pub ctr_prefetcher: PrefetcherKind,
     /// Merkle-tree metadata cache in the MC.
@@ -157,6 +198,11 @@ pub struct SimConfig {
     pub seed: u64,
     /// Record a timeline sample every this many accesses (0 = never).
     pub sample_interval: usize,
+    /// Tenants expected in the trace (observability hint only: sizes the
+    /// per-tenant telemetry heatmap lanes when > 1). Results never depend
+    /// on it — per-tenant stat buckets always exist — so, like
+    /// `telemetry`, it is excluded from [`SimConfig::to_json`].
+    pub tenants: usize,
     /// Observability handle, distributed to every component at build time.
     /// Disabled by default; hooks observe only and never change results.
     pub telemetry: Telemetry,
@@ -201,6 +247,7 @@ impl SimConfig {
             } else {
                 PolicyKind::Lru
             },
+            ctr_index: CtrIndex::Modulo,
             ctr_prefetcher: PrefetcherKind::None,
             mt_cache: CacheLevelConfig {
                 size_bytes: 128 * 1024,
@@ -220,6 +267,7 @@ impl SimConfig {
             cet_radius: 0,
             seed: 0xC05_305,
             sample_interval: 0,
+            tenants: 1,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -252,6 +300,7 @@ impl SimConfig {
             "l2": self.l2.to_json(),
             "llc": self.llc.to_json(),
             "ctr_cache": self.ctr_cache.to_json(),
+            "ctr_index": self.ctr_index.name(),
             "mt_cache": self.mt_cache.to_json(),
             "aes_latency": self.aes_latency,
             "auth_latency": self.auth_latency,
@@ -272,6 +321,11 @@ impl SimConfig {
     /// with RL predictors, invalid RL parameters, …).
     pub fn validate(&self) {
         assert!(self.cores > 0, "need at least one core");
+        assert!(
+            !matches!(self.ctr_index, CtrIndex::Skewed)
+                || matches!(self.ctr_policy, PolicyKind::Lru | PolicyKind::Lcr),
+            "skewed CTR indexing supports only the inline LRU/LCR policies"
+        );
         self.data_rl.validate();
         self.ctr_rl.validate();
         assert!(self.cet_entries > 0, "CET must have entries");
@@ -333,6 +387,34 @@ mod tests {
         assert_eq!(small.ctr_cache.size_bytes, 128 * 1024);
         let emcc = SimConfig::paper_default(Design::Emcc).with_paper_ctr_sizes();
         assert_eq!(emcc.ctr_cache.size_bytes, 512 * 1024);
+    }
+
+    #[test]
+    fn ctr_index_defaults_to_modulo_and_keys_from_seed() {
+        let c = SimConfig::paper_default(Design::MorphCtr);
+        assert_eq!(c.ctr_index, CtrIndex::Modulo);
+        assert_eq!(
+            c.ctr_index.to_cache(c.seed),
+            cosmos_cache::IndexKind::Modulo
+        );
+        match CtrIndex::Random.to_cache(7) {
+            cosmos_cache::IndexKind::Random { key } => {
+                assert_eq!(
+                    key,
+                    cosmos_common::rng::streams::CTR_INDEX_KEY.derive_seed(7)
+                );
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        assert_eq!(CtrIndex::Skewed.name(), "skewed");
+    }
+
+    #[test]
+    #[should_panic(expected = "skewed CTR indexing")]
+    fn skewed_index_rejects_boxed_policies() {
+        let mut c = SimConfig::paper_default(Design::Rmcc); // SHiP = boxed
+        c.ctr_index = CtrIndex::Skewed;
+        c.validate();
     }
 
     #[test]

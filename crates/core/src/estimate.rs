@@ -20,7 +20,7 @@
 //! which is exactly the weighted-rate reconstruction SimPoint-style
 //! samplers use.
 
-use crate::stats::{SimStats, TrafficBreakdown};
+use crate::stats::{SimStats, TenantCtrStats, TrafficBreakdown, MAX_TENANTS};
 use cosmos_cache::CacheStats;
 use cosmos_common::stats::HitMiss;
 use cosmos_dram::DramStats;
@@ -136,6 +136,7 @@ pub struct StatsEstimate {
     ctr_overflows: f64,
     total_read_latency: f64,
     early_offchip_reads: f64,
+    tenant_ctr: [[f64; 3]; MAX_TENANTS],
 }
 
 impl StatsEstimate {
@@ -200,6 +201,11 @@ impl StatsEstimate {
         self.ctr_overflows += s.ctr_overflows as f64 * weight;
         self.total_read_latency += s.total_read_latency as f64 * weight;
         self.early_offchip_reads += s.early_offchip_reads as f64 * weight;
+        for (acc, t) in self.tenant_ctr.iter_mut().zip(&s.tenant_ctr) {
+            acc[0] += t.hits as f64 * weight;
+            acc[1] += t.misses as f64 * weight;
+            acc[2] += t.miss_latency as f64 * weight;
+        }
     }
 
     /// Rounds the accumulated estimate into a [`SimStats`]. The timeline is
@@ -253,6 +259,13 @@ impl StatsEstimate {
             ctr_overflows: round(self.ctr_overflows),
             total_read_latency: round(self.total_read_latency),
             early_offchip_reads: round(self.early_offchip_reads),
+            tenant_ctr: self
+                .tenant_ctr
+                .map(|[hits, misses, miss_latency]| TenantCtrStats {
+                    hits: round(hits),
+                    misses: round(misses),
+                    miss_latency: round(miss_latency),
+                }),
             timeline: Vec::new(),
         }
     }
@@ -302,6 +315,28 @@ mod tests {
         assert!((got.l1.miss_rate() - 0.4).abs() < 1e-9);
         assert!((got.avg_read_latency() - 8.75).abs() < 1e-9);
         assert_eq!(est.samples(), 2);
+    }
+
+    #[test]
+    fn tenant_buckets_scale_with_weight() {
+        let mut w = window(1);
+        w.tenant_ctr[1] = TenantCtrStats {
+            hits: 7,
+            misses: 3,
+            miss_latency: 90,
+        };
+        let mut est = StatsEstimate::new();
+        est.add_weighted(&w, 4.0);
+        let got = est.reconstruct();
+        assert_eq!(got.tenant_ctr[0], TenantCtrStats::default());
+        assert_eq!(
+            got.tenant_ctr[1],
+            TenantCtrStats {
+                hits: 28,
+                misses: 12,
+                miss_latency: 360,
+            }
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use crate::check::SecureObserver;
 use crate::config::SimConfig;
-use crate::stats::TrafficBreakdown;
+use crate::stats::{TenantCtrStats, TrafficBreakdown, MAX_TENANTS};
 use cosmos_cache::{Cache, CacheConfig, LocalityHint, Prefetcher};
 use cosmos_common::{Cycle, LineAddr};
 use cosmos_dram::Dram;
@@ -61,6 +61,12 @@ pub struct SecurePath {
     // decision that chose the victim — it rides along on the CtrEvict
     // event so cosmos-explain can attribute the eviction. Pure-output.
     last_decision: Option<RlDecisionInfo>,
+    // Tenant issuing the access currently being processed (set by the
+    // simulator per access, already folded mod MAX_TENANTS) and the
+    // per-tenant CTR attribution it drives. Pure accounting: replacement
+    // and timing never read the tenant.
+    tenant: u8,
+    tenant_ctr: [TenantCtrStats; MAX_TENANTS],
 }
 
 impl SecurePath {
@@ -76,7 +82,8 @@ impl SecurePath {
             )
         });
         let mut ctr_cache = Cache::new(
-            CacheConfig::new(config.ctr_cache.size_bytes, config.ctr_cache.ways),
+            CacheConfig::new(config.ctr_cache.size_bytes, config.ctr_cache.ways)
+                .with_index(config.ctr_index.to_cache(config.seed)),
             config.ctr_policy,
         );
         let mut mt_cache = Cache::new(
@@ -87,6 +94,12 @@ impl SecurePath {
         ctr_cache.attach_telemetry(&telemetry, "ctr");
         mt_cache.attach_telemetry(&telemetry, "mt");
         telemetry.ctr_heatmap_init(ctr_cache.config().num_sets());
+        if config.tenants > 1 {
+            telemetry.ctr_tenant_heatmaps_init(
+                ctr_cache.config().num_sets(),
+                config.tenants.min(MAX_TENANTS),
+            );
+        }
         let mut locality = locality;
         if let Some(p) = &mut locality {
             p.set_telemetry(telemetry.clone());
@@ -107,7 +120,22 @@ impl SecurePath {
             observer: None,
             telemetry,
             last_decision: None,
+            tenant: 0,
+            tenant_ctr: [TenantCtrStats::default(); MAX_TENANTS],
         }
+    }
+
+    /// Sets the tenant the next accesses are attributed to (folded mod
+    /// [`MAX_TENANTS`]). The simulator calls this once per trace access;
+    /// tenant-oblivious traces always attribute to bucket 0.
+    #[inline]
+    pub fn set_tenant(&mut self, tenant: u8) {
+        self.tenant = tenant % MAX_TENANTS as u8;
+    }
+
+    /// Per-tenant CTR-cache attribution accumulated so far.
+    pub fn tenant_stats(&self) -> &[TenantCtrStats; MAX_TENANTS] {
+        &self.tenant_ctr
     }
 
     /// Attaches a correctness observer (see [`crate::check`]). Replaces
@@ -175,6 +203,9 @@ impl SecurePath {
             "mac_read_counter": (self.mac_read_counter),
             "mac_write_counter": (self.mac_write_counter),
             "overflows": (self.overflows),
+            "tenant_ctr": (cosmos_common::json::Value::Array(
+                self.tenant_ctr.iter().map(TenantCtrStats::to_json).collect(),
+            )),
         }))
     }
 
@@ -206,6 +237,15 @@ impl SecurePath {
         self.mac_read_counter = codec::u64_field(v, "mac_read_counter")?;
         self.mac_write_counter = codec::u64_field(v, "mac_write_counter")?;
         self.overflows = codec::u64_field(v, "overflows")?;
+        let tenant_vec: Vec<TenantCtrStats> = codec::field(v, "tenant_ctr")?
+            .as_array()
+            .ok_or_else(|| "field `tenant_ctr`: expected an array".to_string())?
+            .iter()
+            .map(TenantCtrStats::from_json)
+            .collect::<Result<_, _>>()?;
+        self.tenant_ctr = tenant_vec
+            .try_into()
+            .map_err(|_| format!("field `tenant_ctr`: expected {MAX_TENANTS} buckets"))?;
         Ok(())
     }
 
@@ -266,6 +306,13 @@ impl SecurePath {
             let mt_done = self.mt_walk(ctr_line, after_lookup, dram, traffic);
             ctr_done.max(mt_done) + self.combine_latency + self.aes_latency
         };
+        let bucket = &mut self.tenant_ctr[self.tenant as usize];
+        if res.hit {
+            bucket.hits += 1;
+        } else {
+            bucket.misses += 1;
+            bucket.miss_latency += (otp_ready - start).value();
+        }
         self.run_prefetcher(ctr_line, res.hit, traffic);
         CtrReadOutcome {
             otp_ready,
@@ -301,6 +348,12 @@ impl SecurePath {
             obs.ctr_access(ctr_line, true, res.hit, res.evicted);
         }
         self.telemetry_ctr_access(ctr_line, true, false, &res);
+        let bucket = &mut self.tenant_ctr[self.tenant as usize];
+        if res.hit {
+            bucket.hits += 1;
+        } else {
+            bucket.misses += 1;
+        }
         if let Some(ev) = res.evicted {
             if ev.dirty {
                 traffic.ctr_writes += 1;
@@ -407,6 +460,7 @@ impl SecurePath {
                 hit: res.hit,
                 write,
                 spec_kill,
+                tenant: self.tenant,
             },
             !res.hit && res.evicted.is_none(),
         );

@@ -127,6 +127,9 @@ impl Simulator {
         let issue = self.timeline.issue(core, access.inst_gap as u64);
         self.stats.instructions += access.inst_gap as u64 + 1;
         self.stats.accesses += 1;
+        if let Some(sp) = self.secure.as_mut() {
+            sp.set_tenant(access.tenant);
+        }
 
         if access.kind.is_write() {
             self.stats.writes += 1;
@@ -180,6 +183,7 @@ impl Simulator {
             stats.ctr_cache = *sp.ctr_cache().stats();
             stats.mt_cache = *sp.mt_cache().stats();
             stats.ctr_overflows = sp.overflows();
+            stats.tenant_ctr = *sp.tenant_stats();
             if let Some(loc) = sp.locality() {
                 stats.ctr_pred = *loc.stats();
             }
@@ -581,6 +585,71 @@ mod tests {
         assert!(cp.ctr_pred.predictions > 0);
         let dp = Simulator::new(tiny_config(Design::CosmosDp)).run(&t);
         assert_eq!(dp.ctr_pred.predictions, 0);
+    }
+
+    #[test]
+    fn tenant_attribution_splits_and_conserves() {
+        let base = random_trace(6_000, 100_000, 0.2, 11);
+        let tagged: Trace = base
+            .iter()
+            .enumerate()
+            .map(|(i, a)| a.with_tenant((i % 2) as u8))
+            .collect();
+
+        let plain = Simulator::new(tiny_config(Design::MorphCtr)).run(&base);
+        let split = Simulator::new(tiny_config(Design::MorphCtr)).run(&tagged);
+
+        // Tenant tags are pure attribution: every other statistic is
+        // untouched.
+        let mut split_zeroed = split.clone();
+        split_zeroed.tenant_ctr = plain.tenant_ctr;
+        assert_eq!(split_zeroed, plain, "tenant tags perturbed results");
+
+        // Untagged traces land entirely in bucket 0; the tagged run
+        // splits across buckets 0 and 1 and conserves the demand total.
+        let demand = plain.ctr_cache.demand.total();
+        assert_eq!(plain.tenant_ctr[0].total(), demand);
+        assert_eq!(plain.tenant_ctr[1].total(), 0);
+        assert!(split.tenant_ctr[0].total() > 0);
+        assert!(split.tenant_ctr[1].total() > 0);
+        let split_sum: u64 = split.tenant_ctr.iter().map(|b| b.total()).sum();
+        assert_eq!(split_sum, demand, "tenant buckets must partition lookups");
+        assert!(
+            split.tenant_ctr.iter().any(|b| b.miss_latency > 0),
+            "read misses must accumulate latency"
+        );
+        // Large tenant ids fold into the bucket array instead of panicking.
+        let folded: Trace = base.iter().map(|a| a.with_tenant(250)).collect();
+        let f = Simulator::new(tiny_config(Design::MorphCtr)).run(&folded);
+        assert_eq!(
+            f.tenant_ctr[250 % crate::stats::MAX_TENANTS].total(),
+            demand
+        );
+    }
+
+    #[test]
+    fn keyed_index_variants_run_and_differ() {
+        let t = random_trace(8_000, 400_000, 0.2, 12);
+        let run = |index| {
+            let mut c = tiny_config(Design::MorphCtr);
+            c.ctr_index = index;
+            Simulator::new(c).run(&t)
+        };
+        use crate::config::CtrIndex;
+        let modulo = run(CtrIndex::Modulo);
+        let random = run(CtrIndex::Random);
+        let skewed = run(CtrIndex::Skewed);
+        for (name, s) in [("random", &random), ("skewed", &skewed)] {
+            assert_eq!(s.accesses, modulo.accesses, "{name}");
+            assert!(s.ctr_cache.demand.total() > 0, "{name}");
+        }
+        // The keyed mappings place lines differently, so the conflict
+        // pattern (and thus the exact miss count) diverges from modulo.
+        assert!(
+            random.ctr_cache.demand.misses() != modulo.ctr_cache.demand.misses()
+                || skewed.ctr_cache.demand.misses() != modulo.ctr_cache.demand.misses(),
+            "keyed index variants never changed placement"
+        );
     }
 
     #[test]

@@ -116,6 +116,62 @@ impl TrafficBreakdown {
     }
 }
 
+/// Number of tenant buckets tracked by [`TenantCtrStats`] attribution.
+/// Tenant ids are folded modulo this, so bucket 0 is the default/victim
+/// tenant and any small id keeps its own bucket.
+pub const MAX_TENANTS: usize = 4;
+
+/// Per-tenant CTR-cache attribution: the slice of CTR lookups issued on
+/// behalf of one tenant's accesses (DESIGN.md §16). `miss_latency` sums
+/// the critical-path cycles of read misses only — the observable an
+/// occupancy-probing attacker times; writes are off the critical path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantCtrStats {
+    /// CTR-cache hits attributed to the tenant (reads and writes).
+    pub hits: u64,
+    /// CTR-cache misses attributed to the tenant (reads and writes).
+    pub misses: u64,
+    /// Summed critical-path cycles of the tenant's read misses.
+    pub miss_latency: u64,
+}
+
+impl TenantCtrStats {
+    /// Total CTR lookups attributed to the tenant.
+    pub const fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Serializes the bucket for snapshots.
+    pub fn to_json(&self) -> cosmos_common::json::Value {
+        cosmos_common::json!({
+            "hits": (self.hits),
+            "misses": (self.misses),
+            "miss_latency": (self.miss_latency),
+        })
+    }
+
+    /// Rebuilds a bucket serialized by [`TenantCtrStats::to_json`].
+    pub fn from_json(v: &cosmos_common::json::Value) -> Result<Self, String> {
+        use cosmos_common::json::codec;
+        Ok(Self {
+            hits: codec::u64_field(v, "hits")?,
+            misses: codec::u64_field(v, "misses")?,
+            miss_latency: codec::u64_field(v, "miss_latency")?,
+        })
+    }
+
+    /// Counts accumulated since `baseline` (checked like every stat
+    /// window — see [`TrafficBreakdown::since`]).
+    pub fn since(&self, baseline: &TenantCtrStats) -> TenantCtrStats {
+        use cosmos_common::stats::window_sub;
+        TenantCtrStats {
+            hits: window_sub(self.hits, baseline.hits),
+            misses: window_sub(self.misses, baseline.misses),
+            miss_latency: window_sub(self.miss_latency, baseline.miss_latency),
+        }
+    }
+}
+
 /// A convergence sample (paper Figure 8).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct TimelinePoint {
@@ -201,6 +257,9 @@ pub struct SimStats {
     pub total_read_latency: u64,
     /// Reads that bypassed L2/LLC via a correct off-chip prediction.
     pub early_offchip_reads: u64,
+    /// Per-tenant CTR-cache attribution (tenant id mod [`MAX_TENANTS`]).
+    /// Single-tenant traces land entirely in bucket 0.
+    pub tenant_ctr: [TenantCtrStats; MAX_TENANTS],
     /// Convergence timeline (when sampling is enabled).
     pub timeline: Vec<TimelinePoint>,
 }
@@ -254,6 +313,9 @@ impl SimStats {
             "ctr_overflows": (self.ctr_overflows),
             "total_read_latency": (self.total_read_latency),
             "early_offchip_reads": (self.early_offchip_reads),
+            "tenant_ctr": (cosmos_common::json::Value::Array(
+                self.tenant_ctr.iter().map(TenantCtrStats::to_json).collect(),
+            )),
             "timeline": (cosmos_common::json::Value::Array(
                 self.timeline.iter().map(TimelinePoint::to_json).collect(),
             )),
@@ -269,6 +331,15 @@ impl SimStats {
             .iter()
             .map(TimelinePoint::from_json)
             .collect::<Result<_, _>>()?;
+        let tenant_vec: Vec<TenantCtrStats> = codec::field(v, "tenant_ctr")?
+            .as_array()
+            .ok_or_else(|| "field `tenant_ctr`: expected an array".to_string())?
+            .iter()
+            .map(TenantCtrStats::from_json)
+            .collect::<Result<_, _>>()?;
+        let tenant_ctr: [TenantCtrStats; MAX_TENANTS] = tenant_vec
+            .try_into()
+            .map_err(|_| format!("field `tenant_ctr`: expected {MAX_TENANTS} buckets"))?;
         Ok(Self {
             instructions: codec::u64_field(v, "instructions")?,
             cycles: codec::u64_field(v, "cycles")?,
@@ -287,6 +358,7 @@ impl SimStats {
             ctr_overflows: codec::u64_field(v, "ctr_overflows")?,
             total_read_latency: codec::u64_field(v, "total_read_latency")?,
             early_offchip_reads: codec::u64_field(v, "early_offchip_reads")?,
+            tenant_ctr,
             timeline,
         })
     }
@@ -321,6 +393,7 @@ impl SimStats {
             ctr_overflows: window_sub(self.ctr_overflows, baseline.ctr_overflows),
             total_read_latency: window_sub(self.total_read_latency, baseline.total_read_latency),
             early_offchip_reads: window_sub(self.early_offchip_reads, baseline.early_offchip_reads),
+            tenant_ctr: core::array::from_fn(|i| self.tenant_ctr[i].since(&baseline.tenant_ctr[i])),
             timeline: self
                 .timeline
                 .iter()
@@ -455,6 +528,27 @@ mod tests {
         assert_eq!(p.dp_total, 10);
         assert!((p.dp_accuracy - 0.2).abs() < 1e-12);
         assert_eq!(p.ctr_miss_rate_window, 0.25, "window rate is untouched");
+    }
+
+    #[test]
+    fn tenant_ctr_roundtrips_and_windows() {
+        let mut s = SimStats::default();
+        s.tenant_ctr[1] = TenantCtrStats {
+            hits: 10,
+            misses: 4,
+            miss_latency: 900,
+        };
+        let back = SimStats::from_json(&s.to_json()).expect("round trip");
+        assert_eq!(back, s);
+        let mut base = SimStats::default();
+        base.tenant_ctr[1] = TenantCtrStats {
+            hits: 3,
+            misses: 1,
+            miss_latency: 200,
+        };
+        let w = s.since(&base).tenant_ctr[1];
+        assert_eq!((w.hits, w.misses, w.miss_latency), (7, 3, 700));
+        assert_eq!(w.total(), 10);
     }
 
     #[test]

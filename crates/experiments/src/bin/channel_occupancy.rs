@@ -1,0 +1,11 @@
+//! Occupancy channel: per-epoch attacker probe observations across victim
+//! occupancy levels, reduced to per-level histograms, a distinguishability
+//! score, and a channel capacity per design/index cell — plus a TenantMix
+//! run demonstrating per-tenant CTR attribution (DESIGN.md §16).
+//!
+//! The pipeline lives in [`cosmos_experiments::figures`] so serve-mode
+//! jobs execute the identical code path.
+
+fn main() {
+    cosmos_experiments::figures::run_main("channel_occupancy");
+}

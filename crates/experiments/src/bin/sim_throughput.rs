@@ -19,7 +19,7 @@
 use std::path::{Path, PathBuf};
 
 use cosmos_common::json::{json, Map, Value};
-use cosmos_experiments::throughput::{measure, measure_sampled, to_json, DESIGNS};
+use cosmos_experiments::throughput::{measure, measure_channel, measure_sampled, to_json, DESIGNS};
 use cosmos_experiments::{f3, print_table, Args};
 use cosmos_sampling::SamplingConfig;
 use cosmos_workloads::graph::GraphKernel;
@@ -130,6 +130,20 @@ fn main() {
     );
     println!("\nmean sampled speedup: {mean_speedup:.2}x");
 
+    // The occupancy-channel harness: one sweep cell per rep, scaled so the
+    // measured loop is dominated by stepped simulation, not setup.
+    let channel = measure_channel(64, REPS);
+    println!(
+        "\n## Channel harness (one occupancy cell, {} accesses)\n",
+        channel.accesses,
+    );
+    println!(
+        "cell rate: {:.0} Kacc/s ({:.1} ms/cell, {} probe misses)",
+        channel.accesses_per_sec / 1e3,
+        channel.median_run_secs * 1e3,
+        channel.probe_misses,
+    );
+
     let snapshot = json!({
         "bench": "sim_throughput",
         "accesses": trace.len(),
@@ -144,6 +158,12 @@ fn main() {
             "simulated_accesses": sampled[0].simulated_accesses,
             "designs": sampled_json,
             "mean_speedup_vs_full": mean_speedup,
+        },
+        "channel": {
+            "accesses": channel.accesses,
+            "channel_accesses_per_sec": channel.accesses_per_sec,
+            "median_run_secs": channel.median_run_secs,
+            "probe_misses": channel.probe_misses,
         },
     });
     // `--json PATH` redirects the snapshot and skips the history append:
@@ -173,6 +193,10 @@ fn main() {
     line.insert("mean_accesses_per_sec", Value::from(mean_rate));
     line.insert("cosmos_np_gap_ratio", Value::from(gap_ratio));
     line.insert("sampled_mean_speedup", Value::from(mean_speedup));
+    line.insert(
+        "channel_accesses_per_sec",
+        Value::from(channel.accesses_per_sec),
+    );
     let mut design_rates = Map::new();
     for (design, r) in DESIGNS.iter().zip(&results) {
         design_rates.insert(design.name(), Value::from(r.accesses_per_sec));

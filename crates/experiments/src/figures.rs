@@ -10,11 +10,14 @@
 //! lives in its binary can be migrated here incrementally; the registry
 //! lists the ones the serve layer accepts.
 
-use crate::runner::Job;
+use crate::runner::{run_tasks, Job, Task};
 use crate::{emit_json, f3, pct, run_grid, table_string, trace_of, Args};
+use cosmos_channel::{build_epoch_trace, reduce, run_cell, ChannelSpec, Victim, DEFAULT_BINS};
 use cosmos_common::json::{json, Map, Value};
-use cosmos_core::Design;
+use cosmos_core::config::CtrIndex;
+use cosmos_core::{Design, SimConfig};
 use cosmos_workloads::graph::GraphKernel;
+use cosmos_workloads::tenant::{OccupancyProbe, TenantMix};
 use cosmos_workloads::Workload;
 
 /// Everything a figure run produces: the human-readable report that used
@@ -53,6 +56,11 @@ pub const FIGURES: &[Figure] = &[
         name: "fig11",
         default_accesses: 2_000_000,
         run: fig11,
+    },
+    Figure {
+        name: "channel_occupancy",
+        default_accesses: 1_000_000,
+        run: channel_occupancy,
     },
 ];
 
@@ -299,6 +307,183 @@ fn fig11(args: &Args) -> FigureOutput {
     }
 }
 
+/// The occupancy-channel cells: the index-function sweep on the LRU
+/// baseline, plus full COSMOS to show how LCR replacement reshapes the
+/// channel (DESIGN.md §16).
+const CHANNEL_CELLS: [(Design, CtrIndex); 4] = [
+    (Design::MorphCtr, CtrIndex::Modulo),
+    (Design::MorphCtr, CtrIndex::Random),
+    (Design::MorphCtr, CtrIndex::Skewed),
+    (Design::Cosmos, CtrIndex::Modulo),
+];
+
+/// Victim occupancy levels (counter blocks per epoch). Kept below the
+/// instrument's 16 sets: under modulo+LRU one victim line cascades a whole
+/// set, so the staircase saturates once every set is hit and higher levels
+/// stop being distinguishable under *any* index function.
+const CHANNEL_LEVELS: [usize; 5] = [0, 2, 4, 8, 12];
+
+/// Counter blocks primed and probed per epoch — the instrument's full
+/// line capacity, so the probe reads total CTR-cache occupancy.
+const CHANNEL_PROBE_LINES: usize = 128;
+
+/// Shrinks the CTR cache to the measurement instrument: 8 KB = 128 lines
+/// (16 sets × 8 ways), so full-occupancy probes stay cheap at smoke
+/// budgets. Every cell shares this geometry.
+fn channel_instrument(c: &mut SimConfig) {
+    c.ctr_cache.size_bytes = 8 * 1024;
+    c.mt_cache.size_bytes = 8 * 1024;
+}
+
+/// Occupancy channel: how much of a victim's CTR-cache occupancy a
+/// co-resident attacker can read back out of its own probe misses, per
+/// design/index cell — per-level histograms, a total-variation
+/// distinguishability score, and a channel capacity in bits per epoch.
+/// Plus one [`TenantMix`] run demonstrating per-tenant CTR attribution
+/// (and, under `--telemetry`, per-tenant occupancy heatmaps).
+///
+/// `--sample` is ignored: the epoch protocol *is* the measurement, so
+/// sampling intervals out of it would destroy the probe windows.
+fn channel_occupancy(args: &Args) -> FigureOutput {
+    let levels = CHANNEL_LEVELS;
+    let epoch_len = 2 * CHANNEL_PROBE_LINES + levels.iter().sum::<usize>() / levels.len();
+    let grid = CHANNEL_CELLS.len() * levels.len();
+    let epochs = (args.accesses / (grid * epoch_len)).clamp(8, 256);
+    let spec = ChannelSpec::new(CHANNEL_PROBE_LINES, epochs);
+
+    let configs: Vec<SimConfig> = CHANNEL_CELLS
+        .iter()
+        .map(|&(design, index)| {
+            let mut c = SimConfig::paper_default(design);
+            c.seed = args.seed;
+            channel_instrument(&mut c);
+            c.ctr_index = index;
+            c
+        })
+        .collect();
+
+    // One task per (cell, level): each builds its own epoch trace, so the
+    // closure grid goes through run_tasks rather than run_jobs.
+    let tasks: Vec<Task<'_, _>> = configs
+        .iter()
+        .flat_map(|config| {
+            levels.iter().map(move |&level| {
+                Box::new(move || {
+                    let et = build_epoch_trace(
+                        &spec,
+                        Victim::Occupancy { lines: level },
+                        config.scheme.coverage(),
+                    );
+                    let r = run_cell(config, &et, args.check);
+                    (r.observations, r.check_violations)
+                }) as Task<'_, _>
+            })
+        })
+        .collect();
+    let outcomes: Vec<(Vec<cosmos_channel::EpochObservation>, u64)> = {
+        let _p = args.telemetry.phase("sim");
+        run_tasks(tasks, args.jobs)
+    };
+
+    let violations: u64 = outcomes.iter().map(|(_, v)| v).sum();
+    if violations > 0 {
+        eprintln!("verify[channel_occupancy]: {violations} violation(s), see above");
+    }
+
+    let mut rows = Vec::new();
+    let mut cells_json = Vec::new();
+    for (ci, &(design, index)) in CHANNEL_CELLS.iter().enumerate() {
+        let per_level: Vec<(usize, Vec<_>)> = levels
+            .iter()
+            .enumerate()
+            .map(|(li, &level)| (level, outcomes[ci * levels.len() + li].0.clone()))
+            .collect();
+        let report = reduce(&per_level, DEFAULT_BINS);
+        let mut cells = vec![
+            format!("{design}/{}", index.name()),
+            f3(report.distinguishability),
+            f3(report.capacity_bits),
+        ];
+        cells.extend(report.levels.iter().map(|l| f3(l.mean_misses)));
+        rows.push(cells);
+        cells_json.push(json!({
+            "design": design.name(),
+            "ctr_index": index.name(),
+            "report": report.to_json(),
+        }));
+    }
+
+    // Tenant-attribution demo: a real victim workload interleaved with a
+    // strided attacker probe, split by the per-tenant CTR stat buckets.
+    // config.tenants = 2 also switches on per-tenant occupancy heatmaps
+    // under --telemetry.
+    let mix_budget = (args.accesses / 10).max(4_000);
+    let victim = trace_of(
+        Workload::Spec(cosmos_workloads::spec::SpecKind::Mcf),
+        &args.spec().with_accesses(mix_budget / 2),
+    );
+    let coverage = configs[0].scheme.coverage();
+    let probe = OccupancyProbe::new(1 << 26, mix_budget / 2, coverage).generate();
+    let mix = TenantMix::new()
+        .stream(0, victim)
+        .stream(1, probe)
+        .compose(args.seed);
+    let mix_job = Job::new("channel_mix", Design::MorphCtr, &mix, args.seed).with_tweak(|c| {
+        channel_instrument(c);
+        c.tenants = 2;
+    });
+    let mix_stats = run_grid(vec![mix_job], args)
+        .pop()
+        .expect("grid yields one outcome per job")
+        .stats;
+    let mut mix_rows = Vec::new();
+    let mut mix_json = Vec::new();
+    for (tenant, name) in [(0usize, "victim (mcf)"), (1, "attacker (probe)")] {
+        let t = &mix_stats.tenant_ctr[tenant];
+        mix_rows.push(vec![
+            name.to_string(),
+            t.hits.to_string(),
+            t.misses.to_string(),
+            t.miss_latency.to_string(),
+        ]);
+        mix_json.push(json!({
+            "tenant": tenant,
+            "hits": t.hits,
+            "misses": t.misses,
+            "miss_latency": t.miss_latency,
+        }));
+    }
+
+    let mut headers = vec!["design/index", "disting.", "capacity b/ep"];
+    let level_headers: Vec<String> = levels.iter().map(|l| format!("@{l}")).collect();
+    headers.extend(level_headers.iter().map(String::as_str));
+    let report = format!(
+        "## Occupancy channel: victim occupancy vs attacker probe misses\n\n\
+         instrument: 8 KB CTR cache (16 sets x 8 ways), probe {CHANNEL_PROBE_LINES} blocks/epoch, \
+         {epochs} epochs/cell\n\n{}\n\
+         ## Per-tenant CTR attribution (TenantMix: mcf victim + strided probe)\n\n{}",
+        table_string(&headers, &rows),
+        table_string(
+            &["tenant", "ctr hits", "ctr misses", "miss latency"],
+            &mix_rows
+        ),
+    );
+    FigureOutput {
+        report,
+        json: json!({
+            "accesses": args.accesses,
+            "probe_lines": CHANNEL_PROBE_LINES,
+            "epochs": epochs,
+            "levels": (levels.to_vec()),
+            "cells": cells_json,
+            "tenant_mix": {
+                "accesses": (mix.len()),
+                "tenants": mix_json,
+            },
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +520,40 @@ mod tests {
         assert_eq!(a.report, b.report);
         assert!(a.report.contains("Figure 2"), "{}", a.report);
         assert!(a.json.to_string().contains("ctr_miss_rate"));
+    }
+
+    #[test]
+    fn channel_occupancy_runs_and_is_deterministic() {
+        let fig = by_name("channel_occupancy").unwrap();
+        let args = tiny_args(20_000);
+        let a = (fig.run)(&args);
+        let b = (fig.run)(&args);
+        assert_eq!(a.json.to_string(), b.json.to_string());
+        assert_eq!(a.report, b.report);
+        assert!(a.report.contains("Occupancy channel"), "{}", a.report);
+        assert!(a.report.contains("Per-tenant CTR attribution"));
+        let text = a.json.to_string();
+        assert!(text.contains("distinguishability"));
+        assert!(text.contains("capacity_bits"));
+        assert!(text.contains("tenant_mix"));
+        // The attacker bucket sees traffic in the mix run.
+        let tenants = a.json["tenant_mix"]["tenants"].as_array().unwrap();
+        assert!(tenants[1]["misses"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn channel_occupancy_is_jobs_invariant_and_check_clean() {
+        let fig = by_name("channel_occupancy").unwrap();
+        let serial = (fig.run)(&tiny_args(20_000));
+        let mut wide = tiny_args(20_000);
+        wide.jobs = 8;
+        let parallel = (fig.run)(&wide);
+        assert_eq!(serial.json.to_string(), parallel.json.to_string());
+        let mut checked = tiny_args(20_000);
+        checked.check = true;
+        let c = (fig.run)(&checked);
+        assert_eq!(serial.json.to_string(), c.json.to_string());
+        assert_eq!(serial.report, c.report);
     }
 
     #[test]

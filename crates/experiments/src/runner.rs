@@ -234,6 +234,56 @@ pub fn run_jobs(jobs: Vec<Job<'_>>, workers: usize) -> Vec<JobResult> {
     tagged.into_iter().map(|(_, r)| r).collect()
 }
 
+/// An arbitrary independent unit of work for [`run_tasks`]. `Fn` (not
+/// `FnOnce`) so workers can share the list by reference; capture inputs by
+/// reference and return owned results.
+pub type Task<'a, T> = Box<dyn Fn() -> T + Send + Sync + 'a>;
+
+/// Runs independent closures on up to `workers` threads, returning results
+/// **in task order** — the closure-shaped sibling of [`run_jobs`] for
+/// grids that aren't plain design×trace simulations (e.g. the
+/// occupancy-channel sweep, whose cells build their own epoch traces).
+/// Same pool shape: an atomic cursor hands out the next unstarted task, a
+/// final index-tagged sort restores submission order, and with one worker
+/// (or one task) everything runs inline on the calling thread.
+///
+/// # Panics
+///
+/// Propagates a panic from any task (the remaining tasks may or may not
+/// have run).
+pub fn run_tasks<T: Send>(tasks: Vec<Task<'_, T>>, workers: usize) -> Vec<T> {
+    let workers = workers.clamp(1, tasks.len().max(1));
+    if workers == 1 {
+        return tasks.iter().map(|t| t()).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let tasks = &tasks;
+    let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(task) = tasks.get(i) else { break };
+                        out.push((i, task()));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+
+    tagged.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert!(tagged.iter().enumerate().all(|(k, (i, _))| k == *i));
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,6 +363,21 @@ mod tests {
     #[test]
     fn empty_grid_is_fine() {
         assert!(run_jobs(Vec::new(), 8).is_empty());
+    }
+
+    #[test]
+    fn tasks_come_back_in_order_for_any_pool_size() {
+        let inputs: Vec<usize> = (0..23).collect();
+        for workers in [1, 2, 8, 64] {
+            let tasks: Vec<Task<'_, usize>> = inputs
+                .iter()
+                .map(|&i| Box::new(move || i * i) as Task<'_, usize>)
+                .collect();
+            let results = run_tasks(tasks, workers);
+            let expected: Vec<usize> = inputs.iter().map(|&i| i * i).collect();
+            assert_eq!(results, expected, "workers = {workers}");
+        }
+        assert!(run_tasks(Vec::<Task<'_, ()>>::new(), 4).is_empty());
     }
 
     #[test]

@@ -119,6 +119,62 @@ pub fn measure_sampled(
         .collect()
 }
 
+/// The channel harness's measured throughput: one occupancy-sweep cell,
+/// epoch-trace construction plus the stepped [`run_cell`] loop — the unit
+/// the `channel_occupancy` grid scales by, and a separate regression
+/// surface from the plain `Simulator::run` path (per-access probe-window
+/// bookkeeping and tenant-bucket reads).
+#[derive(Clone, Debug)]
+pub struct ChannelThroughput {
+    /// Cell accesses per wall-clock second (median of the reps).
+    pub accesses_per_sec: f64,
+    /// Median wall-clock seconds for one cell (trace build included).
+    pub median_run_secs: f64,
+    /// Accesses in the measured cell's epoch trace.
+    pub accesses: usize,
+    /// Summed probe misses across the cell's epochs — a pure function of
+    /// the simulation, so any change means the harness altered results.
+    pub probe_misses: u64,
+}
+
+/// Times `reps` channel cells (MorphCtr/modulo on the 8 KB instrument,
+/// mid-sweep victim occupancy) and returns the medians.
+///
+/// # Panics
+///
+/// Panics if `reps` or `epochs` is zero.
+pub fn measure_channel(epochs: usize, reps: usize) -> ChannelThroughput {
+    use cosmos_channel::{build_epoch_trace, run_cell, ChannelSpec, Victim};
+    assert!(reps > 0, "need at least one rep");
+    let mut config = SimConfig::paper_default(Design::MorphCtr);
+    config.ctr_cache.size_bytes = 8 * 1024;
+    config.mt_cache.size_bytes = 8 * 1024;
+    let spec = ChannelSpec::new(128, epochs);
+    let mut secs = Vec::with_capacity(reps);
+    let mut accesses = 0;
+    let mut probe_misses = 0;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let et = build_epoch_trace(
+            &spec,
+            Victim::Occupancy { lines: 8 },
+            config.scheme.coverage(),
+        );
+        let r = run_cell(&config, &et, false);
+        secs.push(t0.elapsed().as_secs_f64());
+        accesses = et.trace.len();
+        probe_misses = r.observations.iter().map(|o| o.probe_misses).sum();
+    }
+    secs.sort_by(|a, b| a.total_cmp(b));
+    let median = secs[reps / 2].max(f64::MIN_POSITIVE);
+    ChannelThroughput {
+        accesses_per_sec: accesses as f64 / median,
+        median_run_secs: median,
+        accesses,
+        probe_misses,
+    }
+}
+
 /// The measurements as a `{design name: {...}}` JSON map.
 pub fn to_json(results: &[DesignThroughput]) -> Map {
     let mut per_design = Map::new();
@@ -185,6 +241,19 @@ mod tests {
             assert!(r.simulated_accesses > 0);
             assert!(r.simulated_accesses < trace.len() as u64, "{}", r.design);
         }
+    }
+
+    #[test]
+    fn channel_throughput_is_positive_and_deterministic() {
+        let a = measure_channel(4, 1);
+        assert!(a.accesses_per_sec > 0.0);
+        assert!(a.median_run_secs > 0.0);
+        assert_eq!(a.accesses, 6 * (2 * 128 + 8)); // (4 + 2 warmup) epochs
+        let b = measure_channel(4, 1);
+        assert_eq!(
+            a.probe_misses, b.probe_misses,
+            "simulated cell results must not vary across timing reps"
+        );
     }
 
     #[test]

@@ -420,6 +420,7 @@ mod tests {
                 hit,
                 write: false,
                 spec_kill,
+                tenant: 0,
             }),
         }
     }

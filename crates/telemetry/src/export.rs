@@ -266,6 +266,7 @@ mod tests {
                     hit: false,
                     write: true,
                     spec_kill: false,
+                    tenant: 0,
                 }),
             },
             TimedEvent {

@@ -151,6 +151,11 @@ pub struct Telemetry {
     shared: Option<Arc<Shared>>,
     stream: u16,
     heatmap: Option<Arc<Mutex<CtrHeatmap>>>,
+    // Per-tenant occupancy heatmap lanes (empty unless a multi-tenant
+    // harness opted in via `ctr_tenant_heatmaps_init`). Each lane is also
+    // registered as a heatmap-only stream so the standard heatmap export
+    // carries it with a `<label>/tenant<i>` label.
+    tenant_heatmaps: Vec<Arc<Mutex<CtrHeatmap>>>,
     recorder: Option<Arc<Mutex<StreamRecorder>>>,
 }
 
@@ -236,6 +241,7 @@ impl Telemetry {
             })),
             stream: 0,
             heatmap: None,
+            tenant_heatmaps: Vec::new(),
             recorder: Some(recorder),
         })
     }
@@ -278,6 +284,7 @@ impl Telemetry {
             shared: Some(Arc::clone(sh)),
             stream: id,
             heatmap: None,
+            tenant_heatmaps: Vec::new(),
             recorder: Some(recorder),
         }
     }
@@ -346,6 +353,41 @@ impl Telemetry {
         self.heatmap = Some(map);
     }
 
+    /// Adds per-tenant CTR occupancy heatmap lanes on top of the combined
+    /// heatmap: each of the `tenants` lanes becomes a heatmap-only stream
+    /// labelled `<label>/tenant<i>`, so the standard heatmap export
+    /// carries one document per tenant. Accesses route to the lane named
+    /// by their `AccessInfo::tenant` (folded mod `tenants`). No-op when
+    /// disabled or on degenerate geometry, like
+    /// [`Telemetry::ctr_heatmap_init`] — single-tenant runs that never
+    /// call this keep their artifact shape exactly.
+    pub fn ctr_tenant_heatmaps_init(&mut self, sets: usize, tenants: usize) {
+        let Some(sh) = &self.shared else { return };
+        if sets == 0 || tenants == 0 {
+            return;
+        }
+        let mut maps = Vec::with_capacity(tenants);
+        let mut streams = sh.streams.lock().expect("telemetry mutex poisoned");
+        let base = streams[usize::from(self.stream)].label.clone();
+        for i in 0..tenants {
+            assert!(streams.len() <= usize::from(u16::MAX), "too many streams");
+            let map = Arc::new(Mutex::new(CtrHeatmap::new(
+                sets,
+                sh.config.heatmap_window,
+                sh.config.heatmap_max_windows,
+            )));
+            streams.push(StreamEntry {
+                label: format!("{base}/tenant{i}"),
+                heatmap: Some(Arc::clone(&map)),
+                // Heatmap-only lane: no events are ever recorded here.
+                recorder: Arc::new(Mutex::new(StreamRecorder::new(1))),
+            });
+            maps.push(map);
+        }
+        drop(streams);
+        self.tenant_heatmaps = maps;
+    }
+
     /// One demand CTR-cache access. `grew` flags a miss that filled a
     /// previously invalid way (per-set occupancy +1); it feeds the
     /// heatmap only, the rest of `info` feeds the flight recorder.
@@ -356,6 +398,13 @@ impl Telemetry {
         }
         if let Some(h) = &self.heatmap {
             h.lock()
+                .expect("telemetry mutex poisoned")
+                .record(info.set as usize, info.hit, grew);
+        }
+        if !self.tenant_heatmaps.is_empty() {
+            let lane = usize::from(info.tenant) % self.tenant_heatmaps.len();
+            self.tenant_heatmaps[lane]
+                .lock()
                 .expect("telemetry mutex poisoned")
                 .record(info.set as usize, info.hit, grew);
         }
@@ -603,6 +652,7 @@ mod tests {
             hit,
             write,
             spec_kill: false,
+            tenant: 0,
         }
     }
 
@@ -762,6 +812,44 @@ mod tests {
         assert_eq!(streams[1].1[1].seq, 1);
         assert_eq!(streams[2].0, "b");
         assert_eq!(streams[2].1[0].seq, 0);
+    }
+
+    #[test]
+    fn tenant_heatmap_lanes_split_by_tenant() {
+        let root = Telemetry::in_memory_with(TelemetryConfig {
+            heatmap_window: 2,
+            heatmap_max_windows: 8,
+            ..TelemetryConfig::default()
+        });
+        let mut job = root.scope("chan");
+        job.ctr_heatmap_init(4);
+        job.ctr_tenant_heatmaps_init(4, 2);
+        for i in 0..6u32 {
+            let mut a = acc(i % 4, i % 2 == 0, false);
+            a.tenant = (i % 2) as u8;
+            job.ctr_access(a, false);
+        }
+        // Tenant 5 folds into lane 1 instead of panicking.
+        let mut a = acc(0, true, false);
+        a.tenant = 5;
+        job.ctr_access(a, false);
+
+        let heat = root.heatmap_value();
+        let streams = heat.get("streams").and_then(Value::as_array).unwrap();
+        let labels: Vec<&str> = streams
+            .iter()
+            .filter_map(|s| s.get("stream").and_then(Value::as_str))
+            .collect();
+        assert!(labels.contains(&"chan"), "combined map kept: {labels:?}");
+        assert!(labels.contains(&"chan/tenant0"), "{labels:?}");
+        assert!(labels.contains(&"chan/tenant1"), "{labels:?}");
+        // A run that never opts in gets no tenant lanes.
+        let plain = Telemetry::in_memory();
+        let mut p = plain.scope("solo");
+        p.ctr_heatmap_init(4);
+        p.ctr_access(acc(0, true, false), false);
+        let labels2 = plain.heatmap_value().to_string();
+        assert!(!labels2.contains("tenant"), "{labels2}");
     }
 
     #[test]

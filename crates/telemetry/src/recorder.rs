@@ -41,6 +41,11 @@ pub struct AccessInfo {
     /// Whether this access belongs to a killed speculative read (the
     /// wrong-off-chip resolution path).
     pub spec_kill: bool,
+    /// Tenant the access is attributed to (0 for single-tenant runs),
+    /// already folded into the simulator's tenant-bucket range. Routes
+    /// the access to its per-tenant occupancy heatmap when those are
+    /// enabled (see `Telemetry::ctr_tenant_heatmaps_init`).
+    pub tenant: u8,
 }
 
 /// Payload of one CTR-cache eviction ([`Event::CtrEvict`]).

@@ -49,23 +49,40 @@ impl ShadowState {
         }
         let ctr_geom = CacheConfig::new(config.ctr_cache.size_bytes, config.ctr_cache.ways);
         let mt_geom = CacheConfig::new(config.mt_cache.size_bytes, config.mt_cache.ways);
+        let ctr_index = config.ctr_index.to_cache(config.seed);
         // The shadow predicts victims only where the real policy is true
-        // LRU; LCR/SHiP victims are policy state we mirror instead.
-        let ctr_mode = if config.ctr_policy == PolicyKind::Lru {
-            ShadowMode::Exact
+        // LRU over per-set recency — which survives a keyed-random index
+        // (the hash just permutes lines across sets) but not a skewed one
+        // (per-way candidate sets have no per-set LRU order). Skewed
+        // shadows collapse to one fully-associative Mirror pool; LCR/SHiP
+        // victims are policy state we mirror instead.
+        let ctr_shadow = if matches!(ctr_index, cosmos_cache::IndexKind::Skewed { .. }) {
+            ShadowCache::new(
+                "ctr-cache",
+                1,
+                ctr_geom.num_sets() * config.ctr_cache.ways,
+                ShadowMode::Mirror,
+            )
+            .with_index(ctr_index)
         } else {
-            ShadowMode::Mirror
+            let ctr_mode = if config.ctr_policy == PolicyKind::Lru {
+                ShadowMode::Exact
+            } else {
+                ShadowMode::Mirror
+            };
+            ShadowCache::new(
+                "ctr-cache",
+                ctr_geom.num_sets(),
+                config.ctr_cache.ways,
+                ctr_mode,
+            )
+            .with_index(ctr_index)
         };
         let layout = cosmos_secure::MetadataLayout::new(config.protected_bytes, config.scheme);
         let ctr_blocks = layout.ctr_blocks();
         Some(Self {
             scheme: config.scheme,
-            ctr_shadow: ShadowCache::new(
-                "ctr-cache",
-                ctr_geom.num_sets(),
-                config.ctr_cache.ways,
-                ctr_mode,
-            ),
+            ctr_shadow,
             // The real MT cache is hardcoded LRU (secure_path.rs).
             mt_shadow: ShadowCache::new(
                 "mt-cache",

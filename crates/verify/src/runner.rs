@@ -317,6 +317,39 @@ mod tests {
     }
 
     #[test]
+    fn checked_run_is_clean_under_index_variants() {
+        // The shadow oracle must stay green when the CTR cache uses the
+        // keyed-random or skewed index, on both the Exact (LRU) and Mirror
+        // (LCR/boxed) code paths that each index permits.
+        use cosmos_core::config::CtrIndex;
+        let t = random_trace(12_000, 40_000, 0.3, 31);
+        for (design, index) in [
+            (Design::MorphCtr, CtrIndex::Random), // LRU + random → Exact
+            (Design::Cosmos, CtrIndex::Random),   // LCR + random → Mirror
+            (Design::MorphCtr, CtrIndex::Skewed), // LRU + skewed → pool
+        ] {
+            let mut config = small_config(design);
+            config.ctr_index = index;
+            let plain = Simulator::new(config.clone()).run(&t);
+            let (checked, report) = run_checked(&config, &t);
+            assert!(
+                report.is_clean(),
+                "{design}/{}: {}\n{:#?}",
+                index.name(),
+                report.summary(),
+                report.violations
+            );
+            assert_eq!(
+                checked,
+                plain,
+                "{design}/{}: checked stats diverged",
+                index.name()
+            );
+            assert!(report.observer_events > 0);
+        }
+    }
+
+    #[test]
     fn checked_run_with_prefetcher_is_clean() {
         let mut config = small_config(Design::MorphCtr);
         config.ctr_prefetcher = cosmos_cache::PrefetcherKind::NextLine;

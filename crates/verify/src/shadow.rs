@@ -9,7 +9,8 @@
 //! "obviously right" and "fast" into a reported [`Violation`].
 
 use crate::invariants::Violation;
-use cosmos_cache::Eviction;
+use cosmos_cache::{Eviction, IndexKind};
+use cosmos_common::hash::splitmix64;
 use cosmos_common::LineAddr;
 use cosmos_secure::CounterScheme;
 use std::collections::BTreeMap;
@@ -44,6 +45,11 @@ pub struct ShadowCache {
     mode: ShadowMode,
     ways: usize,
     set_mask: u64,
+    /// Index function mirrored from the real cache (restated here via
+    /// `cosmos_common::hash::splitmix64` rather than calling into
+    /// `CacheConfig::set_of`, so an indexing bug in the production code
+    /// still diverges from the shadow).
+    index: IndexKind,
     sets: Vec<Vec<ShadowLine>>,
 }
 
@@ -61,12 +67,38 @@ impl ShadowCache {
             mode,
             ways,
             set_mask: num_sets as u64 - 1,
+            index: IndexKind::Modulo,
             sets: vec![Vec::new(); num_sets],
         }
     }
 
+    /// Returns a copy mirroring a non-modulo index function. A
+    /// [`IndexKind::Random`] shadow stays usable in [`ShadowMode::Exact`]
+    /// (the keyed hash permutes lines across sets but each set is still a
+    /// true LRU list); a skewed cache has per-*way* candidate sets that the
+    /// per-set MRU model cannot express, so skewed shadows are built as one
+    /// fully-associative pool (`num_sets == 1`, `ways` = total capacity) in
+    /// [`ShadowMode::Mirror`] — see [`crate::observer::ShadowState`].
+    #[must_use]
+    pub fn with_index(mut self, index: IndexKind) -> Self {
+        if matches!(index, IndexKind::Skewed { .. }) {
+            assert_eq!(
+                self.sets.len(),
+                1,
+                "skewed shadows model one fully-associative pool"
+            );
+        }
+        self.index = index;
+        self
+    }
+
     fn set_of(&self, line: LineAddr) -> usize {
-        (line.index() & self.set_mask) as usize
+        match self.index {
+            IndexKind::Modulo => (line.index() & self.set_mask) as usize,
+            IndexKind::Random { key } => (splitmix64(line.index() ^ key) & self.set_mask) as usize,
+            // Skewed shadows are a single fully-associative pool.
+            IndexKind::Skewed { .. } => 0,
+        }
     }
 
     /// Adopts a live cache's residency — priming for checked runs resumed
@@ -534,6 +566,72 @@ mod tests {
             &mut out,
         );
         assert!(out.iter().any(|v| v.name == "shadow-victim"), "{out:?}");
+    }
+
+    #[test]
+    fn exact_shadow_tracks_random_indexed_lru_cache() {
+        // Keyed-random indexing permutes lines across sets but each set is
+        // still true LRU, so the Exact shadow must predict every hit/miss
+        // and victim once it mirrors the same keyed hash.
+        let index = IndexKind::Random { key: 0xDEAD_BEEF };
+        let mut cache = Cache::new(CacheConfig::new(512, 2).with_index(index), PolicyKind::Lru);
+        let mut shadow = ShadowCache::new("ctr", 4, 2, ShadowMode::Exact).with_index(index);
+        let mut rng = cosmos_common::SplitMix64::new(17);
+        for _ in 0..5_000 {
+            let line = rng.next_below(48);
+            let write = rng.chance(0.3);
+            let v = drive_pair(&mut cache, &mut shadow, line, write);
+            assert!(v.is_empty(), "{v:?}");
+        }
+        let mut out = Vec::new();
+        shadow.diff_residency(&cache, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn exact_shadow_with_wrong_key_diverges() {
+        // Sanity: the shadow must actually be applying the key — a
+        // mismatched key maps lines to different sets and the hit/miss
+        // predictions fall apart.
+        let mut cache = Cache::new(
+            CacheConfig::new(512, 2).with_index(IndexKind::Random { key: 1 }),
+            PolicyKind::Lru,
+        );
+        let mut shadow = ShadowCache::new("ctr", 4, 2, ShadowMode::Exact)
+            .with_index(IndexKind::Random { key: 2 });
+        let mut rng = cosmos_common::SplitMix64::new(19);
+        let mut violations = 0;
+        for _ in 0..2_000 {
+            violations += drive_pair(&mut cache, &mut shadow, rng.next_below(48), false).len();
+        }
+        assert!(violations > 0, "wrong key should diverge somewhere");
+    }
+
+    #[test]
+    fn mirror_pool_shadow_tracks_skewed_cache() {
+        // Skewed associativity: the shadow collapses to one
+        // fully-associative pool and checks residency/dirty/capacity.
+        let index = IndexKind::Skewed { key: 0xFEED };
+        let mut cache = Cache::new(CacheConfig::new(512, 2).with_index(index), PolicyKind::Lru);
+        // 512 B / 64 B = 8 entries total.
+        let mut shadow = ShadowCache::new("ctr", 1, 8, ShadowMode::Mirror).with_index(index);
+        let mut rng = cosmos_common::SplitMix64::new(23);
+        for _ in 0..5_000 {
+            let line = rng.next_below(48);
+            let write = rng.chance(0.3);
+            let v = drive_pair(&mut cache, &mut shadow, line, write);
+            assert!(v.is_empty(), "{v:?}");
+        }
+        let mut out = Vec::new();
+        shadow.diff_residency(&cache, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fully-associative pool")]
+    fn skewed_shadow_rejects_multi_set_geometry() {
+        let _ = ShadowCache::new("ctr", 4, 2, ShadowMode::Mirror)
+            .with_index(IndexKind::Skewed { key: 1 });
     }
 
     #[test]

@@ -39,6 +39,7 @@ mod interleave;
 pub mod ml;
 pub mod spec;
 pub mod streaming;
+pub mod tenant;
 pub mod workload;
 
 pub use workload::{TraceSpec, Workload};

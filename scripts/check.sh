@@ -235,8 +235,42 @@ if grep -q 'VIOLATED' "$exp_rep_a"; then
     exit 1
 fi
 rm -f "$exp_a" "$exp_b" "$exp_c" "$exp_rep_a" "$exp_rep_b"
+# Occupancy-channel smoke (DESIGN.md §16): the channel_occupancy figure
+# must be byte-identical across --jobs and under --check (which runs the
+# shadow oracles on every cell — the keyed-randomized and
+# skewed-associative index variants included), and a serve-mode job must
+# reproduce the binary's artifact exactly through the shared registry.
+chan_a="$(mktemp)"
+chan_b="$(mktemp)"
+chan_c="$(mktemp)"
+cargo run --release -q -p cosmos-experiments --bin channel_occupancy -- \
+    --accesses 30000 --jobs 1 --json "$chan_a" >/dev/null
+cargo run --release -q -p cosmos-experiments --bin channel_occupancy -- \
+    --accesses 30000 --jobs 4 --json "$chan_b" >/dev/null
+cargo run --release -q -p cosmos-experiments --bin channel_occupancy -- \
+    --accesses 30000 --jobs 2 --check --json "$chan_c" >/dev/null
+cmp "$chan_a" "$chan_b" || {
+    echo "check.sh: channel_occupancy artifact depends on --jobs" >&2
+    exit 1
+}
+cmp "$chan_a" "$chan_c" || {
+    echo "check.sh: --check perturbed the channel_occupancy artifact" >&2
+    exit 1
+}
+chan_serve="$(mktemp -d)"
+printf '%s\n' \
+    '{"op":"submit","job":{"type":"figure","figure":"channel_occupancy","accesses":30000}}' \
+    | cargo run --release -q -p cosmos-serve --bin cosmos_serve -- serve \
+        --state "$chan_serve" --jobs 1 >/dev/null
+cmp "$chan_serve/job-1.json" "$chan_a" || {
+    echo "check.sh: serve channel_occupancy artifact diverges from the binary" >&2
+    exit 1
+}
+rm -f "$chan_a" "$chan_b" "$chan_c"
+rm -rf "$chan_serve"
 # Throughput trend: flags >10% drops of the committed sim_throughput
-# snapshot against its history. Warn-only by default (wall-clock rates
+# snapshot against its history (both the plain-grid rate and the
+# channel-harness cell rate). Warn-only by default (wall-clock rates
 # are machine-dependent); export THROUGHPUT_GUARD=deny to make a
 # flagged drop fail this gate.
 scripts/throughput_guard.sh

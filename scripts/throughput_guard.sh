@@ -1,11 +1,15 @@
 #!/bin/bash
 # Simulator-throughput regression guard.
 #
-# Compares the current BENCH_sim.json snapshot's mean_accesses_per_sec
-# against the most recent *different* entry in BENCH_sim.history.jsonl
-# (the snapshot's own numbers are appended to the history by the bench,
-# so the last line usually repeats the snapshot). A drop of more than
-# 10% prints a warning.
+# Compares the current BENCH_sim.json snapshot against the most recent
+# *different* entry in BENCH_sim.history.jsonl (the snapshot's own numbers
+# are appended to the history by the bench, so the last line usually
+# repeats the snapshot). Two rates are guarded independently:
+#
+#   - mean_accesses_per_sec      the plain Simulator::run grid rate
+#   - channel_accesses_per_sec   the occupancy-channel harness cell rate
+#
+# A drop of more than 10% in either prints a warning.
 #
 # By default the guard never fails the build — wall-clock throughput is
 # machine- and load-dependent, so it flags, humans judge. Deny mode
@@ -33,45 +37,56 @@ if [ ! -f "$snap" ]; then
   exit 0
 fi
 
-current="$(sed -n 's/.*"mean_accesses_per_sec": *\([0-9.eE+-]*\).*/\1/p' "$snap" | head -n1)"
-if [ -z "$current" ]; then
-  echo "throughput_guard: $snap has no mean_accesses_per_sec field" >&2
-  exit 0
-fi
-
-if [ ! -f "$hist" ]; then
-  echo "throughput_guard: no $hist yet — nothing to compare against" >&2
-  exit 0
-fi
-
-# The last history entry whose mean differs from the snapshot's (i.e. the
-# previous benchmark run on this machine).
-baseline="$(awk -v cur="$current" '
-  match($0, /"mean_accesses_per_sec": *[0-9.eE+-]+/) {
-    v = substr($0, RSTART, RLENGTH)
-    sub(/^"mean_accesses_per_sec": */, "", v)
-    if (v + 0 != cur + 0) last = v
-  }
-  END { if (last != "") print last }' "$hist")"
-if [ -z "$baseline" ]; then
-  echo "throughput_guard: no prior differing history entry — nothing to compare against" >&2
-  exit 0
-fi
-
 flagged=0
-awk -v cur="$current" -v base="$baseline" -v thr="$threshold_pct" 'BEGIN {
-  drop = (base - cur) / base * 100.0
-  if (drop > thr) {
-    printf "throughput_guard: WARNING: sim throughput dropped %.1f%% (%.0f -> %.0f accesses/sec, threshold %d%%)\n",
-      drop, base, cur, thr
-    printf "throughput_guard: wall-clock benches are noisy; re-run sim_throughput before blaming a change\n"
-    exit 1
-  } else if (drop > 0) {
-    printf "throughput_guard: ok: -%.1f%% vs last run (%.0f -> %.0f accesses/sec)\n", drop, base, cur
-  } else {
-    printf "throughput_guard: ok: +%.1f%% vs last run (%.0f -> %.0f accesses/sec)\n", -drop, base, cur
-  }
-}' || flagged=1
+
+# guard_field <json field name> <human label>
+guard_field() {
+  field="$1"
+  label="$2"
+
+  current="$(sed -n 's/.*"'"$field"'": *\([0-9.eE+-]*\).*/\1/p' "$snap" | head -n1)"
+  if [ -z "$current" ]; then
+    echo "throughput_guard: $snap has no $field field" >&2
+    return 0
+  fi
+
+  if [ ! -f "$hist" ]; then
+    echo "throughput_guard: no $hist yet — nothing to compare against" >&2
+    return 0
+  fi
+
+  # The last history entry whose rate differs from the snapshot's (i.e.
+  # the previous benchmark run on this machine). Older history lines may
+  # predate the field entirely; they simply don't match.
+  baseline="$(awk -v cur="$current" -v field="$field" '
+    match($0, "\"" field "\": *[0-9.eE+-]+") {
+      v = substr($0, RSTART, RLENGTH)
+      sub(/^"[a-z_]+": */, "", v)
+      if (v + 0 != cur + 0) last = v
+    }
+    END { if (last != "") print last }' "$hist")"
+  if [ -z "$baseline" ]; then
+    echo "throughput_guard: no prior differing $field history entry — nothing to compare against" >&2
+    return 0
+  fi
+
+  awk -v cur="$current" -v base="$baseline" -v thr="$threshold_pct" -v label="$label" 'BEGIN {
+    drop = (base - cur) / base * 100.0
+    if (drop > thr) {
+      printf "throughput_guard: WARNING: %s throughput dropped %.1f%% (%.0f -> %.0f accesses/sec, threshold %d%%)\n",
+        label, drop, base, cur, thr
+      printf "throughput_guard: wall-clock benches are noisy; re-run sim_throughput before blaming a change\n"
+      exit 1
+    } else if (drop > 0) {
+      printf "throughput_guard: ok: %s -%.1f%% vs last run (%.0f -> %.0f accesses/sec)\n", label, drop, base, cur
+    } else {
+      printf "throughput_guard: ok: %s +%.1f%% vs last run (%.0f -> %.0f accesses/sec)\n", label, -drop, base, cur
+    }
+  }' || flagged=1
+}
+
+guard_field "mean_accesses_per_sec" "sim"
+guard_field "channel_accesses_per_sec" "channel"
 
 if [ "$flagged" = "1" ] && [ "$mode" = "deny" ]; then
   echo "throughput_guard: DENY mode — failing the build" >&2
