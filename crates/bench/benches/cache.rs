@@ -52,8 +52,11 @@ fn bench_prefetchers(c: &mut Criterion) {
             b.iter(|| {
                 let mut pf = kind.build().expect("prefetcher");
                 let mut issued = 0usize;
+                let mut cands = Vec::with_capacity(8);
                 for &line in &accesses {
-                    issued += pf.on_access(line, false).len();
+                    cands.clear();
+                    pf.on_access(line, false, &mut cands);
+                    issued += cands.len();
                 }
                 issued
             })

@@ -921,7 +921,7 @@ impl Cache {
                     .expect("victim search ran over the candidate slots; every slot is a candidate")
             }
             PolicyImpl::Boxed(_) => {
-                // cosmos-lint: allow(P2): skewed construction rejects boxed policies, so this arm is dead by invariant
+                // cosmos-lint: allow(P2,H4): skewed construction rejects boxed policies, so this arm is dead by invariant
                 unreachable!("skewed caches reject boxed policies at construction")
             }
         }

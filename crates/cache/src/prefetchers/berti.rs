@@ -85,7 +85,7 @@ impl Berti {
 }
 
 impl Prefetcher for Berti {
-    fn on_access(&mut self, line: LineAddr, _hit: bool) -> Vec<LineAddr> {
+    fn on_access(&mut self, line: LineAddr, _hit: bool, out: &mut Vec<LineAddr>) {
         let region = line.index() >> 6;
         let slot = hash_key(region, REGION_TABLE);
         // Take a snapshot of history to score deltas against.
@@ -131,9 +131,8 @@ impl Prefetcher for Berti {
         e.history[0] = line.index();
         e.len = (e.len + 1).min(HISTORY_PER_REGION as u8);
 
-        match self.best_delta() {
-            Some(d) => vec![line.offset(d as i64)],
-            None => Vec::new(),
+        if let Some(d) = self.best_delta() {
+            out.push(line.offset(d as i64));
         }
     }
 
@@ -146,12 +145,18 @@ impl Prefetcher for Berti {
 mod tests {
     use super::*;
 
+    fn candidates(p: &mut Berti, line: LineAddr) -> Vec<LineAddr> {
+        let mut out = Vec::new();
+        p.on_access(line, false, &mut out);
+        out
+    }
+
     #[test]
     fn learns_sequential_delta() {
         let mut p = Berti::new();
         let mut out = Vec::new();
         for i in 0..32u64 {
-            out = p.on_access(LineAddr::new(i), false);
+            out = candidates(&mut p, LineAddr::new(i));
         }
         assert_eq!(out, vec![LineAddr::new(32)]);
     }
@@ -161,7 +166,7 @@ mod tests {
         let mut p = Berti::new();
         let mut out = Vec::new();
         for i in 0..30u64 {
-            out = p.on_access(LineAddr::new(3 * i), false);
+            out = candidates(&mut p, LineAddr::new(3 * i));
         }
         assert_eq!(out, vec![LineAddr::new(90)]);
     }
@@ -173,7 +178,7 @@ mod tests {
         let mut issued = 0usize;
         for _ in 0..2000 {
             let line = LineAddr::new(rng.next_below(1 << 20));
-            issued += p.on_access(line, false).len();
+            issued += candidates(&mut p, line).len();
         }
         assert!(issued < 400, "issued {issued} on random stream");
     }
@@ -183,10 +188,9 @@ mod tests {
         let mut p = Berti::new();
         // Interleave two regions with different strides; both should learn.
         for i in 0..40u64 {
-            p.on_access(LineAddr::new(i), false);
-            p.on_access(LineAddr::new(100_000 + 2 * i), false);
+            candidates(&mut p, LineAddr::new(i));
+            candidates(&mut p, LineAddr::new(100_000 + 2 * i));
         }
-        let out = p.on_access(LineAddr::new(40), false);
-        assert!(!out.is_empty());
+        assert!(!candidates(&mut p, LineAddr::new(40)).is_empty());
     }
 }

@@ -12,9 +12,11 @@ use cosmos_common::LineAddr;
 
 /// A prefetcher observes each demand access and proposes lines to bring in.
 pub trait Prefetcher: Send {
-    /// Observes a demand access (with hit/miss outcome) and returns lines to
-    /// prefetch. May return an empty vector.
-    fn on_access(&mut self, line: LineAddr, hit: bool) -> Vec<LineAddr>;
+    /// Observes a demand access (with hit/miss outcome) and pushes lines to
+    /// prefetch into `out`. The caller clears and reuses the buffer across
+    /// accesses so the per-access path never allocates; implementations
+    /// only append and may leave `out` untouched.
+    fn on_access(&mut self, line: LineAddr, hit: bool, out: &mut Vec<LineAddr>);
 
     /// Short name for diagnostics.
     fn name(&self) -> &'static str;

@@ -15,8 +15,8 @@ impl NextLine {
 }
 
 impl Prefetcher for NextLine {
-    fn on_access(&mut self, line: LineAddr, _hit: bool) -> Vec<LineAddr> {
-        vec![line.offset(1)]
+    fn on_access(&mut self, line: LineAddr, _hit: bool, out: &mut Vec<LineAddr>) {
+        out.push(line.offset(1));
     }
 
     fn name(&self) -> &'static str {
@@ -28,15 +28,21 @@ impl Prefetcher for NextLine {
 mod tests {
     use super::*;
 
+    fn candidates(p: &mut NextLine, line: LineAddr, hit: bool) -> Vec<LineAddr> {
+        let mut out = Vec::new();
+        p.on_access(line, hit, &mut out);
+        out
+    }
+
     #[test]
     fn always_prefetches_successor() {
         let mut p = NextLine::new();
         assert_eq!(
-            p.on_access(LineAddr::new(10), true),
+            candidates(&mut p, LineAddr::new(10), true),
             vec![LineAddr::new(11)]
         );
         assert_eq!(
-            p.on_access(LineAddr::new(10), false),
+            candidates(&mut p, LineAddr::new(10), false),
             vec![LineAddr::new(11)]
         );
     }

@@ -51,7 +51,7 @@ impl Stride {
 }
 
 impl Prefetcher for Stride {
-    fn on_access(&mut self, line: LineAddr, _hit: bool) -> Vec<LineAddr> {
+    fn on_access(&mut self, line: LineAddr, _hit: bool, out: &mut Vec<LineAddr>) {
         let region = line.index() >> 6; // 64 lines = 4 KiB region
         let slot = hash_key(region, TABLE_ENTRIES);
         let e = &mut self.table[slot];
@@ -63,27 +63,25 @@ impl Prefetcher for Stride {
                 confidence: 0,
                 valid: true,
             };
-            return Vec::new();
+            return;
         }
         let observed = line.index() as i64 - e.last_line as i64;
         e.last_line = line.index();
         if observed == 0 {
-            return Vec::new();
+            return;
         }
         if observed == e.stride {
             e.confidence = (e.confidence + 1).min(CONFIDENCE_MAX);
         } else {
             e.stride = observed;
             e.confidence = 0;
-            return Vec::new();
+            return;
         }
         if e.confidence >= CONFIDENCE_THRESHOLD {
             let stride = e.stride;
-            (1..=self.degree as i64)
-                .map(|k| line.offset(stride * k))
-                .collect()
-        } else {
-            Vec::new()
+            for k in 1..=self.degree as i64 {
+                out.push(line.offset(stride * k));
+            }
         }
     }
 
@@ -96,12 +94,18 @@ impl Prefetcher for Stride {
 mod tests {
     use super::*;
 
+    fn candidates(p: &mut Stride, line: LineAddr) -> Vec<LineAddr> {
+        let mut out = Vec::new();
+        p.on_access(line, false, &mut out);
+        out
+    }
+
     #[test]
     fn detects_unit_stride() {
         let mut p = Stride::new();
         let mut out = Vec::new();
         for i in 0..6u64 {
-            out = p.on_access(LineAddr::new(100 + i), false);
+            out = candidates(&mut p, LineAddr::new(100 + i));
         }
         assert_eq!(out, vec![LineAddr::new(106)]);
     }
@@ -112,7 +116,7 @@ mod tests {
         let mut out = Vec::new();
         // Stay within one 64-line region (the table is region-indexed).
         for i in 0..6u64 {
-            out = p.on_access(LineAddr::new(254 - 2 * i), false);
+            out = candidates(&mut p, LineAddr::new(254 - 2 * i));
         }
         assert_eq!(out, vec![LineAddr::new(242)]);
     }
@@ -124,7 +128,7 @@ mod tests {
         let mut rng = cosmos_common::SplitMix64::new(3);
         for _ in 0..200 {
             let line = LineAddr::new(rng.next_below(50));
-            issued += p.on_access(line, false).len();
+            issued += candidates(&mut p, line).len();
         }
         // A few coincidental repeats are tolerable, but not systematic.
         assert!(issued < 40, "issued {issued} prefetches on random input");
@@ -134,11 +138,11 @@ mod tests {
     fn stride_change_resets_confidence() {
         let mut p = Stride::new();
         for i in 0..4u64 {
-            p.on_access(LineAddr::new(i), false);
+            candidates(&mut p, LineAddr::new(i));
         }
         // Break the stride.
-        assert!(p.on_access(LineAddr::new(40), false).is_empty());
-        assert!(p.on_access(LineAddr::new(41), false).is_empty());
+        assert!(candidates(&mut p, LineAddr::new(40)).is_empty());
+        assert!(candidates(&mut p, LineAddr::new(41)).is_empty());
     }
 
     #[test]
@@ -146,11 +150,21 @@ mod tests {
         let mut p = Stride::with_degree(3);
         let mut out = Vec::new();
         for i in 0..6u64 {
-            out = p.on_access(LineAddr::new(i), false);
+            out = candidates(&mut p, LineAddr::new(i));
         }
         assert_eq!(
             out,
             vec![LineAddr::new(6), LineAddr::new(7), LineAddr::new(8)]
         );
+    }
+
+    #[test]
+    fn sink_buffer_is_append_only() {
+        // The caller owns clearing; a stale candidate in the buffer must
+        // survive an on_access that issues nothing.
+        let mut p = Stride::new();
+        let mut out = vec![LineAddr::new(7)];
+        p.on_access(LineAddr::new(500), false, &mut out);
+        assert_eq!(out, vec![LineAddr::new(7)]);
     }
 }

@@ -40,6 +40,9 @@ pub struct SecurePath {
     ctr_cache: Cache,
     mt_cache: Cache,
     prefetcher: Option<Box<dyn Prefetcher>>,
+    // Reusable prefetch-candidate buffer: run_prefetcher clears and
+    // refills it every access instead of allocating.
+    pf_scratch: Vec<LineAddr>,
     counters: CounterStore,
     layout: MetadataLayout,
     locality: Option<CtrLocalityPredictor>,
@@ -108,6 +111,7 @@ impl SecurePath {
             ctr_cache,
             mt_cache,
             prefetcher: config.ctr_prefetcher.build(),
+            pf_scratch: Vec::with_capacity(8),
             counters: CounterStore::new(config.scheme),
             layout: MetadataLayout::new(config.protected_bytes, config.scheme),
             locality,
@@ -495,10 +499,15 @@ impl SecurePath {
     }
 
     fn run_prefetcher(&mut self, ctr_line: LineAddr, hit: bool, traffic: &mut TrafficBreakdown) {
-        // Take the prefetcher out to satisfy the borrow checker, then
-        // process its candidates against the CTR cache.
+        // Take the prefetcher (and the candidate scratch buffer) out to
+        // satisfy the borrow checker, then process its candidates against
+        // the CTR cache. The buffer is reused across accesses so this path
+        // stays allocation-free after warmup.
         if let Some(mut pf) = self.prefetcher.take() {
-            for cand in pf.on_access(ctr_line, hit) {
+            let mut cands = std::mem::take(&mut self.pf_scratch);
+            cands.clear();
+            pf.on_access(ctr_line, hit, &mut cands);
+            for &cand in &cands {
                 // Only prefetch within the CTR region.
                 if !self.layout.is_ctr(cand) {
                     continue;
@@ -546,6 +555,7 @@ impl SecurePath {
                     traffic.mt_reads += 1;
                 }
             }
+            self.pf_scratch = cands;
             self.prefetcher = Some(pf);
         }
     }

@@ -1,0 +1,38 @@
+//! Hot-pragma binding across generic parameter lists and where clauses:
+//! the pragma must attach to the next function definition even when the
+//! signature spans generics, trait bounds, and a multi-line where clause
+//! before the body opens.
+
+// cosmos-lint: hot
+pub fn hot_generic<K: Ord + Clone, V: Default>(key: K) -> Option<V> {
+    let _twin = key.clone(); //~ H1
+    None
+}
+
+// cosmos-lint: hot
+pub fn hot_where<T>(items: &[T]) -> Vec<T>
+where
+    T: Clone + PartialOrd,
+{
+    items.to_vec() //~ H1
+}
+
+pub struct Holder<T> {
+    item: T,
+}
+
+impl<T> Holder<T>
+where
+    T: Clone,
+{
+    // cosmos-lint: hot
+    pub fn hot_method(&self) -> T {
+        self.item.clone() //~ H1
+    }
+}
+
+/// Control: generic and allocating but unannotated (and unreachable from
+/// any root), so both H1 and H2 stay silent.
+pub fn cold_generic<T: Clone>(items: &[T]) -> Vec<T> {
+    items.to_vec()
+}

@@ -1,0 +1,7 @@
+//! First of two same-name candidates; allocates, but never joins the
+//! closure because the call site in ws_ambig_root.rs is ambiguous.
+
+pub fn refill(budget: u64) -> u64 {
+    let pool = vec![0u64; budget as usize];
+    pool.len() as u64
+}

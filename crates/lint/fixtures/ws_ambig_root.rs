@@ -1,0 +1,10 @@
+//! A hot root calling a name defined twice in other files: with no
+//! same-file definition and two global candidates, the resolver refuses
+//! to guess, so neither candidate joins the closure and their allocations
+//! stay H2-silent. When coverage matters, annotate the real callee hot
+//! directly (DESIGN.md §17).
+
+// cosmos-lint: hot
+pub fn tick(budget: u64) -> u64 {
+    refill(budget)
+}

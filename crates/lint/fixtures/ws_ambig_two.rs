@@ -1,0 +1,7 @@
+//! Second of two same-name candidates; also allocates, also stays off
+//! the closure.
+
+pub fn refill(budget: u64) -> u64 {
+    let tag = budget.to_string();
+    tag.len() as u64
+}

@@ -1,0 +1,15 @@
+//! Hot root whose callees live in a sibling file (ws_chain_leaf.rs):
+//! cross-file H2/H3/H4 with witness chains, plus self-recursion (the BFS
+//! must terminate and exclude the root from its own reachable set).
+
+// cosmos-lint: hot
+pub fn access(depth: u64, m: &std::sync::Mutex<u64>) {
+    if depth > 0 {
+        access(depth - 1, m);
+    }
+    stage_one(depth, m);
+}
+
+fn stage_one(depth: u64, m: &std::sync::Mutex<u64>) {
+    stage_two(depth, m);
+}

@@ -1,0 +1,16 @@
+//! Sampled-run estimator module: reconstructs totals from WindowStats
+//! interval samples but never references the struct's last field.
+
+use crate::stats::WindowStats;
+
+pub fn reconstruct(samples: &[WindowStats]) -> u64 {
+    let mut hits = 0u64;
+    let mut dropped_since = 0u64;
+    let mut dropped_snapshot = 0u64;
+    for sample in samples {
+        hits += sample.hits;
+        dropped_since += sample.dropped_since;
+        dropped_snapshot += sample.dropped_snapshot;
+    }
+    hits + dropped_since + dropped_snapshot
+}

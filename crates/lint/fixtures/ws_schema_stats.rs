@@ -1,0 +1,43 @@
+//! Stat-schema completeness over a `*Stats` struct whose three dropped_*
+//! fields are each missing from exactly one consumer; the fully-threaded
+//! hits field stays silent. The estimator lives in ws_schema_estimate.rs.
+
+#[derive(Default)]
+pub struct WindowStats {
+    pub hits: u64,
+    pub dropped_since: u64,    //~ S1
+    pub dropped_snapshot: u64, //~ S2
+    pub dropped_estimate: u64, //~ S3
+}
+
+impl WindowStats {
+    pub fn since(&self, baseline: &WindowStats) -> WindowStats {
+        WindowStats {
+            hits: self.hits - baseline.hits,
+            dropped_snapshot: self.dropped_snapshot - baseline.dropped_snapshot,
+            dropped_estimate: self.dropped_estimate - baseline.dropped_estimate,
+            ..Default::default()
+        }
+    }
+
+    pub fn to_json(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("hits", self.hits),
+            ("dropped_since", self.dropped_since),
+            ("dropped_estimate", self.dropped_estimate),
+        ]
+    }
+
+    pub fn from_json(fields: &[(&str, u64)]) -> WindowStats {
+        let mut out = WindowStats::default();
+        for (key, value) in fields {
+            match *key {
+                "hits" => out.hits = *value,
+                "dropped_since" => out.dropped_since = *value,
+                "dropped_estimate" => out.dropped_estimate = *value,
+                _ => {}
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,31 @@
+//! Policy impls in a sibling file, reached through trait fan-out from
+//! ws_trait_root.rs; the second impl routes through a `self.` method
+//! call that must also resolve.
+
+pub struct Greedy {
+    order: Vec<usize>,
+}
+
+impl Policy for Greedy {
+    fn pick(&mut self) -> usize {
+        let ranked: Vec<usize> = self.order.clone(); //~ H2
+        ranked.len()
+    }
+}
+
+pub struct Seeded {
+    seed: u64,
+}
+
+impl Seeded {
+    fn step(&mut self) -> usize {
+        let label = format!("{:x}", self.seed); //~ H2
+        label.len()
+    }
+}
+
+impl Policy for Seeded {
+    fn pick(&mut self) -> usize {
+        self.step()
+    }
+}

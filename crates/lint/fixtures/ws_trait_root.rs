@@ -1,0 +1,12 @@
+//! Dynamic dispatch: a dot-call whose name is declared by a workspace
+//! trait fans out to every method of that name, so each impl in
+//! ws_trait_impls.rs joins the closure.
+
+pub trait Policy {
+    fn pick(&mut self) -> usize;
+}
+
+// cosmos-lint: hot
+pub fn drive(p: &mut dyn Policy) -> usize {
+    p.pick()
+}

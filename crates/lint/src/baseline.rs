@@ -127,6 +127,7 @@ mod tests {
             line: 10,
             message: String::new(),
             excerpt: excerpt.to_string(),
+            chain: Vec::new(),
         }
     }
 
@@ -161,6 +162,33 @@ mod tests {
             Baseline::parse("D1\tgone.rs\tuse std::collections::HashMap;\n").expect("parses");
         assert_eq!(b.stale().len(), 1);
         assert!(!b.matches(&finding("D1", "gone.rs", "different line")));
+    }
+
+    #[test]
+    fn closure_and_schema_ids_round_trip() {
+        // The pass-2 rules baseline like any other; the witness chain is
+        // NOT part of the key (a chain re-route must not un-baseline).
+        let mut h2 = finding(
+            "H2",
+            "crates/cache/src/cache.rs",
+            "let v = self.ways.to_vec();",
+        );
+        h2.chain = vec!["Cache::access".to_string(), "evict".to_string()];
+        let rest: Vec<Finding> = ["H3", "H4", "S1", "S2", "S3"]
+            .iter()
+            .map(|r| finding(r, "crates/core/src/stats.rs", "pub ctr_overflows: u64,"))
+            .collect();
+        let mut all = vec![h2.clone()];
+        all.extend(rest);
+        let text = Baseline::render(&all);
+        let mut b = Baseline::parse(&text).expect("rendered baseline parses");
+        assert_eq!(b.len(), 6);
+        h2.chain = vec!["Cache::access".to_string(), "other_route".to_string()];
+        assert!(b.matches(&h2), "chain drift must not break the match");
+        for f in &all[1..] {
+            assert!(b.matches(f), "{} did not round-trip", f.rule);
+        }
+        assert!(b.stale().is_empty());
     }
 
     #[test]

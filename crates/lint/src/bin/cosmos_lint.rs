@@ -11,7 +11,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "\
 cosmos-lint — static analysis of the COSMOS workspace's determinism,
-hot-path, stat-integrity, and panic invariants (DESIGN.md §12).
+hot-path-closure, stat-integrity, stat-schema, and panic invariants
+(DESIGN.md §12 and §17).
 
 USAGE:
     cosmos-lint [OPTIONS] [FILES...]
@@ -23,11 +24,17 @@ OPTIONS:
     --write-baseline    Rewrite the baseline to grandfather all current
                         findings, then exit 0
     --json <FILE>       Also write the machine-readable report to <FILE>
+    --jobs <N>          Pass-1 worker threads (default 1; the report is
+                        byte-identical for every value)
+    --timings           Include per-pass wall time in the JSON report
+                        (off by default so the report stays deterministic)
     --list-rules        Print the rule catalogue and exit
     -q, --quiet         Suppress the report on success
     -h, --help          This help
 
 FILES limits the scan to the given paths (default: all crate sources).
+NOTE: the call-graph and schema passes see only the scanned set, so a
+FILES subset can mask closure findings — the gate always runs the full set.
 Exit code: 0 clean, 1 findings, 2 usage/IO error.";
 
 struct Args {
@@ -35,6 +42,8 @@ struct Args {
     baseline: Option<PathBuf>,
     write_baseline: bool,
     json: Option<PathBuf>,
+    jobs: usize,
+    timings: bool,
     list_rules: bool,
     quiet: bool,
     files: Vec<PathBuf>,
@@ -46,6 +55,8 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         write_baseline: false,
         json: None,
+        jobs: 1,
+        timings: false,
         list_rules: false,
         quiet: false,
         files: Vec::new(),
@@ -57,6 +68,15 @@ fn parse_args() -> Result<Args, String> {
             "--baseline" => args.baseline = Some(PathBuf::from(take(&mut it, "--baseline")?)),
             "--write-baseline" => args.write_baseline = true,
             "--json" => args.json = Some(PathBuf::from(take(&mut it, "--json")?)),
+            "--jobs" => {
+                let v = take(&mut it, "--jobs")?;
+                args.jobs = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--jobs needs a positive integer, got {v:?}"))?;
+            }
+            "--timings" => args.timings = true,
             "--list-rules" => args.list_rules = true,
             "-q" | "--quiet" => args.quiet = true,
             "-h" | "--help" => {
@@ -135,7 +155,7 @@ fn main() -> ExitCode {
     if args.write_baseline {
         // Grandfather everything currently live (run against an empty
         // baseline so existing entries are re-derived, not doubled).
-        let report = match run(&root, &files, Baseline::default()) {
+        let report = match run(&root, &files, Baseline::default(), args.jobs) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("cosmos-lint: {e}");
@@ -155,7 +175,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let report = match run(&root, &files, baseline) {
+    let mut report = match run(&root, &files, baseline, args.jobs) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("cosmos-lint: {e}");
@@ -167,7 +187,17 @@ fn main() -> ExitCode {
         if let Some(parent) = json_path.parent() {
             let _ = std::fs::create_dir_all(parent);
         }
-        if let Err(e) = std::fs::write(json_path, report.to_json().pretty() + "\n") {
+        // Wall time goes into the JSON only on request: the committed
+        // report must be byte-identical across runs and --jobs.
+        let timing = report.timing.take();
+        if args.timings {
+            report.timing = timing;
+        }
+        let written = std::fs::write(json_path, report.to_json().pretty() + "\n");
+        if !args.timings {
+            report.timing = timing; // restore for the human render
+        }
+        if let Err(e) = written {
             eprintln!("cosmos-lint: writing {}: {e}", json_path.display());
             return ExitCode::from(2);
         }

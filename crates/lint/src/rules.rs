@@ -1,14 +1,22 @@
-//! The rule catalogue and the token-stream rule engine.
+//! The rule catalogue and the per-file (pass-1) rule engine.
 //!
-//! Four invariant families, keyed to this codebase (see DESIGN.md §12):
+//! Five invariant families, keyed to this codebase (see DESIGN.md §12 and
+//! §17):
 //!
 //! - **D-rules** (determinism): every artifact must be byte-identical
 //!   across `--jobs`/`--check`/`--telemetry`, so nondeterministic iteration
 //!   order, wall-clock reads, and ad-hoc threading are confined.
 //! - **H-rules** (hot path): functions marked `// cosmos-lint: hot` must
-//!   stay allocation-free (PR 1's cache surgery must survive refactoring).
+//!   stay allocation-free (H1), and so must everything they transitively
+//!   call (H2), which must also stay lock-free (H3) and panic-free (H4) —
+//!   the closure rules run in pass 2 over the workspace call graph
+//!   ([`crate::graph`]).
 //! - **C-rules** (stat integrity): `u64` counters must not be silently
 //!   truncated, and stats structs must accumulate in integers.
+//! - **S-rules** (stat schema): every `*Stats` field must be threaded
+//!   through its `since()` window rebase (S1), its snapshot
+//!   serialization (S2), and the sampled-run estimator (S3) — checked in
+//!   pass 2 ([`crate::schema`]).
 //! - **P-rules** (panics): library crates return `Result` or document
 //!   invariants; they don't `unwrap()`.
 //!
@@ -16,7 +24,8 @@
 //! (malformed pragmas, allows that suppress nothing).
 
 use crate::scan::{extents, Extents};
-use crate::tokenizer::{lex, Tok, TokKind};
+use crate::symbols::{file_symbols, FileSymbols};
+use crate::tokenizer::{lex, Lexed, Tok, TokKind};
 
 /// One catalogue entry.
 #[derive(Clone, Copy, Debug)]
@@ -56,6 +65,24 @@ pub const RULES: &[Rule] = &[
                   `// cosmos-lint: hot` function",
     },
     Rule {
+        id: "H2",
+        name: "hot-reachable-alloc",
+        summary: "heap allocation in a function transitively reachable from a hot root \
+                  (the finding carries the caller→callee witness chain)",
+    },
+    Rule {
+        id: "H3",
+        name: "hot-lock",
+        summary: "lock acquisition (Mutex/RwLock/.lock()) anywhere on the hot-path call \
+                  closure: blocking per simulated access destroys throughput",
+    },
+    Rule {
+        id: "H4",
+        name: "hot-panic",
+        summary: "unwrap() or panic-family macro anywhere on the hot-path call closure \
+                  (the P-rule bin waiver does not extend to hot code)",
+    },
+    Rule {
         id: "C1",
         name: "stat-lossy-cast",
         summary: "narrowing `as` cast in a stat module can silently truncate u64 counters",
@@ -65,6 +92,24 @@ pub const RULES: &[Rule] = &[
         name: "stat-float-field",
         summary: "float field in a *Stats struct: accumulate in integers, derive floats at \
                   emit time",
+    },
+    Rule {
+        id: "S1",
+        name: "stat-window-drop",
+        summary: "*Stats field missing from its since() window rebase: warmup-excluded \
+                  measurement windows silently carry the warmup value",
+    },
+    Rule {
+        id: "S2",
+        name: "stat-snapshot-drop",
+        summary: "*Stats field missing from to_json/from_json snapshot serialization: \
+                  snapshot/restore would not round-trip it",
+    },
+    Rule {
+        id: "S3",
+        name: "stat-estimate-drop",
+        summary: "*Stats field not referenced by the sampled-run estimator module: \
+                  reconstruction from interval samples drops it",
     },
     Rule {
         id: "P1",
@@ -119,14 +164,24 @@ pub struct Finding {
     pub message: String,
     /// The trimmed source line (also the baseline matching key).
     pub excerpt: String,
+    /// For closure rules (H2–H4): the witness chain of function display
+    /// names from a hot root to the function containing the finding.
+    /// Empty for token-local rules. Not part of the baseline key.
+    pub chain: Vec<String>,
 }
 
 impl Finding {
-    /// `path:line: [RULE] message` — the human-readable rendering.
+    /// `path:line: [RULE] message` — the human-readable rendering, with
+    /// the witness chain appended when present.
     pub fn render(&self) -> String {
+        let via = if self.chain.len() > 1 {
+            format!(" (via {})", self.chain.join(" → "))
+        } else {
+            String::new()
+        };
         format!(
-            "{}:{}: [{}] {}",
-            self.path, self.line, self.rule, self.message
+            "{}:{}: [{}] {}{}",
+            self.path, self.line, self.rule, self.message, via
         )
     }
 }
@@ -156,14 +211,131 @@ fn classify(path: &str) -> FileRole {
     }
 }
 
-/// Analyzes one file's source text. `path` is the workspace-relative path
-/// used for rule scoping and reporting; findings are returned fully
-/// pragma-filtered (with L1/L2 pragma-hygiene findings folded in).
-pub fn analyze_source(path: &str, src: &str) -> Vec<Finding> {
+/// Whether `path` is an estimator module subject to the S3 field-coverage
+/// contract (see [`crate::schema`]).
+pub(crate) fn is_estimator_module(path: &str) -> bool {
+    path.rsplit('/').next().unwrap_or(path) == "estimate.rs"
+}
+
+/// The token at `i` starts a heap allocation (H1/H2's shared matcher):
+/// an allocating method call after `.`, an allocating macro, or an
+/// allocating constructor path. Returns the offending token text.
+pub(crate) fn alloc_site(toks: &[Tok], i: usize) -> Option<&str> {
+    let t = toks.get(i)?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let method = is_punct(toks, i.wrapping_sub(1), ".")
+        && matches!(
+            t.text.as_str(),
+            "clone" | "collect" | "to_string" | "to_owned" | "to_vec" | "push_str"
+        );
+    let mac = matches!(t.text.as_str(), "format" | "vec") && is_punct(toks, i + 1, "!");
+    let ctor = matches!(t.text.as_str(), "Box" | "String" | "Vec")
+        && is_punct(toks, i + 1, ":")
+        && is_punct(toks, i + 2, ":")
+        && {
+            // Skip an optional turbofish: `Vec::<u8>::with_capacity`.
+            let mut j = i + 3;
+            if is_punct(toks, j, "<") {
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    if toks[j].kind == TokKind::Punct {
+                        match toks[j].text.as_str() {
+                            "<" => depth += 1,
+                            ">" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    j += 1;
+                }
+                if is_punct(toks, j, ":") && is_punct(toks, j + 1, ":") {
+                    j += 2;
+                }
+            }
+            matches!(
+                toks.get(j).map(|t| t.text.as_str()),
+                Some("new") | Some("from") | Some("with_capacity")
+            )
+        };
+    (method || mac || ctor).then_some(t.text.as_str())
+}
+
+/// The token at `i` acquires a lock (H3's matcher): a `.lock(` call or a
+/// sync-primitive type name.
+pub(crate) fn lock_site(toks: &[Tok], i: usize) -> Option<&str> {
+    let t = toks.get(i)?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let method =
+        t.text == "lock" && is_punct(toks, i.wrapping_sub(1), ".") && is_punct(toks, i + 1, "(");
+    let primitive = matches!(t.text.as_str(), "Mutex" | "RwLock" | "Condvar" | "Barrier");
+    (method || primitive).then_some(t.text.as_str())
+}
+
+/// The token at `i` can panic (H4's matcher): `.unwrap(` or a panic-family
+/// macro.
+pub(crate) fn panic_site(toks: &[Tok], i: usize) -> Option<&str> {
+    let t = toks.get(i)?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let unwrap =
+        t.text == "unwrap" && is_punct(toks, i.wrapping_sub(1), ".") && is_punct(toks, i + 1, "(");
+    let mac = matches!(
+        t.text.as_str(),
+        "panic" | "unreachable" | "todo" | "unimplemented"
+    ) && is_punct(toks, i + 1, "!");
+    (unwrap || mac).then_some(t.text.as_str())
+}
+
+/// Everything pass 1 produces for one file: the lexed tokens, extents,
+/// symbol table, and the raw (pre-suppression) token-local findings. The
+/// workspace passes consume a slice of these; [`finish_file`] then applies
+/// pragma suppression and the L-rules.
+#[derive(Clone, Debug)]
+pub struct FileAnalysis {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// The lexed token stream.
+    pub lexed: Lexed,
+    /// Extents (test spans, hot spans, stats structs, pragmas).
+    pub ext: Extents,
+    /// The symbol table for the workspace passes.
+    pub symbols: FileSymbols,
+    /// Source lines, for excerpts of pass-2 findings.
+    pub lines: Vec<String>,
+    /// Raw pass-1 findings, before pragma suppression.
+    pub raw: Vec<Finding>,
+}
+
+impl FileAnalysis {
+    /// The trimmed source line at `line` (1-based).
+    pub fn excerpt(&self, line: u32) -> String {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+}
+
+/// Pass 1: analyzes one file's source text into a [`FileAnalysis`] —
+/// token-local findings plus the symbol table the workspace passes need.
+/// `path` is the workspace-relative path used for rule scoping and
+/// reporting.
+pub fn analyze_file(path: &str, src: &str) -> FileAnalysis {
     let lexed = lex(src);
-    let mut ext = extents(&lexed);
+    let ext = extents(&lexed);
+    let symbols = file_symbols(&lexed, &ext);
     let role = classify(path);
-    let lines: Vec<&str> = src.lines().collect();
+    let lines: Vec<String> = src.lines().map(str::to_string).collect();
     let excerpt = |line: u32| -> String {
         lines
             .get(line.saturating_sub(1) as usize)
@@ -187,6 +359,7 @@ pub fn analyze_source(path: &str, src: &str) -> Vec<Finding> {
             line,
             message,
             excerpt: excerpt(line),
+            chain: Vec::new(),
         });
     };
 
@@ -252,32 +425,16 @@ pub fn analyze_source(path: &str, src: &str) -> Vec<Finding> {
             }
         }
 
-        // H1 — allocation in hot functions.
+        // H1 — allocation in directly-annotated hot functions.
         if let Some(hot_fn) = ext.hot_fn(i) {
             if !in_test {
-                let prev_dot = is_punct(toks, i.wrapping_sub(1), ".");
-                let method_alloc = prev_dot
-                    && matches!(
-                        t.text.as_str(),
-                        "clone" | "collect" | "to_string" | "to_owned" | "to_vec" | "push_str"
-                    );
-                let macro_alloc =
-                    matches!(t.text.as_str(), "format" | "vec") && is_punct(toks, i + 1, "!");
-                let ctor_alloc = matches!(t.text.as_str(), "Box" | "String" | "Vec")
-                    && is_punct(toks, i + 1, ":")
-                    && is_punct(toks, i + 2, ":")
-                    && matches!(
-                        toks.get(i + 3).map(|t| t.text.as_str()),
-                        Some("new") | Some("from") | Some("with_capacity")
-                    );
-                if method_alloc || macro_alloc || ctor_alloc {
+                if let Some(site) = alloc_site(toks, i) {
                     push(
                         "H1",
                         t.line,
                         format!(
-                            "`{}` allocates inside hot function `{}` (runs per simulated \
-                             access); hoist it out or reuse a scratch buffer",
-                            t.text, hot_fn
+                            "`{site}` allocates inside hot function `{hot_fn}` (runs per \
+                             simulated access); hoist it out or reuse a scratch buffer"
                         ),
                         &mut raw,
                     );
@@ -377,46 +534,65 @@ pub fn analyze_source(path: &str, src: &str) -> Vec<Finding> {
         }
     }
 
-    // Apply allow pragmas, tracking use.
+    FileAnalysis {
+        path: path.to_string(),
+        lexed,
+        ext,
+        symbols,
+        lines,
+        raw,
+    }
+}
+
+/// Merges this file's pass-2 findings into its raw pass-1 findings,
+/// applies allow pragmas (tracking use), folds in the L-rules, and returns
+/// the file's final findings sorted by (line, rule).
+pub fn finish_file(fa: &mut FileAnalysis, pass2: Vec<Finding>) -> Vec<Finding> {
+    let mut combined = std::mem::take(&mut fa.raw);
+    combined.extend(pass2);
+
     let mut findings: Vec<Finding> = Vec::new();
-    for f in raw {
-        if suppress(&mut ext, &f) {
+    for f in combined {
+        if suppress(&mut fa.ext, &f) {
             continue;
         }
         findings.push(f);
     }
 
     // Pragma hygiene: malformed pragmas and unused allows are findings.
-    for e in &ext.pragma_errors {
+    for e in &fa.ext.pragma_errors {
         findings.push(Finding {
             rule: "L1".to_string(),
-            path: path.to_string(),
+            path: fa.path.clone(),
             line: e.line,
             message: e.message.clone(),
-            excerpt: excerpt(e.line),
+            excerpt: fa.excerpt(e.line),
+            chain: Vec::new(),
         });
     }
-    for a in ext.allows.iter().chain(&ext.file_allows) {
+    for a in fa.ext.allows.iter().chain(&fa.ext.file_allows) {
         if !a.used {
             findings.push(Finding {
                 rule: "L2".to_string(),
-                path: path.to_string(),
+                path: fa.path.clone(),
                 line: a.line,
                 message: format!(
                     "allow({}) suppresses nothing; remove the stale pragma",
                     a.rules.join(", ")
                 ),
-                excerpt: excerpt(a.line),
+                excerpt: fa.excerpt(a.line),
+                chain: Vec::new(),
             });
         }
         for r in &a.rules {
             if rule(r).is_none() {
                 findings.push(Finding {
                     rule: "L1".to_string(),
-                    path: path.to_string(),
+                    path: fa.path.clone(),
                     line: a.line,
                     message: format!("allow names unknown rule {r:?}"),
-                    excerpt: excerpt(a.line),
+                    excerpt: fa.excerpt(a.line),
+                    chain: Vec::new(),
                 });
             }
         }
@@ -424,6 +600,13 @@ pub fn analyze_source(path: &str, src: &str) -> Vec<Finding> {
 
     findings.sort_by(|a, b| (a.line, a.rule.as_str()).cmp(&(b.line, b.rule.as_str())));
     findings
+}
+
+/// Analyzes one file as a single-file workspace — the full pipeline
+/// including the call-graph and schema passes confined to this file.
+/// Multi-file fixtures go through [`crate::analyze_workspace`].
+pub fn analyze_source(path: &str, src: &str) -> Vec<Finding> {
+    crate::analyze_workspace(&[(path.to_string(), src.to_string())]).findings
 }
 
 fn suppress(ext: &mut Extents, f: &Finding) -> bool {
@@ -568,5 +751,30 @@ fn f() { let t = Instant::now(); drop(t); }
         let src = "// cosmos-lint: allow(Z9): mystery rule justification\nfn f() {}\n";
         let rules = rules_of("crates/x/src/lib.rs", src);
         assert!(rules.contains(&"L1".to_string()), "{rules:?}");
+    }
+
+    #[test]
+    fn site_matchers_agree_on_shapes() {
+        let l = lex("fn f() { let v = x.to_vec(); m.lock(); o.unwrap(); panic!(\"no\"); }");
+        let toks = &l.toks;
+        let hits: Vec<(&str, &str)> = toks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, _)| {
+                alloc_site(toks, i)
+                    .map(|s| ("alloc", s))
+                    .or_else(|| lock_site(toks, i).map(|s| ("lock", s)))
+                    .or_else(|| panic_site(toks, i).map(|s| ("panic", s)))
+            })
+            .collect();
+        assert_eq!(
+            hits,
+            vec![
+                ("alloc", "to_vec"),
+                ("lock", "lock"),
+                ("panic", "unwrap"),
+                ("panic", "panic"),
+            ]
+        );
     }
 }

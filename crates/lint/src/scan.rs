@@ -108,12 +108,12 @@ pub fn extents(lexed: &Lexed) -> Extents {
     ext
 }
 
-fn is_punct(toks: &[Tok], i: usize, s: &str) -> bool {
+pub(crate) fn is_punct(toks: &[Tok], i: usize, s: &str) -> bool {
     toks.get(i)
         .is_some_and(|t| t.kind == TokKind::Punct && t.text == s)
 }
 
-fn is_ident(toks: &[Tok], i: usize, s: &str) -> bool {
+pub(crate) fn is_ident(toks: &[Tok], i: usize, s: &str) -> bool {
     toks.get(i)
         .is_some_and(|t| t.kind == TokKind::Ident && t.text == s)
 }
@@ -185,7 +185,7 @@ fn item_end(toks: &[Tok], i: usize) -> usize {
 }
 
 /// Given `open` at a `{`, returns one past its matching `}`.
-fn match_brace(toks: &[Tok], open: usize) -> usize {
+pub(crate) fn match_brace(toks: &[Tok], open: usize) -> usize {
     let mut depth = 0i32;
     let mut j = open;
     while j < toks.len() {
@@ -207,25 +207,49 @@ fn match_brace(toks: &[Tok], open: usize) -> usize {
 }
 
 /// Finds the `{`..`}` body following position `i` (skipping to the first
-/// top-level `{`, e.g. past a struct's generics/where clause). Returns
-/// `(open, one_past_close)` as token indices, or `None` for `;`-terminated
-/// items (tuple/unit structs).
-fn body_braces(toks: &[Tok], i: usize) -> Option<(usize, usize)> {
+/// top-level `{`, e.g. past a fn/struct's generics and where clause).
+/// Returns `(open, one_past_close)` as token indices, or `None` for
+/// `;`-terminated items (tuple/unit structs, trait method declarations).
+///
+/// Three bracket families are tracked so type-position punctuation is not
+/// mistaken for the body or a declaration terminator:
+///
+/// - `[`/`]` — the `;` of an array type (`-> [f32; 2]`) is part of the
+///   type (PR 6's fix);
+/// - `(`/`)` — parenthesized bounds (`where T: Fn() -> u64`);
+/// - `<`/`>` — generic parameter lists and where clauses. A `{` at angle
+///   depth (a const-generic expression such as `<const N: usize>` bounds
+///   like `Assert<{ N % 2 }>` or a const argument `Foo<{ LANES }>`) is an
+///   *expression*, not the body: it is skipped atomically via
+///   [`match_brace`], which also keeps any comparison operators inside it
+///   from corrupting the angle depth. The `>` of `->` is part of the arrow
+///   and never closes an angle.
+pub(crate) fn body_braces(toks: &[Tok], i: usize) -> Option<(usize, usize)> {
     let mut j = i;
     let mut paren = 0i32;
     let mut bracket = 0i32;
+    let mut angle = 0i32;
     while j < toks.len() {
         let t = &toks[j];
         if t.kind == TokKind::Punct {
             match t.text.as_str() {
                 "(" => paren += 1,
                 ")" => paren -= 1,
-                // `[` tracked so the `;` of an array type (`-> [f32; 2]`)
-                // is not mistaken for a bodiless declaration's terminator.
                 "[" => bracket += 1,
                 "]" => bracket -= 1,
-                ";" if paren == 0 && bracket == 0 => return None,
-                "{" if paren == 0 && bracket == 0 => return Some((j, match_brace(toks, j))),
+                "<" => angle += 1,
+                ">" if !is_punct(toks, j.wrapping_sub(1), "-") => {
+                    angle = (angle - 1).max(0);
+                }
+                ";" if paren == 0 && bracket == 0 && angle == 0 => return None,
+                "{" => {
+                    if paren == 0 && bracket == 0 && angle == 0 {
+                        return Some((j, match_brace(toks, j)));
+                    }
+                    // Const-generic expression braces: skip wholesale.
+                    j = match_brace(toks, j);
+                    continue;
+                }
                 _ => {}
             }
         }
@@ -368,6 +392,78 @@ pub fn pair(&self, state: usize) -> [f32; 2] {
             .position(|t| t.text == "inner")
             .expect("inner");
         assert_eq!(e.hot_fn(inner), Some("pair"));
+    }
+
+    #[test]
+    fn hot_pragma_binds_through_where_clause_const_braces() {
+        // The `{ N % 2 }` in the where clause is a const-generic
+        // expression, not the fn body; the hot span must be the real body.
+        let src = "\
+// cosmos-lint: hot
+pub fn lanes<const N: usize>(&self) -> u32
+where
+    Assert<{ N % 2 }>: Sized,
+{
+    inner();
+    0
+}
+";
+        let l = lex(src);
+        let e = extents(&l);
+        assert_eq!(e.hot_spans.len(), 1);
+        assert_eq!(e.hot_spans[0].2, "lanes");
+        let inner = l
+            .toks
+            .iter()
+            .position(|t| t.text == "inner")
+            .expect("inner");
+        assert_eq!(e.hot_fn(inner), Some("lanes"));
+    }
+
+    #[test]
+    fn hot_pragma_binds_through_generic_list_const_braces() {
+        // Same gap in the generic parameter list itself: a const argument
+        // expression in braces precedes the body.
+        let src = "\
+// cosmos-lint: hot
+pub fn widen(&self, x: Simd<u8, { LANES * 2 }>) -> u64 {
+    inner();
+    0
+}
+";
+        let l = lex(src);
+        let e = extents(&l);
+        assert_eq!(e.hot_spans.len(), 1);
+        assert_eq!(e.hot_spans[0].2, "widen");
+        let inner = l
+            .toks
+            .iter()
+            .position(|t| t.text == "inner")
+            .expect("inner");
+        assert_eq!(e.hot_fn(inner), Some("widen"));
+    }
+
+    #[test]
+    fn plain_where_clause_still_binds() {
+        let src = "\
+// cosmos-lint: hot
+pub fn merge<T>(&mut self, other: T) -> u64
+where
+    T: IntoIterator<Item = [u64; 2]>,
+{
+    inner();
+    0
+}
+";
+        let l = lex(src);
+        let e = extents(&l);
+        assert_eq!(e.hot_spans.len(), 1);
+        let inner = l
+            .toks
+            .iter()
+            .position(|t| t.text == "inner")
+            .expect("inner");
+        assert_eq!(e.hot_fn(inner), Some("merge"));
     }
 
     #[test]

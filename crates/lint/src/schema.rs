@@ -1,0 +1,282 @@
+//! Pass 2b: stat-schema completeness (the S-rules).
+//!
+//! Every `*Stats` struct field has to be threaded by hand through three
+//! consumers, and forgetting any one of them is a *silent* stat bug (PR 8
+//! and PR 9 each fixed one): the `since()` window rebase would carry the
+//! warmup value into the measurement window (S1), the snapshot
+//! serializers would zero the field on restore (S2), and the sampled-run
+//! estimator would drop it from reconstruction (S3).
+//!
+//! The contract (DESIGN.md §17):
+//!
+//! - A handler is a fn named `since`, `to_json`, or `from_json` whose
+//!   `impl` owner is the struct (any file — impls may be split). A struct
+//!   with **no** handler of a kind is simply not subject to that check
+//!   (e.g. telemetry's `RecorderStats` never snapshots).
+//! - A field counts as *handled* when its name appears in the handler's
+//!   body as an identifier or a string literal (JSON keys), outside test
+//!   code. Name presence is a deliberate proxy — it cannot judge whether
+//!   the arithmetic is right, only that the field was not forgotten.
+//! - S3: for each estimator module (a file named `estimate.rs`), every
+//!   `*Stats` struct whose name appears in the module must have every
+//!   field mentioned somewhere in the module outside test code.
+//!
+//! Findings anchor at the field's declaration line in the struct's own
+//! file, so a trailing `// cosmos-lint: allow(S…): …` on the field (for
+//! intentionally derived/transient fields) reads naturally.
+
+use crate::rules::{is_estimator_module, FileAnalysis, Finding};
+use crate::tokenizer::TokKind;
+
+/// Whether `name` appears as an identifier or string literal in
+/// `fa`'s token span `[a, b)`, outside test code.
+fn mentioned_in_span(fa: &FileAnalysis, a: usize, b: usize, name: &str) -> bool {
+    fa.lexed.toks[a..b.min(fa.lexed.toks.len())]
+        .iter()
+        .enumerate()
+        .any(|(off, t)| {
+            matches!(t.kind, TokKind::Ident | TokKind::Str)
+                && t.text == name
+                && !fa.ext.in_test(a + off)
+        })
+}
+
+/// Whether `name` appears anywhere in `fa` outside test code.
+fn mentioned_in_file(fa: &FileAnalysis, name: &str) -> bool {
+    mentioned_in_span(fa, 0, fa.lexed.toks.len(), name)
+}
+
+/// Runs the schema pass over the whole workspace.
+pub(crate) fn check(fas: &[FileAnalysis]) -> Vec<Finding> {
+    let mut findings: Vec<Finding> = Vec::new();
+
+    // Handler bodies per (owner struct, handler name): (file idx, body).
+    let mut handlers: Vec<(&str, &str, usize, (usize, usize))> = Vec::new();
+    for (fi, fa) in fas.iter().enumerate() {
+        for f in &fa.symbols.fns {
+            if let Some(owner) = &f.owner {
+                if matches!(f.name.as_str(), "since" | "to_json" | "from_json") {
+                    handlers.push((owner, &f.name, fi, f.body));
+                }
+            }
+        }
+    }
+    let handled = |struct_name: &str, handler: &str, field: &str| -> Option<bool> {
+        let mut any = false;
+        let mut hit = false;
+        for &(owner, name, fi, (a, b)) in &handlers {
+            if owner == struct_name && name == handler {
+                any = true;
+                hit = hit || mentioned_in_span(&fas[fi], a, b, field);
+            }
+        }
+        any.then_some(hit)
+    };
+
+    let estimators: Vec<usize> = (0..fas.len())
+        .filter(|&i| is_estimator_module(&fas[i].path))
+        .collect();
+
+    for fa in fas {
+        for st in &fa.symbols.structs {
+            for field in &st.fields {
+                let mut push = |rule: &str, message: String| {
+                    findings.push(Finding {
+                        rule: rule.to_string(),
+                        path: fa.path.clone(),
+                        line: field.line,
+                        message,
+                        excerpt: fa.excerpt(field.line),
+                        chain: Vec::new(),
+                    });
+                };
+
+                // S1 — the since() window rebase.
+                if handled(&st.name, "since", &field.name) == Some(false) {
+                    push(
+                        "S1",
+                        format!(
+                            "field `{}` of `{}` is missing from `{}::since()`; \
+                             warmup-excluded windows would silently keep the warmup value",
+                            field.name, st.name, st.name
+                        ),
+                    );
+                }
+
+                // S2 — snapshot serialization, both directions.
+                let missing: Vec<&str> = ["to_json", "from_json"]
+                    .into_iter()
+                    .filter(|h| handled(&st.name, h, &field.name) == Some(false))
+                    .collect();
+                if !missing.is_empty() {
+                    push(
+                        "S2",
+                        format!(
+                            "field `{}` of `{}` is missing from snapshot {}; \
+                             snapshot/restore would not round-trip it",
+                            field.name,
+                            st.name,
+                            missing.join("/")
+                        ),
+                    );
+                }
+
+                // S3 — the sampled-run estimator.
+                for &ei in &estimators {
+                    let est = &fas[ei];
+                    if !mentioned_in_file(est, &st.name) {
+                        continue; // this estimator does not reconstruct the struct
+                    }
+                    if !mentioned_in_file(est, &field.name) {
+                        push(
+                            "S3",
+                            format!(
+                                "field `{}` of `{}` is not referenced in estimator module \
+                                 `{}`; sampled-run reconstruction would drop it",
+                                field.name, st.name, est.path
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::analyze_file;
+
+    fn fas(files: &[(&str, &str)]) -> Vec<FileAnalysis> {
+        files.iter().map(|(p, s)| analyze_file(p, s)).collect()
+    }
+
+    const COMPLETE: &str = "\
+pub struct DemoStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+impl DemoStats {
+    pub fn since(&self, b: &DemoStats) -> DemoStats {
+        DemoStats { hits: self.hits - b.hits, misses: self.misses - b.misses }
+    }
+    pub fn to_json(&self) -> String {
+        let _ = (self.hits, self.misses);
+        String::new()
+    }
+    pub fn from_json(_s: &str) -> DemoStats {
+        DemoStats { hits: 0, misses: 0 }
+    }
+}
+";
+
+    #[test]
+    fn complete_struct_is_clean() {
+        let fas = fas(&[("crates/x/src/stats.rs", COMPLETE)]);
+        assert!(check(&fas).is_empty());
+    }
+
+    #[test]
+    fn dropped_field_in_since_is_s1() {
+        // Drop the field's handling entirely (the lint reads tokens, not
+        // compiled code, so the now-incomplete struct literal is fine).
+        let src = COMPLETE.replace("misses: self.misses - b.misses", "");
+        let fas = fas(&[("crates/x/src/stats.rs", &src)]);
+        let f = check(&fas);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "S1");
+        assert_eq!(f[0].line, 3, "anchored at the field declaration");
+        assert!(f[0].message.contains("misses"));
+    }
+
+    #[test]
+    fn dropped_field_in_serialization_is_s2_naming_the_handler() {
+        let src = COMPLETE.replace("let _ = (self.hits, self.misses);", "let _ = self.hits;");
+        let fas = fas(&[("crates/x/src/stats.rs", &src)]);
+        let f = check(&fas);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "S2");
+        assert!(f[0].message.contains("to_json"), "{}", f[0].message);
+        assert!(!f[0].message.contains("to_json/from_json"));
+    }
+
+    #[test]
+    fn json_string_keys_count_as_mentions() {
+        let src = COMPLETE.replace(
+            "let _ = (self.hits, self.misses);",
+            "let _ = self.hits; let _k = \"misses\";",
+        );
+        let fas = fas(&[("crates/x/src/stats.rs", &src)]);
+        assert!(check(&fas).is_empty());
+    }
+
+    #[test]
+    fn structs_without_handlers_are_skipped() {
+        let src = "pub struct PlainStats { pub hits: u64 }";
+        let fas = fas(&[("crates/x/src/lib.rs", src)]);
+        assert!(check(&fas).is_empty());
+    }
+
+    #[test]
+    fn estimator_coverage_is_s3_across_files() {
+        let est_ok = "\
+use crate::DemoStats;
+pub struct Acc { hits: f64, misses: f64 }
+pub fn reconstruct(a: &Acc) -> DemoStats {
+    DemoStats { hits: a.hits as u64, misses: a.misses as u64 }
+}
+";
+        let both = fas(&[
+            ("crates/x/src/stats.rs", COMPLETE),
+            ("crates/x/src/estimate.rs", est_ok),
+        ]);
+        assert!(check(&both).is_empty());
+
+        let est_missing = est_ok
+            .replace("misses: f64 }", "}")
+            .replace(", misses: a.misses as u64", "");
+        let broken = fas(&[
+            ("crates/x/src/stats.rs", COMPLETE),
+            ("crates/x/src/estimate.rs", &est_missing),
+        ]);
+        let f = check(&broken);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "S3");
+        assert_eq!(f[0].path, "crates/x/src/stats.rs");
+        assert!(f[0].message.contains("estimate.rs"));
+    }
+
+    #[test]
+    fn estimator_ignores_unmentioned_structs() {
+        let est = "pub fn reconstruct() -> u64 { 0 }";
+        let fas = fas(&[
+            ("crates/x/src/stats.rs", COMPLETE),
+            ("crates/x/src/estimate.rs", est),
+        ]);
+        assert!(check(&fas).is_empty());
+    }
+
+    #[test]
+    fn test_code_mentions_do_not_count() {
+        // The estimator mentions the struct but references the `misses`
+        // field only inside #[cfg(test)] — that must not count as coverage.
+        let est = "\
+use crate::DemoStats;
+pub fn scale(s: &DemoStats) -> u64 { s.hits * 2 }
+#[cfg(test)]
+mod tests {
+    fn t() { let _ = \"misses\"; }
+}
+";
+        let fas = fas(&[
+            ("crates/x/src/stats.rs", COMPLETE),
+            ("crates/x/src/estimate.rs", est),
+        ]);
+        let f = check(&fas);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].rule, "S3");
+        assert!(f[0].message.contains("misses"));
+    }
+}

@@ -214,7 +214,15 @@ impl Lexer {
         let start = self.pos;
         while let Some(c) = self.peek(0) {
             match c {
-                '\\' => self.pos += 2, // skip escaped char (incl. \")
+                '\\' => {
+                    // Skip the escaped char (incl. \"), but a backslash-
+                    // newline line continuation still ends a source line —
+                    // losing it desyncs every line number after the string.
+                    if self.peek(1) == Some('\n') {
+                        self.line += 1;
+                    }
+                    self.pos += 2;
+                }
                 '"' => break,
                 '\n' => {
                     self.line += 1;
@@ -387,6 +395,15 @@ mod tests {
         let l = lex("let s = \"a\nb\nc\";\nlet t = 1;");
         let t = l.toks.iter().find(|t| t.text == "t").expect("t token");
         assert_eq!(t.line, 4);
+    }
+
+    #[test]
+    fn backslash_newline_continuation_advances_lines() {
+        // `"… \` + newline + `…"` is one string over two source lines; the
+        // escaped newline must still count or every later token drifts.
+        let l = lex("let s = \"first \\\n     second\";\nlet t = 1;");
+        let t = l.toks.iter().find(|t| t.text == "t").expect("t token");
+        assert_eq!(t.line, 3);
     }
 
     #[test]

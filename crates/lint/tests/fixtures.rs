@@ -13,6 +13,7 @@
 
 use cosmos_lint::baseline::Baseline;
 use cosmos_lint::rules::{analyze_source, Finding};
+use cosmos_lint::WorkspaceAnalysis;
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
@@ -69,6 +70,35 @@ fn check(fixture_name: &str, virtual_path: &str) -> Vec<Finding> {
         );
     }
     findings
+}
+
+/// Multi-file variant: each `(fixture, virtual path)` pair joins one
+/// analyzed workspace, and the union of every file's `//~` markers must
+/// match the findings exactly — nothing missing, nothing extra, anywhere.
+/// Returns the analysis so tests can also assert chains and closures.
+fn check_workspace(files: &[(&str, &str)]) -> WorkspaceAnalysis {
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|(name, vpath)| (vpath.to_string(), fixture(name)))
+        .collect();
+    let wa = cosmos_lint::analyze_workspace(&sources);
+    let mut want: BTreeSet<(String, u32, String)> = BTreeSet::new();
+    for (vpath, src) in &sources {
+        for (line, rule) in expected(src) {
+            want.insert((vpath.clone(), line, rule));
+        }
+    }
+    let got: BTreeSet<(String, u32, String)> = wa
+        .findings
+        .iter()
+        .map(|f| (f.path.clone(), f.line, f.rule.clone()))
+        .collect();
+    assert_eq!(
+        got, want,
+        "marker/finding mismatch; findings: {:#?}",
+        wa.findings
+    );
+    wa
 }
 
 #[test]
@@ -149,6 +179,84 @@ fn p_rules_waived_in_bins() {
 #[test]
 fn pragma_hygiene() {
     check("pragma_hygiene.rs", "crates/demo/src/lib.rs");
+}
+
+#[test]
+fn hot_pragma_binds_across_generics_and_where_clauses() {
+    check("hot_binding_generics.rs", "crates/demo/src/lib.rs");
+}
+
+#[test]
+fn workspace_chain_findings_cross_files_with_witnesses() {
+    let wa = check_workspace(&[
+        ("ws_chain_root.rs", "crates/demo/src/root.rs"),
+        ("ws_chain_leaf.rs", "crates/demo/src/leaf.rs"),
+    ]);
+    let h2 = wa.findings.iter().find(|f| f.rule == "H2").expect("H2");
+    assert_eq!(h2.chain, ["access", "stage_one", "stage_two"]);
+    let h3 = wa.findings.iter().find(|f| f.rule == "H3").expect("H3");
+    assert_eq!(h3.chain, ["access", "stage_one", "stage_two", "guarded"]);
+    let h4 = wa.findings.iter().find(|f| f.rule == "H4").expect("H4");
+    assert_eq!(h4.chain, ["access", "stage_one", "stage_two", "guarded"]);
+    // Recursion terminated and the root is not its own callee.
+    let closure = wa
+        .hot_closure
+        .iter()
+        .find(|c| c.root == "access")
+        .expect("access closure");
+    assert_eq!(closure.reachable, ["guarded", "stage_one", "stage_two"]);
+}
+
+#[test]
+fn workspace_same_name_candidates_create_no_false_edges() {
+    let wa = check_workspace(&[
+        ("ws_ambig_root.rs", "crates/demo/src/root.rs"),
+        ("ws_ambig_one.rs", "crates/demo/src/one.rs"),
+        ("ws_ambig_two.rs", "crates/demo/src/two.rs"),
+    ]);
+    assert!(wa.findings.is_empty());
+    let closure = wa
+        .hot_closure
+        .iter()
+        .find(|c| c.root == "tick")
+        .expect("tick closure");
+    assert!(closure.reachable.is_empty(), "{:?}", closure.reachable);
+}
+
+#[test]
+fn workspace_trait_dispatch_fans_out_and_self_calls_resolve() {
+    let wa = check_workspace(&[
+        ("ws_trait_root.rs", "crates/demo/src/root.rs"),
+        ("ws_trait_impls.rs", "crates/demo/src/impls.rs"),
+    ]);
+    let greedy = wa
+        .findings
+        .iter()
+        .find(|f| f.chain.last().is_some_and(|c| c == "Greedy::pick"))
+        .expect("finding inside Greedy::pick");
+    assert_eq!(greedy.chain, ["drive", "Greedy::pick"]);
+    let seeded = wa
+        .findings
+        .iter()
+        .find(|f| f.chain.last().is_some_and(|c| c == "Seeded::step"))
+        .expect("finding inside Seeded::step");
+    assert_eq!(seeded.chain, ["drive", "Seeded::pick", "Seeded::step"]);
+}
+
+#[test]
+fn workspace_schema_rules_anchor_at_field_declarations() {
+    let wa = check_workspace(&[
+        ("ws_schema_stats.rs", "crates/demo/src/stats.rs"),
+        ("ws_schema_estimate.rs", "crates/demo/src/estimate.rs"),
+    ]);
+    let s2 = wa.findings.iter().find(|f| f.rule == "S2").expect("S2");
+    assert!(
+        s2.message.contains("to_json/from_json"),
+        "S2 names both missing handlers: {}",
+        s2.message
+    );
+    let s3 = wa.findings.iter().find(|f| f.rule == "S3").expect("S3");
+    assert!(s3.message.contains("estimate.rs"), "{}", s3.message);
 }
 
 #[test]

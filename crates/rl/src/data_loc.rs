@@ -36,7 +36,7 @@ impl DataLocation {
         match action {
             0 => DataLocation::OnChip,
             1 => DataLocation::OffChip,
-            // cosmos-lint: allow(P2): documented contract of a const fn — callers pass 0 or 1
+            // cosmos-lint: allow(P2,H4): documented contract of a const fn — callers pass 0 or 1
             _ => panic!("invalid action"),
         }
     }

@@ -36,7 +36,7 @@ impl Locality {
         match action {
             0 => Locality::Bad,
             1 => Locality::Good,
-            // cosmos-lint: allow(P2): documented contract of a const fn — callers pass 0 or 1
+            // cosmos-lint: allow(P2,H4): documented contract of a const fn — callers pass 0 or 1
             _ => panic!("invalid action"),
         }
     }

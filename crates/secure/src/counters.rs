@@ -181,6 +181,7 @@ impl CounterBlock {
     fn new(coverage: u64) -> Self {
         Self {
             major: 0,
+            // cosmos-lint: allow(H2): one allocation per newly-touched counter block, amortized over every later access to it
             minors: vec![0; coverage as usize],
             format: MorphFormat::Uniform,
             nonzero: 0,
@@ -285,6 +286,7 @@ impl CounterStore {
 
     /// Increments the counter of `line` (a memory write), handling morphing
     /// and overflow per the scheme.
+    // cosmos-lint: hot
     pub fn increment(&mut self, line: LineAddr) -> IncrementOutcome {
         self.increments += 1;
         let scheme = self.scheme;
@@ -425,6 +427,7 @@ impl CounterStore {
         block.max_minor = 0;
         let first = block_idx * coverage;
         IncrementOutcome::Overflow {
+            // cosmos-lint: allow(H2): minor-counter overflow is the rare re-encryption path (counted in ctr_overflows), not the per-access path
             reencrypt: (first..first + coverage).map(LineAddr::new).collect(),
         }
     }

@@ -1,29 +1,71 @@
 #!/bin/bash
 # Full local gate: formatting, release build, all workspace tests, clippy
-# with warnings denied, and a sampled-mode smoke run — what CI runs, in one
-# command.
+# with warnings denied, static analysis, and the end-to-end identity and
+# determinism smokes — what CI runs, in one command.
+#
+# Every block announces itself through `stage <name>`, so a failure log
+# always shows which named stage died, and the final summary line counts
+# the stages and carries the throughput guard's verdict.
 set -eu
 cd "$(dirname "$0")/.."
+
+STAGE_COUNT=0
+stage() {
+    STAGE_COUNT=$((STAGE_COUNT + 1))
+    echo "check.sh: stage $STAGE_COUNT: $1"
+}
+
+stage fmt
 cargo fmt --all -- --check
+
+stage build
 cargo build --release
+
+stage test
 cargo test -q --workspace
-cargo clippy --workspace -- -D warnings
-# Static analysis (DESIGN.md §12): determinism, hot-path, stat-integrity,
-# and panic invariants. Deny-by-default — any finding that is neither
-# pragma-justified nor in lint.baseline fails the gate. The JSON report is
-# committed so reviews can diff it.
+
+stage clippy
+cargo clippy -q --workspace --all-targets -- -D warnings
+
+# Static analysis (DESIGN.md §12/§17): determinism, hot-path-closure,
+# stat-integrity, stat-schema, and panic invariants. Deny-by-default — any
+# finding that is neither pragma-justified nor in lint.baseline fails the
+# gate. The JSON report is committed so reviews can diff it.
+stage lint
 cargo run --release -q -p cosmos-lint -- --json results/lint.json
+
+# The lint's own determinism contract: the machine-readable report must be
+# byte-identical across --jobs values, and the committed copy must match
+# what the tree produces (stale reports fail here, not in review).
+stage lint-determinism
+lint_a="$(mktemp)"
+lint_b="$(mktemp)"
+cargo run --release -q -p cosmos-lint -- -q --jobs 1 --json "$lint_a"
+cargo run --release -q -p cosmos-lint -- -q --jobs 4 --json "$lint_b"
+cmp "$lint_a" "$lint_b" || {
+    echo "check.sh: lint report depends on --jobs" >&2
+    exit 1
+}
+cmp "$lint_a" results/lint.json || {
+    echo "check.sh: committed results/lint.json is stale — commit the regenerated report" >&2
+    exit 1
+}
+rm -f "$lint_a" "$lint_b"
+
 # Sampled-mode smoke: the validation harness end-to-end at a tiny budget
 # (exercises plan building, warmup/priming, and the weighted merge; the
 # accuracy/reduction targets only apply at its default paper-scale budget).
 # --json redirects the result document so the committed default-budget
 # results/sampling_validation.json is left alone.
+stage sampling-smoke
 smoke_json="$(mktemp)"
 cargo run --release -q -p cosmos-experiments --bin sampling_validation -- \
     --accesses 120000 --jobs 2 --json "$smoke_json" >/dev/null
 rm -f "$smoke_json"
+
 # Checked-mode smoke: the oracles must observe without perturbing — the
 # same grid with and without --check has to emit byte-identical artifacts.
+stage check-identity
 plain_json="$(mktemp)"
 checked_json="$(mktemp)"
 cargo run --release -q -p cosmos-experiments --bin fig02_traffic -- \
@@ -49,10 +91,12 @@ cmp "$f10_plain" "$f10_checked" || {
     exit 1
 }
 rm -f "$f10_plain" "$f10_checked"
+
 # Telemetry identity smoke: --telemetry must also observe without
 # perturbing — same grid, same seed, byte-identical result artifact —
 # and the exported trace/heatmap/metrics files must exist and carry the
 # expected structure.
+stage telemetry-identity
 tele_json="$(mktemp)"
 tele_dir="$(mktemp -d)"
 cargo run --release -q -p cosmos-experiments --bin fig02_traffic -- \
@@ -80,11 +124,14 @@ grep -q '"windows"' "$tele_dir/fig02.heatmap.json" || {
     exit 1
 }
 rm -rf "$plain_json" "$tele_json" "$tele_dir"
+
 # Differential fuzzing at a fixed seed: a bounded pass over random
 # configurations x synthetic traces through the shadow models and the
 # invariant catalogue (~30 s; failures shrink to results/*.json repros).
+stage fuzz
 cargo run --release -q -p cosmos-verify --bin verify_fuzz -- \
     --seed 1 --cases 16 --accesses 5000 >/dev/null
+
 # Throughput determinism smoke: two quick sim_throughput runs (snapshot
 # redirected via --json so the committed BENCH artifacts stay untouched)
 # must agree on every model-pure field — the simulated-cycle counts and
@@ -94,6 +141,7 @@ cargo run --release -q -p cosmos-verify --bin verify_fuzz -- \
 # numbers. grep -n keeps line numbers, so field ORDER mismatches fail
 # the cmp too (BENCH_sim.json is serialized via the insertion-ordered
 # cosmos_common::json map — this pins that order).
+stage throughput-determinism
 thr_a="$(mktemp)"
 thr_b="$(mktemp)"
 cargo run --release -q -p cosmos-experiments --bin sim_throughput -- \
@@ -112,12 +160,14 @@ grep -q '"sim_cycles_per_access"' "$thr_a" || {
     exit 1
 }
 rm -f "$thr_a" "$thr_b"
+
 # Snapshot/restore identity smoke (DESIGN.md §14): an uninterrupted
 # 200k-access run and a stop-at-100k-then-resume run of the same
 # design x workload must emit byte-identical result artifacts, with the
 # resumed half green under the cosmos-verify oracles (--check errors out
 # if any shadow model diverges). Covers a fig02-style scheme config
 # (MorphCtr) and the fig10 full design (COSMOS).
+stage snapshot-restore
 ckpt_dir="$(mktemp -d)"
 for design in MorphCtr COSMOS; do
     cargo run --release -q -p cosmos-serve --bin cosmos_serve -- ckpt \
@@ -137,10 +187,12 @@ for design in MorphCtr COSMOS; do
     }
 done
 rm -rf "$ckpt_dir"
+
 # Serve-mode smoke: three figure jobs through the NDJSON protocol must
 # produce artifacts byte-identical to the corresponding grid binaries
 # run directly (the serve path and the binaries share the figure
 # registry, so any drift here means the registry wiring broke).
+stage serve
 serve_dir="$(mktemp -d)"
 printf '%s\n' \
     '{"op":"submit","job":{"type":"figure","figure":"fig02","accesses":20000}}' \
@@ -163,11 +215,13 @@ done <<'JOBS'
 3 fig11_ctr_miss
 JOBS
 rm -rf "$serve_dir"
+
 # Kill-and-resume smoke: shut the server down with sim jobs still in
 # flight (single worker, immediate shutdown), then --resume must finish
 # everything — done jobs are not re-run (covered deterministically by
 # the cosmos-serve unit tests), preempted ones continue from their
 # snapshot — and the artifacts must match a fresh uninterrupted run.
+stage serve-resume
 resume_dir="$(mktemp -d)"
 printf '%s\n' \
     '{"op":"submit","job":{"type":"sim","design":"NP","workload":"bfs","accesses":40000,"snapshot_every":5000}}' \
@@ -197,12 +251,14 @@ done <<'JOBS'
 2 COSMOS pr
 JOBS
 rm -rf "$resume_dir"
+
 # Attribution smoke (DESIGN.md §15): the explain_ctr report and artifact
 # must be deterministic — byte-identical across repeat runs and across
 # --jobs — and every stream's class counts must sum exactly to its
 # sampled miss count (the conservation law; the report prints one
 # grep-able "conservation ... (ok)" line per stream and says VIOLATED on
 # any mismatch).
+stage explain-determinism
 exp_a="$(mktemp)"
 exp_b="$(mktemp)"
 exp_c="$(mktemp)"
@@ -235,11 +291,13 @@ if grep -q 'VIOLATED' "$exp_rep_a"; then
     exit 1
 fi
 rm -f "$exp_a" "$exp_b" "$exp_c" "$exp_rep_a" "$exp_rep_b"
+
 # Occupancy-channel smoke (DESIGN.md §16): the channel_occupancy figure
 # must be byte-identical across --jobs and under --check (which runs the
 # shadow oracles on every cell — the keyed-randomized and
 # skewed-associative index variants included), and a serve-mode job must
 # reproduce the binary's artifact exactly through the shared registry.
+stage occupancy-channel
 chan_a="$(mktemp)"
 chan_b="$(mktemp)"
 chan_c="$(mktemp)"
@@ -268,10 +326,23 @@ cmp "$chan_serve/job-1.json" "$chan_a" || {
 }
 rm -f "$chan_a" "$chan_b" "$chan_c"
 rm -rf "$chan_serve"
+
 # Throughput trend: flags >10% drops of the committed sim_throughput
 # snapshot against its history (both the plain-grid rate and the
 # channel-harness cell rate). Warn-only by default (wall-clock rates
 # are machine-dependent); export THROUGHPUT_GUARD=deny to make a
-# flagged drop fail this gate.
-scripts/throughput_guard.sh
-echo "check.sh: all green"
+# flagged drop fail this gate. Its verdict is echoed here and folded
+# into the final summary line.
+stage throughput-guard
+guard_status=0
+guard_out="$(scripts/throughput_guard.sh 2>&1)" || guard_status=$?
+printf '%s\n' "$guard_out"
+if [ "$guard_status" -ne 0 ]; then
+    echo "check.sh: throughput_guard failed (exit $guard_status)" >&2
+    exit "$guard_status"
+fi
+guard_summary="$(printf '%s\n' "$guard_out" \
+    | sed -n -E 's/^throughput_guard: (ok: |(WARNING: ))/\2/p' | paste -sd ';' -)"
+[ -n "$guard_summary" ] || guard_summary="no comparable history"
+
+echo "check.sh: all green ($STAGE_COUNT stages; throughput_guard: $guard_summary)"
